@@ -1,0 +1,398 @@
+//! *hypre*: the `new_ij` test driver solving a 27-point 3-D Laplacian.
+//!
+//! Table III's parameter space: `solver` (24 ids of the real driver, each a
+//! Krylov/preconditioner composition), `coarsening` (PMIS/HMIS), `smtype`
+//! (the AMG relaxation type, 0–8) and the MPI process count.
+//!
+//! Model structure:
+//!
+//! - iteration counts follow linear-convergence theory: `ln(tol)/ln(ρ)`,
+//!   where the convergence factor ρ composes the preconditioner's base
+//!   factor, the coarsening and smoother adjustments, and Krylov
+//!   acceleration; unstable compositions (e.g. nonsymmetric Gauss–Seidel
+//!   relaxation inside PCG, or CGNR's squared conditioning on diagonal
+//!   scaling) hit the iteration cap — the heavy tail of Table III's space;
+//! - per-iteration cost is sparse-matvec work scaled by operator complexity
+//!   (PMIS < HMIS) plus halo exchanges per AMG level and the Krylov dot
+//!   products (allreduces);
+//! - strong scaling over 8…512 ranks: bandwidth-bound node compute and a
+//!   latency floor from coarse AMG levels that saturates speedup.
+//!
+//! The `smtype` dimension is *inert* for non-AMG solvers, exactly like the
+//! real driver — a categorical irrelevance pattern the random forest must
+//! discover.
+
+use pwu_space::{Configuration, Param, ParamSpace, TuningTarget, Value};
+use pwu_stats::Xoshiro256PlusPlus;
+
+use crate::platform::ClusterPlatform;
+
+/// Global problem: 192³ unknowns, 27 nonzeros per row.
+const N: f64 = 192.0 * 192.0 * 192.0;
+const NNZ_PER_ROW: f64 = 27.0;
+/// Relative residual tolerance.
+const TOL: f64 = 1e-8;
+/// Iteration cap of the driver.
+const MAX_ITERS: f64 = 500.0;
+/// Cluster measurement noise.
+const NOISE_SIGMA: f64 = 0.05;
+
+/// Preconditioner families of the driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Precond {
+    Amg,
+    Gsmg,
+    DiagScale,
+    Pilut,
+    ParaSails,
+    Schwarz,
+    Euclid,
+}
+
+/// Krylov accelerators of the driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Krylov {
+    None,
+    Pcg,
+    Gmres,
+    BiCgStab,
+    Cgnr,
+    LGmres,
+    FlexGmres,
+    Hybrid,
+}
+
+/// The simulated *hypre* application.
+#[derive(Debug, Clone)]
+pub struct Hypre {
+    space: ParamSpace,
+    platform: ClusterPlatform,
+}
+
+impl Default for Hypre {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Solver-id table (id, Krylov, preconditioner).
+fn solver_table(id: u32) -> (Krylov, Precond) {
+    match id {
+        0 => (Krylov::None, Precond::Amg),
+        1 => (Krylov::Pcg, Precond::Amg),
+        2 => (Krylov::Pcg, Precond::DiagScale),
+        3 => (Krylov::Gmres, Precond::Amg),
+        4 => (Krylov::Gmres, Precond::DiagScale),
+        5 => (Krylov::Cgnr, Precond::Amg),
+        6 => (Krylov::Cgnr, Precond::DiagScale),
+        7 => (Krylov::Gmres, Precond::Pilut),
+        8 => (Krylov::Pcg, Precond::ParaSails),
+        9 => (Krylov::BiCgStab, Precond::Amg),
+        10 => (Krylov::BiCgStab, Precond::DiagScale),
+        11 => (Krylov::BiCgStab, Precond::Pilut),
+        12 => (Krylov::Pcg, Precond::Schwarz),
+        13 => (Krylov::None, Precond::Gsmg),
+        14 => (Krylov::Pcg, Precond::Gsmg),
+        15 => (Krylov::Gmres, Precond::Gsmg),
+        18 => (Krylov::Gmres, Precond::ParaSails),
+        20 => (Krylov::Hybrid, Precond::Amg),
+        43 => (Krylov::Pcg, Precond::Euclid),
+        44 => (Krylov::Gmres, Precond::Euclid),
+        45 => (Krylov::BiCgStab, Precond::Euclid),
+        50 => (Krylov::LGmres, Precond::DiagScale),
+        51 => (Krylov::LGmres, Precond::Amg),
+        60 => (Krylov::FlexGmres, Precond::DiagScale),
+        61 => (Krylov::FlexGmres, Precond::Amg),
+        other => unreachable!("solver id {other} not in Table III"),
+    }
+}
+
+/// The solver ids in Table III order.
+#[must_use]
+pub fn solver_ids() -> Vec<u32> {
+    vec![
+        0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 18, 20, 43, 44, 45, 50, 51, 61,
+    ]
+}
+
+const PROCS: [f64; 7] = [8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0];
+
+impl Hypre {
+    /// Builds the application model on Platform B.
+    #[must_use]
+    pub fn new() -> Self {
+        let space = ParamSpace::new(
+            "hypre",
+            vec![
+                Param::categorical(
+                    "solver",
+                    solver_ids().iter().map(|id| format!("s{id}")),
+                ),
+                Param::categorical("coarsening", ["pmis", "hmis"]),
+                Param::categorical("smtype", (0..9).map(|s| format!("r{s}"))),
+                Param::ordinal("process", PROCS.to_vec()),
+            ],
+        );
+        Self {
+            space,
+            platform: ClusterPlatform::platform_b(),
+        }
+    }
+
+    fn decode(&self, cfg: &Configuration) -> (u32, bool, u32, u32) {
+        let vals = self.space.values(cfg);
+        let solver = match &vals[0].1 {
+            Value::Category(i, _) => solver_ids()[*i],
+            v => unreachable!("solver decoded as {v:?}"),
+        };
+        let pmis = match &vals[1].1 {
+            Value::Category(i, _) => *i == 0,
+            v => unreachable!("coarsening decoded as {v:?}"),
+        };
+        let smtype = match &vals[2].1 {
+            Value::Category(i, _) => *i as u32,
+            v => unreachable!("smtype decoded as {v:?}"),
+        };
+        let procs = match vals[3].1 {
+            Value::Number(v) => v as u32,
+            ref v => unreachable!("process decoded as {v:?}"),
+        };
+        (solver, pmis, smtype, procs)
+    }
+}
+
+/// Smoother properties: (cost multiplier, convergence-factor delta,
+/// symmetric?).
+fn smoother(smtype: u32) -> (f64, f64, bool) {
+    match smtype {
+        0 => (0.8, 0.10, true),   // weighted Jacobi
+        1 => (1.0, 0.00, false),  // sequential Gauss–Seidel
+        2 => (1.0, 0.02, false),  // interleaved GS
+        3 => (1.0, 0.00, false),  // hybrid forward GS
+        4 => (1.0, 0.01, false),  // hybrid backward GS
+        5 => (1.05, 0.03, false), // chaotic GS
+        6 => (1.3, -0.03, true),  // hybrid symmetric GS
+        7 => (0.9, 0.07, true),   // Jacobi variant
+        8 => (1.2, -0.02, true),  // l1 symmetric GS
+        other => unreachable!("smtype {other} out of range"),
+    }
+}
+
+impl TuningTarget for Hypre {
+    fn name(&self) -> &str {
+        "hypre"
+    }
+
+    fn space(&self) -> &ParamSpace {
+        &self.space
+    }
+
+    fn ideal_time(&self, cfg: &Configuration) -> f64 {
+        let (solver, pmis, smtype, procs) = self.decode(cfg);
+        let (krylov, precond) = solver_table(solver);
+        let p = f64::from(procs);
+        let nnz = N * NNZ_PER_ROW;
+
+        // --- Preconditioner properties ------------------------------------
+        let amg_like = matches!(precond, Precond::Amg | Precond::Gsmg);
+        let (op_complexity, coarsen_delta) = if amg_like {
+            if pmis {
+                (1.25, 0.04)
+            } else {
+                (1.40, 0.01)
+            }
+        } else {
+            (1.0, 0.0)
+        };
+        let (smoother_cost, smoother_delta, symmetric_smoother) = if amg_like {
+            smoother(smtype)
+        } else {
+            (1.0, 0.0, true) // smtype is inert outside AMG
+        };
+
+        let (setup_factor, periter_factor, base_rho) = match precond {
+            Precond::Amg => (6.0, 2.2 * smoother_cost, 0.14),
+            Precond::Gsmg => (10.0, 2.2 * smoother_cost, 0.11),
+            Precond::DiagScale => (0.05, 1.0, 0.9935), // κ ≈ (128/π)²
+            Precond::Pilut => (4.0, 1.8, 0.62),
+            Precond::ParaSails => (5.5, 1.5, 0.70),
+            Precond::Schwarz => (3.0, 2.0, 0.55),
+            Precond::Euclid => (3.5, 1.7, 0.58),
+        };
+        let mut rho: f64 = base_rho + coarsen_delta + smoother_delta;
+
+        // --- Krylov acceleration and stability -----------------------------
+        let mut matvecs_per_iter = 1.0;
+        let mut extra_periter = 0.0;
+        match krylov {
+            Krylov::None => {}
+            Krylov::Pcg => {
+                if amg_like && !symmetric_smoother {
+                    // Nonsymmetric preconditioner breaks CG orthogonality:
+                    // stagnation near the cap.
+                    rho = 0.985;
+                } else {
+                    rho = rho.powf(1.4).min(0.999);
+                }
+                extra_periter = 0.15;
+            }
+            Krylov::Gmres | Krylov::LGmres | Krylov::FlexGmres => {
+                rho = rho.powf(1.3).min(0.999);
+                extra_periter = 0.35; // orthogonalization
+            }
+            Krylov::BiCgStab => {
+                rho = rho.powf(1.35).min(0.999);
+                matvecs_per_iter = 2.0;
+                extra_periter = 0.2;
+            }
+            Krylov::Cgnr => {
+                // Normal equations square the condition number.
+                rho = (0.5 + 0.5 * rho).powf(0.5).max(rho).min(0.9995);
+                if precond == Precond::DiagScale {
+                    rho = 0.99995; // hopeless: hits the cap
+                }
+                matvecs_per_iter = 2.0;
+                extra_periter = 0.2;
+            }
+            Krylov::Hybrid => {
+                // DS-CG phase first, then switches to AMG.
+                rho = rho.powf(1.4).min(0.999);
+                extra_periter = 0.15;
+            }
+        }
+
+        let iters = ((TOL.ln() / rho.ln()).ceil()).clamp(1.0, MAX_ITERS)
+            + if krylov == Krylov::Hybrid { 40.0 } else { 0.0 };
+
+        // --- Per-iteration time --------------------------------------------
+        let ranks_on_node = procs.min(self.platform.cores_per_node);
+        let flops_per_rank =
+            nnz * op_complexity * (matvecs_per_iter * periter_factor + extra_periter) * 2.0 / p;
+        // SpMV reads matrix + vectors: ~1.3 bytes/flop effective.
+        let compute = self.platform.compute_time(flops_per_rank, 1.3, ranks_on_node);
+
+        let net = self.platform.transport_for(procs);
+        let local_n = N / p;
+        let halo_bytes = local_n.powf(2.0 / 3.0) * 6.0 * 8.0;
+        let levels = if amg_like { 5.0 } else { 1.0 };
+        // Halo per level (shrinking payload, constant latency) + Krylov dots
+        // + the fixed per-level MPI software overhead every V-cycle pays.
+        let mut comm = 0.0;
+        for l in 0..levels as u32 {
+            comm += net.p2p(halo_bytes / 8f64.powi(l as i32)) + 20e-6;
+        }
+        comm += 2.0 * net.allreduce(procs, 8.0);
+        let per_iter = compute + comm;
+
+        // --- Setup -----------------------------------------------------------
+        let setup_flops = nnz * setup_factor * op_complexity / p;
+        let setup = self.platform.compute_time(setup_flops, 1.0, ranks_on_node)
+            + levels * net.allreduce(procs, 64.0);
+
+        setup + iters * per_iter
+    }
+
+    fn measure(&self, cfg: &Configuration, rng: &mut Xoshiro256PlusPlus) -> f64 {
+        let ideal = self.ideal_time(cfg);
+        let mut noise = pwu_stats::LogNormal::new(-0.5 * NOISE_SIGMA * NOISE_SIGMA, NOISE_SIGMA);
+        ideal * noise.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn space_matches_table_three() {
+        let h = Hypre::new();
+        let arity: Vec<usize> = h.space().params().iter().map(|p| p.arity()).collect();
+        assert_eq!(arity, vec![24, 2, 9, 7]);
+        assert_eq!(h.space().cardinality(), 24 * 2 * 9 * 7);
+    }
+
+    #[test]
+    fn all_configurations_finite_with_heavy_tail() {
+        let h = Hypre::new();
+        let mut times: Vec<f64> = h
+            .space()
+            .enumerate()
+            .map(|c| {
+                let t = h.ideal_time(&c);
+                assert!(t.is_finite() && t > 0.0);
+                t
+            })
+            .collect();
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let best = times[0];
+        let median = times[times.len() / 2];
+        let worst = times[times.len() - 1];
+        assert!(worst / best > 30.0, "tail too light: {best}..{worst}");
+        assert!(median / best > 1.5, "median {median} too close to best {best}");
+    }
+
+    #[test]
+    fn amg_pcg_beats_diag_scaling() {
+        let h = Hypre::new();
+        // solver 1 (AMG-PCG) vs 2 (DS-PCG), symmetric smoother 6, pmis, 64 ranks.
+        let amg = h.ideal_time(&Configuration::new(vec![1, 0, 6, 3]));
+        let ds = h.ideal_time(&Configuration::new(vec![2, 0, 6, 3]));
+        assert!(amg < ds, "AMG {amg} vs DS {ds}");
+    }
+
+    #[test]
+    fn nonsymmetric_smoother_breaks_pcg() {
+        let h = Hypre::new();
+        // AMG-PCG with symmetric smoother (6) vs nonsymmetric GS (1).
+        let sym = h.ideal_time(&Configuration::new(vec![1, 0, 6, 3]));
+        let nonsym = h.ideal_time(&Configuration::new(vec![1, 0, 1, 3]));
+        assert!(
+            nonsym > sym * 5.0,
+            "PCG should stall with nonsymmetric smoother: {nonsym} vs {sym}"
+        );
+        // …but GMRES tolerates the same smoother.
+        let gmres_nonsym = h.ideal_time(&Configuration::new(vec![3, 0, 1, 3]));
+        assert!(gmres_nonsym < nonsym);
+    }
+
+    #[test]
+    fn smtype_is_inert_for_non_amg_solvers(){
+        let h = Hypre::new();
+        // DS-PCG (solver 2): smtype must not change the time.
+        let a = h.ideal_time(&Configuration::new(vec![2, 0, 0, 3]));
+        let b = h.ideal_time(&Configuration::new(vec![2, 0, 5, 3]));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scaling_improves_then_saturates() {
+        let h = Hypre::new();
+        // AMG-PCG, pmis, symmetric smoother: 8 → 64 ranks should speed up.
+        let t8 = h.ideal_time(&Configuration::new(vec![1, 0, 6, 0]));
+        let t64 = h.ideal_time(&Configuration::new(vec![1, 0, 6, 3]));
+        let t512 = h.ideal_time(&Configuration::new(vec![1, 0, 6, 6]));
+        assert!(t64 < t8, "64 ranks {t64} vs 8 ranks {t8}");
+        // Efficiency at 512 must be well below linear (latency floor).
+        let speedup = t8 / t512;
+        assert!(speedup < 64.0 * 0.8, "implausible speedup {speedup}");
+    }
+
+    #[test]
+    fn pmis_cheaper_per_cycle_than_hmis() {
+        let h = Hypre::new();
+        let pmis = h.ideal_time(&Configuration::new(vec![0, 0, 6, 3]));
+        let hmis = h.ideal_time(&Configuration::new(vec![0, 1, 6, 3]));
+        // HMIS converges slightly better but costs more per cycle; for this
+        // problem the complexity term dominates.
+        assert_ne!(pmis, hmis);
+    }
+
+    #[test]
+    fn cgnr_on_diag_scaling_hits_the_cap() {
+        let h = Hypre::new();
+        // solver 6 = DS-CGNR (index 6 in solver_ids), worst combo.
+        let bad = h.ideal_time(&Configuration::new(vec![6, 0, 0, 3]));
+        let good = h.ideal_time(&Configuration::new(vec![1, 0, 6, 3]));
+        assert!(bad > good * 10.0, "cap case {bad} vs good {good}");
+    }
+}

@@ -1,0 +1,306 @@
+//! *kripke*: the LLNL discrete-ordinates transport proxy.
+//!
+//! Table II's parameter space: data `layout` (the nesting order of
+//! Directions/Groups/Zones), the number of group-sets (`gset`) and
+//! direction-sets (`dset`), the parallel method (`sweep` = pipelined KBA
+//! wavefront, `bj` = block Jacobi), and the MPI process count.
+//!
+//! Model structure (one "solve" = `SOURCE_ITERS` source iterations):
+//!
+//! - the zone mesh is strong-scaled over a near-square 2-D process grid
+//!   (KBA decomposition);
+//! - work per zone·direction·group is constant, discounted by a layout
+//!   efficiency: the innermost data dimension determines the stride-1 run
+//!   length available to the vector units;
+//! - `sweep` pays a pipeline-fill bubble of `Px + Py − 2` block steps per
+//!   octant but converges in one sweep per iteration; the number of blocks
+//!   is `gset × dset`, so finer blocking shortens the bubble while raising
+//!   per-message latency costs — the classic KBA trade-off;
+//! - `bj` has no wavefront (perfect overlap) but needs extra iterations to
+//!   converge, growing with the process count.
+
+use pwu_space::{Configuration, Param, ParamSpace, TuningTarget, Value};
+use pwu_stats::Xoshiro256PlusPlus;
+
+use crate::platform::ClusterPlatform;
+
+/// Total energy groups.
+const GROUPS: u64 = 128;
+/// Total quadrature directions (8 octants × 12).
+const DIRECTIONS: u64 = 96;
+/// Global zone mesh (cube side).
+const ZONES_SIDE: u64 = 96;
+/// Source iterations per solve.
+const SOURCE_ITERS: f64 = 10.0;
+/// Flops per zone·direction·group per sweep (diamond-difference update).
+const FLOPS_PER_UNKNOWN: f64 = 40.0;
+
+/// Measurement noise (cluster-level, ~5 %).
+const NOISE_SIGMA: f64 = 0.05;
+
+/// The six nesting orders of Directions, Groups, Zones.
+const LAYOUTS: [&str; 6] = ["DGZ", "DZG", "GDZ", "GZD", "ZDG", "ZGD"];
+const GSETS: [f64; 8] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
+const DSETS: [f64; 3] = [8.0, 16.0, 32.0];
+const PROCS: [f64; 8] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
+
+/// The simulated *kripke* application.
+#[derive(Debug, Clone)]
+pub struct Kripke {
+    space: ParamSpace,
+    platform: ClusterPlatform,
+}
+
+impl Default for Kripke {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Kripke {
+    /// Builds the application model on Platform B.
+    #[must_use]
+    pub fn new() -> Self {
+        let space = ParamSpace::new(
+            "kripke",
+            vec![
+                Param::categorical("layout", LAYOUTS),
+                Param::ordinal("gset", GSETS.to_vec()),
+                Param::ordinal("dset", DSETS.to_vec()),
+                Param::categorical("pmethod", ["sweep", "bj"]),
+                Param::ordinal("process", PROCS.to_vec()),
+            ],
+        );
+        Self {
+            space,
+            platform: ClusterPlatform::platform_b(),
+        }
+    }
+
+    fn decode(&self, cfg: &Configuration) -> (usize, u64, u64, bool, u32) {
+        let vals = self.space.values(cfg);
+        let layout = match &vals[0].1 {
+            Value::Category(i, _) => *i,
+            v => unreachable!("layout decoded as {v:?}"),
+        };
+        let gset = match vals[1].1 {
+            Value::Number(v) => v as u64,
+            ref v => unreachable!("gset decoded as {v:?}"),
+        };
+        let dset = match vals[2].1 {
+            Value::Number(v) => v as u64,
+            ref v => unreachable!("dset decoded as {v:?}"),
+        };
+        let sweep = match &vals[3].1 {
+            Value::Category(i, _) => *i == 0,
+            v => unreachable!("pmethod decoded as {v:?}"),
+        };
+        let procs = match vals[4].1 {
+            Value::Number(v) => v as u32,
+            ref v => unreachable!("process decoded as {v:?}"),
+        };
+        (layout, gset, dset, sweep, procs)
+    }
+
+    /// Stride-1 run length the innermost data dimension offers, given the
+    /// per-set sizes.
+    fn inner_run(layout: usize, zones_local: f64, groups_per_set: f64, dirs_per_set: f64) -> f64 {
+        // Last letter of the nesting is the innermost dimension.
+        match LAYOUTS[layout].as_bytes()[2] {
+            b'Z' => zones_local.cbrt().max(1.0) * 4.0, // zone pencils
+            b'G' => groups_per_set,
+            b'D' => dirs_per_set,
+            _ => unreachable!("layout letters are D/G/Z"),
+        }
+    }
+
+    /// Vectorization/cache efficiency from the innermost run length, and a
+    /// small penalty when the *outer* dimension is zones (poor locality for
+    /// the scattering source).
+    fn layout_efficiency(layout: usize, inner_run: f64) -> f64 {
+        let vec_eff = inner_run / (inner_run + 6.0);
+        let outer_penalty = if LAYOUTS[layout].as_bytes()[0] == b'Z' {
+            0.92
+        } else {
+            1.0
+        };
+        (0.25 + 0.75 * vec_eff) * outer_penalty
+    }
+}
+
+impl TuningTarget for Kripke {
+    fn name(&self) -> &str {
+        "kripke"
+    }
+
+    fn space(&self) -> &ParamSpace {
+        &self.space
+    }
+
+    fn ideal_time(&self, cfg: &Configuration) -> f64 {
+        let (layout, gset, dset, sweep, procs) = self.decode(cfg);
+        let p = f64::from(procs);
+        let zones_total = (ZONES_SIDE * ZONES_SIDE * ZONES_SIDE) as f64;
+        let zones_local = zones_total / p;
+
+        // Group/direction blocking. `gset` can exceed the group count; the
+        // effective set count is clamped (sets of one group).
+        let gsets = gset.min(GROUPS) as f64;
+        let dsets = dset.min(DIRECTIONS) as f64;
+        let groups_per_set = (GROUPS as f64 / gsets).max(1.0);
+        let dirs_per_set = (DIRECTIONS as f64 / dsets).max(1.0);
+
+        let inner = Self::inner_run(layout, zones_local, groups_per_set, dirs_per_set);
+        let eff = Self::layout_efficiency(layout, inner);
+
+        // --- Per-block compute -------------------------------------------
+        let unknowns_per_block = zones_local * groups_per_set * dirs_per_set;
+        let flops_per_block = unknowns_per_block * FLOPS_PER_UNKNOWN / eff;
+        let ranks_on_node = procs.min(self.platform.cores_per_node);
+        // Transport sweeps stream the angular flux: ~1.5 bytes/flop.
+        let block_compute = self.platform.compute_time(flops_per_block, 1.5, ranks_on_node);
+
+        // --- Per-block communication --------------------------------------
+        // KBA: each block forwards two face buffers downstream.
+        let (px, py) = proc_grid(procs);
+        let face_zones = (zones_local.cbrt().powi(2)).max(1.0);
+        let face_bytes = face_zones * groups_per_set * dirs_per_set * 8.0;
+        let net = self.platform.transport_for(procs);
+        let block_comm = if procs == 1 {
+            0.0
+        } else {
+            2.0 * net.p2p(face_bytes)
+        };
+
+        let n_blocks = gsets * dsets; // per octant
+        let octants = 8.0;
+
+        let per_iteration = if sweep {
+            // Pipelined wavefront: fill bubble of (px + py − 2) block steps,
+            // then one step per block, per octant.
+            let steps = n_blocks + f64::from(px + py) - 2.0;
+            octants * steps * (block_compute + block_comm)
+        } else {
+            // Block Jacobi: all ranks work concurrently, one boundary
+            // exchange per block; no bubble.
+            octants * n_blocks * (block_compute + block_comm)
+        };
+
+        // Convergence: sweep is exact per iteration; block Jacobi needs more
+        // iterations the more the domain is partitioned.
+        let iter_factor = if sweep {
+            1.0
+        } else {
+            1.0 + 0.45 * p.log2().max(0.0)
+        };
+
+        // Population/source update each iteration: an allreduce.
+        let reduce = net.allreduce(procs, 8.0 * GROUPS as f64);
+
+        SOURCE_ITERS * iter_factor * (per_iteration + reduce)
+    }
+
+    fn measure(&self, cfg: &Configuration, rng: &mut Xoshiro256PlusPlus) -> f64 {
+        let ideal = self.ideal_time(cfg);
+        let mut noise = pwu_stats::LogNormal::new(-0.5 * NOISE_SIGMA * NOISE_SIGMA, NOISE_SIGMA);
+        ideal * noise.sample(rng)
+    }
+}
+
+/// Near-square 2-D factorization of the rank count (KBA grid).
+fn proc_grid(p: u32) -> (u32, u32) {
+    let mut best = (1, p);
+    let mut i = 1;
+    while i * i <= p {
+        if p.is_multiple_of(i) {
+            best = (i, p / i);
+        }
+        i += 1;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn space_matches_table_two() {
+        let k = Kripke::new();
+        assert_eq!(k.space().dim(), 5);
+        let arity: Vec<usize> = k.space().params().iter().map(|p| p.arity()).collect();
+        assert_eq!(arity, vec![6, 8, 3, 2, 8]);
+        assert_eq!(k.space().cardinality(), 6 * 8 * 3 * 2 * 8);
+    }
+
+    #[test]
+    fn proc_grid_is_near_square() {
+        assert_eq!(proc_grid(1), (1, 1));
+        assert_eq!(proc_grid(16), (4, 4));
+        assert_eq!(proc_grid(32), (4, 8));
+        assert_eq!(proc_grid(128), (8, 16));
+    }
+
+    #[test]
+    fn all_configurations_have_finite_positive_times() {
+        let k = Kripke::new();
+        let mut best = f64::INFINITY;
+        let mut worst: f64 = 0.0;
+        for cfg in k.space().enumerate() {
+            let t = k.ideal_time(&cfg);
+            assert!(t.is_finite() && t > 0.0, "bad time {t} for {cfg}");
+            best = best.min(t);
+            worst = worst.max(t);
+        }
+        // The surface must be worth tuning: ≥ 10× spread.
+        assert!(worst / best > 10.0, "spread {best}..{worst}");
+    }
+
+    #[test]
+    fn parallelism_helps_up_to_a_point() {
+        let k = Kripke::new();
+        // layout GZD? use fixed moderate blocking: gset=8 (idx 3), dset=8 (idx 0),
+        // sweep, varying process count.
+        let t = |p_idx: u32| {
+            k.ideal_time(&Configuration::new(vec![0, 3, 0, 0, p_idx]))
+        };
+        // 16 ranks must beat 1 rank.
+        assert!(t(4) < t(0), "16 ranks {} vs 1 rank {}", t(4), t(0));
+    }
+
+    #[test]
+    fn sweep_beats_bj_at_scale_for_this_problem() {
+        let k = Kripke::new();
+        // At 128 ranks with moderate blocking, bj's extra iterations should
+        // outweigh the pipeline bubble.
+        let sweep = k.ideal_time(&Configuration::new(vec![0, 3, 1, 0, 7]));
+        let bj = k.ideal_time(&Configuration::new(vec![0, 3, 1, 1, 7]));
+        assert!(sweep < bj, "sweep {sweep} vs bj {bj}");
+    }
+
+    #[test]
+    fn blocking_tradeoff_exists() {
+        let k = Kripke::new();
+        // With sweep on 64 ranks, a single huge block (gset=1,dset=8) should
+        // be slower than moderate blocking (pipeline fill dominates), and
+        // maximal blocking (gset=128,dset=32) should pay latency.
+        let coarse = k.ideal_time(&Configuration::new(vec![2, 0, 0, 0, 6]));
+        let moderate = k.ideal_time(&Configuration::new(vec![2, 3, 1, 0, 6]));
+        assert!(
+            moderate < coarse,
+            "moderate {moderate} should beat coarse {coarse}"
+        );
+    }
+
+    #[test]
+    fn measurement_noise_is_multiplicative() {
+        let k = Kripke::new();
+        let cfg = Configuration::new(vec![0, 0, 0, 0, 0]);
+        let ideal = k.ideal_time(&cfg);
+        let mut rng = Xoshiro256PlusPlus::new(3);
+        for _ in 0..100 {
+            let m = k.measure(&cfg, &mut rng);
+            assert!(m > ideal * 0.7 && m < ideal * 1.5);
+        }
+    }
+}

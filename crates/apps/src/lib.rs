@@ -1,0 +1,31 @@
+//! Simulated parallel applications: *kripke* and *hypre*.
+//!
+//! The paper tunes two distributed applications on Platform B (Table IV): the
+//! LLNL transport proxy *kripke* (Table II) and the *hypre* `new_ij` driver
+//! solving a 27-point 3-D Laplacian (Table III). Running them for real needs
+//! an Omni-Path cluster with up to 512 MPI ranks, so this crate substitutes
+//! analytical performance models with exactly the paper's parameter spaces:
+//!
+//! - [`kripke`] — a KBA sweep-pipeline model: zone/group/direction blocking,
+//!   data-layout (nesting-order) efficiency, sweep vs block-Jacobi iteration
+//!   counts, LogGP communication;
+//! - [`hypre`] — an AMG/Krylov cost model: solver composition, PMIS/HMIS
+//!   coarsening complexity, smoother cost/damping, convergence-derived
+//!   iteration counts, per-level halo and reduction communication.
+//!
+//! Both expose the same [`pwu_space::TuningTarget`] interface as the kernel
+//! simulators, so Algorithm 1 treats them identically. See `DESIGN.md` for
+//! the substitution rationale: what matters for the sampling-strategy
+//! comparison is the *structure* of the response surface (categorical
+//! dominance, divergent heavy tails, smooth process-count scaling), which
+//! these models reproduce.
+
+pub mod hypre;
+pub mod kripke;
+pub mod loggp;
+pub mod platform;
+
+pub use hypre::Hypre;
+pub use kripke::Kripke;
+pub use loggp::LogGp;
+pub use platform::ClusterPlatform;

@@ -1,0 +1,111 @@
+//! LogGP communication model.
+//!
+//! `T(s) = L + 2o + (s − 1)·G` for a point-to-point message of `s` bytes,
+//! plus the `g` gap between consecutive message injections. Collectives are
+//! modeled as binomial trees. Two parameter sets exist per platform: shared
+//! memory inside a node and the fabric between nodes.
+
+/// LogGP parameters, all in seconds (per byte for `big_g`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogGp {
+    /// Wire latency `L`.
+    pub latency: f64,
+    /// CPU send/receive overhead `o`.
+    pub overhead: f64,
+    /// Gap between messages `g` (inverse small-message rate).
+    pub gap: f64,
+    /// Gap per byte `G` (inverse bandwidth).
+    pub big_g: f64,
+}
+
+impl LogGp {
+    /// 100 Gb/s Omni-Path fabric (Platform B's interconnect).
+    #[must_use]
+    pub fn omnipath() -> Self {
+        Self {
+            latency: 1.5e-6,
+            overhead: 0.4e-6,
+            gap: 0.6e-6,
+            big_g: 1.0 / 11.0e9, // ~11 GB/s effective per rank pair
+        }
+    }
+
+    /// Shared-memory transport between ranks on one node.
+    #[must_use]
+    pub fn shared_memory() -> Self {
+        Self {
+            latency: 0.25e-6,
+            overhead: 0.1e-6,
+            gap: 0.15e-6,
+            big_g: 1.0 / 5.0e9, // copy-through-memory bandwidth
+        }
+    }
+
+    /// Time for one point-to-point message of `bytes` bytes.
+    #[must_use]
+    pub fn p2p(&self, bytes: f64) -> f64 {
+        assert!(bytes >= 0.0, "negative message size");
+        self.latency + 2.0 * self.overhead + (bytes.max(1.0) - 1.0) * self.big_g
+    }
+
+    /// Time to inject `n` back-to-back messages of `bytes` each
+    /// (pipelined: one latency, `n` gaps and payloads).
+    #[must_use]
+    pub fn pipelined(&self, n: f64, bytes: f64) -> f64 {
+        if n <= 0.0 {
+            return 0.0;
+        }
+        self.latency
+            + 2.0 * self.overhead
+            + n * (self.gap + (bytes.max(1.0) - 1.0) * self.big_g)
+    }
+
+    /// Binomial-tree allreduce over `p` ranks of a payload of `bytes`.
+    #[must_use]
+    pub fn allreduce(&self, p: u32, bytes: f64) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        let rounds = (f64::from(p)).log2().ceil();
+        // Reduce + broadcast: two tree traversals.
+        2.0 * rounds * self.p2p(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p2p_grows_linearly_in_size() {
+        let net = LogGp::omnipath();
+        let t1 = net.p2p(1.0);
+        let t2 = net.p2p(1e6);
+        assert!(t2 > t1);
+        // Large-message slope equals 1/bandwidth.
+        let slope = (net.p2p(2e6) - net.p2p(1e6)) / 1e6;
+        assert!((slope - net.big_g).abs() / net.big_g < 1e-6);
+    }
+
+    #[test]
+    fn shared_memory_is_faster_for_small_messages() {
+        assert!(LogGp::shared_memory().p2p(64.0) < LogGp::omnipath().p2p(64.0));
+    }
+
+    #[test]
+    fn allreduce_scales_logarithmically() {
+        let net = LogGp::omnipath();
+        let t2 = net.allreduce(2, 8.0);
+        let t64 = net.allreduce(64, 8.0);
+        assert_eq!(net.allreduce(1, 8.0), 0.0);
+        assert!((t64 / t2 - 6.0).abs() < 1e-9, "log2(64)/log2(2) = 6");
+    }
+
+    #[test]
+    fn pipelined_beats_sequential_p2p() {
+        let net = LogGp::omnipath();
+        let n = 32.0;
+        assert!(net.pipelined(n, 1024.0) < n * net.p2p(1024.0));
+        assert_eq!(net.pipelined(0.0, 1024.0), 0.0);
+    }
+}

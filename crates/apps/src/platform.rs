@@ -1,0 +1,94 @@
+//! The cluster platform (Table IV, Platform B).
+
+use crate::loggp::LogGp;
+
+/// Node and fabric parameters of the application platform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterPlatform {
+    /// Cores per node.
+    pub cores_per_node: u32,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Sustained useful flops per core-cycle for stencil/sparse codes
+    /// (memory-bound, so well under the peak of 16).
+    pub flops_per_cycle: f64,
+    /// Per-node sustained memory bandwidth in bytes/second, shared by all
+    /// ranks on the node.
+    pub node_bandwidth: f64,
+    /// Inter-node network.
+    pub network: LogGp,
+    /// Intra-node transport.
+    pub intra_node: LogGp,
+}
+
+impl ClusterPlatform {
+    /// Platform B: E5-2680 v4 nodes (28 cores, 2.4 GHz) on 100 Gb/s OPA.
+    #[must_use]
+    pub fn platform_b() -> Self {
+        Self {
+            cores_per_node: 28,
+            clock_ghz: 2.4,
+            flops_per_cycle: 1.2,
+            node_bandwidth: 68e9,
+            network: LogGp::omnipath(),
+            intra_node: LogGp::shared_memory(),
+        }
+    }
+
+    /// Number of nodes occupied by `p` ranks (one rank per core).
+    #[must_use]
+    pub fn nodes_for(&self, p: u32) -> u32 {
+        p.div_ceil(self.cores_per_node)
+    }
+
+    /// The transport used between ranks when `p` ranks are allocated:
+    /// shared memory while everything fits one node, the fabric beyond.
+    #[must_use]
+    pub fn transport_for(&self, p: u32) -> LogGp {
+        if self.nodes_for(p) <= 1 {
+            self.intra_node
+        } else {
+            self.network
+        }
+    }
+
+    /// Seconds for `flops` floating-point operations on one rank, assuming
+    /// `ranks_on_node` ranks share the node's memory bandwidth and the code
+    /// moves `bytes_per_flop` from memory per flop.
+    #[must_use]
+    pub fn compute_time(&self, flops: f64, bytes_per_flop: f64, ranks_on_node: u32) -> f64 {
+        let flop_time = flops / (self.flops_per_cycle * self.clock_ghz * 1e9);
+        let bw_share = self.node_bandwidth / f64::from(ranks_on_node.max(1));
+        let mem_time = flops * bytes_per_flop / bw_share;
+        flop_time.max(mem_time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_counting() {
+        let p = ClusterPlatform::platform_b();
+        assert_eq!(p.nodes_for(1), 1);
+        assert_eq!(p.nodes_for(28), 1);
+        assert_eq!(p.nodes_for(29), 2);
+        assert_eq!(p.nodes_for(512), 19);
+    }
+
+    #[test]
+    fn transport_switches_at_node_boundary() {
+        let p = ClusterPlatform::platform_b();
+        assert_eq!(p.transport_for(16), p.intra_node);
+        assert_eq!(p.transport_for(128), p.network);
+    }
+
+    #[test]
+    fn bandwidth_sharing_slows_full_nodes() {
+        let p = ClusterPlatform::platform_b();
+        let alone = p.compute_time(1e9, 4.0, 1);
+        let packed = p.compute_time(1e9, 4.0, 28);
+        assert!(packed > alone);
+    }
+}

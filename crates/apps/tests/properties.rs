@@ -1,0 +1,86 @@
+//! Property-based tests for the application models.
+
+use proptest::prelude::*;
+use pwu_apps::{Hypre, Kripke, LogGp};
+use pwu_space::{Configuration, TuningTarget};
+use pwu_stats::Xoshiro256PlusPlus;
+
+proptest! {
+    /// LogGP times are positive and monotone in message size.
+    #[test]
+    fn p2p_monotone_in_size(a in 0.0f64..1e7, b in 0.0f64..1e7) {
+        for net in [LogGp::omnipath(), LogGp::shared_memory()] {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(net.p2p(lo) > 0.0);
+            prop_assert!(net.p2p(lo) <= net.p2p(hi) + 1e-15);
+        }
+    }
+
+    /// Allreduce grows (weakly) with rank count and payload.
+    #[test]
+    fn allreduce_monotone(p1 in 1u32..512, p2 in 1u32..512, bytes in 1.0f64..1e6) {
+        let net = LogGp::omnipath();
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        prop_assert!(net.allreduce(lo, bytes) <= net.allreduce(hi, bytes) + 1e-15);
+        prop_assert!(net.allreduce(hi, bytes) <= net.allreduce(hi, bytes * 2.0) + 1e-15);
+    }
+
+    /// Every kripke configuration has a finite positive time and the noisy
+    /// measurement stays within a plausible envelope.
+    #[test]
+    fn kripke_surface_well_behaved(seed in 0u64..10_000) {
+        let k = Kripke::new();
+        let mut rng = Xoshiro256PlusPlus::new(seed);
+        let cfg = k.space().sample(&mut rng);
+        let t = k.ideal_time(&cfg);
+        prop_assert!(t.is_finite() && t > 0.0);
+        let m = k.measure(&cfg, &mut rng);
+        prop_assert!(m > t * 0.5 && m < t * 2.0);
+    }
+
+    /// Every hypre configuration terminates (iteration cap) with a finite
+    /// positive time.
+    #[test]
+    fn hypre_surface_well_behaved(seed in 0u64..10_000) {
+        let h = Hypre::new();
+        let mut rng = Xoshiro256PlusPlus::new(seed);
+        let cfg = h.space().sample(&mut rng);
+        let t = h.ideal_time(&cfg);
+        prop_assert!(t.is_finite() && t > 0.0);
+        // 500 capped iterations of a 192³ solve must stay under an hour.
+        prop_assert!(t < 3600.0, "absurd hypre time {t}");
+    }
+
+    /// kripke: with everything else fixed, more group-sets never increases
+    /// the pipeline-fill bubble's share (the number of blocks only grows),
+    /// so timings stay finite and vary smoothly — no cliffs to NaN.
+    #[test]
+    fn kripke_gset_axis_is_finite_everywhere(
+        layout in 0u32..6,
+        dset in 0u32..3,
+        pm in 0u32..2,
+        p in 0u32..8,
+    ) {
+        let k = Kripke::new();
+        let mut last = None;
+        for gset in 0..8u32 {
+            let t = k.ideal_time(&Configuration::new(vec![layout, gset, dset, pm, p]));
+            prop_assert!(t.is_finite() && t > 0.0);
+            if let Some(prev) = last {
+                let ratio: f64 = t / prev;
+                prop_assert!(ratio > 1e-3 && ratio < 1e3, "wild jump {prev} → {t}");
+            }
+            last = Some(t);
+        }
+    }
+
+    /// hypre: the smtype dimension only matters for AMG-family solvers.
+    #[test]
+    fn hypre_smtype_inert_outside_amg(sm1 in 0u32..9, sm2 in 0u32..9, p in 0u32..7) {
+        let h = Hypre::new();
+        // Solver index 2 = DS-PCG (diagonal scaling, no AMG).
+        let a = h.ideal_time(&Configuration::new(vec![2, 0, sm1, p]));
+        let b = h.ideal_time(&Configuration::new(vec![2, 0, sm2, p]));
+        prop_assert_eq!(a, b);
+    }
+}

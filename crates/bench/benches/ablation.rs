@@ -1,0 +1,118 @@
+//! Ablation benchmarks for the design choices flagged in `DESIGN.md`:
+//! the uncertainty estimator, the forest size and the batch size.
+//!
+//! Criterion reports the runtime cost of each variant; the accuracy side of
+//! the ablations is covered by the integration tests and the fig binaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use pwu_core::experiment::run_experiment;
+use pwu_core::{ActiveConfig, Protocol, Strategy};
+use pwu_forest::{ForestConfig, Mtry, RandomForest};
+use pwu_stats::Xoshiro256PlusPlus;
+
+fn data(n: usize, d: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut rng = Xoshiro256PlusPlus::new(1);
+    let x: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..d).map(|_| rng.next_f64() * 4.0).collect())
+        .collect();
+    let y: Vec<f64> = x.iter().map(|r| r.iter().sum::<f64>() + 0.5).collect();
+    (x, y)
+}
+
+/// Across-tree variance vs Hutter total variance: prediction cost.
+fn ablation_uncertainty(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_uncertainty");
+    group.sample_size(20);
+    let (x, y) = data(400, 16);
+    let kinds = vec![pwu_space::FeatureKind::Numeric; 16];
+    let forest = RandomForest::fit(&ForestConfig::default(), &kinds, &x, &y, 2);
+    let (pool, _) = data(2000, 16);
+    group.bench_function("across_tree_variance", |b| {
+        b.iter(|| {
+            pool.iter()
+                .map(|r| forest.predict_one(black_box(r)).std)
+                .sum::<f64>()
+        });
+    });
+    group.bench_function("total_variance_hutter", |b| {
+        b.iter(|| {
+            pool.iter()
+                .map(|r| forest.predict_total_variance(black_box(r)).std)
+                .sum::<f64>()
+        });
+    });
+    group.finish();
+}
+
+/// Forest size: how the per-iteration cost scales with the tree count.
+fn ablation_forest_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_forest_size");
+    group.sample_size(10);
+    let (x, y) = data(300, 16);
+    let kinds = vec![pwu_space::FeatureKind::Numeric; 16];
+    for &n_trees in &[16usize, 64, 128] {
+        let cfg = ForestConfig {
+            n_trees,
+            ..ForestConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("fit", n_trees), &n_trees, |b, _| {
+            b.iter(|| RandomForest::fit(&cfg, &kinds, black_box(&x), &y, 3));
+        });
+    }
+    for mtry in [Mtry::Sqrt, Mtry::Third, Mtry::All] {
+        let cfg = ForestConfig {
+            mtry,
+            ..ForestConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("fit_mtry", format!("{mtry:?}")),
+            &mtry,
+            |b, _| {
+                b.iter(|| RandomForest::fit(&cfg, &kinds, black_box(&x), &y, 3));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Batch size: n_batch 1 (the paper) vs greedy top-k batches.
+fn ablation_batch_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_batch_size");
+    group.sample_size(10);
+    let kernel = pwu_spapt::kernel_by_name("gesummv").expect("gesummv exists");
+    for &n_batch in &[1usize, 5, 10] {
+        let protocol = Protocol {
+            surrogate_size: 400,
+            pool_size: 300,
+            active: ActiveConfig {
+                n_init: 10,
+                n_batch,
+                n_max: 60,
+                forest: ForestConfig {
+                    n_trees: 16,
+                    ..ForestConfig::default()
+                },
+                eval_every: 50,
+                alphas: vec![0.05],
+                repeats: 1,
+                ..ActiveConfig::default()
+            },
+            n_reps: 1,
+        };
+        let strategies = [Strategy::Pwu { alpha: 0.05 }];
+        group.bench_with_input(BenchmarkId::new("pwu", n_batch), &n_batch, |b, _| {
+            b.iter(|| run_experiment(black_box(&kernel), &strategies, &protocol, 11));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_uncertainty,
+    ablation_forest_size,
+    ablation_batch_size
+);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! End-to-end benchmark: one miniature active-learning experiment per
+//! figure family, exercising the exact code path the fig binaries run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pwu_core::experiment::run_experiment;
+use pwu_core::{ActiveConfig, Protocol, Strategy};
+use pwu_forest::ForestConfig;
+
+fn micro_protocol(alpha: f64) -> Protocol {
+    Protocol {
+        surrogate_size: 400,
+        pool_size: 300,
+        active: ActiveConfig {
+            n_init: 10,
+            n_batch: 1,
+            n_max: 40,
+            forest: ForestConfig {
+                n_trees: 16,
+                ..ForestConfig::default()
+            },
+            eval_every: 10,
+            alphas: vec![alpha],
+            repeats: 1,
+            ..ActiveConfig::default()
+        },
+        n_reps: 1,
+    }
+}
+
+/// The Fig 2/3 path: one kernel, all six strategies.
+fn bench_fig2_micro(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_micro");
+    group.sample_size(10);
+    let kernel = pwu_spapt::kernel_by_name("gesummv").expect("gesummv exists");
+    let strategies = Strategy::paper_set(0.01);
+    group.bench_function("gesummv_six_strategies", |b| {
+        b.iter(|| {
+            run_experiment(
+                black_box(&kernel),
+                &strategies,
+                &micro_protocol(0.01),
+                42,
+            )
+        });
+    });
+    group.finish();
+}
+
+/// The Fig 4/5 path: the applications.
+fn bench_fig4_micro(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_micro");
+    group.sample_size(10);
+    let kripke = pwu_apps::Kripke::new();
+    let strategies = [Strategy::Pwu { alpha: 0.01 }, Strategy::Pbus { fraction: 0.1 }];
+    group.bench_function("kripke_pwu_vs_pbus", |b| {
+        b.iter(|| run_experiment(black_box(&kripke), &strategies, &micro_protocol(0.01), 7));
+    });
+    group.finish();
+}
+
+/// The Fig 8 path: model-based tuning.
+fn bench_fig8_micro(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_micro");
+    group.sample_size(10);
+    let kernel = pwu_spapt::kernel_by_name("atax").expect("atax exists");
+    let mut rng = pwu_stats::Xoshiro256PlusPlus::new(3);
+    let candidates = pwu_space::TuningTarget::space(&kernel).sample_distinct(150, &mut rng);
+    let forest = ForestConfig {
+        n_trees: 16,
+        ..ForestConfig::default()
+    };
+    group.bench_function("atax_direct_tuning_30_steps", |b| {
+        b.iter(|| {
+            pwu_core::tuning::model_based_tuning(
+                black_box(&kernel),
+                &candidates,
+                &pwu_core::tuning::TuningAnnotator::True { repeats: 1 },
+                10,
+                30,
+                &forest,
+                5,
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2_micro, bench_fig4_micro, bench_fig8_micro);
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! Component micro-benchmarks: forest fit/predict scaling, strategy scoring
+//! over a paper-sized pool, and simulator evaluation throughput.
+//!
+//! These are the costs that determine how long each figure takes to
+//! regenerate: one active-learning iteration = one forest fit + one pool
+//! scoring pass + one annotation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use pwu_core::Strategy;
+use pwu_forest::{ForestConfig, RandomForest};
+use pwu_space::{FeatureSchema, TuningTarget};
+use pwu_stats::Xoshiro256PlusPlus;
+
+fn synthetic_data(n: usize, d: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut rng = Xoshiro256PlusPlus::new(seed);
+    let x: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..d).map(|_| rng.next_f64() * 8.0).collect())
+        .collect();
+    let y: Vec<f64> = x
+        .iter()
+        .map(|r| r.iter().enumerate().map(|(i, v)| v * (i % 3) as f64).sum::<f64>() + 0.1)
+        .collect();
+    (x, y)
+}
+
+fn bench_forest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forest");
+    group.sample_size(10);
+    let kinds = vec![pwu_space::FeatureKind::Numeric; 20];
+    for &n in &[100usize, 500] {
+        let (x, y) = synthetic_data(n, 20, 1);
+        group.bench_with_input(BenchmarkId::new("fit_64_trees", n), &n, |b, _| {
+            b.iter(|| {
+                RandomForest::fit(&ForestConfig::default(), &kinds, black_box(&x), &y, 7)
+            });
+        });
+    }
+    let (x, y) = synthetic_data(500, 20, 2);
+    let forest = RandomForest::fit(&ForestConfig::default(), &kinds, &x, &y, 3);
+    let (pool, _) = synthetic_data(7000, 20, 4);
+    group.bench_function("predict_pool_7000", |b| {
+        b.iter(|| forest.predict_batch(black_box(&pool)));
+    });
+    group.finish();
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("strategy_selection");
+    group.sample_size(20);
+    let mut rng = Xoshiro256PlusPlus::new(5);
+    let preds: Vec<pwu_forest::forest::Prediction> = (0..7000)
+        .map(|_| pwu_forest::forest::Prediction {
+            mean: 0.01 + rng.next_f64(),
+            std: rng.next_f64() * 0.1,
+        })
+        .collect();
+    for strategy in Strategy::paper_set(0.05) {
+        group.bench_function(strategy.name(), |b| {
+            let mut sel_rng = Xoshiro256PlusPlus::new(9);
+            b.iter(|| strategy.select(black_box(&preds), 1, &mut sel_rng));
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator_eval");
+    group.sample_size(20);
+    for name in ["adi", "mm", "gemver"] {
+        let kernel = pwu_spapt::kernel_by_name(name).expect("kernel exists");
+        let mut rng = Xoshiro256PlusPlus::new(11);
+        let cfgs = kernel.space().sample_distinct(64, &mut rng);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                cfgs.iter()
+                    .map(|c| kernel.ideal_time(black_box(c)))
+                    .sum::<f64>()
+            });
+        });
+    }
+    for target in [
+        Box::new(pwu_apps::Kripke::new()) as Box<dyn TuningTarget>,
+        Box::new(pwu_apps::Hypre::new()),
+    ] {
+        let mut rng = Xoshiro256PlusPlus::new(13);
+        let cfgs = target.space().sample_distinct(64, &mut rng);
+        group.bench_function(target.name(), |b| {
+            b.iter(|| {
+                cfgs.iter()
+                    .map(|c| target.ideal_time(black_box(c)))
+                    .sum::<f64>()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_encoding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encoding");
+    group.sample_size(20);
+    let kernel = pwu_spapt::kernel_by_name("gemver").expect("gemver exists");
+    let schema = FeatureSchema::for_space(kernel.space());
+    let mut rng = Xoshiro256PlusPlus::new(17);
+    let cfgs = kernel.space().sample_distinct(1000, &mut rng);
+    group.bench_function("encode_1000_gemver_configs", |b| {
+        b.iter(|| schema.encode_all(kernel.space(), black_box(&cfgs)));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_forest,
+    bench_strategies,
+    bench_simulators,
+    bench_encoding
+);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Figure 6: PBUS vs PWU on kernel *atax* at α ∈ {0.01, 0.05, 0.10} —
+//! robustness of the PWU design to the high-performance proportion.
+//!
+//! Usage: `cargo run --release -p pwu-bench --bin fig6 [-- --quick|--full]`
+
+use pwu_bench::{output_dir, Scale};
+use pwu_core::experiment::run_experiment;
+use pwu_core::Strategy;
+use pwu_report::{write_csv, LinePlot};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_args(&args);
+    let kernel = pwu_spapt::kernel_by_name("atax").expect("atax exists");
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for &alpha in &[0.01, 0.05, 0.10] {
+        let protocol = scale.protocol(alpha);
+        let strategies = [
+            Strategy::Pwu { alpha },
+            Strategy::Pbus { fraction: 0.10 },
+        ];
+        eprintln!("[atax] alpha = {alpha} …");
+        let result = run_experiment(&kernel, &strategies, &protocol, 0xF166);
+        let mut plot = LinePlot::new(
+            format!("Fig 6 (atax, α = {alpha}): PWU vs PBUS"),
+            "#samples",
+            format!("RMSE of top {:.0}% (s)", alpha * 100.0),
+        )
+        .log_y();
+        for curve in &result.curves {
+            let pts: Vec<(f64, f64)> = curve
+                .n_train
+                .iter()
+                .zip(&curve.rmse[0])
+                .map(|(&n, &r)| (n as f64, r))
+                .collect();
+            plot.series(curve.strategy.name(), &pts);
+            for (n, r) in &pts {
+                rows.push(vec![
+                    format!("{alpha}"),
+                    curve.strategy.name().to_string(),
+                    format!("{n}"),
+                    format!("{r:.6e}"),
+                ]);
+            }
+        }
+        println!("{}", plot.render());
+    }
+    write_csv(
+        output_dir().join("fig6_atax_alpha_sweep.csv"),
+        &["alpha", "strategy", "n_train", "rmse"],
+        rows,
+    )
+    .expect("CSV write failed");
+    println!("CSV series written to {}", output_dir().display());
+}

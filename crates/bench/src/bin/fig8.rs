@@ -1,0 +1,120 @@
+//! Figure 8: model-based tuning of *atax* with the true annotator vs a
+//! pre-built surrogate model as the annotator.
+//!
+//! Usage: `cargo run --release -p pwu-bench --bin fig8 [-- --quick|--full]`
+
+use pwu_bench::{output_dir, Scale};
+use pwu_core::tuning::{model_based_tuning, TuningAnnotator};
+use pwu_core::{ActiveConfig, Strategy};
+use pwu_forest::ForestConfig;
+use pwu_space::{FeatureSchema, Pool, TuningTarget};
+use pwu_report::{write_csv, LinePlot};
+use pwu_stats::Xoshiro256PlusPlus;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_args(&args);
+    let kernel = pwu_spapt::kernel_by_name("atax").expect("atax exists");
+    let (n_candidates, n_init, n_iters, al_budget) = match scale {
+        Scale::Quick => (400, 10, 40, 120),
+        Scale::Default => (1_000, 10, 80, 250),
+        Scale::Full => (3_000, 10, 200, 500),
+    };
+
+    // Build the surrogate with a PWU active-learning run, exactly as the
+    // paper's pipeline would.
+    eprintln!("[fig8] building the surrogate with a PWU run (budget {al_budget}) …");
+    let schema = FeatureSchema::for_space(kernel.space());
+    let mut rng = Xoshiro256PlusPlus::new(0xF168);
+    let all = kernel
+        .space()
+        .sample_distinct(n_candidates + al_budget * 3, &mut rng);
+    let (pool_cfgs, rest) = all.split_at(al_budget * 2);
+    let (test_cfgs, candidates) = rest.split_at(al_budget);
+    let test_features = schema.encode_all(kernel.space(), test_cfgs);
+    let test_labels: Vec<f64> = test_cfgs.iter().map(|c| kernel.ideal_time(c)).collect();
+    let config = ActiveConfig {
+        n_init: 10,
+        n_batch: 1,
+        n_max: al_budget,
+        forest: ForestConfig::default(),
+        eval_every: 50,
+        alphas: vec![0.05],
+        repeats: 5,
+        ..ActiveConfig::default()
+    };
+    let pool = Pool::new(kernel.space(), &schema, pool_cfgs.to_vec());
+    let run = pwu_core::active::run(
+        &kernel,
+        Strategy::Pwu { alpha: 0.05 },
+        &config,
+        pool,
+        &test_features,
+        &test_labels,
+        0xF168,
+    );
+    let surrogate = run.model;
+
+    eprintln!("[fig8] tuning with the true annotator …");
+    let forest = ForestConfig {
+        n_trees: 32,
+        ..ForestConfig::default()
+    };
+    let direct = model_based_tuning(
+        &kernel,
+        candidates,
+        &TuningAnnotator::True { repeats: 5 },
+        n_init,
+        n_iters,
+        &forest,
+        0xD12EC7,
+    );
+    eprintln!("[fig8] tuning with the surrogate annotator …");
+    let surrogate_traj = model_based_tuning(
+        &kernel,
+        candidates,
+        &TuningAnnotator::Surrogate(&surrogate),
+        n_init,
+        n_iters,
+        &forest,
+        0xD12EC7,
+    );
+
+    let mut plot = LinePlot::new(
+        "Fig 8 (atax): tuning with true vs surrogate annotator",
+        "#evaluations",
+        "best execution time found (s)",
+    );
+    let to_pts = |t: &[f64]| -> Vec<(f64, f64)> {
+        t.iter().enumerate().map(|(i, &y)| (i as f64, y)).collect()
+    };
+    plot.series("direct (true annotator)", &to_pts(&direct.best_true));
+    plot.series("surrogate annotator", &to_pts(&surrogate_traj.best_true));
+    println!("{}", plot.render());
+    println!(
+        "final best: direct {:.4e} s, surrogate {:.4e} s",
+        direct.best_true.last().unwrap(),
+        surrogate_traj.best_true.last().unwrap()
+    );
+
+    let rows = (0..direct.best_true.len().max(surrogate_traj.best_true.len())).map(|i| {
+        vec![
+            i.to_string(),
+            direct
+                .best_true
+                .get(i)
+                .map_or(String::new(), |v| format!("{v:.6e}")),
+            surrogate_traj
+                .best_true
+                .get(i)
+                .map_or(String::new(), |v| format!("{v:.6e}")),
+        ]
+    });
+    write_csv(
+        output_dir().join("fig8_atax_tuning.csv"),
+        &["evaluation", "direct_best_s", "surrogate_best_s"],
+        rows,
+    )
+    .expect("CSV write failed");
+    println!("CSV written to {}", output_dir().display());
+}

@@ -1,0 +1,74 @@
+//! Figure 9: the distribution of selected samples in the (predicted
+//! performance, uncertainty) plane, PBUS vs PWU, on kernel *atax*.
+//!
+//! PBUS concentrates its picks in the low-uncertainty region of the
+//! predicted-fast subspace; PWU spreads over high-uncertainty candidates.
+//!
+//! Usage: `cargo run --release -p pwu-bench --bin fig9 [-- --quick|--full]`
+
+use pwu_bench::{output_dir, Scale};
+use pwu_core::experiment::run_experiment;
+use pwu_core::Strategy;
+use pwu_report::{write_csv, ScatterPlot};
+use pwu_stats::{mean, quantile};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_args(&args);
+    let alpha = 0.05;
+    let kernel = pwu_spapt::kernel_by_name("atax").expect("atax exists");
+    let mut protocol = scale.protocol(alpha);
+    protocol.n_reps = 1; // Fig 9 is a single-run snapshot
+
+    let strategies = [
+        Strategy::Pbus { fraction: 0.10 },
+        Strategy::Pwu { alpha },
+    ];
+    let result = run_experiment(&kernel, &strategies, &protocol, 0xF169);
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for curve in &result.curves {
+        let selected: Vec<(f64, f64)> = curve.selections.iter().map(|s| (s.mean, s.std)).collect();
+        let mut plot = ScatterPlot::new(format!(
+            "Fig 9 ({}): selected samples in (μ, σ)",
+            curve.strategy.name()
+        ));
+        plot.background(&curve.test_scatter);
+        plot.highlighted(&selected);
+        println!("{}", plot.render());
+
+        let sigmas: Vec<f64> = selected.iter().map(|&(_, s)| s).collect();
+        println!(
+            "{}: mean selected σ = {:.4e}, median = {:.4e}, n = {}\n",
+            curve.strategy.name(),
+            mean(&sigmas),
+            quantile(&sigmas, 0.5),
+            sigmas.len()
+        );
+        for (mu, sigma) in &selected {
+            rows.push(vec![
+                curve.strategy.name().to_string(),
+                format!("{mu:.6e}"),
+                format!("{sigma:.6e}"),
+            ]);
+        }
+    }
+    // The shape check the paper makes visually: PWU's selections carry more
+    // uncertainty than PBUS's.
+    let sel_sigma = |name: &str| -> f64 {
+        let c = result.curve(name).expect("strategy ran");
+        mean(&c.selections.iter().map(|s| s.std).collect::<Vec<_>>())
+    };
+    println!(
+        "mean selected σ — PWU: {:.4e}, PBUS: {:.4e} (paper: PWU ≫ PBUS)",
+        sel_sigma("PWU"),
+        sel_sigma("PBUS")
+    );
+    write_csv(
+        output_dir().join("fig9_atax_selections.csv"),
+        &["strategy", "predicted_mean_s", "predicted_std_s"],
+        rows,
+    )
+    .expect("CSV write failed");
+    println!("CSV written to {}", output_dir().display());
+}

@@ -1,0 +1,98 @@
+//! Regenerates Tables I–IV of the paper.
+//!
+//! Usage: `cargo run -p pwu-bench --bin tables [-- <1|2|3|4>]`
+//! (no argument prints all four).
+
+use pwu_bench::benchmark_by_name;
+use pwu_report::Table;
+use pwu_space::Domain;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |n: &str| args.is_empty() || args.iter().any(|a| a == n);
+
+    if want("1") {
+        println!("Table I: Compilation parameters of ADI kernel\n");
+        let adi = benchmark_by_name("adi").expect("adi registered");
+        let mut t = Table::new(["Type", "Number", "Values"]);
+        let mut groups: Vec<(&str, &str, usize, String)> = Vec::new();
+        for p in adi.space().params() {
+            let (ty, _rest) = p.name().split_once('_').expect("typed names");
+            let ty = match ty {
+                "T1" | "T2" => "tile",
+                "U" => "unrolljam",
+                "RT" => "regtile",
+                "SCR" => "scalarreplace",
+                "VEC" => "vector",
+                other => other,
+            };
+            let values = match p.domain() {
+                Domain::Ordinal(vs) => vs
+                    .iter()
+                    .map(|v| format!("{v}"))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                Domain::Bool => "True, False".to_string(),
+                Domain::Categorical(cs) => cs.join(", "),
+            };
+            if let Some(g) = groups.iter_mut().find(|g| g.0 == ty) {
+                g.2 += 1;
+            } else {
+                groups.push((ty, "", 1, values));
+            }
+        }
+        for (ty, _, n, values) in groups {
+            t.row([ty.to_string(), n.to_string(), values]);
+        }
+        println!("{}", t.render());
+    }
+
+    if want("2") {
+        println!("Table II: Parameters of kripke\n");
+        print_space_table(&*benchmark_by_name("kripke").expect("kripke registered"));
+    }
+
+    if want("3") {
+        println!("Table III: Parameters of hypre\n");
+        print_space_table(&*benchmark_by_name("hypre").expect("hypre registered"));
+    }
+
+    if want("4") {
+        println!("Table IV: Node configuration of two platforms\n");
+        let a = pwu_spapt::MachineModel::platform_a();
+        let b = pwu_spapt::MachineModel::platform_b();
+        let cluster = pwu_apps::ClusterPlatform::platform_b();
+        let mut t = Table::new(["Specification", "Platform A", "Platform B"]);
+        t.row(["CPU type", "E5-2680 v3", "E5-2680 v4"]);
+        t.row([
+            "CPU frequency".to_string(),
+            format!("{}GHz", a.clock_ghz),
+            format!("{}GHz", b.clock_ghz),
+        ]);
+        t.row([
+            "#core".to_string(),
+            "24".to_string(),
+            cluster.cores_per_node.to_string(),
+        ]);
+        t.row(["memory", "64GB", "128GB"]);
+        t.row(["network", "-", "100Gbps OPA"]);
+        println!("{}", t.render());
+    }
+}
+
+fn print_space_table(target: &dyn pwu_space::TuningTarget) {
+    let mut t = Table::new(["Name", "Values"]);
+    for p in target.space().params() {
+        let values = match p.domain() {
+            Domain::Ordinal(vs) => vs
+                .iter()
+                .map(|v| format!("{v}"))
+                .collect::<Vec<_>>()
+                .join(", "),
+            Domain::Bool => "True, False".to_string(),
+            Domain::Categorical(cs) => cs.join(", "),
+        };
+        t.row([p.name().to_string(), values]);
+    }
+    println!("{}", t.render());
+}

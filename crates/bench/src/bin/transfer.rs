@@ -1,0 +1,114 @@
+//! Extension study (the paper's future work, Section VI): portability of
+//! performance models across platforms.
+//!
+//! For each kernel, a forest is trained on Platform A measurements and
+//! evaluated on Platform B's surface (and vice versa): if the surfaces are
+//! rank-correlated, a model learned on one machine can warm-start tuning on
+//! another instead of starting from scratch.
+//!
+//! Usage: `cargo run --release -p pwu-bench --bin transfer [-- --quick]`
+
+use pwu_bench::{output_dir, Scale};
+use pwu_forest::{ForestConfig, RandomForest};
+use pwu_report::{write_csv, Table};
+use pwu_space::{FeatureSchema, TuningTarget};
+use pwu_spapt::MachineModel;
+use pwu_stats::{rank::spearman, rmse, Xoshiro256PlusPlus};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (n_train, n_test) = match Scale::from_args(&args) {
+        Scale::Quick => (150, 150),
+        _ => (400, 400),
+    };
+
+    let mut table = Table::new([
+        "kernel",
+        "ρ (A vs B)",
+        "ρ (A vs C)",
+        "RMSE A→A",
+        "RMSE A→B",
+        "RMSE B→B",
+        "RMSE A→C",
+        "RMSE C→C",
+    ]);
+    let mut rows = Vec::new();
+    for base in pwu_spapt::all_kernels() {
+        let name = base.name().to_string();
+        let on_a = base.clone().with_machine(MachineModel::platform_a());
+        let on_b = base.clone().with_machine(MachineModel::platform_b());
+        let on_c = base.with_machine(MachineModel::platform_c());
+        let schema = FeatureSchema::for_space(on_a.space());
+        let mut rng = Xoshiro256PlusPlus::new(0x7A57);
+        let sample = on_a.space().sample_distinct(n_train + n_test, &mut rng);
+        let (train_cfgs, test_cfgs) = sample.split_at(n_train);
+
+        let x_train = schema.encode_all(on_a.space(), train_cfgs);
+        let y_train_a: Vec<f64> = train_cfgs.iter().map(|c| on_a.ideal_time(c)).collect();
+        let y_train_b: Vec<f64> = train_cfgs.iter().map(|c| on_b.ideal_time(c)).collect();
+        let y_train_c: Vec<f64> = train_cfgs.iter().map(|c| on_c.ideal_time(c)).collect();
+        let x_test = schema.encode_all(on_a.space(), test_cfgs);
+        let y_test_a: Vec<f64> = test_cfgs.iter().map(|c| on_a.ideal_time(c)).collect();
+        let y_test_b: Vec<f64> = test_cfgs.iter().map(|c| on_b.ideal_time(c)).collect();
+        let y_test_c: Vec<f64> = test_cfgs.iter().map(|c| on_c.ideal_time(c)).collect();
+
+        let model_a = RandomForest::fit(&ForestConfig::default(), schema.kinds(), &x_train, &y_train_a, 1);
+        let model_b = RandomForest::fit(&ForestConfig::default(), schema.kinds(), &x_train, &y_train_b, 1);
+        let model_c = RandomForest::fit(&ForestConfig::default(), schema.kinds(), &x_train, &y_train_c, 1);
+
+        let pred_a: Vec<f64> = x_test.iter().map(|r| model_a.predict(r)).collect();
+        let pred_b: Vec<f64> = x_test.iter().map(|r| model_b.predict(r)).collect();
+        let pred_c: Vec<f64> = x_test.iter().map(|r| model_c.predict(r)).collect();
+
+        let rho_ab = spearman(&y_test_a, &y_test_b);
+        let rho_ac = spearman(&y_test_a, &y_test_c);
+        let a_to_a = rmse(&y_test_a, &pred_a);
+        let a_to_b = rmse(&y_test_b, &pred_a);
+        let b_to_b = rmse(&y_test_b, &pred_b);
+        let a_to_c = rmse(&y_test_c, &pred_a);
+        let c_to_c = rmse(&y_test_c, &pred_c);
+        table.row([
+            name.clone(),
+            format!("{rho_ab:.3}"),
+            format!("{rho_ac:.3}"),
+            format!("{a_to_a:.3e}"),
+            format!("{a_to_b:.3e}"),
+            format!("{b_to_b:.3e}"),
+            format!("{a_to_c:.3e}"),
+            format!("{c_to_c:.3e}"),
+        ]);
+        rows.push(vec![
+            name,
+            format!("{rho_ab:.6}"),
+            format!("{rho_ac:.6}"),
+            format!("{a_to_a:.6e}"),
+            format!("{a_to_b:.6e}"),
+            format!("{b_to_b:.6e}"),
+            format!("{a_to_c:.6e}"),
+            format!("{c_to_c:.6e}"),
+        ]);
+    }
+    println!("Model portability across platforms (future-work extension)\n");
+    println!("{}", table.render());
+    println!(
+        "ρ(A,B) ≈ 1: the two Xeons differ near-affinely, so rankings\n\
+         transfer for free. Platform C (wider vectors, bigger L2) moves the\n\
+         optima: ρ(A,C) < 1 and RMSE A→C ≫ C→C quantify what a transferred\n\
+         model loses vs retraining."
+    );
+    write_csv(
+        output_dir().join("transfer_portability.csv"),
+        &[
+            "kernel",
+            "spearman_a_b",
+            "spearman_a_c",
+            "rmse_a_to_a",
+            "rmse_a_to_b",
+            "rmse_b_to_b",
+            "rmse_a_to_c",
+            "rmse_c_to_c",
+        ],
+        rows,
+    )
+    .expect("CSV write failed");
+}

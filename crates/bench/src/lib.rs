@@ -1,0 +1,207 @@
+//! Shared machinery of the benchmark harness.
+//!
+//! The fig/table binaries in `src/bin/` regenerate every table and figure of
+//! the paper; this library holds the pieces they share: benchmark registry,
+//! scale selection (`--quick` / default / `--full`), and CSV output paths.
+
+use std::path::PathBuf;
+
+use pwu_core::{ActiveConfig, Protocol, Strategy};
+use pwu_forest::ForestConfig;
+use pwu_space::TuningTarget;
+
+/// Where the harness mirrors every printed series as CSV.
+#[must_use]
+pub fn output_dir() -> PathBuf {
+    PathBuf::from("target/paper")
+}
+
+/// Experiment scale selected on the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Smoke-test scale: seconds per benchmark.
+    Quick,
+    /// Default scale: minutes for the full suite on one core.
+    Default,
+    /// Paper scale: pool 7000 / test 3000 / n_max 500 / 10 repetitions.
+    Full,
+}
+
+impl Scale {
+    /// Parses `--quick` / `--full` from CLI arguments.
+    #[must_use]
+    pub fn from_args(args: &[String]) -> Self {
+        if args.iter().any(|a| a == "--full") {
+            Scale::Full
+        } else if args.iter().any(|a| a == "--quick") {
+            Scale::Quick
+        } else {
+            Scale::Default
+        }
+    }
+
+    /// The protocol at this scale for a kernel-sized space.
+    #[must_use]
+    pub fn protocol(self, alpha: f64) -> Protocol {
+        match self {
+            Scale::Quick => Protocol::quick(alpha),
+            Scale::Default => Protocol {
+                surrogate_size: 2_600,
+                pool_size: 2_000,
+                active: ActiveConfig {
+                    n_init: 10,
+                    n_batch: 1,
+                    n_max: 200,
+                    forest: ForestConfig {
+                        n_trees: 48,
+                        ..ForestConfig::default()
+                    },
+                    eval_every: 5,
+                    alphas: vec![alpha],
+                    repeats: 5,
+                    ..ActiveConfig::default()
+                },
+                n_reps: 5,
+            },
+            Scale::Full => Protocol::paper(alpha),
+        }
+    }
+
+    /// Same protocol, clamped so it fits a small application space
+    /// (kripke has 2304 points, hypre 3024).
+    #[must_use]
+    pub fn protocol_for(self, target: &dyn TuningTarget, alpha: f64) -> Protocol {
+        let mut p = self.protocol(alpha);
+        let card = target.space().cardinality();
+        let max_surrogate = (card as usize).min(p.surrogate_size);
+        if max_surrogate < p.surrogate_size {
+            p.surrogate_size = max_surrogate;
+            p.pool_size = max_surrogate * 7 / 10;
+            p.active.n_max = p.active.n_max.min(p.pool_size / 2);
+        }
+        p
+    }
+}
+
+/// All 14 benchmarks of the paper: 12 kernels + kripke + hypre.
+#[must_use]
+pub fn all_benchmarks() -> Vec<Box<dyn TuningTarget>> {
+    let mut v: Vec<Box<dyn TuningTarget>> = pwu_spapt::all_kernels()
+        .into_iter()
+        .map(|k| Box::new(k) as Box<dyn TuningTarget>)
+        .collect();
+    v.push(Box::new(pwu_apps::Kripke::new()));
+    v.push(Box::new(pwu_apps::Hypre::new()));
+    v
+}
+
+/// A benchmark by name (kernel, `kripke`, or `hypre`).
+#[must_use]
+pub fn benchmark_by_name(name: &str) -> Option<Box<dyn TuningTarget>> {
+    all_benchmarks().into_iter().find(|t| t.name() == name)
+}
+
+/// The six strategies of the paper's figures.
+#[must_use]
+pub fn paper_strategies(alpha: f64) -> Vec<Strategy> {
+    Strategy::paper_set(alpha)
+}
+
+/// Runs the paper's experiment (all six strategies) on one benchmark at the
+/// given scale and α, printing progress to stderr.
+///
+/// # Panics
+/// Panics if the benchmark name is unknown.
+#[must_use]
+pub fn run_benchmark_curves(
+    name: &str,
+    scale: Scale,
+    alpha: f64,
+    seed: u64,
+) -> pwu_core::ExperimentResult {
+    let target = benchmark_by_name(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
+    let protocol = scale.protocol_for(target.as_ref(), alpha);
+    let strategies = paper_strategies(alpha);
+    eprintln!(
+        "[{name}] pool {} / test {} / n_max {} / {} reps …",
+        protocol.pool_size,
+        protocol.surrogate_size - protocol.pool_size,
+        protocol.active.n_max,
+        protocol.n_reps
+    );
+    let start = std::time::Instant::now();
+    let result = pwu_core::experiment::run_experiment(target.as_ref(), &strategies, &protocol, seed);
+    eprintln!("[{name}] done in {:.1?}", start.elapsed());
+    result
+}
+
+/// Writes one benchmark's per-strategy series (`y` picked by `select`) as a
+/// CSV with columns `n_train, <strategy…>`.
+///
+/// # Panics
+/// Panics on I/O errors — the harness should fail loudly.
+pub fn write_series_csv(
+    path: &std::path::Path,
+    result: &pwu_core::ExperimentResult,
+    select: impl Fn(&pwu_core::StrategyCurve, usize) -> f64,
+) {
+    let n = result.curves[0].n_train.len();
+    let mut header: Vec<String> = vec!["n_train".into()];
+    header.extend(result.curves.iter().map(|c| c.strategy.name().to_string()));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let rows = (0..n).map(|t| {
+        let mut row = vec![result.curves[0].n_train[t].to_string()];
+        row.extend(
+            result
+                .curves
+                .iter()
+                .map(|c| format!("{:.6e}", select(c, t))),
+        );
+        row
+    });
+    pwu_report::write_csv(path, &header_refs, rows).expect("CSV write failed");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        let args = |s: &[&str]| s.iter().map(ToString::to_string).collect::<Vec<_>>();
+        assert_eq!(Scale::from_args(&args(&[])), Scale::Default);
+        assert_eq!(Scale::from_args(&args(&["--quick"])), Scale::Quick);
+        assert_eq!(Scale::from_args(&args(&["--full", "x"])), Scale::Full);
+    }
+
+    #[test]
+    fn registry_has_fourteen_benchmarks() {
+        let b = all_benchmarks();
+        assert_eq!(b.len(), 14);
+        assert!(benchmark_by_name("kripke").is_some());
+        assert!(benchmark_by_name("hypre").is_some());
+        assert!(benchmark_by_name("adi").is_some());
+        assert!(benchmark_by_name("bogus").is_none());
+    }
+
+    #[test]
+    fn protocols_fit_small_spaces() {
+        let kripke = pwu_apps::Kripke::new();
+        for scale in [Scale::Quick, Scale::Default, Scale::Full] {
+            let p = scale.protocol_for(&kripke, 0.05);
+            p.validate();
+            assert!(p.surrogate_size as u128 <= kripke.space().cardinality());
+        }
+    }
+
+    #[test]
+    fn full_scale_matches_paper_constants() {
+        let p = Scale::Full.protocol(0.01);
+        assert_eq!(p.surrogate_size, 10_000);
+        assert_eq!(p.pool_size, 7_000);
+        assert_eq!(p.active.n_init, 10);
+        assert_eq!(p.active.n_batch, 1);
+        assert_eq!(p.active.n_max, 500);
+        assert_eq!(p.n_reps, 10);
+    }
+}

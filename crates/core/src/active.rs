@@ -1,0 +1,471 @@
+//! Algorithm 1: the active-learning loop.
+
+use pwu_forest::{ForestConfig, RandomForest};
+use pwu_space::{FeatureSchema, LabeledSet, Pool, TuningTarget};
+use pwu_stats::{derive_seed, Xoshiro256PlusPlus};
+
+use crate::annotator::Annotator;
+use crate::metrics::rmse_at_alpha;
+use crate::strategy::Strategy;
+
+/// How the model is rebuilt after each batch (Algorithm 1 line 9:
+/// "construct a random forest from scratch or update it partially").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefitMode {
+    /// Retrain every tree on the enlarged training set (the default).
+    FromScratch,
+    /// Regrow only this many trees per iteration; the rest keep their
+    /// structure. Cuts per-iteration cost by ~`n_trees / n`.
+    Partial(usize),
+}
+
+/// Configuration of one active-learning run.
+#[derive(Debug, Clone)]
+pub struct ActiveConfig {
+    /// Cold-start sample count (`n_init`, paper: 10).
+    pub n_init: usize,
+    /// Batch size per iteration (`n_batch`, paper: 1).
+    pub n_batch: usize,
+    /// Training-set size to stop at (`n_max`, paper: 500).
+    pub n_max: usize,
+    /// Forest hyper-parameters.
+    pub forest: ForestConfig,
+    /// Model-rebuild policy per iteration.
+    pub refit: RefitMode,
+    /// Evaluate the model on the test set every this many iterations
+    /// (1 = the paper's every-iteration protocol).
+    pub eval_every: usize,
+    /// The α values at which RMSE@α is recorded.
+    pub alphas: Vec<f64>,
+    /// Measurement repeats per annotation.
+    pub repeats: usize,
+}
+
+impl Default for ActiveConfig {
+    fn default() -> Self {
+        Self {
+            n_init: 10,
+            n_batch: 1,
+            n_max: 500,
+            forest: ForestConfig::default(),
+            refit: RefitMode::FromScratch,
+            eval_every: 1,
+            alphas: vec![0.01, 0.05, 0.10],
+            repeats: 35,
+        }
+    }
+}
+
+impl ActiveConfig {
+    /// Checks internal consistency.
+    ///
+    /// # Panics
+    /// Panics on degenerate settings.
+    pub fn validate(&self) {
+        assert!(self.n_init > 0, "need a nonempty cold start");
+        assert!(self.n_batch > 0, "need a positive batch");
+        assert!(self.n_max >= self.n_init, "n_max below n_init");
+        assert!(self.eval_every > 0, "eval_every must be positive");
+        assert!(!self.alphas.is_empty(), "need at least one alpha");
+        if let RefitMode::Partial(n) = self.refit {
+            assert!(n > 0, "partial refit must regrow at least one tree");
+        }
+        self.forest.validate();
+    }
+}
+
+/// One per-evaluation snapshot of a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Training-set size at this point.
+    pub n_train: usize,
+    /// Cumulative annotation cost (Eq. 3) so far, in seconds.
+    pub cumulative_cost: f64,
+    /// RMSE@α on the test set, aligned with `ActiveConfig::alphas`.
+    pub rmse: Vec<f64>,
+}
+
+/// A selected sample's predicted state at selection time (for Fig 9).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SelectionTrace {
+    /// Predicted mean execution time μ.
+    pub mean: f64,
+    /// Predicted uncertainty σ.
+    pub std: f64,
+    /// Observed execution time after annotation.
+    pub observed: f64,
+}
+
+/// The result of one active-learning run.
+#[derive(Debug, Clone)]
+pub struct ActiveRun {
+    /// The final training set.
+    pub train: LabeledSet,
+    /// Test-set evaluation snapshots (every `eval_every` iterations plus the
+    /// final state).
+    pub history: Vec<Snapshot>,
+    /// The (μ, σ, y) trace of every strategy-selected sample.
+    pub selections: Vec<SelectionTrace>,
+    /// The final model.
+    pub model: RandomForest,
+}
+
+/// Runs Algorithm 1.
+///
+/// `pool_configs` is `X_pool`; `test` is the held-out evaluation set with
+/// pre-measured labels. All randomness derives from `seed`.
+///
+/// # Panics
+/// Panics if the pool is smaller than `n_max` or the config is inconsistent.
+pub fn run(
+    target: &dyn TuningTarget,
+    strategy: Strategy,
+    config: &ActiveConfig,
+    mut pool: Pool,
+    test_features: &[Vec<f64>],
+    test_labels: &[f64],
+    seed: u64,
+) -> ActiveRun {
+    config.validate();
+    assert!(
+        pool.len() >= config.n_max,
+        "pool of {} cannot supply n_max = {}",
+        pool.len(),
+        config.n_max
+    );
+    assert_eq!(test_features.len(), test_labels.len());
+
+    let schema = FeatureSchema::for_space(target.space());
+    let kinds = schema.kinds();
+    let mut annotator = Annotator::new(target, config.repeats, derive_seed(seed, 1));
+    let mut select_rng = Xoshiro256PlusPlus::new(derive_seed(seed, 2));
+    let mut pool_rng = Xoshiro256PlusPlus::new(derive_seed(seed, 3));
+    let forest_seed = derive_seed(seed, 4);
+
+    // --- Cold start (lines 1–4) -------------------------------------------
+    let mut train = LabeledSet::new();
+    for (cfg, row) in pool.take_random(config.n_init, &mut pool_rng) {
+        let y = annotator.evaluate(&cfg);
+        train.push(cfg, row, y);
+    }
+    let mut model = RandomForest::fit(
+        &config.forest,
+        kinds,
+        train.features(),
+        train.labels(),
+        derive_seed(forest_seed, 0),
+    );
+
+    let mut history = Vec::new();
+    let mut selections = Vec::new();
+    let mut iteration = 0u64;
+    record(
+        &mut history,
+        &model,
+        &train,
+        test_features,
+        test_labels,
+        &config.alphas,
+    );
+
+    // --- Iteration phase (lines 5–9) ---------------------------------------
+    while train.len() < config.n_max && !pool.is_empty() {
+        iteration += 1;
+        let n_batch = config.n_batch.min(config.n_max - train.len());
+        let preds = model.predict_batch(pool.features());
+        let picked = strategy.select(&preds, n_batch, &mut select_rng);
+        let traces: Vec<(f64, f64)> = picked.iter().map(|&i| (preds[i].mean, preds[i].std)).collect();
+        for ((cfg, row), (mu, sigma)) in pool.take(&picked).into_iter().zip(traces) {
+            let y = annotator.evaluate(&cfg);
+            selections.push(SelectionTrace {
+                mean: mu,
+                std: sigma,
+                observed: y,
+            });
+            train.push(cfg, row, y);
+        }
+        match config.refit {
+            RefitMode::FromScratch => {
+                model = RandomForest::fit(
+                    &config.forest,
+                    kinds,
+                    train.features(),
+                    train.labels(),
+                    derive_seed(forest_seed, iteration),
+                );
+            }
+            RefitMode::Partial(n) => {
+                model.update(
+                    kinds,
+                    train.features(),
+                    train.labels(),
+                    n,
+                    derive_seed(forest_seed, iteration),
+                );
+            }
+        }
+        if iteration.is_multiple_of(config.eval_every as u64) || train.len() >= config.n_max {
+            record(
+                &mut history,
+                &model,
+                &train,
+                test_features,
+                test_labels,
+                &config.alphas,
+            );
+        }
+    }
+
+    ActiveRun {
+        train,
+        history,
+        selections,
+        model,
+    }
+}
+
+fn record(
+    history: &mut Vec<Snapshot>,
+    model: &RandomForest,
+    train: &LabeledSet,
+    test_features: &[Vec<f64>],
+    test_labels: &[f64],
+    alphas: &[f64],
+) {
+    let preds = model.predict_batch_mean(test_features);
+    let rmse = alphas
+        .iter()
+        .map(|&a| rmse_at_alpha(test_labels, &preds, a))
+        .collect();
+    history.push(Snapshot {
+        n_train: train.len(),
+        cumulative_cost: train.cumulative_cost(),
+        rmse,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwu_space::{Configuration, Param, ParamSpace};
+
+    /// A deterministic synthetic target: time = 0.1 + normalized distance
+    /// from a sweet spot, with two interacting parameters.
+    struct Synthetic {
+        space: ParamSpace,
+    }
+
+    impl Synthetic {
+        fn new() -> Self {
+            Self {
+                space: ParamSpace::new(
+                    "synthetic",
+                    vec![
+                        Param::ordinal("a", (0..12).map(f64::from).collect::<Vec<_>>()),
+                        Param::ordinal("b", (0..12).map(f64::from).collect::<Vec<_>>()),
+                        Param::boolean("flag"),
+                    ],
+                ),
+            }
+        }
+    }
+
+    impl TuningTarget for Synthetic {
+        fn name(&self) -> &str {
+            "synthetic"
+        }
+        fn space(&self) -> &ParamSpace {
+            &self.space
+        }
+        fn ideal_time(&self, cfg: &Configuration) -> f64 {
+            let a = f64::from(cfg.level(0));
+            let b = f64::from(cfg.level(1));
+            let flag = f64::from(cfg.level(2));
+            0.1 + 0.01 * ((a - 7.0).powi(2) + (b - 3.0).powi(2)) + 0.05 * flag * a
+        }
+    }
+
+    fn setup(
+        target: &Synthetic,
+        pool_n: usize,
+        test_n: usize,
+        seed: u64,
+    ) -> (Pool, Vec<Vec<f64>>, Vec<f64>) {
+        let schema = FeatureSchema::for_space(target.space());
+        let mut rng = Xoshiro256PlusPlus::new(seed);
+        let all = target
+            .space()
+            .sample_distinct(pool_n + test_n, &mut rng);
+        let (pool_cfgs, test_cfgs) = all.split_at(pool_n);
+        let pool = Pool::new(target.space(), &schema, pool_cfgs.to_vec());
+        let test_features = schema.encode_all(target.space(), test_cfgs);
+        let test_labels: Vec<f64> = test_cfgs.iter().map(|c| target.ideal_time(c)).collect();
+        (pool, test_features, test_labels)
+    }
+
+    fn quick_config(n_max: usize) -> ActiveConfig {
+        ActiveConfig {
+            n_init: 5,
+            n_batch: 1,
+            n_max,
+            forest: ForestConfig {
+                n_trees: 24,
+                ..ForestConfig::default()
+            },
+            eval_every: 5,
+            alphas: vec![0.05],
+            repeats: 1,
+            ..ActiveConfig::default()
+        }
+    }
+
+    #[test]
+    fn run_reaches_n_max_and_history_is_monotone_in_size() {
+        let target = Synthetic::new();
+        let (pool, tf, tl) = setup(&target, 150, 80, 1);
+        let run = run(
+            &target,
+            Strategy::Pwu { alpha: 0.05 },
+            &quick_config(40),
+            pool,
+            &tf,
+            &tl,
+            7,
+        );
+        assert_eq!(run.train.len(), 40);
+        assert_eq!(run.selections.len(), 35);
+        let sizes: Vec<usize> = run.history.iter().map(|s| s.n_train).collect();
+        assert!(sizes.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(*sizes.last().unwrap(), 40);
+        // Cumulative cost is nondecreasing.
+        let costs: Vec<f64> = run.history.iter().map(|s| s.cumulative_cost).collect();
+        assert!(costs.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn learning_reduces_elite_rmse() {
+        let target = Synthetic::new();
+        // The synthetic space has 288 points; stay below that.
+        let (pool, tf, tl) = setup(&target, 180, 80, 2);
+        let run = run(
+            &target,
+            Strategy::Pwu { alpha: 0.05 },
+            &quick_config(80),
+            pool,
+            &tf,
+            &tl,
+            3,
+        );
+        let first = run.history.first().unwrap().rmse[0];
+        let last = run.history.last().unwrap().rmse[0];
+        assert!(
+            last < first,
+            "RMSE should fall during learning: {first} → {last}"
+        );
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_identical_runs() {
+        let target = Synthetic::new();
+        for strategy in [Strategy::Pwu { alpha: 0.05 }, Strategy::Uniform] {
+            let (pool1, tf, tl) = setup(&target, 120, 50, 5);
+            let (pool2, _, _) = setup(&target, 120, 50, 5);
+            let a = run(&target, strategy, &quick_config(30), pool1, &tf, &tl, 11);
+            let b = run(&target, strategy, &quick_config(30), pool2, &tf, &tl, 11);
+            assert_eq!(a.train.labels(), b.train.labels());
+            assert_eq!(a.history.last().unwrap().rmse, b.history.last().unwrap().rmse);
+        }
+    }
+
+    #[test]
+    fn different_strategies_diverge() {
+        let target = Synthetic::new();
+        let (pool1, tf, tl) = setup(&target, 120, 50, 6);
+        let (pool2, _, _) = setup(&target, 120, 50, 6);
+        let a = run(
+            &target,
+            Strategy::BestPerf,
+            &quick_config(30),
+            pool1,
+            &tf,
+            &tl,
+            12,
+        );
+        let b = run(&target, Strategy::MaxU, &quick_config(30), pool2, &tf, &tl, 12);
+        assert_ne!(a.train.labels(), b.train.labels());
+        // BestPerf collects cheap samples: its cumulative cost must be lower.
+        assert!(a.train.cumulative_cost() < b.train.cumulative_cost());
+    }
+
+    #[test]
+    fn partial_refit_still_learns() {
+        let target = Synthetic::new();
+        let (pool, tf, tl) = setup(&target, 180, 80, 8);
+        let mut cfg = quick_config(80);
+        cfg.refit = RefitMode::Partial(6);
+        let run = run(
+            &target,
+            Strategy::Pwu { alpha: 0.05 },
+            &cfg,
+            pool,
+            &tf,
+            &tl,
+            4,
+        );
+        let first = run.history.first().unwrap().rmse[0];
+        let last = run.history.last().unwrap().rmse[0];
+        assert!(
+            last < first,
+            "partial refit should still reduce RMSE: {first} → {last}"
+        );
+    }
+
+    #[test]
+    fn partial_and_full_refit_agree_on_direction() {
+        let target = Synthetic::new();
+        let (pool1, tf, tl) = setup(&target, 180, 80, 9);
+        let (pool2, _, _) = setup(&target, 180, 80, 9);
+        let full_cfg = quick_config(60);
+        let mut part_cfg = quick_config(60);
+        part_cfg.refit = RefitMode::Partial(4);
+        let full = run(
+            &target,
+            Strategy::Pwu { alpha: 0.05 },
+            &full_cfg,
+            pool1,
+            &tf,
+            &tl,
+            5,
+        );
+        let part = run(
+            &target,
+            Strategy::Pwu { alpha: 0.05 },
+            &part_cfg,
+            pool2,
+            &tf,
+            &tl,
+            5,
+        );
+        // Partial updates lag but must stay within a small factor of the
+        // from-scratch model's final error.
+        let f = full.history.last().unwrap().rmse[0];
+        let p = part.history.last().unwrap().rmse[0];
+        assert!(p < f * 3.0 + 1e-9, "partial {p} vs full {f}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot supply")]
+    fn pool_too_small_is_rejected() {
+        let target = Synthetic::new();
+        let (pool, tf, tl) = setup(&target, 20, 20, 7);
+        let _ = run(
+            &target,
+            Strategy::Uniform,
+            &quick_config(50),
+            pool,
+            &tf,
+            &tl,
+            0,
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! The annotator: "run the program, report the averaged wall-clock time".
+
+use pwu_space::{Configuration, TuningTarget};
+use pwu_stats::Xoshiro256PlusPlus;
+
+/// Evaluates configurations on a target with repeat averaging.
+///
+/// Owns its RNG stream so annotation noise is independent of every other
+/// random component of an experiment.
+pub struct Annotator<'a> {
+    target: &'a dyn TuningTarget,
+    repeats: usize,
+    rng: Xoshiro256PlusPlus,
+    evaluations: usize,
+}
+
+impl<'a> Annotator<'a> {
+    /// Creates an annotator with the given repeat count (the paper uses 35
+    /// for kernels, several for applications).
+    #[must_use]
+    pub fn new(target: &'a dyn TuningTarget, repeats: usize, seed: u64) -> Self {
+        assert!(repeats > 0, "need at least one repeat");
+        Self {
+            target,
+            repeats,
+            rng: Xoshiro256PlusPlus::new(seed),
+            evaluations: 0,
+        }
+    }
+
+    /// Measures one configuration (mean of the configured repeats).
+    pub fn evaluate(&mut self, cfg: &Configuration) -> f64 {
+        self.evaluations += 1;
+        self.target
+            .measure_averaged(cfg, self.repeats, &mut self.rng)
+    }
+
+    /// Measures a batch, in order.
+    pub fn evaluate_all(&mut self, cfgs: &[Configuration]) -> Vec<f64> {
+        cfgs.iter().map(|c| self.evaluate(c)).collect()
+    }
+
+    /// Number of configurations evaluated so far.
+    #[must_use]
+    pub fn evaluations(&self) -> usize {
+        self.evaluations
+    }
+
+    /// The target being annotated.
+    #[must_use]
+    pub fn target(&self) -> &dyn TuningTarget {
+        self.target
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwu_space::{Param, ParamSpace};
+
+    struct Linear {
+        space: ParamSpace,
+    }
+
+    impl TuningTarget for Linear {
+        fn name(&self) -> &str {
+            "linear"
+        }
+        fn space(&self) -> &ParamSpace {
+            &self.space
+        }
+        fn ideal_time(&self, cfg: &Configuration) -> f64 {
+            1.0 + f64::from(cfg.level(0))
+        }
+    }
+
+    fn target() -> Linear {
+        Linear {
+            space: ParamSpace::new(
+                "l",
+                vec![Param::ordinal("x", (0..4).map(f64::from).collect::<Vec<_>>())],
+            ),
+        }
+    }
+
+    #[test]
+    fn counts_and_averages() {
+        let t = target();
+        let mut a = Annotator::new(&t, 3, 0);
+        let y = a.evaluate(&Configuration::new(vec![2]));
+        assert_eq!(y, 3.0); // noise-free default
+        assert_eq!(a.evaluations(), 1);
+        let ys = a.evaluate_all(&[Configuration::new(vec![0]), Configuration::new(vec![3])]);
+        assert_eq!(ys, vec![1.0, 4.0]);
+        assert_eq!(a.evaluations(), 3);
+    }
+
+    #[test]
+    fn independent_annotators_share_no_state() {
+        let t = target();
+        let mut a = Annotator::new(&t, 1, 1);
+        let mut b = Annotator::new(&t, 1, 2);
+        let cfg = Configuration::new(vec![1]);
+        assert_eq!(a.evaluate(&cfg), b.evaluate(&cfg));
+        assert_eq!(a.evaluations(), 1);
+        assert_eq!(b.evaluations(), 1);
+    }
+}

@@ -1,0 +1,119 @@
+//! Evaluation metrics (Section III-C of the paper).
+
+use pwu_stats::argsort_by;
+
+/// RMSE over the top `⌊n·α⌋` *observed*-performance test samples (Eq. 2).
+///
+/// The test set is ranked by its true execution times ascending (high
+/// performance first); the error is computed only on the elite slice —
+/// accuracy on poor configurations is irrelevant to tuning.
+///
+/// # Panics
+/// Panics if lengths mismatch, `alpha` is outside `(0, 1]`, or the elite
+/// slice would be empty.
+#[must_use]
+pub fn rmse_at_alpha(observed: &[f64], predicted: &[f64], alpha: f64) -> f64 {
+    assert_eq!(observed.len(), predicted.len(), "length mismatch");
+    assert!(alpha > 0.0 && alpha <= 1.0, "alpha {alpha} outside (0,1]");
+    let m = ((observed.len() as f64 * alpha).floor() as usize).max(1);
+    let order = argsort_by(observed, |&y| y);
+    let sse: f64 = order[..m]
+        .iter()
+        .map(|&i| {
+            let d = observed[i] - predicted[i];
+            d * d
+        })
+        .sum();
+    (sse / m as f64).sqrt()
+}
+
+/// The cumulative cost (Eq. 3) needed to first reach an RMSE at or below
+/// `threshold`, given per-iteration `(cumulative_cost, rmse)` pairs.
+///
+/// Returns `None` when the run never reaches the threshold.
+#[must_use]
+pub fn cost_to_reach(history: &[(f64, f64)], threshold: f64) -> Option<f64> {
+    history
+        .iter()
+        .find(|(_, rmse)| *rmse <= threshold)
+        .map(|(cc, _)| *cc)
+}
+
+/// The first index at which an RMSE series has *converged*: every later
+/// value stays within `(1 + tol)` of the series minimum.
+///
+/// The paper stops at `n_max = 500` "because the model begins to converge
+/// when collecting about 500 samples"; this utility makes that judgement
+/// mechanical. Returns `None` for an empty series.
+#[must_use]
+pub fn converged_at(rmse: &[f64], tol: f64) -> Option<usize> {
+    assert!(tol >= 0.0, "tolerance must be non-negative");
+    if rmse.is_empty() {
+        return None;
+    }
+    let min = rmse.iter().cloned().fold(f64::INFINITY, f64::min);
+    let bound = min * (1.0 + tol);
+    // Walk backwards: find the last index that exceeds the band; the series
+    // is converged right after it.
+    let last_bad = rmse.iter().rposition(|&r| r > bound);
+    Some(last_bad.map_or(0, |i| i + 1).min(rmse.len() - 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elite_slice_only() {
+        // obs: elite is the two smallest (alpha = 0.5 of 4).
+        let obs = [1.0, 10.0, 2.0, 20.0];
+        // Perfect on elite, terrible elsewhere → zero error.
+        let pred = [1.0, 0.0, 2.0, 0.0];
+        assert_eq!(rmse_at_alpha(&obs, &pred, 0.5), 0.0);
+        // Error on one elite sample shows up.
+        let pred2 = [2.0, 10.0, 2.0, 20.0];
+        assert!((rmse_at_alpha(&obs, &pred2, 0.5) - (0.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alpha_one_is_plain_rmse() {
+        let obs = [1.0, 2.0, 3.0];
+        let pred = [2.0, 3.0, 4.0];
+        assert!((rmse_at_alpha(&obs, &pred, 1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tiny_alpha_keeps_at_least_one_sample() {
+        let obs = [5.0, 1.0];
+        let pred = [5.0, 3.0];
+        // ⌊2×0.01⌋ = 0 → clamped to 1: the single best observation (1.0).
+        assert!((rmse_at_alpha(&obs, &pred, 0.01) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cost_to_reach_finds_first_crossing() {
+        let hist = [(1.0, 9.0), (3.0, 5.0), (7.0, 2.0), (9.0, 2.5)];
+        assert_eq!(cost_to_reach(&hist, 5.0), Some(3.0));
+        assert_eq!(cost_to_reach(&hist, 1.9), None);
+        assert_eq!(cost_to_reach(&hist, 100.0), Some(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn zero_alpha_rejected() {
+        let _ = rmse_at_alpha(&[1.0], &[1.0], 0.0);
+    }
+
+    #[test]
+    fn converged_at_finds_the_plateau() {
+        let series = [10.0, 5.0, 2.0, 1.05, 1.0, 1.02, 1.01];
+        // Within 10% of the minimum from index 3 on.
+        assert_eq!(converged_at(&series, 0.10), Some(3));
+        // Tighter band: only the tail qualifies.
+        assert_eq!(converged_at(&series, 0.03), Some(4));
+        // A monotone-decreasing series converges only at its end... unless
+        // the whole series is flat.
+        assert_eq!(converged_at(&[3.0, 3.0, 3.0], 0.0), Some(0));
+        assert_eq!(converged_at(&[], 0.1), None);
+    }
+}

@@ -1,0 +1,308 @@
+//! Sampling strategies: who gets evaluated next.
+//!
+//! All strategies receive the forest's pool predictions `(μᵢ, σᵢ)` and
+//! return the indices of the batch to annotate. Performance means *short
+//! predicted execution time*, so "top of the predicted performance ranking"
+//! is ascending μ.
+
+use rand::Rng;
+
+use pwu_forest::forest::Prediction;
+use pwu_stats::{argsort_by, Xoshiro256PlusPlus};
+
+/// A pool-based sampling strategy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Strategy {
+    /// Performance Weighted Uncertainty (Eq. 1): `s = σ / μ^(1−α)`.
+    ///
+    /// `alpha → 1` degenerates to [`Strategy::MaxU`]; `alpha → 0` gives the
+    /// coefficient of variation σ/μ.
+    Pwu {
+        /// High-performance proportion α ∈ (0, 1].
+        alpha: f64,
+    },
+    /// Performance-Biased Uncertainty Sampling (Balaprakash et al. 2013):
+    /// keep the predicted top `fraction` of the pool, then select the most
+    /// uncertain inside it.
+    Pbus {
+        /// Fraction of the pool considered high-performance.
+        fraction: f64,
+    },
+    /// Biased Random Sampling: uniform choice inside the predicted top
+    /// `fraction`.
+    Brs {
+        /// Fraction of the pool considered high-performance.
+        fraction: f64,
+    },
+    /// Pure exploitation: smallest predicted time.
+    BestPerf,
+    /// Classic uncertainty sampling: largest σ.
+    MaxU,
+    /// Passive uniform sampling.
+    Uniform,
+}
+
+impl Strategy {
+    /// Display name matching the paper's legends.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::Pwu { .. } => "PWU",
+            Strategy::Pbus { .. } => "PBUS",
+            Strategy::Brs { .. } => "BRS",
+            Strategy::BestPerf => "BestPerf",
+            Strategy::MaxU => "MaxU",
+            Strategy::Uniform => "Uniform",
+        }
+    }
+
+    /// The paper's five baselines plus PWU, at a given α.
+    #[must_use]
+    pub fn paper_set(alpha: f64) -> Vec<Strategy> {
+        vec![
+            Strategy::Pwu { alpha },
+            Strategy::Pbus { fraction: 0.10 },
+            Strategy::Brs { fraction: 0.10 },
+            Strategy::BestPerf,
+            Strategy::MaxU,
+            Strategy::Uniform,
+        ]
+    }
+
+    /// Selects `n_batch` pool indices given the model's pool predictions.
+    ///
+    /// # Panics
+    /// Panics if `preds` is empty or `n_batch` is zero; callers stop the
+    /// loop before the pool drains.
+    #[must_use]
+    pub fn select(
+        &self,
+        preds: &[Prediction],
+        n_batch: usize,
+        rng: &mut Xoshiro256PlusPlus,
+    ) -> Vec<usize> {
+        assert!(!preds.is_empty(), "empty candidate pool");
+        assert!(n_batch > 0, "zero batch");
+        let n_batch = n_batch.min(preds.len());
+        match *self {
+            Strategy::Pwu { alpha } => {
+                let scores = pwu_scores(preds, alpha);
+                top_desc(&scores, n_batch)
+            }
+            Strategy::Pbus { fraction } => {
+                let keep = biased_subset(preds, fraction, n_batch);
+                // Most uncertain within the subset.
+                let mut idx = keep;
+                idx.sort_by(|&a, &b| {
+                    preds[b]
+                        .std
+                        .partial_cmp(&preds[a].std)
+                        .expect("NaN uncertainty")
+                });
+                idx.truncate(n_batch);
+                idx
+            }
+            Strategy::Brs { fraction } => {
+                let mut keep = biased_subset(preds, fraction, n_batch);
+                // Uniform choice without replacement inside the subset.
+                for i in 0..n_batch {
+                    let j = rng.gen_range(i..keep.len());
+                    keep.swap(i, j);
+                }
+                keep.truncate(n_batch);
+                keep
+            }
+            Strategy::BestPerf => {
+                let mut idx = argsort_by(preds, |p| p.mean);
+                idx.truncate(n_batch);
+                idx
+            }
+            Strategy::MaxU => {
+                let scores: Vec<f64> = preds.iter().map(|p| p.std).collect();
+                top_desc(&scores, n_batch)
+            }
+            Strategy::Uniform => {
+                let mut idx: Vec<usize> = (0..preds.len()).collect();
+                for i in 0..n_batch {
+                    let j = rng.gen_range(i..idx.len());
+                    idx.swap(i, j);
+                }
+                idx.truncate(n_batch);
+                idx
+            }
+        }
+    }
+}
+
+/// PWU scores (Eq. 1), entry-wise `σ / μ^(1−α)`.
+///
+/// Predicted means are floored at a tiny positive value: execution times are
+/// positive, and the floor keeps the score finite even if a degenerate model
+/// predicts zero.
+///
+/// ```
+/// use pwu_core::strategy::pwu_scores;
+/// use pwu_forest::forest::Prediction;
+///
+/// let preds = [
+///     Prediction { mean: 1.0, std: 0.2 },  // fast, somewhat uncertain
+///     Prediction { mean: 10.0, std: 0.2 }, // slow, same uncertainty
+/// ];
+/// let s = pwu_scores(&preds, 0.05);
+/// assert!(s[0] > s[1], "the faster candidate scores higher");
+/// ```
+#[must_use]
+pub fn pwu_scores(preds: &[Prediction], alpha: f64) -> Vec<f64> {
+    assert!(
+        (0.0..=1.0).contains(&alpha),
+        "alpha {alpha} outside [0, 1]"
+    );
+    preds
+        .iter()
+        .map(|p| p.std / p.mean.max(1e-12).powf(1.0 - alpha))
+        .collect()
+}
+
+/// Indices of the `k` largest scores, descending.
+fn top_desc(scores: &[f64], k: usize) -> Vec<usize> {
+    let mut idx = argsort_by(scores, |&s| s);
+    idx.reverse();
+    idx.truncate(k);
+    idx
+}
+
+/// The predicted top `fraction` of the pool (at least `n_batch` entries).
+fn biased_subset(preds: &[Prediction], fraction: f64, n_batch: usize) -> Vec<usize> {
+    assert!(
+        (0.0..=1.0).contains(&fraction),
+        "fraction {fraction} outside [0, 1]"
+    );
+    let keep = ((preds.len() as f64 * fraction).ceil() as usize)
+        .max(n_batch)
+        .min(preds.len());
+    let mut idx = argsort_by(preds, |p| p.mean);
+    idx.truncate(keep);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pred(mean: f64, std: f64) -> Prediction {
+        Prediction { mean, std }
+    }
+
+    #[test]
+    fn pwu_prefers_fast_among_equal_uncertainty() {
+        // Same σ, different μ → smaller μ wins (the paper's motivating case).
+        let preds = vec![pred(10.0, 1.0), pred(1.0, 1.0), pred(5.0, 1.0)];
+        let s = Strategy::Pwu { alpha: 0.05 };
+        let mut rng = Xoshiro256PlusPlus::new(0);
+        assert_eq!(s.select(&preds, 1, &mut rng), vec![1]);
+    }
+
+    #[test]
+    fn pwu_prefers_uncertain_among_equal_performance() {
+        let preds = vec![pred(2.0, 0.1), pred(2.0, 5.0), pred(2.0, 1.0)];
+        let s = Strategy::Pwu { alpha: 0.05 };
+        let mut rng = Xoshiro256PlusPlus::new(0);
+        assert_eq!(s.select(&preds, 1, &mut rng), vec![1]);
+    }
+
+    #[test]
+    fn pwu_alpha_one_is_maxu() {
+        let preds = vec![pred(1.0, 0.5), pred(100.0, 3.0), pred(10.0, 1.0)];
+        let mut rng = Xoshiro256PlusPlus::new(0);
+        let pwu = Strategy::Pwu { alpha: 1.0 }.select(&preds, 3, &mut rng);
+        let maxu = Strategy::MaxU.select(&preds, 3, &mut rng);
+        assert_eq!(pwu, maxu);
+    }
+
+    #[test]
+    fn pwu_alpha_zero_is_coefficient_of_variation() {
+        let preds = vec![pred(4.0, 2.0), pred(1.0, 0.9), pred(10.0, 3.0)];
+        let scores = pwu_scores(&preds, 0.0);
+        for (s, p) in scores.iter().zip(&preds) {
+            assert!((s - p.std / p.mean).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pbus_picks_uncertainty_only_inside_top_fraction() {
+        // Index 3 has huge σ but terrible predicted performance: PBUS must
+        // ignore it (that is its documented limitation vs PWU).
+        let preds = vec![
+            pred(1.0, 0.1),
+            pred(1.1, 0.4),
+            pred(1.2, 0.2),
+            pred(100.0, 50.0),
+        ];
+        let mut rng = Xoshiro256PlusPlus::new(0);
+        let picked = Strategy::Pbus { fraction: 0.5 }.select(&preds, 1, &mut rng);
+        assert_eq!(picked, vec![1]);
+        // PWU at small alpha also skips it here (σ/μ of #3 = 0.5 > 0.36 of #1)
+        // — but let uncertainty grow and PWU picks the uncertain one while
+        // PBUS still cannot.
+        let picked_pwu = Strategy::Pwu { alpha: 0.05 }.select(&preds, 1, &mut rng);
+        assert_eq!(picked_pwu, vec![3]);
+    }
+
+    #[test]
+    fn bestperf_is_greedy_on_mean() {
+        let preds = vec![pred(3.0, 9.0), pred(1.0, 0.0), pred(2.0, 5.0)];
+        let mut rng = Xoshiro256PlusPlus::new(0);
+        assert_eq!(Strategy::BestPerf.select(&preds, 2, &mut rng), vec![1, 2]);
+    }
+
+    #[test]
+    fn brs_selects_within_top_fraction() {
+        let preds: Vec<Prediction> = (0..100).map(|i| pred(f64::from(i), 1.0)).collect();
+        let mut rng = Xoshiro256PlusPlus::new(1);
+        for _ in 0..50 {
+            let picked = Strategy::Brs { fraction: 0.1 }.select(&preds, 1, &mut rng);
+            assert!(preds[picked[0]].mean < 10.0, "picked {}", picked[0]);
+        }
+    }
+
+    #[test]
+    fn uniform_covers_the_pool() {
+        let preds: Vec<Prediction> = (0..20).map(|i| pred(f64::from(i), 1.0)).collect();
+        let mut rng = Xoshiro256PlusPlus::new(2);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..400 {
+            for i in Strategy::Uniform.select(&preds, 1, &mut rng) {
+                seen.insert(i);
+            }
+        }
+        assert_eq!(seen.len(), 20);
+    }
+
+    #[test]
+    fn batches_have_no_duplicates() {
+        let preds: Vec<Prediction> = (0..50)
+            .map(|i| pred(1.0 + f64::from(i % 7), 0.1 + f64::from(i % 5)))
+            .collect();
+        let mut rng = Xoshiro256PlusPlus::new(3);
+        for s in Strategy::paper_set(0.05) {
+            let batch = s.select(&preds, 10, &mut rng);
+            let set: std::collections::HashSet<_> = batch.iter().collect();
+            assert_eq!(set.len(), batch.len(), "{} produced duplicates", s.name());
+        }
+    }
+
+    #[test]
+    fn batch_clamps_to_pool_size() {
+        let preds = vec![pred(1.0, 1.0), pred(2.0, 2.0)];
+        let mut rng = Xoshiro256PlusPlus::new(4);
+        for s in Strategy::paper_set(0.05) {
+            assert_eq!(s.select(&preds, 10, &mut rng).len(), 2);
+        }
+    }
+
+    #[test]
+    fn paper_set_has_six_distinctly_named_strategies() {
+        let names: Vec<&str> = Strategy::paper_set(0.01).iter().map(Strategy::name).collect();
+        assert_eq!(names, vec!["PWU", "PBUS", "BRS", "BestPerf", "MaxU", "Uniform"]);
+    }
+}

@@ -1,0 +1,253 @@
+//! Model-based performance tuning (the Fig 8 case study).
+//!
+//! The paper's demonstration: once a surrogate model exists, thousands of
+//! "annotations" become free — the tuner can treat the model's prediction as
+//! the observation instead of executing the program. Fig 8 compares two
+//! tuning loops on atax:
+//!
+//! - **direct** ("true annotator"): every selected configuration is executed
+//!   and its measured time feeds the search model;
+//! - **surrogate**: the selected configuration is "annotated" by a
+//!   previously built surrogate model at negligible cost.
+//!
+//! Both loops report, at every step, the true execution time of the best
+//! configuration selected so far, so the curves are directly comparable.
+
+use pwu_forest::{ForestConfig, RandomForest};
+use pwu_space::{Configuration, FeatureSchema, TuningTarget};
+use pwu_stats::{derive_seed, Xoshiro256PlusPlus};
+
+use crate::annotator::Annotator;
+
+/// How selected configurations are labeled during tuning.
+pub enum TuningAnnotator<'a> {
+    /// Execute the program (measured, noisy, expensive).
+    True {
+        /// Measurement repeats per annotation.
+        repeats: usize,
+    },
+    /// Ask a pre-built surrogate model (free).
+    Surrogate(&'a RandomForest),
+}
+
+/// The trajectory of a tuning run.
+#[derive(Debug, Clone)]
+pub struct TuningTrajectory {
+    /// True (noise-free) execution time of the incumbent after each
+    /// evaluation, starting with the cold-start incumbents.
+    pub best_true: Vec<f64>,
+    /// The configurations chosen at each step.
+    pub chosen: Vec<Configuration>,
+}
+
+/// Runs greedy model-based tuning over a fixed candidate set.
+///
+/// Iteration: fit a forest to the labeled archive, select the un-evaluated
+/// candidate with the smallest predicted time, label it via `annotator`,
+/// append, repeat. The returned trajectory records the *true* time of the
+/// best-so-far selection, independent of how labels were produced.
+///
+/// # Panics
+/// Panics if the candidate set is smaller than `n_init + n_iters`.
+#[must_use]
+pub fn model_based_tuning(
+    target: &dyn TuningTarget,
+    candidates: &[Configuration],
+    annotator: &TuningAnnotator<'_>,
+    n_init: usize,
+    n_iters: usize,
+    forest: &ForestConfig,
+    seed: u64,
+) -> TuningTrajectory {
+    assert!(
+        candidates.len() >= n_init + n_iters,
+        "candidate set of {} cannot supply {} evaluations",
+        candidates.len(),
+        n_init + n_iters
+    );
+    let schema = FeatureSchema::for_space(target.space());
+    let kinds = schema.kinds();
+    let mut rng = Xoshiro256PlusPlus::new(derive_seed(seed, 0));
+    let mut true_annotator = Annotator::new(
+        target,
+        match annotator {
+            TuningAnnotator::True { repeats } => *repeats,
+            TuningAnnotator::Surrogate(_) => 1,
+        },
+        derive_seed(seed, 1),
+    );
+
+    let mut remaining: Vec<usize> = (0..candidates.len()).collect();
+    let mut features: Vec<Vec<f64>> = Vec::new();
+    let mut labels: Vec<f64> = Vec::new();
+    let mut chosen = Vec::new();
+    let mut best_true = Vec::new();
+    let mut incumbent = f64::INFINITY;
+
+    let label_of = |cfg: &Configuration,
+                        row: &[f64],
+                        true_annotator: &mut Annotator<'_>| match annotator {
+        TuningAnnotator::True { .. } => true_annotator.evaluate(cfg),
+        TuningAnnotator::Surrogate(model) => model.predict(row),
+    };
+
+    // Cold start: random candidates.
+    for _ in 0..n_init {
+        let pick = (rng.next() % remaining.len() as u64) as usize;
+        let idx = remaining.swap_remove(pick);
+        let cfg = &candidates[idx];
+        let row = schema.encode(target.space(), cfg);
+        let y = label_of(cfg, &row, &mut true_annotator);
+        incumbent = incumbent.min(target.ideal_time(cfg));
+        best_true.push(incumbent);
+        features.push(row);
+        labels.push(y);
+        chosen.push(cfg.clone());
+    }
+
+    for it in 0..n_iters {
+        let model = RandomForest::fit(
+            forest,
+            kinds,
+            &features,
+            &labels,
+            derive_seed(seed, 100 + it as u64),
+        );
+        // Greedy: smallest predicted time among the un-evaluated candidates.
+        let (pos, _) = remaining
+            .iter()
+            .enumerate()
+            .map(|(pos, &idx)| {
+                let row = schema.encode(target.space(), &candidates[idx]);
+                (pos, model.predict(&row))
+            })
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN prediction"))
+            .expect("candidates remain");
+        let idx = remaining.swap_remove(pos);
+        let cfg = &candidates[idx];
+        let row = schema.encode(target.space(), cfg);
+        let y = label_of(cfg, &row, &mut true_annotator);
+        incumbent = incumbent.min(target.ideal_time(cfg));
+        best_true.push(incumbent);
+        features.push(row);
+        labels.push(y);
+        chosen.push(cfg.clone());
+    }
+
+    TuningTrajectory { best_true, chosen }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwu_space::{Param, ParamSpace};
+
+    struct Bowl {
+        space: ParamSpace,
+    }
+
+    impl Bowl {
+        fn new() -> Self {
+            Self {
+                space: ParamSpace::new(
+                    "bowl",
+                    vec![
+                        Param::ordinal("a", (0..20).map(f64::from).collect::<Vec<_>>()),
+                        Param::ordinal("b", (0..20).map(f64::from).collect::<Vec<_>>()),
+                    ],
+                ),
+            }
+        }
+    }
+
+    impl TuningTarget for Bowl {
+        fn name(&self) -> &str {
+            "bowl"
+        }
+        fn space(&self) -> &ParamSpace {
+            &self.space
+        }
+        fn ideal_time(&self, cfg: &Configuration) -> f64 {
+            let a = f64::from(cfg.level(0));
+            let b = f64::from(cfg.level(1));
+            1.0 + 0.01 * ((a - 13.0).powi(2) + (b - 6.0).powi(2))
+        }
+    }
+
+    fn forest16() -> ForestConfig {
+        ForestConfig {
+            n_trees: 16,
+            ..ForestConfig::default()
+        }
+    }
+
+    #[test]
+    fn trajectory_is_monotone_and_improves() {
+        let target = Bowl::new();
+        let mut rng = Xoshiro256PlusPlus::new(0);
+        let candidates = target.space().sample_distinct(200, &mut rng);
+        let traj = model_based_tuning(
+            &target,
+            &candidates,
+            &TuningAnnotator::True { repeats: 1 },
+            8,
+            40,
+            &forest16(),
+            5,
+        );
+        assert_eq!(traj.best_true.len(), 48);
+        assert!(traj.best_true.windows(2).all(|w| w[1] <= w[0]));
+        // Model-based search should land near the optimum (1.0).
+        let last = *traj.best_true.last().unwrap();
+        let random_expectation = traj.best_true[7];
+        assert!(last <= random_expectation);
+        assert!(last < 1.3, "tuned to {last}");
+    }
+
+    #[test]
+    fn surrogate_annotator_never_calls_the_target() {
+        let target = Bowl::new();
+        let mut rng = Xoshiro256PlusPlus::new(1);
+        let candidates = target.space().sample_distinct(300, &mut rng);
+        // Build a surrogate from a random sample.
+        let schema = FeatureSchema::for_space(target.space());
+        let train = target.space().sample_distinct(150, &mut rng);
+        let x = schema.encode_all(target.space(), &train);
+        let y: Vec<f64> = train.iter().map(|c| target.ideal_time(c)).collect();
+        let surrogate = RandomForest::fit(&forest16(), schema.kinds(), &x, &y, 3);
+
+        let traj = model_based_tuning(
+            &target,
+            &candidates,
+            &TuningAnnotator::Surrogate(&surrogate),
+            8,
+            40,
+            &forest16(),
+            7,
+        );
+        // A good surrogate still finds a near-optimal configuration.
+        assert!(
+            *traj.best_true.last().unwrap() < 1.5,
+            "surrogate tuning reached {}",
+            traj.best_true.last().unwrap()
+        );
+    }
+
+    #[test]
+    fn chosen_configurations_are_distinct() {
+        let target = Bowl::new();
+        let mut rng = Xoshiro256PlusPlus::new(2);
+        let candidates = target.space().sample_distinct(100, &mut rng);
+        let traj = model_based_tuning(
+            &target,
+            &candidates,
+            &TuningAnnotator::True { repeats: 1 },
+            5,
+            25,
+            &forest16(),
+            9,
+        );
+        let set: std::collections::HashSet<_> = traj.chosen.iter().collect();
+        assert_eq!(set.len(), traj.chosen.len());
+    }
+}

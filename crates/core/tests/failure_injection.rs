@@ -1,0 +1,161 @@
+//! Failure injection: the learning loop must survive hostile annotators —
+//! extreme outliers, near-constant surfaces, heavy-tailed noise — without
+//! panicking, and degrade gracefully rather than collapse.
+
+use pwu_core::experiment::run_experiment;
+use pwu_core::{ActiveConfig, Protocol, Strategy};
+use pwu_forest::ForestConfig;
+use pwu_space::{Configuration, Param, ParamSpace, TuningTarget};
+use pwu_stats::Xoshiro256PlusPlus;
+
+fn protocol() -> Protocol {
+    Protocol {
+        surrogate_size: 300,
+        pool_size: 220,
+        active: ActiveConfig {
+            n_init: 8,
+            n_batch: 1,
+            n_max: 40,
+            forest: ForestConfig {
+                n_trees: 16,
+                ..ForestConfig::default()
+            },
+            eval_every: 8,
+            alphas: vec![0.05],
+            repeats: 1,
+            ..ActiveConfig::default()
+        },
+        n_reps: 2,
+    }
+}
+
+fn small_space() -> ParamSpace {
+    ParamSpace::new(
+        "hostile",
+        vec![
+            Param::ordinal("a", (0..20).map(f64::from).collect::<Vec<_>>()),
+            Param::ordinal("b", (0..20).map(f64::from).collect::<Vec<_>>()),
+        ],
+    )
+}
+
+/// An annotator that reports a huge outlier on ~10% of measurements.
+struct OutlierTarget {
+    space: ParamSpace,
+}
+
+impl TuningTarget for OutlierTarget {
+    fn name(&self) -> &str {
+        "outliers"
+    }
+    fn space(&self) -> &ParamSpace {
+        &self.space
+    }
+    fn ideal_time(&self, cfg: &Configuration) -> f64 {
+        0.1 + 0.01 * f64::from(cfg.level(0))
+    }
+    fn measure(&self, cfg: &Configuration, rng: &mut Xoshiro256PlusPlus) -> f64 {
+        let base = self.ideal_time(cfg);
+        if rng.next_f64() < 0.10 {
+            base * 100.0 // a daemon woke up
+        } else {
+            base
+        }
+    }
+}
+
+#[test]
+fn survives_extreme_outliers() {
+    let target = OutlierTarget {
+        space: small_space(),
+    };
+    for strategy in Strategy::paper_set(0.05) {
+        let result = run_experiment(&target, &[strategy], &protocol(), 11);
+        let curve = &result.curves[0];
+        assert!(
+            curve.rmse[0].iter().all(|r| r.is_finite()),
+            "{} produced non-finite RMSE under outliers",
+            curve.strategy.name()
+        );
+    }
+}
+
+/// A perfectly flat surface: zero variance everywhere. The forest's
+/// uncertainty is identically zero, so every strategy must still make
+/// progress (ties broken arbitrarily) without dividing by zero.
+struct FlatTarget {
+    space: ParamSpace,
+}
+
+impl TuningTarget for FlatTarget {
+    fn name(&self) -> &str {
+        "flat"
+    }
+    fn space(&self) -> &ParamSpace {
+        &self.space
+    }
+    fn ideal_time(&self, _cfg: &Configuration) -> f64 {
+        0.25
+    }
+}
+
+#[test]
+fn survives_constant_surface() {
+    let target = FlatTarget {
+        space: small_space(),
+    };
+    for strategy in Strategy::paper_set(0.05) {
+        let result = run_experiment(&target, &[strategy], &protocol(), 13);
+        let curve = &result.curves[0];
+        // A constant surface is learned exactly: RMSE 0 everywhere.
+        assert!(
+            curve.rmse[0].iter().all(|&r| r.abs() < 1e-12),
+            "{} failed on the flat surface: {:?}",
+            curve.strategy.name(),
+            curve.rmse[0]
+        );
+        assert_eq!(*curve.n_train.last().unwrap(), 40);
+    }
+}
+
+/// Times spanning nine orders of magnitude (divergent-solver style tail).
+struct WildRangeTarget {
+    space: ParamSpace,
+}
+
+impl TuningTarget for WildRangeTarget {
+    fn name(&self) -> &str {
+        "wild"
+    }
+    fn space(&self) -> &ParamSpace {
+        &self.space
+    }
+    fn ideal_time(&self, cfg: &Configuration) -> f64 {
+        let a = f64::from(cfg.level(0));
+        1e-6 * 10f64.powf(a * 9.0 / 19.0)
+    }
+}
+
+#[test]
+fn survives_nine_orders_of_magnitude() {
+    let target = WildRangeTarget {
+        space: small_space(),
+    };
+    let result = run_experiment(
+        &target,
+        &[Strategy::Pwu { alpha: 0.05 }, Strategy::MaxU],
+        &protocol(),
+        17,
+    );
+    for curve in &result.curves {
+        assert!(curve.rmse[0].iter().all(|r| r.is_finite()));
+        assert!(curve.cumulative_cost.iter().all(|c| c.is_finite() && *c > 0.0));
+    }
+    // PWU spends far less than MaxU, which chases the expensive tail.
+    let pwu_cost = result.curve("PWU").unwrap().cumulative_cost.last().unwrap();
+    let maxu_cost = result.curve("MaxU").unwrap().cumulative_cost.last().unwrap();
+    assert!(
+        pwu_cost < maxu_cost,
+        "PWU cost {pwu_cost} should undercut MaxU {maxu_cost}"
+    );
+}

@@ -1,0 +1,89 @@
+//! Property-based tests for the sampling strategies.
+
+use proptest::prelude::*;
+use proptest::strategy::Strategy as PropStrategy;
+use pwu_core::strategy::{pwu_scores, Strategy};
+use pwu_forest::forest::Prediction;
+use pwu_stats::Xoshiro256PlusPlus;
+
+fn arb_preds(n: std::ops::Range<usize>) -> impl PropStrategy<Value = Vec<Prediction>> {
+    prop::collection::vec((1e-6f64..1e3, 0.0f64..1e2), n).prop_map(|v| {
+        v.into_iter()
+            .map(|(mean, std)| Prediction { mean, std })
+            .collect::<Vec<_>>()
+    })
+}
+
+proptest! {
+    /// Raising σ at fixed μ never lowers a PWU score; lowering μ at fixed σ
+    /// never lowers it either (for α < 1). These are the two monotonicity
+    /// directions Eq. 1 is designed around.
+    #[test]
+    fn pwu_score_monotonicity(
+        mean in 1e-6f64..1e3,
+        std in 0.0f64..1e2,
+        dmean in 1e-9f64..1e2,
+        dstd in 1e-9f64..1e2,
+        alpha in 0.0f64..0.99,
+    ) {
+        let base = pwu_scores(&[Prediction { mean, std }], alpha)[0];
+        let more_uncertain = pwu_scores(&[Prediction { mean, std: std + dstd }], alpha)[0];
+        prop_assert!(more_uncertain >= base);
+        let faster = pwu_scores(&[Prediction { mean: (mean - dmean).max(1e-9), std }], alpha)[0];
+        prop_assert!(faster >= base - 1e-15);
+    }
+
+    /// Every strategy returns a valid, duplicate-free batch of the requested
+    /// size for arbitrary prediction sets.
+    #[test]
+    fn selections_are_valid_batches(
+        preds in arb_preds(1..60),
+        n_batch in 1usize..10,
+        seed in 0u64..1000,
+        alpha in 0.01f64..1.0,
+    ) {
+        let mut rng = Xoshiro256PlusPlus::new(seed);
+        for s in Strategy::paper_set(alpha) {
+            let batch = s.select(&preds, n_batch, &mut rng);
+            prop_assert_eq!(batch.len(), n_batch.min(preds.len()));
+            let set: std::collections::HashSet<_> = batch.iter().collect();
+            prop_assert_eq!(set.len(), batch.len(), "{} duplicated", s.name());
+            prop_assert!(batch.iter().all(|&i| i < preds.len()));
+        }
+    }
+
+    /// PWU with α = 1 ranks exactly like MaxU.
+    #[test]
+    fn pwu_degenerates_to_maxu(preds in arb_preds(2..40), seed in 0u64..1000) {
+        let mut rng1 = Xoshiro256PlusPlus::new(seed);
+        let mut rng2 = Xoshiro256PlusPlus::new(seed);
+        let a = Strategy::Pwu { alpha: 1.0 }.select(&preds, 1, &mut rng1);
+        let b = Strategy::MaxU.select(&preds, 1, &mut rng2);
+        // Scores can tie; compare the achieved σ rather than the index.
+        prop_assert_eq!(preds[a[0]].std, preds[b[0]].std);
+    }
+
+    /// BestPerf picks a configuration no slower (in prediction) than any
+    /// other strategy's pick.
+    #[test]
+    fn bestperf_minimizes_predicted_mean(preds in arb_preds(2..40), seed in 0u64..1000) {
+        let mut rng = Xoshiro256PlusPlus::new(seed);
+        let best = Strategy::BestPerf.select(&preds, 1, &mut rng)[0];
+        for s in Strategy::paper_set(0.05) {
+            let pick = s.select(&preds, 1, &mut rng)[0];
+            prop_assert!(preds[best].mean <= preds[pick].mean + 1e-12);
+        }
+    }
+
+    /// PBUS never selects outside the predicted top fraction.
+    #[test]
+    fn pbus_respects_the_bias(preds in arb_preds(10..80), seed in 0u64..1000) {
+        let mut rng = Xoshiro256PlusPlus::new(seed);
+        let fraction = 0.2;
+        let pick = Strategy::Pbus { fraction }.select(&preds, 1, &mut rng)[0];
+        let mut means: Vec<f64> = preds.iter().map(|p| p.mean).collect();
+        means.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let cutoff = means[((preds.len() as f64 * fraction).ceil() as usize - 1).min(preds.len() - 1)];
+        prop_assert!(preds[pick].mean <= cutoff + 1e-12);
+    }
+}

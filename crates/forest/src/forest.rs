@@ -1,0 +1,442 @@
+//! The bagged ensemble.
+
+use rand::Rng;
+use rayon::prelude::*;
+
+use pwu_space::FeatureKind;
+use pwu_stats::{derive_seed, Xoshiro256PlusPlus};
+
+use crate::hyper::ForestConfig;
+use crate::tree::RegressionTree;
+
+/// A random-forest regressor with uncertainty estimates.
+///
+/// Trees are grown in parallel (rayon); every tree gets an independent RNG
+/// stream derived from the fit seed, so results are identical regardless of
+/// thread count or scheduling.
+///
+/// ```
+/// use pwu_forest::{ForestConfig, RandomForest};
+/// use pwu_space::FeatureKind;
+///
+/// // y = 3·x on a tiny grid.
+/// let x: Vec<Vec<f64>> = (0..32).map(|i| vec![f64::from(i)]).collect();
+/// let y: Vec<f64> = x.iter().map(|r| 3.0 * r[0]).collect();
+/// let forest = RandomForest::fit(
+///     &ForestConfig::default(),
+///     &[FeatureKind::Numeric],
+///     &x,
+///     &y,
+///     42,
+/// );
+/// let p = forest.predict_one(&[10.0]);
+/// assert!((p.mean - 30.0).abs() < 6.0);
+/// assert!(p.std >= 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    trees: Vec<RegressionTree>,
+    /// Per-tree out-of-bag row indices (empty when `bootstrap` is off).
+    oob_rows: Vec<Vec<u32>>,
+    config: ForestConfig,
+    n_features: usize,
+}
+
+/// A prediction with its uncertainty.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prediction {
+    /// Ensemble mean — the predicted execution time `μ`.
+    pub mean: f64,
+    /// Uncertainty `σ`: standard deviation across tree predictions.
+    pub std: f64,
+}
+
+impl RandomForest {
+    /// Fits a forest on the rows of `(x, y)`.
+    ///
+    /// # Panics
+    /// Panics on empty data, mismatched lengths, non-finite targets, or an
+    /// invalid configuration.
+    #[must_use]
+    pub fn fit(
+        config: &ForestConfig,
+        kinds: &[FeatureKind],
+        x: &[Vec<f64>],
+        y: &[f64],
+        seed: u64,
+    ) -> Self {
+        config.validate();
+        assert!(!x.is_empty(), "cannot fit a forest on zero rows");
+        assert_eq!(x.len(), y.len(), "feature/target length mismatch");
+        assert_eq!(
+            x[0].len(),
+            kinds.len(),
+            "feature row width does not match kinds"
+        );
+        assert!(
+            y.iter().all(|v| v.is_finite()),
+            "targets must be finite"
+        );
+
+        let n = x.len();
+        let results: Vec<(RegressionTree, Vec<u32>)> = (0..config.n_trees)
+            .into_par_iter()
+            .map(|t| {
+                let mut rng = Xoshiro256PlusPlus::new(derive_seed(seed, t as u64));
+                let (rows, oob) = if config.bootstrap {
+                    bootstrap_rows(n, &mut rng)
+                } else {
+                    ((0..n as u32).collect(), Vec::new())
+                };
+                let tree = RegressionTree::fit(x, y, rows, kinds, config, &mut rng);
+                (tree, oob)
+            })
+            .collect();
+
+        let mut trees = Vec::with_capacity(config.n_trees);
+        let mut oob_rows = Vec::with_capacity(config.n_trees);
+        for (tree, oob) in results {
+            trees.push(tree);
+            oob_rows.push(oob);
+        }
+        Self {
+            trees,
+            oob_rows,
+            config: *config,
+            n_features: kinds.len(),
+        }
+    }
+
+    /// Point prediction: mean of the per-tree predictions.
+    #[must_use]
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        self.predict_one(row).mean
+    }
+
+    /// Prediction with across-tree uncertainty (the paper's estimator).
+    #[must_use]
+    pub fn predict_one(&self, row: &[f64]) -> Prediction {
+        let n = self.trees.len() as f64;
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for tree in &self.trees {
+            let p = tree.predict(row);
+            sum += p;
+            sum_sq += p * p;
+        }
+        let mean = sum / n;
+        let var = (sum_sq / n - mean * mean).max(0.0);
+        Prediction {
+            mean,
+            std: var.sqrt(),
+        }
+    }
+
+    /// Prediction with Hutter et al.'s total-variance uncertainty:
+    /// `Var = E[leaf_var + leaf_mean²] − μ²` (law of total variance across
+    /// the tree mixture). Strictly larger than the across-tree estimate
+    /// whenever leaves are impure.
+    #[must_use]
+    pub fn predict_total_variance(&self, row: &[f64]) -> Prediction {
+        let n = self.trees.len() as f64;
+        let mut sum = 0.0;
+        let mut second_moment = 0.0;
+        for tree in &self.trees {
+            let leaf = tree.predict_leaf(row);
+            sum += leaf.mean;
+            second_moment += leaf.variance + leaf.mean * leaf.mean;
+        }
+        let mean = sum / n;
+        let var = (second_moment / n - mean * mean).max(0.0);
+        Prediction {
+            mean,
+            std: var.sqrt(),
+        }
+    }
+
+    /// Batch prediction with across-tree uncertainty, parallelized over rows.
+    #[must_use]
+    pub fn predict_batch(&self, rows: &[Vec<f64>]) -> Vec<Prediction> {
+        rows.par_iter().map(|r| self.predict_one(r)).collect()
+    }
+
+    /// Batch point predictions.
+    #[must_use]
+    pub fn predict_batch_mean(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        rows.par_iter().map(|r| self.predict(r)).collect()
+    }
+
+    /// Partially updates the forest on an enlarged training set.
+    ///
+    /// Algorithm 1's model step may "construct a random forest from scratch
+    /// or update it partially"; this is the partial option: `n_refit` trees
+    /// (chosen round-robin by update counter embedded in `seed`) are regrown
+    /// on the new data, the rest keep their old structure. Cheaper than a
+    /// full refit by roughly `n_trees / n_refit`, at the cost of part of the
+    /// ensemble lagging the newest observations.
+    ///
+    /// # Panics
+    /// Panics on empty data, mismatched lengths or `n_refit` of zero.
+    pub fn update(
+        &mut self,
+        kinds: &[FeatureKind],
+        x: &[Vec<f64>],
+        y: &[f64],
+        n_refit: usize,
+        seed: u64,
+    ) {
+        assert!(!x.is_empty(), "cannot update on zero rows");
+        assert_eq!(x.len(), y.len(), "feature/target length mismatch");
+        assert!(n_refit > 0, "must refit at least one tree");
+        let n_refit = n_refit.min(self.trees.len());
+        let n = x.len();
+        // Deterministically pick which trees to regrow from the seed.
+        let mut pick_rng = Xoshiro256PlusPlus::new(derive_seed(seed, 0xFEED));
+        let mut order: Vec<usize> = (0..self.trees.len()).collect();
+        for i in 0..n_refit {
+            let j = i + (pick_rng.next() as usize) % (order.len() - i);
+            order.swap(i, j);
+        }
+        let refit: Vec<(usize, (RegressionTree, Vec<u32>))> = order[..n_refit]
+            .par_iter()
+            .map(|&t| {
+                let mut rng = Xoshiro256PlusPlus::new(derive_seed(seed, t as u64));
+                let (rows, oob) = if self.config.bootstrap {
+                    bootstrap_rows(n, &mut rng)
+                } else {
+                    ((0..n as u32).collect(), Vec::new())
+                };
+                let tree = RegressionTree::fit(x, y, rows, kinds, &self.config, &mut rng);
+                (t, (tree, oob))
+            })
+            .collect();
+        for (t, (tree, oob)) in refit {
+            self.trees[t] = tree;
+            self.oob_rows[t] = oob;
+        }
+    }
+
+    /// The trees of the ensemble.
+    #[must_use]
+    pub fn trees(&self) -> &[RegressionTree] {
+        &self.trees
+    }
+
+    /// Per-tree out-of-bag row indices (empty vectors without bootstrap).
+    #[must_use]
+    pub(crate) fn oob_rows(&self) -> &[Vec<u32>] {
+        &self.oob_rows
+    }
+
+    /// The configuration the forest was fitted with.
+    #[must_use]
+    pub fn config(&self) -> &ForestConfig {
+        &self.config
+    }
+
+    /// Number of feature columns.
+    #[must_use]
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+}
+
+/// Draws a bootstrap resample of `0..n` and returns `(in_bag, out_of_bag)`.
+fn bootstrap_rows(n: usize, rng: &mut Xoshiro256PlusPlus) -> (Vec<u32>, Vec<u32>) {
+    let mut in_bag = Vec::with_capacity(n);
+    let mut chosen = vec![false; n];
+    for _ in 0..n {
+        let i = rng.gen_range(0..n);
+        in_bag.push(i as u32);
+        chosen[i] = true;
+    }
+    let oob = (0..n as u32).filter(|&i| !chosen[i as usize]).collect();
+    (in_bag, oob)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_xy() -> (Vec<Vec<f64>>, Vec<f64>) {
+        // y = x0 + 10·x1 on an 8×8 grid.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..8 {
+            for j in 0..8 {
+                x.push(vec![f64::from(i), f64::from(j)]);
+                y.push(f64::from(i) + 10.0 * f64::from(j));
+            }
+        }
+        (x, y)
+    }
+
+    fn kinds2() -> Vec<FeatureKind> {
+        vec![FeatureKind::Numeric; 2]
+    }
+
+    #[test]
+    fn forest_learns_smooth_function() {
+        let (x, y) = grid_xy();
+        let forest = RandomForest::fit(&ForestConfig::default(), &kinds2(), &x, &y, 42);
+        let mut worst: f64 = 0.0;
+        for (xi, &yi) in x.iter().zip(&y) {
+            worst = worst.max((forest.predict(xi) - yi).abs());
+        }
+        // Bootstrap + random subspace leave residual error; the target spans
+        // 0..77, so demand better than ~15% of the range at the worst point.
+        assert!(worst < 12.0, "worst-case training error {worst}");
+    }
+
+    #[test]
+    fn predictions_within_training_range() {
+        let (x, y) = grid_xy();
+        let forest = RandomForest::fit(&ForestConfig::default(), &kinds2(), &x, &y, 1);
+        let (lo, hi) = (0.0, 77.0);
+        for xi in &x {
+            let p = forest.predict(xi);
+            assert!((lo..=hi).contains(&p));
+        }
+        // Extrapolation is clamped to leaf means too.
+        let p = forest.predict(&[100.0, 100.0]);
+        assert!((lo..=hi).contains(&p));
+    }
+
+    #[test]
+    fn uncertainty_is_nonnegative_and_zero_for_constant_targets() {
+        let (x, _) = grid_xy();
+        let y = vec![3.0; x.len()];
+        let forest = RandomForest::fit(&ForestConfig::default(), &kinds2(), &x, &y, 5);
+        for xi in &x {
+            let p = forest.predict_one(xi);
+            assert_eq!(p.mean, 3.0);
+            assert_eq!(p.std, 0.0);
+        }
+    }
+
+    #[test]
+    fn total_variance_at_least_across_tree_variance() {
+        let (x, mut y) = grid_xy();
+        // Add irreducible noise so leaves stay impure under min_leaf 4.
+        let mut rng = Xoshiro256PlusPlus::new(9);
+        for v in &mut y {
+            *v += rng.next_f64();
+        }
+        let cfg = ForestConfig {
+            min_leaf: 4,
+            ..ForestConfig::default()
+        };
+        let forest = RandomForest::fit(&cfg, &kinds2(), &x, &y, 2);
+        for xi in x.iter().take(16) {
+            let a = forest.predict_one(xi);
+            let t = forest.predict_total_variance(xi);
+            assert!((a.mean - t.mean).abs() < 1e-9);
+            assert!(t.std >= a.std - 1e-12, "total {} < across {}", t.std, a.std);
+        }
+    }
+
+    #[test]
+    fn fit_is_deterministic_per_seed_and_parallelism_invariant() {
+        let (x, y) = grid_xy();
+        let f1 = RandomForest::fit(&ForestConfig::default(), &kinds2(), &x, &y, 77);
+        let f2 = RandomForest::fit(&ForestConfig::default(), &kinds2(), &x, &y, 77);
+        let f3 = RandomForest::fit(&ForestConfig::default(), &kinds2(), &x, &y, 78);
+        let probe = [3.5, 2.5];
+        assert_eq!(f1.predict(&probe), f2.predict(&probe));
+        assert_ne!(f1.predict(&probe), f3.predict(&probe));
+    }
+
+    #[test]
+    fn batch_prediction_matches_scalar() {
+        let (x, y) = grid_xy();
+        let forest = RandomForest::fit(&ForestConfig::default(), &kinds2(), &x, &y, 3);
+        let batch = forest.predict_batch(&x);
+        for (xi, p) in x.iter().zip(&batch) {
+            let q = forest.predict_one(xi);
+            assert_eq!(p.mean, q.mean);
+            assert_eq!(p.std, q.std);
+        }
+    }
+
+    #[test]
+    fn bootstrap_oob_partition_is_consistent() {
+        let mut rng = Xoshiro256PlusPlus::new(4);
+        let (in_bag, oob) = bootstrap_rows(100, &mut rng);
+        assert_eq!(in_bag.len(), 100);
+        let bag_set: std::collections::HashSet<u32> = in_bag.iter().copied().collect();
+        for &o in &oob {
+            assert!(!bag_set.contains(&o));
+        }
+        // Expected OOB fraction ≈ 1/e ≈ 0.368.
+        assert!(oob.len() > 15 && oob.len() < 60, "oob size {}", oob.len());
+    }
+
+    #[test]
+    fn partial_update_incorporates_new_data() {
+        let (x, y) = grid_xy();
+        // Fit on the first half only.
+        let half = x.len() / 2;
+        let mut forest = RandomForest::fit(
+            &ForestConfig::default(),
+            &kinds2(),
+            &x[..half],
+            &y[..half],
+            21,
+        );
+        let probe = &x[x.len() - 1];
+        let before = (forest.predict(probe) - y[y.len() - 1]).abs();
+        // Update most of the ensemble on the full set.
+        forest.update(&kinds2(), &x, &y, 48, 22);
+        let after = (forest.predict(probe) - y[y.len() - 1]).abs();
+        assert!(
+            after < before,
+            "update should improve unseen-region error: {before} → {after}"
+        );
+    }
+
+    #[test]
+    fn partial_update_is_deterministic_and_partial() {
+        let (x, y) = grid_xy();
+        let base = RandomForest::fit(&ForestConfig::default(), &kinds2(), &x, &y, 5);
+        let mut a = base.clone();
+        let mut b = base.clone();
+        a.update(&kinds2(), &x, &y, 8, 99);
+        b.update(&kinds2(), &x, &y, 8, 99);
+        let probe = [2.5, 3.5];
+        assert_eq!(a.predict_one(&probe), b.predict_one(&probe));
+        // Only 8 of 64 trees changed: most tree predictions must be
+        // identical to the original ensemble's.
+        let unchanged = base
+            .trees()
+            .iter()
+            .zip(a.trees())
+            .filter(|(t0, t1)| t0.predict(&probe) == t1.predict(&probe))
+            .count();
+        assert!(unchanged >= 56, "only {unchanged} trees unchanged");
+    }
+
+    #[test]
+    fn single_row_training_works() {
+        let forest = RandomForest::fit(
+            &ForestConfig::default(),
+            &kinds2(),
+            &[vec![1.0, 2.0]],
+            &[7.0],
+            0,
+        );
+        assert_eq!(forest.predict(&[0.0, 0.0]), 7.0);
+        assert_eq!(forest.predict_one(&[9.0, 9.0]).std, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_targets_rejected() {
+        let _ = RandomForest::fit(
+            &ForestConfig::default(),
+            &kinds2(),
+            &[vec![0.0, 0.0]],
+            &[f64::NAN],
+            0,
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! Forest hyper-parameters.
+
+/// How many features each node considers for splitting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mtry {
+    /// All features (bagged trees, no random subspace).
+    All,
+    /// `ceil(d / 3)` — the classic default for regression forests.
+    Third,
+    /// `ceil(sqrt(d))`.
+    Sqrt,
+    /// A fixed count (clamped to `d`).
+    Fixed(usize),
+}
+
+impl Mtry {
+    /// Resolves the feature-subset size for dimensionality `d`.
+    ///
+    /// Always returns at least 1 and at most `d`.
+    #[must_use]
+    pub fn resolve(self, d: usize) -> usize {
+        let raw = match self {
+            Mtry::All => d,
+            Mtry::Third => d.div_ceil(3),
+            Mtry::Sqrt => (d as f64).sqrt().ceil() as usize,
+            Mtry::Fixed(k) => k,
+        };
+        raw.clamp(1, d.max(1))
+    }
+}
+
+/// Hyper-parameters of a [`crate::RandomForest`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ForestConfig {
+    /// Number of trees in the ensemble.
+    pub n_trees: usize,
+    /// Feature-subset rule per node.
+    pub mtry: Mtry,
+    /// Minimum number of training rows in a leaf.
+    pub min_leaf: usize,
+    /// Minimum number of rows required to attempt a split.
+    pub min_split: usize,
+    /// Optional depth cap (root is depth 0).
+    pub max_depth: Option<u32>,
+    /// Whether each tree trains on a bootstrap resample (true for a random
+    /// forest; false gives a randomized ensemble on the full set).
+    pub bootstrap: bool,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        Self {
+            n_trees: 64,
+            mtry: Mtry::Third,
+            min_leaf: 1,
+            min_split: 2,
+            max_depth: None,
+            bootstrap: true,
+        }
+    }
+}
+
+impl ForestConfig {
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    /// Panics on zero trees, zero leaf size, or `min_split < 2`.
+    pub fn validate(&self) {
+        assert!(self.n_trees > 0, "forest needs at least one tree");
+        assert!(self.min_leaf > 0, "min_leaf must be at least 1");
+        assert!(self.min_split >= 2, "min_split must be at least 2");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mtry_resolution() {
+        assert_eq!(Mtry::All.resolve(10), 10);
+        assert_eq!(Mtry::Third.resolve(10), 4);
+        assert_eq!(Mtry::Third.resolve(2), 1);
+        assert_eq!(Mtry::Sqrt.resolve(9), 3);
+        assert_eq!(Mtry::Sqrt.resolve(10), 4);
+        assert_eq!(Mtry::Fixed(100).resolve(5), 5);
+        assert_eq!(Mtry::Fixed(0).resolve(5), 1);
+    }
+
+    #[test]
+    fn default_config_is_valid() {
+        ForestConfig::default().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tree")]
+    fn zero_trees_invalid() {
+        ForestConfig {
+            n_trees: 0,
+            ..ForestConfig::default()
+        }
+        .validate();
+    }
+}

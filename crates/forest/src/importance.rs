@@ -1,0 +1,68 @@
+//! Impurity-based feature importances.
+//!
+//! The importance of a feature is the total SSE reduction achieved by every
+//! split on that feature, summed over all trees and normalized to sum to 1.
+//! Used by the examples to explain which tuning parameters dominate a
+//! kernel's performance surface.
+
+use crate::forest::RandomForest;
+
+/// Normalized impurity importances, one entry per feature column.
+///
+/// All entries are in `[0, 1]` and sum to 1, unless the forest contains no
+/// split at all (constant target), in which case all entries are 0.
+#[must_use]
+pub fn feature_importances(forest: &RandomForest) -> Vec<f64> {
+    let mut totals = vec![0.0f64; forest.n_features()];
+    for tree in forest.trees() {
+        for &(feature, gain) in tree.split_gains() {
+            totals[feature as usize] += gain;
+        }
+    }
+    let sum: f64 = totals.iter().sum();
+    if sum > 0.0 {
+        for t in &mut totals {
+            *t /= sum;
+        }
+    }
+    totals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hyper::{ForestConfig, Mtry};
+    use crate::RandomForest;
+    use pwu_space::FeatureKind;
+
+    #[test]
+    fn informative_feature_dominates() {
+        // y depends only on column 1.
+        let x: Vec<Vec<f64>> = (0..128)
+            .map(|i| vec![f64::from(i % 4), f64::from(i / 4), f64::from(i % 3)])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| r[1] * r[1]).collect();
+        let cfg = ForestConfig {
+            mtry: Mtry::All,
+            ..ForestConfig::default()
+        };
+        let forest = RandomForest::fit(&cfg, &[FeatureKind::Numeric; 3], &x, &y, 13);
+        let imp = feature_importances(&forest);
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(imp[1] > 0.95, "importances {imp:?}");
+    }
+
+    #[test]
+    fn constant_target_yields_zero_importances() {
+        let x: Vec<Vec<f64>> = (0..16).map(|i| vec![f64::from(i)]).collect();
+        let y = vec![1.0; 16];
+        let forest = RandomForest::fit(
+            &ForestConfig::default(),
+            &[FeatureKind::Numeric],
+            &x,
+            &y,
+            0,
+        );
+        assert_eq!(feature_importances(&forest), vec![0.0]);
+    }
+}

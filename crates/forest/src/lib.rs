@@ -1,0 +1,37 @@
+//! From-scratch random-forest regression with prediction uncertainty.
+//!
+//! The paper's surrogate model is a Breiman-style random forest: an ensemble
+//! of CART regression trees, each grown on a bootstrap resample of the
+//! training set, choosing the best split among a random feature subset at
+//! every node. Active learning additionally needs an *uncertainty* for every
+//! prediction; two estimators are provided (see [`forest::RandomForest`]):
+//!
+//! - the across-tree standard deviation of the per-tree predictions, the
+//!   estimator referenced by the paper;
+//! - Hutter et al.'s law-of-total-variance estimator, which adds the
+//!   within-leaf variance of each tree (kept for the ablation benches).
+//!
+//! Categorical features are split natively on category *subsets* using the
+//! classic sort-by-mean reduction (optimal for squared error), rather than
+//! being forced through one-hot encodings — this is the "effectiveness on
+//! categorical features" property the paper relies on for *hypre*.
+//!
+//! Modules:
+//! - [`hyper`] — hyper-parameters ([`ForestConfig`], [`Mtry`])
+//! - [`split`] — exact best-split search for numeric and categorical columns
+//! - [`tree`] — a single CART regression tree
+//! - [`forest`] — the bagged ensemble with parallel fit/predict
+//! - [`importance`] — impurity-based feature importances
+//! - [`oob`] — out-of-bag error estimation
+
+pub mod forest;
+pub mod hyper;
+pub mod importance;
+pub mod oob;
+pub mod split;
+pub mod tree;
+
+pub use forest::RandomForest;
+pub use hyper::{ForestConfig, Mtry};
+pub use split::{Split, SplitRule};
+pub use tree::RegressionTree;

@@ -1,0 +1,86 @@
+//! Out-of-bag (OOB) error estimation.
+//!
+//! Every bootstrap resample leaves ≈ 36.8 % of the training rows out of the
+//! bag; predicting each row only with the trees that did not see it yields an
+//! unbiased generalization estimate without a held-out set. Active-learning
+//! callers use this as a cheap convergence signal.
+
+use crate::forest::RandomForest;
+
+/// OOB root-mean-squared error of a fitted forest on its training data.
+///
+/// Returns `None` when no row has any OOB tree (tiny data or `bootstrap`
+/// disabled).
+#[must_use]
+pub fn oob_rmse(forest: &RandomForest, x: &[Vec<f64>], y: &[f64]) -> Option<f64> {
+    assert_eq!(x.len(), y.len(), "feature/target length mismatch");
+    let mut sums = vec![0.0f64; x.len()];
+    let mut counts = vec![0u32; x.len()];
+    for (tree, oob) in forest.trees().iter().zip(forest.oob_rows()) {
+        for &r in oob {
+            let r = r as usize;
+            sums[r] += tree.predict(&x[r]);
+            counts[r] += 1;
+        }
+    }
+    let mut sse = 0.0;
+    let mut n = 0usize;
+    for i in 0..x.len() {
+        if counts[i] > 0 {
+            let pred = sums[i] / f64::from(counts[i]);
+            sse += (pred - y[i]) * (pred - y[i]);
+            n += 1;
+        }
+    }
+    if n == 0 {
+        None
+    } else {
+        Some((sse / n as f64).sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hyper::ForestConfig;
+    use pwu_space::FeatureKind;
+
+    fn data(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let x: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64, (i * 3 % 7) as f64]).collect();
+        let y: Vec<f64> = x.iter().map(|r| r[0] * 2.0 + r[1]).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn oob_rmse_reasonable_on_learnable_function() {
+        let (x, y) = data(200);
+        let forest = RandomForest::fit(
+            &ForestConfig::default(),
+            &[FeatureKind::Numeric, FeatureKind::Numeric],
+            &x,
+            &y,
+            11,
+        );
+        let rmse = oob_rmse(&forest, &x, &y).expect("OOB rows exist");
+        // Target spans 0..~400; a fitted forest should be well under 10% of that.
+        assert!(rmse < 40.0, "OOB RMSE {rmse}");
+        assert!(rmse > 0.0);
+    }
+
+    #[test]
+    fn oob_none_without_bootstrap() {
+        let (x, y) = data(50);
+        let cfg = ForestConfig {
+            bootstrap: false,
+            ..ForestConfig::default()
+        };
+        let forest = RandomForest::fit(
+            &cfg,
+            &[FeatureKind::Numeric, FeatureKind::Numeric],
+            &x,
+            &y,
+            0,
+        );
+        assert!(oob_rmse(&forest, &x, &y).is_none());
+    }
+}

@@ -1,0 +1,391 @@
+//! A single CART regression tree.
+
+use rand::Rng;
+
+use pwu_space::FeatureKind;
+use pwu_stats::Xoshiro256PlusPlus;
+
+use crate::hyper::ForestConfig;
+use crate::split::{best_split_on_feature, Split, SplitScratch, SplitRule};
+
+/// Statistics of a leaf node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LeafStats {
+    /// Mean target of the training rows in the leaf (the prediction).
+    pub mean: f64,
+    /// Population variance of the training rows in the leaf.
+    pub variance: f64,
+    /// Number of training rows in the leaf.
+    pub count: u32,
+}
+
+/// Node storage: a flat arena indexed by `u32`.
+#[derive(Debug, Clone)]
+enum Node {
+    Internal {
+        feature: u32,
+        rule: SplitRule,
+        left: u32,
+        right: u32,
+    },
+    Leaf(LeafStats),
+}
+
+/// A CART regression tree grown with SSE splits.
+#[derive(Debug, Clone)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+    /// (feature, gain) pairs of every accepted split, for importances.
+    split_gains: Vec<(u32, f64)>,
+}
+
+impl RegressionTree {
+    /// Grows a tree on the rows `rows` of `(x, y)`.
+    ///
+    /// `kinds` gives the per-column feature kinds; the random feature subset
+    /// at each node is drawn from `rng`.
+    ///
+    /// # Panics
+    /// Panics if `rows` is empty or any referenced target is non-finite.
+    #[must_use]
+    pub fn fit(
+        x: &[Vec<f64>],
+        y: &[f64],
+        rows: Vec<u32>,
+        kinds: &[FeatureKind],
+        config: &ForestConfig,
+        rng: &mut Xoshiro256PlusPlus,
+    ) -> Self {
+        assert!(!rows.is_empty(), "cannot fit a tree on zero rows");
+        debug_assert!(rows.iter().all(|&r| y[r as usize].is_finite()));
+        let mtry = config.mtry.resolve(kinds.len());
+        let mut tree = Self {
+            nodes: Vec::new(),
+            split_gains: Vec::new(),
+        };
+        let mut scratch = SplitScratch::default();
+        let mut feature_ids: Vec<usize> = (0..kinds.len()).collect();
+        // Explicit work stack of (rows, depth, parent slot).
+        tree.grow(
+            x,
+            y,
+            rows,
+            kinds,
+            config,
+            mtry,
+            rng,
+            &mut scratch,
+            &mut feature_ids,
+            0,
+        );
+        tree
+    }
+
+    /// Recursive growth; returns the arena index of the subtree root.
+    #[allow(clippy::too_many_arguments)]
+    fn grow(
+        &mut self,
+        x: &[Vec<f64>],
+        y: &[f64],
+        rows: Vec<u32>,
+        kinds: &[FeatureKind],
+        config: &ForestConfig,
+        mtry: usize,
+        rng: &mut Xoshiro256PlusPlus,
+        scratch: &mut SplitScratch,
+        feature_ids: &mut [usize],
+        depth: u32,
+    ) -> u32 {
+        let stop = rows.len() < config.min_split
+            || config.max_depth.is_some_and(|d| depth >= d)
+            || constant_targets(y, &rows);
+        let split = if stop {
+            None
+        } else {
+            self.pick_split(x, y, &rows, kinds, mtry, rng, scratch, feature_ids, config)
+        };
+
+        match split {
+            None => {
+                let idx = self.nodes.len() as u32;
+                self.nodes.push(Node::Leaf(leaf_stats(y, &rows)));
+                idx
+            }
+            Some(split) => {
+                let (left_rows, right_rows) = partition(x, &rows, &split);
+                debug_assert!(!left_rows.is_empty() && !right_rows.is_empty());
+                self.split_gains.push((split.feature as u32, split.gain));
+                let idx = self.nodes.len() as u32;
+                // Reserve the slot, then grow children.
+                self.nodes.push(Node::Leaf(LeafStats {
+                    mean: 0.0,
+                    variance: 0.0,
+                    count: 0,
+                }));
+                let left = self.grow(
+                    x, y, left_rows, kinds, config, mtry, rng, scratch, feature_ids, depth + 1,
+                );
+                let right = self.grow(
+                    x, y, right_rows, kinds, config, mtry, rng, scratch, feature_ids, depth + 1,
+                );
+                self.nodes[idx as usize] = Node::Internal {
+                    feature: split.feature as u32,
+                    rule: split.rule,
+                    left,
+                    right,
+                };
+                idx
+            }
+        }
+    }
+
+    /// Chooses the best split among a random `mtry`-subset of features.
+    #[allow(clippy::too_many_arguments)]
+    fn pick_split(
+        &mut self,
+        x: &[Vec<f64>],
+        y: &[f64],
+        rows: &[u32],
+        kinds: &[FeatureKind],
+        mtry: usize,
+        rng: &mut Xoshiro256PlusPlus,
+        scratch: &mut SplitScratch,
+        feature_ids: &mut [usize],
+        config: &ForestConfig,
+    ) -> Option<Split> {
+        // Partial Fisher–Yates: the first `mtry` entries become the subset.
+        let d = feature_ids.len();
+        for i in 0..mtry.min(d) {
+            let j = rng.gen_range(i..d);
+            feature_ids.swap(i, j);
+        }
+        let mut best: Option<Split> = None;
+        for &f in &feature_ids[..mtry.min(d)] {
+            if let Some(s) =
+                best_split_on_feature(x, y, rows, f, kinds[f], config.min_leaf, scratch)
+            {
+                if best.as_ref().is_none_or(|b| s.gain > b.gain) {
+                    best = Some(s);
+                }
+            }
+        }
+        best
+    }
+
+    /// Returns the leaf statistics for a feature row.
+    ///
+    /// # Panics
+    /// Panics if `row` is shorter than the features the tree splits on.
+    #[must_use]
+    pub fn predict_leaf(&self, row: &[f64]) -> LeafStats {
+        let mut idx = 0usize;
+        loop {
+            match &self.nodes[idx] {
+                Node::Leaf(stats) => return *stats,
+                Node::Internal {
+                    feature,
+                    rule,
+                    left,
+                    right,
+                } => {
+                    idx = if rule.goes_left(row[*feature as usize]) {
+                        *left as usize
+                    } else {
+                        *right as usize
+                    };
+                }
+            }
+        }
+    }
+
+    /// Point prediction (leaf mean).
+    #[must_use]
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        self.predict_leaf(row).mean
+    }
+
+    /// Number of nodes in the tree.
+    #[must_use]
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of leaves.
+    #[must_use]
+    pub fn n_leaves(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Leaf(_)))
+            .count()
+    }
+
+    /// `(feature, gain)` pairs of every split, for importance accumulation.
+    #[must_use]
+    pub fn split_gains(&self) -> &[(u32, f64)] {
+        &self.split_gains
+    }
+}
+
+fn constant_targets(y: &[f64], rows: &[u32]) -> bool {
+    let first = y[rows[0] as usize];
+    rows.iter().all(|&r| y[r as usize] == first)
+}
+
+fn leaf_stats(y: &[f64], rows: &[u32]) -> LeafStats {
+    let n = rows.len() as f64;
+    let sum: f64 = rows.iter().map(|&r| y[r as usize]).sum();
+    let mean = sum / n;
+    let var = rows
+        .iter()
+        .map(|&r| {
+            let d = y[r as usize] - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / n;
+    LeafStats {
+        mean,
+        variance: var,
+        count: rows.len() as u32,
+    }
+}
+
+fn partition(x: &[Vec<f64>], rows: &[u32], split: &Split) -> (Vec<u32>, Vec<u32>) {
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    for &r in rows {
+        if split.rule.goes_left(x[r as usize][split.feature]) {
+            left.push(r);
+        } else {
+            right.push(r);
+        }
+    }
+    (left, right)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwu_space::FeatureKind;
+
+    fn fit_simple(x: &[Vec<f64>], y: &[f64], config: &ForestConfig) -> RegressionTree {
+        let kinds = vec![FeatureKind::Numeric; x[0].len()];
+        let rows: Vec<u32> = (0..x.len() as u32).collect();
+        let mut rng = Xoshiro256PlusPlus::new(0);
+        RegressionTree::fit(x, y, rows, &kinds, config, &mut rng)
+    }
+
+    #[test]
+    fn fits_training_data_exactly_with_min_leaf_one() {
+        let x: Vec<Vec<f64>> = (0..16).map(|i| vec![f64::from(i)]).collect();
+        let y: Vec<f64> = (0..16).map(|i| f64::from(i * i)).collect();
+        let cfg = ForestConfig {
+            mtry: crate::hyper::Mtry::All,
+            ..ForestConfig::default()
+        };
+        let tree = fit_simple(&x, &y, &cfg);
+        for (xi, &yi) in x.iter().zip(&y) {
+            assert_eq!(tree.predict(xi), yi);
+        }
+        // Pure leaves have zero variance.
+        for xi in &x {
+            assert_eq!(tree.predict_leaf(xi).variance, 0.0);
+        }
+    }
+
+    #[test]
+    fn constant_targets_give_single_leaf() {
+        let x: Vec<Vec<f64>> = (0..8).map(|i| vec![f64::from(i)]).collect();
+        let y = vec![5.0; 8];
+        let tree = fit_simple(&x, &y, &ForestConfig::default());
+        assert_eq!(tree.n_nodes(), 1);
+        assert_eq!(tree.predict(&[100.0]), 5.0);
+    }
+
+    #[test]
+    fn max_depth_zero_is_a_stump_mean() {
+        let x: Vec<Vec<f64>> = (0..4).map(|i| vec![f64::from(i)]).collect();
+        let y = vec![0.0, 1.0, 2.0, 3.0];
+        let cfg = ForestConfig {
+            max_depth: Some(0),
+            ..ForestConfig::default()
+        };
+        let tree = fit_simple(&x, &y, &cfg);
+        assert_eq!(tree.n_nodes(), 1);
+        assert_eq!(tree.predict(&[0.0]), 1.5);
+        let leaf = tree.predict_leaf(&[0.0]);
+        assert_eq!(leaf.count, 4);
+        assert!((leaf.variance - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_leaf_bounds_leaf_sizes() {
+        let x: Vec<Vec<f64>> = (0..32).map(|i| vec![f64::from(i)]).collect();
+        let y: Vec<f64> = (0..32).map(|i| f64::from(i % 7)).collect();
+        let cfg = ForestConfig {
+            min_leaf: 5,
+            mtry: crate::hyper::Mtry::All,
+            ..ForestConfig::default()
+        };
+        let tree = fit_simple(&x, &y, &cfg);
+        for xi in &x {
+            assert!(tree.predict_leaf(xi).count >= 5);
+        }
+    }
+
+    #[test]
+    fn splits_on_categorical_feature() {
+        // Column 0 categorical with 3 levels; level 1 has high y.
+        let x: Vec<Vec<f64>> = [0.0, 1.0, 2.0, 0.0, 1.0, 2.0, 0.0, 1.0]
+            .iter()
+            .map(|&c| vec![c])
+            .collect();
+        let y = [1.0, 9.0, 1.2, 0.9, 9.1, 1.1, 1.05, 8.9];
+        let kinds = vec![FeatureKind::Categorical { n_categories: 3 }];
+        let rows: Vec<u32> = (0..8).collect();
+        let mut rng = Xoshiro256PlusPlus::new(1);
+        let tree = RegressionTree::fit(&x, &y, rows, &kinds, &ForestConfig::default(), &mut rng);
+        // Category 1 rows predict ~9, others ~1.
+        assert!(tree.predict(&[1.0]) > 8.0);
+        assert!(tree.predict(&[0.0]) < 2.0);
+        assert!(tree.predict(&[2.0]) < 2.0);
+    }
+
+    #[test]
+    fn split_gains_are_positive_and_recorded() {
+        let x: Vec<Vec<f64>> = (0..16).map(|i| vec![f64::from(i), 0.0]).collect();
+        let y: Vec<f64> = (0..16).map(|i| if i < 8 { 0.0 } else { 1.0 }).collect();
+        let cfg = ForestConfig {
+            mtry: crate::hyper::Mtry::All,
+            ..ForestConfig::default()
+        };
+        let tree = fit_simple(&x, &y, &cfg);
+        assert!(!tree.split_gains().is_empty());
+        assert!(tree.split_gains().iter().all(|&(_, g)| g > 0.0));
+        // The informative feature is column 0.
+        assert!(tree.split_gains().iter().all(|&(f, _)| f == 0));
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let x: Vec<Vec<f64>> = (0..64)
+            .map(|i| vec![f64::from(i % 8), f64::from(i / 8)])
+            .collect();
+        let y: Vec<f64> = (0..64).map(|i| f64::from(i % 5)).collect();
+        let kinds = vec![FeatureKind::Numeric; 2];
+        let rows: Vec<u32> = (0..64).collect();
+        let cfg = ForestConfig::default();
+        let t1 = RegressionTree::fit(
+            &x,
+            &y,
+            rows.clone(),
+            &kinds,
+            &cfg,
+            &mut Xoshiro256PlusPlus::new(7),
+        );
+        let t2 = RegressionTree::fit(&x, &y, rows, &kinds, &cfg, &mut Xoshiro256PlusPlus::new(7));
+        for xi in &x {
+            assert_eq!(t1.predict(xi), t2.predict(xi));
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Verifies the Fisher sort-by-mean categorical split against brute force.
+//!
+//! The categorical split in `pwu-forest` sorts the categories present in a
+//! node by their mean target and scans only that ordering. Fisher (1958)
+//! proved the SSE-optimal binary partition is contiguous in that ordering;
+//! this test checks the implementation against an exhaustive enumeration of
+//! all 2^(k−1) partitions on small random problems.
+
+use proptest::prelude::*;
+use pwu_forest::split::{best_split_on_feature, SplitRule, SplitScratch};
+use pwu_space::FeatureKind;
+
+/// SSE reduction of a given category partition (mask = left side).
+fn gain_of_mask(x: &[Vec<f64>], y: &[f64], mask: u64) -> Option<f64> {
+    let (mut nl, mut nr) = (0.0f64, 0.0f64);
+    let (mut sl, mut sr) = (0.0f64, 0.0f64);
+    for (xi, &yi) in x.iter().zip(y) {
+        let c = xi[0] as u64;
+        if mask & (1 << c) != 0 {
+            nl += 1.0;
+            sl += yi;
+        } else {
+            nr += 1.0;
+            sr += yi;
+        }
+    }
+    if nl == 0.0 || nr == 0.0 {
+        return None;
+    }
+    let total: f64 = y.iter().sum();
+    let n = y.len() as f64;
+    Some(sl * sl / nl + sr * sr / nr - total * total / n)
+}
+
+/// Best gain over every possible binary partition of the categories.
+fn brute_force_best(x: &[Vec<f64>], y: &[f64], n_categories: usize) -> Option<f64> {
+    let mut best: Option<f64> = None;
+    for mask in 1..(1u64 << n_categories) - 1 {
+        if let Some(g) = gain_of_mask(x, y, mask) {
+            if best.is_none_or(|b| g > b) {
+                best = Some(g);
+            }
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fisher_split_matches_brute_force(
+        n_categories in 2usize..7,
+        assignments in prop::collection::vec(0usize..7, 4..40),
+        targets in prop::collection::vec(-100.0f64..100.0, 4..40),
+    ) {
+        let n = assignments.len().min(targets.len());
+        let x: Vec<Vec<f64>> = assignments[..n]
+            .iter()
+            .map(|&a| vec![(a % n_categories) as f64])
+            .collect();
+        let y = &targets[..n];
+        let rows: Vec<u32> = (0..n as u32).collect();
+        let mut scratch = SplitScratch::default();
+        let split = best_split_on_feature(
+            &x,
+            y,
+            &rows,
+            0,
+            FeatureKind::Categorical { n_categories },
+            1,
+            &mut scratch,
+        );
+        let brute = brute_force_best(&x, y, n_categories);
+        match (split, brute) {
+            (Some(s), Some(b)) => {
+                prop_assert!(
+                    (s.gain - b).abs() <= 1e-6 * (1.0 + b.abs()),
+                    "Fisher gain {} vs brute-force {}",
+                    s.gain,
+                    b
+                );
+                // The returned rule must achieve the gain it reports.
+                if let SplitRule::Categories(mask) = s.rule {
+                    let achieved = gain_of_mask(&x, y, mask).expect("valid partition");
+                    prop_assert!((achieved - s.gain).abs() <= 1e-9 * (1.0 + achieved.abs()));
+                } else {
+                    prop_assert!(false, "expected a categorical rule");
+                }
+            }
+            (None, Some(b)) => {
+                // Only acceptable when the best brute-force gain is ~zero
+                // (constant targets).
+                prop_assert!(b <= 1e-9, "split missed a gain of {b}");
+            }
+            (Some(s), None) => {
+                prop_assert!(false, "split {s:?} found but no valid partition exists");
+            }
+            (None, None) => {}
+        }
+    }
+}

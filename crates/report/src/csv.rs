@@ -1,0 +1,68 @@
+//! Minimal CSV emission.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Writes rows of string-like cells as an RFC-4180-ish CSV file, creating
+/// parent directories as needed.
+///
+/// Cells containing commas, quotes or newlines are quoted and escaped.
+///
+/// # Errors
+/// Propagates filesystem errors.
+pub fn write_csv<P, R, C>(path: P, header: &[&str], rows: R) -> io::Result<()>
+where
+    P: AsRef<Path>,
+    R: IntoIterator<Item = Vec<C>>,
+    C: AsRef<str>,
+{
+    if let Some(parent) = path.as_ref().parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let mut out = io::BufWriter::new(fs::File::create(path)?);
+    writeln!(out, "{}", header.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","))?;
+    for row in rows {
+        let line = row
+            .iter()
+            .map(|c| escape(c.as_ref()))
+            .collect::<Vec<_>>()
+            .join(",");
+        writeln!(out, "{line}")?;
+    }
+    out.flush()
+}
+
+fn escape(cell: &str) -> String {
+    if cell.contains([',', '"', '\n']) {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_and_escapes() {
+        let dir = std::env::temp_dir().join("pwu_report_csv_test");
+        let path = dir.join("t.csv");
+        write_csv(
+            &path,
+            &["a", "b"],
+            vec![
+                vec!["1".to_string(), "plain".to_string()],
+                vec!["2".to_string(), "with,comma \"q\"".to_string()],
+            ],
+        )
+        .expect("write succeeds");
+        let content = std::fs::read_to_string(&path).expect("read back");
+        let lines: Vec<&str> = content.lines().collect();
+        assert_eq!(lines[0], "a,b");
+        assert_eq!(lines[1], "1,plain");
+        assert_eq!(lines[2], "2,\"with,comma \"\"q\"\"\"");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,14 @@
+//! Result emission for the benchmark harness.
+//!
+//! Pure-std utilities (no dependencies): aligned text tables, CSV files and
+//! terminal line/scatter plots. The fig binaries in `pwu-bench` print every
+//! reproduced table/figure through this crate and mirror the series to CSV
+//! under `target/paper/` for external plotting.
+
+pub mod csv;
+pub mod plot;
+pub mod table;
+
+pub use csv::write_csv;
+pub use plot::{LinePlot, ScatterPlot};
+pub use table::Table;

@@ -1,0 +1,269 @@
+//! Terminal plots: multi-series line charts and two-panel scatters.
+
+use std::fmt::Write as _;
+
+/// Glyphs assigned to series in order.
+const GLYPHS: [char; 8] = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
+
+/// A multi-series line chart rendered with ASCII characters.
+#[derive(Debug, Clone)]
+pub struct LinePlot {
+    title: String,
+    x_label: String,
+    y_label: String,
+    width: usize,
+    height: usize,
+    log_y: bool,
+    series: Vec<(String, Vec<(f64, f64)>)>,
+}
+
+impl LinePlot {
+    /// Creates an empty chart.
+    #[must_use]
+    pub fn new(title: impl Into<String>, x_label: impl Into<String>, y_label: impl Into<String>) -> Self {
+        Self {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            width: 72,
+            height: 20,
+            log_y: false,
+            series: Vec::new(),
+        }
+    }
+
+    /// Plots the y axis on a log₁₀ scale (non-positive points are dropped).
+    #[must_use]
+    pub fn log_y(mut self) -> Self {
+        self.log_y = true;
+        self
+    }
+
+    /// Adds a named series of `(x, y)` points.
+    pub fn series(&mut self, name: impl Into<String>, points: &[(f64, f64)]) -> &mut Self {
+        self.series.push((name.into(), points.to_vec()));
+        self
+    }
+
+    /// Renders the chart.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut pts: Vec<(usize, f64, f64)> = Vec::new(); // (series, x, y)
+        for (si, (_, s)) in self.series.iter().enumerate() {
+            for &(x, y) in s {
+                let y = if self.log_y {
+                    if y <= 0.0 {
+                        continue;
+                    }
+                    y.log10()
+                } else {
+                    y
+                };
+                if x.is_finite() && y.is_finite() {
+                    pts.push((si, x, y));
+                }
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.title);
+        if pts.is_empty() {
+            out.push_str("(no data)\n");
+            return out;
+        }
+        let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(_, x, y) in &pts {
+            x0 = x0.min(x);
+            x1 = x1.max(x);
+            y0 = y0.min(y);
+            y1 = y1.max(y);
+        }
+        if (x1 - x0).abs() < 1e-30 {
+            x1 = x0 + 1.0;
+        }
+        if (y1 - y0).abs() < 1e-30 {
+            y1 = y0 + 1.0;
+        }
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for &(si, x, y) in &pts {
+            let cx = ((x - x0) / (x1 - x0) * (self.width - 1) as f64).round() as usize;
+            let cy = ((y - y0) / (y1 - y0) * (self.height - 1) as f64).round() as usize;
+            let row = self.height - 1 - cy;
+            let cell = &mut grid[row][cx];
+            // First-writer wins; overlaps show the earlier series.
+            if *cell == ' ' {
+                *cell = GLYPHS[si % GLYPHS.len()];
+            }
+        }
+        let fmt_y = |v: f64| {
+            if self.log_y {
+                format!("{:9.3e}", 10f64.powf(v))
+            } else {
+                format!("{v:9.3}")
+            }
+        };
+        for (r, row) in grid.iter().enumerate() {
+            let label = if r == 0 {
+                fmt_y(y1)
+            } else if r == self.height - 1 {
+                fmt_y(y0)
+            } else {
+                " ".repeat(9)
+            };
+            let _ = writeln!(out, "{label} |{}", row.iter().collect::<String>());
+        }
+        let _ = writeln!(
+            out,
+            "{} +{}",
+            " ".repeat(9),
+            "-".repeat(self.width)
+        );
+        let _ = writeln!(
+            out,
+            "{} {:<.1$}  →  {2} = {3:.3} .. {4:.3}",
+            " ".repeat(9),
+            self.width,
+            self.x_label,
+            x0,
+            x1
+        );
+        let _ = writeln!(out, "{} y: {}", " ".repeat(9), self.y_label);
+        let legend: Vec<String> = self
+            .series
+            .iter()
+            .enumerate()
+            .map(|(i, (n, _))| format!("{} {}", GLYPHS[i % GLYPHS.len()], n))
+            .collect();
+        let _ = writeln!(out, "{} legend: {}", " ".repeat(9), legend.join("   "));
+        out
+    }
+}
+
+/// A scatter plot (used for the Fig 9 μ/σ distributions).
+#[derive(Debug, Clone)]
+pub struct ScatterPlot {
+    title: String,
+    width: usize,
+    height: usize,
+    background: Vec<(f64, f64)>,
+    highlighted: Vec<(f64, f64)>,
+}
+
+impl ScatterPlot {
+    /// Creates a scatter with a background cloud and a highlighted subset.
+    #[must_use]
+    pub fn new(title: impl Into<String>) -> Self {
+        Self {
+            title: title.into(),
+            width: 64,
+            height: 18,
+            background: Vec::new(),
+            highlighted: Vec::new(),
+        }
+    }
+
+    /// Sets the background points (drawn as `·`).
+    pub fn background(&mut self, pts: &[(f64, f64)]) -> &mut Self {
+        self.background = pts.to_vec();
+        self
+    }
+
+    /// Sets the highlighted points (drawn as `x`, on top).
+    pub fn highlighted(&mut self, pts: &[(f64, f64)]) -> &mut Self {
+        self.highlighted = pts.to_vec();
+        self
+    }
+
+    /// Renders the scatter.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.title);
+        let all: Vec<&(f64, f64)> = self.background.iter().chain(&self.highlighted).collect();
+        if all.is_empty() {
+            out.push_str("(no data)\n");
+            return out;
+        }
+        let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &&(x, y) in &all {
+            if x.is_finite() && y.is_finite() {
+                x0 = x0.min(x);
+                x1 = x1.max(x);
+                y0 = y0.min(y);
+                y1 = y1.max(y);
+            }
+        }
+        if (x1 - x0).abs() < 1e-30 {
+            x1 = x0 + 1.0;
+        }
+        if (y1 - y0).abs() < 1e-30 {
+            y1 = y0 + 1.0;
+        }
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        let put = |pts: &[(f64, f64)], glyph: char, grid: &mut Vec<Vec<char>>| {
+            for &(x, y) in pts {
+                if !x.is_finite() || !y.is_finite() {
+                    continue;
+                }
+                let cx = ((x - x0) / (x1 - x0) * (self.width - 1) as f64).round() as usize;
+                let cy = ((y - y0) / (y1 - y0) * (self.height - 1) as f64).round() as usize;
+                grid[self.height - 1 - cy][cx] = glyph;
+            }
+        };
+        put(&self.background, '.', &mut grid);
+        put(&self.highlighted, 'x', &mut grid);
+        for row in &grid {
+            let _ = writeln!(out, "  |{}", row.iter().collect::<String>());
+        }
+        let _ = writeln!(out, "  +{}", "-".repeat(self.width));
+        let _ = writeln!(
+            out,
+            "  x: predicted time {x0:.3e}..{x1:.3e}   y: uncertainty {y0:.3e}..{y1:.3e}"
+        );
+        let _ = writeln!(out, "  .=pool  x=selected");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_plot_renders_series_and_legend() {
+        let mut p = LinePlot::new("t", "n", "rmse");
+        p.series("PWU", &[(0.0, 1.0), (1.0, 0.5), (2.0, 0.2)]);
+        p.series("PBUS", &[(0.0, 1.0), (1.0, 0.8), (2.0, 0.6)]);
+        let s = p.render();
+        assert!(s.contains("legend: * PWU   o PBUS"));
+        assert!(s.contains('*'));
+        assert!(s.contains('o'));
+    }
+
+    #[test]
+    fn log_scale_drops_nonpositive() {
+        let mut p = LinePlot::new("t", "n", "rmse").log_y();
+        p.series("s", &[(0.0, 0.0), (1.0, 10.0), (2.0, 100.0)]);
+        let s = p.render();
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    fn empty_plot_is_graceful() {
+        let p = LinePlot::new("t", "x", "y");
+        assert!(p.render().contains("(no data)"));
+        let sc = ScatterPlot::new("s");
+        assert!(sc.render().contains("(no data)"));
+    }
+
+    #[test]
+    fn scatter_marks_background_and_selection() {
+        let mut sc = ScatterPlot::new("fig9");
+        sc.background(&[(0.0, 0.0), (1.0, 1.0), (0.5, 0.2)]);
+        sc.highlighted(&[(1.0, 1.0)]);
+        let s = sc.render();
+        assert!(s.contains('.'));
+        assert!(s.contains('x'));
+    }
+}

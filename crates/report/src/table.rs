@@ -1,0 +1,147 @@
+//! Aligned text tables.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned table builder.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    /// Panics if the cell count differs from the header count.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row has {} cells for {} columns",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as GitHub-flavoured markdown.
+    #[must_use]
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        let line = |cells: &[String]| {
+            let mut s = String::from("|");
+            for c in cells {
+                let _ = write!(s, " {} |", c.replace('|', "\\|"));
+            }
+            s.push('\n');
+            s
+        };
+        out.push_str(&line(&self.headers));
+        out.push('|');
+        for _ in &self.headers {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row));
+        }
+        out
+    }
+
+    /// Renders the table with a separator line under the header.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let n = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let emit = |cells: &[String], out: &mut String| {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                let _ = write!(out, "{cell:<w$}");
+                if i + 1 < n {
+                    out.push_str("  ");
+                }
+            }
+            out.push('\n');
+        };
+        emit(&self.headers, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (n - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            emit(row, &mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(["name", "value"]);
+        t.row(["alpha", "1"]).row(["b", "12345"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // "value" column starts at the same offset everywhere.
+        let col = lines[0].find("value").unwrap();
+        assert_eq!(&lines[2][col..col + 1], "1");
+    }
+
+    #[test]
+    #[should_panic(expected = "cells")]
+    fn wrong_arity_rejected() {
+        Table::new(["a", "b"]).row(["only one"]);
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = Table::new(["x"]);
+        assert!(t.is_empty());
+        assert_eq!(t.render().lines().count(), 2);
+    }
+
+    #[test]
+    fn markdown_rendering_escapes_pipes() {
+        let mut t = Table::new(["k", "v"]);
+        t.row(["a|b", "1"]);
+        let md = t.render_markdown();
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines[0], "| k | v |");
+        assert_eq!(lines[1], "|---|---|");
+        assert_eq!(lines[2], "| a\\|b | 1 |");
+    }
+}

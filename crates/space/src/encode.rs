@@ -1,0 +1,163 @@
+//! Feature encoding of configurations for the learner.
+//!
+//! Each parameter becomes exactly one feature column:
+//!
+//! - ordinal parameters contribute their *numeric value* (a tile size of 128
+//!   is meaningfully four times 32, and regression trees exploit the order);
+//! - boolean parameters contribute 0.0 / 1.0;
+//! - categorical parameters contribute their *category code* stored in an
+//!   `f64`, and the schema marks the column as categorical so the forest
+//!   performs subset splits instead of threshold splits.
+
+use crate::config::Configuration;
+use crate::param::Domain;
+use crate::space::ParamSpace;
+
+/// Kind of one encoded feature column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeatureKind {
+    /// Ordered numeric column; trees split with `x <= threshold`.
+    Numeric,
+    /// Unordered column with the given number of categories; trees split
+    /// with `x ∈ S` for a category subset `S`.
+    Categorical {
+        /// Number of distinct categories in the column.
+        n_categories: usize,
+    },
+}
+
+/// Column schema of the encoded feature matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureSchema {
+    names: Vec<String>,
+    kinds: Vec<FeatureKind>,
+}
+
+impl FeatureSchema {
+    /// Builds the schema for a space (one column per parameter).
+    #[must_use]
+    pub fn for_space(space: &ParamSpace) -> Self {
+        let mut names = Vec::with_capacity(space.dim());
+        let mut kinds = Vec::with_capacity(space.dim());
+        for p in space.params() {
+            names.push(p.name().to_string());
+            kinds.push(match p.domain() {
+                Domain::Ordinal(_) | Domain::Bool => FeatureKind::Numeric,
+                Domain::Categorical(cs) => FeatureKind::Categorical {
+                    n_categories: cs.len(),
+                },
+            });
+        }
+        Self { names, kinds }
+    }
+
+    /// Number of feature columns.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Column names.
+    #[must_use]
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Column kinds.
+    #[must_use]
+    pub fn kinds(&self) -> &[FeatureKind] {
+        &self.kinds
+    }
+
+    /// Encodes one configuration into a feature row.
+    ///
+    /// # Panics
+    /// Panics if the configuration does not match the space the schema was
+    /// built from (wrong dimensionality).
+    #[must_use]
+    pub fn encode(&self, space: &ParamSpace, cfg: &Configuration) -> Vec<f64> {
+        space.validate(cfg);
+        assert_eq!(
+            space.dim(),
+            self.dim(),
+            "schema dimensionality does not match space"
+        );
+        space
+            .params()
+            .iter()
+            .zip(cfg.levels())
+            .map(|(p, &l)| match p.domain() {
+                Domain::Ordinal(vs) => vs[l as usize],
+                Domain::Bool => f64::from(l),
+                Domain::Categorical(_) => f64::from(l),
+            })
+            .collect()
+    }
+
+    /// Encodes many configurations into a row-major feature matrix.
+    #[must_use]
+    pub fn encode_all(&self, space: &ParamSpace, cfgs: &[Configuration]) -> Vec<Vec<f64>> {
+        cfgs.iter().map(|c| self.encode(space, c)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::Param;
+
+    fn space() -> ParamSpace {
+        ParamSpace::new(
+            "s",
+            vec![
+                Param::ordinal("tile", vec![1.0, 16.0, 32.0]),
+                Param::boolean("vector"),
+                Param::categorical("layout", ["DGZ", "DZG", "GDZ"]),
+            ],
+        )
+    }
+
+    #[test]
+    fn schema_kinds() {
+        let s = space();
+        let schema = FeatureSchema::for_space(&s);
+        assert_eq!(schema.dim(), 3);
+        assert_eq!(schema.kinds()[0], FeatureKind::Numeric);
+        assert_eq!(schema.kinds()[1], FeatureKind::Numeric);
+        assert_eq!(
+            schema.kinds()[2],
+            FeatureKind::Categorical { n_categories: 3 }
+        );
+        assert_eq!(schema.names()[2], "layout");
+    }
+
+    #[test]
+    fn encode_uses_values_not_levels_for_ordinals() {
+        let s = space();
+        let schema = FeatureSchema::for_space(&s);
+        let row = schema.encode(&s, &Configuration::new(vec![2, 1, 0]));
+        assert_eq!(row, vec![32.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn encode_is_injective_on_tiny_space() {
+        let s = space();
+        let schema = FeatureSchema::for_space(&s);
+        let rows: Vec<Vec<f64>> = s.enumerate().map(|c| schema.encode(&s, &c)).collect();
+        for (i, a) in rows.iter().enumerate() {
+            for b in &rows[..i] {
+                assert_ne!(a, b, "two configurations encoded identically");
+            }
+        }
+    }
+
+    #[test]
+    fn encode_all_shape() {
+        let s = space();
+        let schema = FeatureSchema::for_space(&s);
+        let cfgs: Vec<Configuration> = s.enumerate().collect();
+        let m = schema.encode_all(&s, &cfgs);
+        assert_eq!(m.len(), cfgs.len());
+        assert!(m.iter().all(|r| r.len() == 3));
+    }
+}

@@ -1,0 +1,29 @@
+//! Parameter spaces for empirical performance modeling.
+//!
+//! A *parameter space* is the cartesian product of a handful of tunable
+//! parameters — tile sizes, unroll factors, solver ids, process counts —
+//! each with a small finite domain. SPAPT-style spaces have between 8 and 38
+//! parameters and 10¹⁰…10³⁰ points, so the space is never enumerated; the
+//! paper's protocol draws a 10 000-point uniform surrogate sample instead
+//! (pool + test set), which [`ParamSpace::sample_distinct`] provides.
+//!
+//! Modules:
+//! - [`param`] — parameter definitions ([`Param`], [`Domain`]) and values
+//! - [`config`] — a [`Configuration`] (one point of the space) as level indices
+//! - [`space`] — [`ParamSpace`]: cardinality, indexing, uniform sampling
+//! - [`encode`] — feature encoding of configurations for learning
+//! - [`pool`] — labeled/unlabeled sample pools used by active learning
+
+pub mod config;
+pub mod encode;
+pub mod param;
+pub mod pool;
+pub mod space;
+pub mod target;
+
+pub use config::Configuration;
+pub use encode::{FeatureKind, FeatureSchema};
+pub use param::{Domain, Param, Value};
+pub use pool::{LabeledSet, Pool};
+pub use space::ParamSpace;
+pub use target::TuningTarget;

@@ -1,0 +1,214 @@
+//! Parameter definitions.
+
+use std::fmt;
+
+/// The domain of one tunable parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Domain {
+    /// Ordered numeric levels, e.g. tile sizes `[1, 16, 32, 64, 128]`.
+    ///
+    /// The values carry magnitude information, so they are encoded as a
+    /// numeric feature.
+    Ordinal(Vec<f64>),
+    /// Unordered categories, e.g. kripke's `layout ∈ {DGZ, DZG, ...}`.
+    ///
+    /// Encoded as a categorical feature; the forest splits on category
+    /// subsets, not on an artificial ordering.
+    Categorical(Vec<String>),
+    /// A boolean switch, e.g. SPAPT's `scalarreplace`.
+    Bool,
+}
+
+impl Domain {
+    /// Number of levels in the domain.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            Domain::Ordinal(vs) => vs.len(),
+            Domain::Categorical(cs) => cs.len(),
+            Domain::Bool => 2,
+        }
+    }
+
+    /// True when the domain has no levels (invalid for spaces).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The value at a given level index.
+    ///
+    /// # Panics
+    /// Panics if `level` is out of range.
+    #[must_use]
+    pub fn value(&self, level: u32) -> Value {
+        let level = level as usize;
+        match self {
+            Domain::Ordinal(vs) => Value::Number(vs[level]),
+            Domain::Categorical(cs) => Value::Category(level, cs[level].clone()),
+            Domain::Bool => {
+                assert!(level < 2, "bool level {level} out of range");
+                Value::Flag(level == 1)
+            }
+        }
+    }
+}
+
+/// A concrete value taken by a parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Numeric level of an ordinal parameter.
+    Number(f64),
+    /// Category index and label of a categorical parameter.
+    Category(usize, String),
+    /// Boolean switch state.
+    Flag(bool),
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Number(x) => {
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    write!(f, "{}", *x as i64)
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Value::Category(_, label) => write!(f, "{label}"),
+            Value::Flag(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+/// One named tunable parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    name: String,
+    domain: Domain,
+}
+
+impl Param {
+    /// Creates a parameter.
+    ///
+    /// # Panics
+    /// Panics if the domain is empty or, for ordinal domains, contains
+    /// non-finite or duplicate values.
+    #[must_use]
+    pub fn new(name: impl Into<String>, domain: Domain) -> Self {
+        let name = name.into();
+        assert!(!domain.is_empty(), "parameter {name} has an empty domain");
+        if let Domain::Ordinal(vs) = &domain {
+            assert!(
+                vs.iter().all(|v| v.is_finite()),
+                "parameter {name} has non-finite ordinal values"
+            );
+            for (i, v) in vs.iter().enumerate() {
+                assert!(
+                    !vs[..i].contains(v),
+                    "parameter {name} has duplicate ordinal value {v}"
+                );
+            }
+        }
+        if let Domain::Categorical(cs) = &domain {
+            for (i, c) in cs.iter().enumerate() {
+                assert!(
+                    !cs[..i].contains(c),
+                    "parameter {name} has duplicate category {c}"
+                );
+            }
+        }
+        Self { name, domain }
+    }
+
+    /// Convenience constructor for an ordinal parameter.
+    #[must_use]
+    pub fn ordinal(name: impl Into<String>, values: impl Into<Vec<f64>>) -> Self {
+        Self::new(name, Domain::Ordinal(values.into()))
+    }
+
+    /// Convenience constructor for a categorical parameter.
+    #[must_use]
+    pub fn categorical<S: Into<String>>(
+        name: impl Into<String>,
+        labels: impl IntoIterator<Item = S>,
+    ) -> Self {
+        Self::new(
+            name,
+            Domain::Categorical(labels.into_iter().map(Into::into).collect()),
+        )
+    }
+
+    /// Convenience constructor for a boolean parameter.
+    #[must_use]
+    pub fn boolean(name: impl Into<String>) -> Self {
+        Self::new(name, Domain::Bool)
+    }
+
+    /// Parameter name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Parameter domain.
+    #[must_use]
+    pub fn domain(&self) -> &Domain {
+        &self.domain
+    }
+
+    /// Number of levels.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.domain.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_matches_domain() {
+        assert_eq!(Param::ordinal("t", vec![1.0, 2.0, 4.0]).arity(), 3);
+        assert_eq!(Param::categorical("c", ["a", "b"]).arity(), 2);
+        assert_eq!(Param::boolean("v").arity(), 2);
+    }
+
+    #[test]
+    fn values_decode_levels() {
+        let p = Param::ordinal("t", vec![1.0, 16.0]);
+        assert_eq!(p.domain().value(1), Value::Number(16.0));
+        let c = Param::categorical("l", ["DGZ", "DZG"]);
+        assert_eq!(c.domain().value(0), Value::Category(0, "DGZ".into()));
+        let b = Param::boolean("v");
+        assert_eq!(b.domain().value(1), Value::Flag(true));
+        assert_eq!(b.domain().value(0), Value::Flag(false));
+    }
+
+    #[test]
+    fn display_formats_values() {
+        assert_eq!(Value::Number(16.0).to_string(), "16");
+        assert_eq!(Value::Number(1.5).to_string(), "1.5");
+        assert_eq!(Value::Category(0, "pmis".into()).to_string(), "pmis");
+        assert_eq!(Value::Flag(true).to_string(), "true");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty domain")]
+    fn empty_domain_rejected() {
+        let _ = Param::ordinal("t", vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_ordinal_rejected() {
+        let _ = Param::ordinal("t", vec![1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_category_rejected() {
+        let _ = Param::categorical("c", ["x", "x"]);
+    }
+}

@@ -1,0 +1,321 @@
+//! The cartesian parameter space.
+
+use std::collections::HashSet;
+
+use rand::Rng;
+
+use crate::config::Configuration;
+use crate::param::{Param, Value};
+
+use pwu_stats::Xoshiro256PlusPlus;
+
+/// Cartesian product of named parameters.
+///
+/// ```
+/// use pwu_space::{Param, ParamSpace};
+/// use pwu_stats::Xoshiro256PlusPlus;
+///
+/// let space = ParamSpace::new(
+///     "demo",
+///     vec![
+///         Param::ordinal("tile", vec![1.0, 16.0, 32.0]),
+///         Param::boolean("vectorize"),
+///         Param::categorical("layout", ["DGZ", "GZD"]),
+///     ],
+/// );
+/// assert_eq!(space.cardinality(), 3 * 2 * 2);
+/// let mut rng = Xoshiro256PlusPlus::new(7);
+/// let sample = space.sample_distinct(5, &mut rng);
+/// assert_eq!(sample.len(), 5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamSpace {
+    name: String,
+    params: Vec<Param>,
+}
+
+impl ParamSpace {
+    /// Creates a space from a list of parameters.
+    ///
+    /// # Panics
+    /// Panics if `params` is empty or contains duplicate names.
+    #[must_use]
+    pub fn new(name: impl Into<String>, params: Vec<Param>) -> Self {
+        let name = name.into();
+        assert!(!params.is_empty(), "space {name} has no parameters");
+        for (i, p) in params.iter().enumerate() {
+            assert!(
+                !params[..i].iter().any(|q| q.name() == p.name()),
+                "space {name} has duplicate parameter {}",
+                p.name()
+            );
+        }
+        Self { name, params }
+    }
+
+    /// Space name (benchmark name).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The parameters, in declaration order.
+    #[must_use]
+    pub fn params(&self) -> &[Param] {
+        &self.params
+    }
+
+    /// Number of parameters (the feature dimensionality before encoding).
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Total number of configurations in the space.
+    ///
+    /// Saturates at `u128::MAX` (SPAPT spaces reach 10³⁰, which still fits).
+    #[must_use]
+    pub fn cardinality(&self) -> u128 {
+        self.params
+            .iter()
+            .fold(1u128, |acc, p| acc.saturating_mul(p.arity() as u128))
+    }
+
+    /// Decodes a flat index in `[0, cardinality)` into a configuration
+    /// (mixed-radix little-endian: the first parameter varies fastest).
+    ///
+    /// # Panics
+    /// Panics if `index >= cardinality()`.
+    #[must_use]
+    pub fn decode_index(&self, mut index: u128) -> Configuration {
+        assert!(
+            index < self.cardinality(),
+            "index {index} out of range for space of {} points",
+            self.cardinality()
+        );
+        let mut levels = Vec::with_capacity(self.params.len());
+        for p in &self.params {
+            let arity = p.arity() as u128;
+            levels.push((index % arity) as u32);
+            index /= arity;
+        }
+        Configuration::new(levels)
+    }
+
+    /// Encodes a configuration back to its flat index.
+    ///
+    /// # Panics
+    /// Panics if the configuration does not belong to this space.
+    #[must_use]
+    pub fn encode_index(&self, cfg: &Configuration) -> u128 {
+        self.validate(cfg);
+        let mut index = 0u128;
+        let mut stride = 1u128;
+        for (p, &l) in self.params.iter().zip(cfg.levels()) {
+            index += l as u128 * stride;
+            stride *= p.arity() as u128;
+        }
+        index
+    }
+
+    /// Asserts that `cfg` has the right shape for this space.
+    ///
+    /// # Panics
+    /// Panics on dimensionality or level-range mismatch.
+    pub fn validate(&self, cfg: &Configuration) {
+        assert_eq!(
+            cfg.len(),
+            self.params.len(),
+            "configuration has {} levels, space {} has {} parameters",
+            cfg.len(),
+            self.name,
+            self.params.len()
+        );
+        for (p, &l) in self.params.iter().zip(cfg.levels()) {
+            assert!(
+                (l as usize) < p.arity(),
+                "level {l} out of range for parameter {} (arity {})",
+                p.name(),
+                p.arity()
+            );
+        }
+    }
+
+    /// Decodes a configuration into named values.
+    #[must_use]
+    pub fn values(&self, cfg: &Configuration) -> Vec<(String, Value)> {
+        self.validate(cfg);
+        self.params
+            .iter()
+            .zip(cfg.levels())
+            .map(|(p, &l)| (p.name().to_string(), p.domain().value(l)))
+            .collect()
+    }
+
+    /// Draws one configuration uniformly at random.
+    pub fn sample(&self, rng: &mut Xoshiro256PlusPlus) -> Configuration {
+        Configuration::new(
+            self.params
+                .iter()
+                .map(|p| rng.gen_range(0..p.arity() as u32))
+                .collect(),
+        )
+    }
+
+    /// Draws `n` *distinct* configurations uniformly at random.
+    ///
+    /// This is the paper's surrogate sample of the space (10 000 points).
+    /// Rejection sampling is used; it stays efficient because SPAPT-scale
+    /// spaces are astronomically larger than the requested sample. If the
+    /// whole space is smaller than `2 n`, the space is enumerated and
+    /// shuffled instead, so small test spaces work too.
+    ///
+    /// # Panics
+    /// Panics if `n` exceeds the space cardinality.
+    pub fn sample_distinct(&self, n: usize, rng: &mut Xoshiro256PlusPlus) -> Vec<Configuration> {
+        let card = self.cardinality();
+        assert!(
+            (n as u128) <= card,
+            "cannot draw {n} distinct configurations from a space of {card}"
+        );
+        if card <= 2 * n as u128 {
+            // Enumerate + Fisher–Yates shuffle, take the first n.
+            let mut all: Vec<Configuration> =
+                (0..card).map(|i| self.decode_index(i)).collect();
+            for i in (1..all.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                all.swap(i, j);
+            }
+            all.truncate(n);
+            return all;
+        }
+        let mut seen: HashSet<Configuration> = HashSet::with_capacity(n);
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            let cfg = self.sample(rng);
+            if seen.insert(cfg.clone()) {
+                out.push(cfg);
+            }
+        }
+        out
+    }
+
+    /// Iterates over every configuration (only sensible for tiny spaces).
+    pub fn enumerate(&self) -> impl Iterator<Item = Configuration> + '_ {
+        let card = self.cardinality();
+        assert!(
+            card <= 1u128 << 24,
+            "refusing to enumerate a space of {card} points"
+        );
+        (0..card).map(move |i| self.decode_index(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::Param;
+
+    fn tiny() -> ParamSpace {
+        ParamSpace::new(
+            "tiny",
+            vec![
+                Param::ordinal("a", vec![1.0, 2.0, 3.0]),
+                Param::boolean("b"),
+                Param::categorical("c", ["x", "y"]),
+            ],
+        )
+    }
+
+    #[test]
+    fn cardinality_is_product() {
+        assert_eq!(tiny().cardinality(), 3 * 2 * 2);
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let s = tiny();
+        for i in 0..s.cardinality() {
+            let cfg = s.decode_index(i);
+            assert_eq!(s.encode_index(&cfg), i);
+        }
+    }
+
+    #[test]
+    fn enumerate_yields_distinct_everything() {
+        let s = tiny();
+        let all: Vec<_> = s.enumerate().collect();
+        assert_eq!(all.len(), 12);
+        let set: std::collections::HashSet<_> = all.iter().cloned().collect();
+        assert_eq!(set.len(), 12);
+    }
+
+    #[test]
+    fn sample_distinct_small_space_is_exhaustive() {
+        let s = tiny();
+        let mut rng = Xoshiro256PlusPlus::new(1);
+        let got = s.sample_distinct(12, &mut rng);
+        let set: std::collections::HashSet<_> = got.into_iter().collect();
+        assert_eq!(set.len(), 12);
+    }
+
+    #[test]
+    fn sample_distinct_large_space() {
+        let params: Vec<Param> = (0..10)
+            .map(|i| Param::ordinal(format!("p{i}"), vec![0.0, 1.0, 2.0, 3.0]))
+            .collect();
+        let s = ParamSpace::new("big", params);
+        let mut rng = Xoshiro256PlusPlus::new(2);
+        let got = s.sample_distinct(5000, &mut rng);
+        let set: std::collections::HashSet<_> = got.iter().cloned().collect();
+        assert_eq!(set.len(), 5000);
+        for cfg in &got {
+            s.validate(cfg);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let s = tiny();
+        let a = s.sample_distinct(6, &mut Xoshiro256PlusPlus::new(3));
+        let b = s.sample_distinct(6, &mut Xoshiro256PlusPlus::new(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn values_decode_names() {
+        let s = tiny();
+        let cfg = Configuration::new(vec![2, 1, 0]);
+        let vals = s.values(&cfg);
+        assert_eq!(vals[0].0, "a");
+        assert_eq!(vals[0].1, Value::Number(3.0));
+        assert_eq!(vals[1].1, Value::Flag(true));
+        assert_eq!(vals[2].1, Value::Category(0, "x".into()));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn validate_rejects_bad_level() {
+        let s = tiny();
+        s.validate(&Configuration::new(vec![3, 0, 0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate parameter")]
+    fn duplicate_param_names_rejected() {
+        let _ = ParamSpace::new(
+            "dup",
+            vec![Param::boolean("x"), Param::boolean("x")],
+        );
+    }
+
+    #[test]
+    fn spapt_scale_cardinality_saturates_safely() {
+        // 38 parameters of arity 32 ≈ 10^57 — must not overflow.
+        let params: Vec<Param> = (0..38)
+            .map(|i| Param::ordinal(format!("p{i}"), (0..32).map(f64::from).collect::<Vec<_>>()))
+            .collect();
+        let s = ParamSpace::new("huge", params);
+        assert!(s.cardinality() >= 1u128 << 120);
+    }
+}

@@ -1,0 +1,98 @@
+//! The interface between parameter spaces and the programs being tuned.
+//!
+//! A [`TuningTarget`] is "a program you can run with a configuration and
+//! time": the SPAPT kernel simulators, the *kripke* and *hypre* application
+//! models, and any synthetic test function all implement it. Active learning
+//! (Algorithm 1 in the paper) only ever talks to this trait.
+
+use crate::config::Configuration;
+use crate::space::ParamSpace;
+
+use pwu_stats::Xoshiro256PlusPlus;
+
+/// A tunable program with a measurable execution time.
+pub trait TuningTarget: Send + Sync {
+    /// Benchmark name (e.g. `"adi"`, `"kripke"`).
+    fn name(&self) -> &str;
+
+    /// The parameter space of the target.
+    fn space(&self) -> &ParamSpace;
+
+    /// Noise-free execution time of a configuration, in seconds.
+    ///
+    /// This is the "ground truth" surface the simulator defines; real
+    /// measurements scatter around it.
+    fn ideal_time(&self, cfg: &Configuration) -> f64;
+
+    /// One noisy wall-clock measurement, in seconds.
+    ///
+    /// The default adds no noise; simulators override this with their
+    /// measurement-noise model.
+    fn measure(&self, cfg: &Configuration, _rng: &mut Xoshiro256PlusPlus) -> f64 {
+        self.ideal_time(cfg)
+    }
+
+    /// The mean of `repeats` noisy measurements — the paper's protocol
+    /// (35 repeats for kernels) for suppressing system noise.
+    fn measure_averaged(
+        &self,
+        cfg: &Configuration,
+        repeats: usize,
+        rng: &mut Xoshiro256PlusPlus,
+    ) -> f64 {
+        assert!(repeats > 0, "need at least one repeat");
+        (0..repeats).map(|_| self.measure(cfg, rng)).sum::<f64>() / repeats as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::Param;
+
+    struct Quadratic {
+        space: ParamSpace,
+    }
+
+    impl TuningTarget for Quadratic {
+        fn name(&self) -> &str {
+            "quadratic"
+        }
+
+        fn space(&self) -> &ParamSpace {
+            &self.space
+        }
+
+        fn ideal_time(&self, cfg: &Configuration) -> f64 {
+            let x = f64::from(cfg.level(0));
+            (x - 3.0) * (x - 3.0) + 1.0
+        }
+    }
+
+    #[test]
+    fn default_measure_is_noise_free() {
+        let t = Quadratic {
+            space: ParamSpace::new(
+                "q",
+                vec![Param::ordinal("x", (0..8).map(f64::from).collect::<Vec<_>>())],
+            ),
+        };
+        let mut rng = Xoshiro256PlusPlus::new(0);
+        let cfg = Configuration::new(vec![3]);
+        assert_eq!(t.measure(&cfg, &mut rng), 1.0);
+        assert_eq!(t.measure_averaged(&cfg, 5, &mut rng), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one repeat")]
+    fn zero_repeats_rejected() {
+        let t = Quadratic {
+            space: ParamSpace::new(
+                "q",
+                vec![Param::ordinal("x", (0..8).map(f64::from).collect::<Vec<_>>())],
+            ),
+        };
+        let mut rng = Xoshiro256PlusPlus::new(0);
+        let _ = t.measure_averaged(&Configuration::new(vec![0]), 0, &mut rng);
+    }
+}

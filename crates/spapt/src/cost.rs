@@ -1,0 +1,322 @@
+//! The cycle/time model.
+//!
+//! Combines the instruction side (flops, division latency, L1 access ports,
+//! loop overhead, register spills, vectorization) with the memory side (the
+//! per-level miss traffic of [`crate::cache`]) into a wall-clock estimate.
+//! Latency-bound misses pay inter-level latency; streaming misses are
+//! prefetched and pay the bandwidth cost instead.
+
+use crate::cache::{analyze, TrafficReport};
+use crate::ir::LoopNest;
+use crate::machine::MachineModel;
+use crate::transform::{apply, BlockTransform, TransformedNest};
+
+/// Cycle breakdown of one transformed nest (useful for tests and examples).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostBreakdown {
+    /// Floating-point arithmetic cycles.
+    pub flop_cycles: f64,
+    /// L1 access (load/store port) cycles.
+    pub access_cycles: f64,
+    /// Loop control overhead cycles.
+    pub overhead_cycles: f64,
+    /// Register-spill penalty cycles.
+    pub spill_cycles: f64,
+    /// Memory-stall cycles from cache misses.
+    pub memory_cycles: f64,
+}
+
+impl CostBreakdown {
+    /// Total cycles.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.flop_cycles
+            + self.access_cycles
+            + self.overhead_cycles
+            + self.spill_cycles
+            + self.memory_cycles
+    }
+}
+
+/// Estimates the execution time in seconds of `transform` applied to `nest`.
+#[must_use]
+pub fn estimate_time(nest: &LoopNest, transform: &BlockTransform, machine: &MachineModel) -> f64 {
+    let t = apply(nest, transform);
+    let traffic = analyze(nest, &t, machine);
+    machine.cycles_to_seconds(breakdown(nest, &t, &traffic, machine).total())
+}
+
+/// Full cycle breakdown for an already-applied transformation.
+#[must_use]
+pub fn breakdown(
+    nest: &LoopNest,
+    t: &TransformedNest,
+    traffic: &TrafficReport,
+    machine: &MachineModel,
+) -> CostBreakdown {
+    let iters = t.iterations();
+
+    // --- Floating-point work ---------------------------------------------
+    let adds_muls: f64 = nest
+        .stmts
+        .iter()
+        .map(|s| f64::from(s.adds + s.muls))
+        .sum();
+    let divs: f64 = nest.stmts.iter().map(|s| f64::from(s.divs)).sum();
+    let mut flop_per_iter = adds_muls / machine.flops_per_cycle;
+    // Divisions are unpipelined; partial overlap between consecutive ones.
+    flop_per_iter += divs * machine.div_latency * 0.75;
+
+    let vectorized = t.vectorize_requested && t.vectorizable(nest);
+    if vectorized {
+        flop_per_iter /= machine.vector_width * machine.vector_efficiency;
+    } else if t.vectorize_requested {
+        // Forced vectorization of a non-unit-stride loop: the compiler emits
+        // gathers/scatters or gives up after adding checks.
+        flop_per_iter *= 1.05;
+    }
+    let flop_cycles = flop_per_iter * iters;
+
+    // --- L1 accesses -------------------------------------------------------
+    // Two load/store ports, so ~0.5 cycles per access; vector loads move
+    // `width` elements per access.
+    let mut access_cycles = traffic.l1_accesses * 0.5;
+    if vectorized {
+        access_cycles /= machine.vector_width;
+    }
+
+    // --- Loop overhead -----------------------------------------------------
+    // Every loop of the transformed nest pays `loop_overhead` per iteration
+    // of its body-entry; the innermost loop is amortized by unrolling.
+    let mut overhead_cycles = 0.0;
+    for (p, l) in t.loops.iter().enumerate() {
+        let body_entries = t.executions(p) * l.trip as f64;
+        if p == t.loops.len() - 1 {
+            overhead_cycles +=
+                body_entries * machine.loop_overhead / t.innermost_unroll() as f64;
+        } else {
+            overhead_cycles += body_entries * machine.loop_overhead;
+        }
+    }
+
+    // --- Register spills and code bloat -------------------------------------
+    // The unrolled body covers `u_total` original iterations; each live value
+    // beyond the register file is spilled (store + reload) once per body
+    // execution plus extra traffic on reuse, amortized here by the dominant
+    // unroll factor. Giant bodies additionally overflow the instruction
+    // cache (SPAPT's pathological unroll×regtile corners, which real runs
+    // report as timeouts).
+    let pressure = t.register_pressure(nest);
+    let u_max = t.eff_unroll.iter().copied().max().unwrap_or(1) as f64;
+    let u_total: f64 = t.eff_unroll.iter().map(|&u| u as f64).product();
+    let mut spill_cycles = if pressure > f64::from(machine.fp_registers) {
+        (pressure - f64::from(machine.fp_registers)) * machine.spill_penalty / u_max * iters
+    } else {
+        0.0
+    };
+    let instrs_per_iter: f64 = nest
+        .stmts
+        .iter()
+        .map(|s| f64::from(s.adds + s.muls + s.divs) + (s.reads.len() + s.writes.len()) as f64)
+        .sum::<f64>()
+        + 2.0;
+    if u_total * instrs_per_iter > 8192.0 {
+        // Body no longer fits the instruction cache; steady fetch stalls.
+        spill_cycles += 1.5 * iters;
+    }
+
+    // --- Memory stalls -------------------------------------------------------
+    // Misses at level c are served by level c+1: latency-bound traffic pays
+    // the service latency difference, streaming traffic is prefetched and
+    // pays bandwidth (one line per `line/bw` cycles), floor-bounded by a
+    // small residual latency.
+    let mut memory_cycles = 0.0;
+    let n_levels = machine.caches.len();
+    for (c, misses) in traffic.level_misses.iter().enumerate() {
+        let this_lat = machine.caches[c].latency;
+        let (next_lat, _line) = if c + 1 < n_levels {
+            (machine.caches[c + 1].latency, machine.caches[c + 1].line)
+        } else {
+            (machine.memory_latency, machine.caches[c].line)
+        };
+        let service = next_lat - this_lat;
+        memory_cycles += misses.latency_bound * service;
+        let line_bytes = machine.caches[c].line as f64;
+        let bw_cost = line_bytes / machine.memory_bandwidth;
+        memory_cycles += misses.streaming * bw_cost.max(service * 0.15);
+    }
+
+    CostBreakdown {
+        flop_cycles,
+        access_cycles,
+        overhead_cycles,
+        spill_cycles,
+        memory_cycles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{ArrayDecl, ArrayRef, LinIndex, LoopDim, LoopNest, Statement};
+
+    fn mm_nest(n: u64) -> LoopNest {
+        let nl = 3;
+        LoopNest {
+            loops: vec![
+                LoopDim {
+                    name: "i".into(),
+                    extent: n,
+                },
+                LoopDim {
+                    name: "j".into(),
+                    extent: n,
+                },
+                LoopDim {
+                    name: "k".into(),
+                    extent: n,
+                },
+            ],
+            stmts: vec![Statement {
+                reads: vec![
+                    ArrayRef::new(0, vec![LinIndex::var(nl, 0), LinIndex::var(nl, 2)]),
+                    ArrayRef::new(1, vec![LinIndex::var(nl, 2), LinIndex::var(nl, 1)]),
+                    ArrayRef::new(2, vec![LinIndex::var(nl, 0), LinIndex::var(nl, 1)]),
+                ],
+                writes: vec![ArrayRef::new(
+                    2,
+                    vec![LinIndex::var(nl, 0), LinIndex::var(nl, 1)],
+                )],
+                adds: 1,
+                muls: 1,
+                divs: 0,
+            }],
+            arrays: vec![
+                ArrayDecl::doubles("A", vec![n, n]),
+                ArrayDecl::doubles("B", vec![n, n]),
+                ArrayDecl::doubles("C", vec![n, n]),
+            ],
+        }
+    }
+
+    /// 1-D vectorizable stream: y[i] = a[i] * b[i].
+    fn stream_nest(n: u64) -> LoopNest {
+        LoopNest {
+            loops: vec![LoopDim {
+                name: "i".into(),
+                extent: n,
+            }],
+            stmts: vec![Statement {
+                reads: vec![
+                    ArrayRef::new(0, vec![LinIndex::var(1, 0)]),
+                    ArrayRef::new(1, vec![LinIndex::var(1, 0)]),
+                ],
+                writes: vec![ArrayRef::new(2, vec![LinIndex::var(1, 0)])],
+                adds: 0,
+                muls: 1,
+                divs: 0,
+            }],
+            arrays: vec![
+                ArrayDecl::doubles("a", vec![n]),
+                ArrayDecl::doubles("b", vec![n]),
+                ArrayDecl::doubles("y", vec![n]),
+            ],
+        }
+    }
+
+    #[test]
+    fn times_are_positive_and_finite() {
+        let nest = mm_nest(256);
+        let m = MachineModel::platform_a();
+        for tiles in [vec![(1u64, 1u64); 3], vec![(64, 8); 3], vec![(1, 512); 3]] {
+            let mut p = BlockTransform::identity(3);
+            p.tiles = tiles;
+            let s = estimate_time(&nest, &p, &m);
+            assert!(s.is_finite() && s > 0.0, "time {s}");
+        }
+    }
+
+    #[test]
+    fn good_tiling_beats_untiled_mm() {
+        let nest = mm_nest(512);
+        let m = MachineModel::platform_a();
+        let untiled = estimate_time(&nest, &BlockTransform::identity(3), &m);
+        let mut p = BlockTransform::identity(3);
+        p.tiles = vec![(128, 32), (128, 32), (128, 32)];
+        let tiled = estimate_time(&nest, &p, &m);
+        assert!(
+            tiled < untiled,
+            "tiled {tiled} should beat untiled {untiled}"
+        );
+    }
+
+    #[test]
+    fn vectorization_speeds_up_streams() {
+        let nest = stream_nest(1 << 16);
+        let m = MachineModel::platform_a();
+        let scalar = estimate_time(&nest, &BlockTransform::identity(1), &m);
+        let mut p = BlockTransform::identity(1);
+        p.vectorize = true;
+        let vector = estimate_time(&nest, &p, &m);
+        assert!(
+            vector < scalar,
+            "vectorized {vector} should beat scalar {scalar}"
+        );
+    }
+
+    #[test]
+    fn forced_vectorization_of_strided_loop_does_not_help() {
+        let nest = mm_nest(128); // innermost k: B is strided
+        let m = MachineModel::platform_a();
+        let scalar = estimate_time(&nest, &BlockTransform::identity(3), &m);
+        let mut p = BlockTransform::identity(3);
+        p.vectorize = true;
+        let vector = estimate_time(&nest, &p, &m);
+        assert!(vector >= scalar, "vector {vector} vs scalar {scalar}");
+    }
+
+    #[test]
+    fn moderate_unrolling_helps_oversized_unrolling_hurts() {
+        let nest = mm_nest(256);
+        let m = MachineModel::platform_a();
+        let base = estimate_time(&nest, &BlockTransform::identity(3), &m);
+        let mut modest = BlockTransform::identity(3);
+        modest.unroll = vec![1, 1, 4];
+        let modest_t = estimate_time(&nest, &modest, &m);
+        assert!(modest_t < base, "u4 {modest_t} vs base {base}");
+
+        let mut heavy = BlockTransform::identity(3);
+        heavy.unroll = vec![16, 16, 16];
+        let heavy_t = estimate_time(&nest, &heavy, &m);
+        assert!(
+            heavy_t > modest_t,
+            "heavy unroll {heavy_t} should spill vs {modest_t}"
+        );
+    }
+
+    #[test]
+    fn unroll_reduces_overhead_component() {
+        let nest = mm_nest(64);
+        let m = MachineModel::platform_a();
+        let t0 = apply(&nest, &BlockTransform::identity(3));
+        let r0 = analyze(&nest, &t0, &m);
+        let b0 = breakdown(&nest, &t0, &r0, &m);
+        let mut p = BlockTransform::identity(3);
+        p.unroll = vec![1, 1, 8];
+        let t1 = apply(&nest, &p);
+        let r1 = analyze(&nest, &t1, &m);
+        let b1 = breakdown(&nest, &t1, &r1, &m);
+        assert!(b1.overhead_cycles < b0.overhead_cycles);
+    }
+
+    #[test]
+    fn division_heavy_statement_costs_more() {
+        // Small enough to stay cache-resident so compute cost dominates.
+        let mut nest = stream_nest(1 << 10);
+        let m = MachineModel::platform_a();
+        let base = estimate_time(&nest, &BlockTransform::identity(1), &m);
+        nest.stmts[0].divs = 2;
+        let with_div = estimate_time(&nest, &BlockTransform::identity(1), &m);
+        assert!(with_div > base * 1.5, "{with_div} vs {base}");
+    }
+}

@@ -1,0 +1,314 @@
+//! Loop-nest intermediate representation.
+//!
+//! Kernels are perfect rectangular loop nests over statements with affine
+//! array accesses — exactly the program class Orio's tiling/unrolling
+//! annotations target. The IR captures what the cost model needs: loop
+//! extents, per-statement flop counts, and the affine index expressions that
+//! determine locality.
+
+/// An affine index expression `Σ coeffs[ℓ]·iter_ℓ + offset` over the loops
+/// of the enclosing nest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinIndex {
+    /// One coefficient per loop of the nest (outermost first).
+    pub coeffs: Vec<i64>,
+    /// Constant offset.
+    pub offset: i64,
+}
+
+impl LinIndex {
+    /// Builds an index that is just one loop variable: `iter_loop`.
+    #[must_use]
+    pub fn var(n_loops: usize, loop_idx: usize) -> Self {
+        let mut coeffs = vec![0; n_loops];
+        coeffs[loop_idx] = 1;
+        Self { coeffs, offset: 0 }
+    }
+
+    /// Builds `iter_loop + offset`.
+    #[must_use]
+    pub fn var_plus(n_loops: usize, loop_idx: usize, offset: i64) -> Self {
+        let mut idx = Self::var(n_loops, loop_idx);
+        idx.offset = offset;
+        idx
+    }
+
+    /// Builds a constant index.
+    #[must_use]
+    pub fn constant(n_loops: usize, offset: i64) -> Self {
+        Self {
+            coeffs: vec![0; n_loops],
+            offset,
+        }
+    }
+
+    /// True when the expression does not depend on `loop_idx`.
+    #[must_use]
+    pub fn invariant_in(&self, loop_idx: usize) -> bool {
+        self.coeffs[loop_idx] == 0
+    }
+}
+
+/// A declared array with its dimensions (row-major) and element size.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayDecl {
+    /// Array name.
+    pub name: String,
+    /// Extent of each dimension, outermost first.
+    pub dims: Vec<u64>,
+    /// Bytes per element (8 for `double`).
+    pub elem_bytes: u64,
+}
+
+impl ArrayDecl {
+    /// Creates a `double` array.
+    #[must_use]
+    pub fn doubles(name: impl Into<String>, dims: Vec<u64>) -> Self {
+        Self {
+            name: name.into(),
+            dims,
+            elem_bytes: 8,
+        }
+    }
+
+    /// Total size in bytes.
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        self.dims.iter().product::<u64>() * self.elem_bytes
+    }
+}
+
+/// A read or write access to an array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayRef {
+    /// Index into [`LoopNest::arrays`].
+    pub array: usize,
+    /// One affine expression per array dimension.
+    pub index: Vec<LinIndex>,
+}
+
+impl ArrayRef {
+    /// Creates a reference.
+    #[must_use]
+    pub fn new(array: usize, index: Vec<LinIndex>) -> Self {
+        Self { array, index }
+    }
+
+    /// True when the access is invariant in the given loop.
+    #[must_use]
+    pub fn invariant_in(&self, loop_idx: usize) -> bool {
+        self.index.iter().all(|e| e.invariant_in(loop_idx))
+    }
+
+    /// Coefficient of `loop_idx` in the *last* (fastest-varying) dimension.
+    ///
+    /// A value of ±1 with zero coefficients in all other dimensions means the
+    /// loop walks the array contiguously (unit stride).
+    #[must_use]
+    pub fn innermost_coeff(&self, loop_idx: usize) -> i64 {
+        self.index
+            .last()
+            .map_or(0, |e| e.coeffs[loop_idx])
+    }
+
+    /// True when iterating `loop_idx` moves through the array with unit
+    /// stride (coefficient 1 in the last dimension, 0 elsewhere).
+    #[must_use]
+    pub fn unit_stride_in(&self, loop_idx: usize) -> bool {
+        if self.index.is_empty() {
+            return false;
+        }
+        let last = self.index.len() - 1;
+        self.index.iter().enumerate().all(|(d, e)| {
+            if d == last {
+                e.coeffs[loop_idx].abs() == 1
+            } else {
+                e.coeffs[loop_idx] == 0
+            }
+        })
+    }
+}
+
+/// One statement of the nest body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Statement {
+    /// Array reads.
+    pub reads: Vec<ArrayRef>,
+    /// Array writes.
+    pub writes: Vec<ArrayRef>,
+    /// Floating additions/subtractions per execution.
+    pub adds: u32,
+    /// Floating multiplications per execution.
+    pub muls: u32,
+    /// Floating divisions per execution (expensive; ADI is division-heavy).
+    pub divs: u32,
+}
+
+/// One loop of the nest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopDim {
+    /// Loop variable name.
+    pub name: String,
+    /// Trip count.
+    pub extent: u64,
+}
+
+/// A perfect rectangular loop nest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopNest {
+    /// Loops, outermost first.
+    pub loops: Vec<LoopDim>,
+    /// Statements executed in the innermost body.
+    pub stmts: Vec<Statement>,
+    /// Arrays referenced by the statements.
+    pub arrays: Vec<ArrayDecl>,
+}
+
+impl LoopNest {
+    /// Total number of innermost iterations.
+    #[must_use]
+    pub fn iterations(&self) -> u64 {
+        self.loops.iter().map(|l| l.extent).product()
+    }
+
+    /// Number of loops.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.loops.len()
+    }
+
+    /// Validates internal consistency (coefficient widths, array ids,
+    /// dimension counts).
+    ///
+    /// # Panics
+    /// Panics with a description of the first inconsistency.
+    pub fn validate(&self) {
+        let n = self.loops.len();
+        assert!(n > 0, "nest has no loops");
+        assert!(!self.stmts.is_empty(), "nest has no statements");
+        for stmt in &self.stmts {
+            for r in stmt.reads.iter().chain(&stmt.writes) {
+                assert!(
+                    r.array < self.arrays.len(),
+                    "reference to undeclared array {}",
+                    r.array
+                );
+                let decl = &self.arrays[r.array];
+                assert_eq!(
+                    r.index.len(),
+                    decl.dims.len(),
+                    "array {} indexed with wrong dimensionality",
+                    decl.name
+                );
+                for e in &r.index {
+                    assert_eq!(
+                        e.coeffs.len(),
+                        n,
+                        "index expression has {} coefficients for {} loops",
+                        e.coeffs.len(),
+                        n
+                    );
+                }
+            }
+        }
+    }
+
+    /// Total flops executed by the whole nest.
+    #[must_use]
+    pub fn total_flops(&self) -> f64 {
+        let per_iter: u64 = self
+            .stmts
+            .iter()
+            .map(|s| u64::from(s.adds + s.muls + s.divs))
+            .sum();
+        per_iter as f64 * self.iterations() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the 2-D `C[i][j] += A[i][k] * B[k][j]` nest (i, j, k).
+    fn mm_nest(n: u64) -> LoopNest {
+        let nl = 3;
+        LoopNest {
+            loops: vec![
+                LoopDim {
+                    name: "i".into(),
+                    extent: n,
+                },
+                LoopDim {
+                    name: "j".into(),
+                    extent: n,
+                },
+                LoopDim {
+                    name: "k".into(),
+                    extent: n,
+                },
+            ],
+            stmts: vec![Statement {
+                reads: vec![
+                    ArrayRef::new(0, vec![LinIndex::var(nl, 0), LinIndex::var(nl, 2)]),
+                    ArrayRef::new(1, vec![LinIndex::var(nl, 2), LinIndex::var(nl, 1)]),
+                    ArrayRef::new(2, vec![LinIndex::var(nl, 0), LinIndex::var(nl, 1)]),
+                ],
+                writes: vec![ArrayRef::new(
+                    2,
+                    vec![LinIndex::var(nl, 0), LinIndex::var(nl, 1)],
+                )],
+                adds: 1,
+                muls: 1,
+                divs: 0,
+            }],
+            arrays: vec![
+                ArrayDecl::doubles("A", vec![n, n]),
+                ArrayDecl::doubles("B", vec![n, n]),
+                ArrayDecl::doubles("C", vec![n, n]),
+            ],
+        }
+    }
+
+    #[test]
+    fn mm_nest_validates_and_counts() {
+        let nest = mm_nest(64);
+        nest.validate();
+        assert_eq!(nest.iterations(), 64 * 64 * 64);
+        assert_eq!(nest.total_flops(), 2.0 * 64.0 * 64.0 * 64.0);
+        assert_eq!(nest.depth(), 3);
+    }
+
+    #[test]
+    fn stride_analysis() {
+        let nest = mm_nest(8);
+        let a_ref = &nest.stmts[0].reads[0]; // A[i][k]
+        let b_ref = &nest.stmts[0].reads[1]; // B[k][j]
+        // A[i][k]: unit stride in k (last dim coeff 1), invariant in j.
+        assert!(a_ref.unit_stride_in(2));
+        assert!(a_ref.invariant_in(1));
+        assert!(!a_ref.unit_stride_in(0));
+        // B[k][j]: unit stride in j, strided in k.
+        assert!(b_ref.unit_stride_in(1));
+        assert!(!b_ref.unit_stride_in(2));
+        assert_eq!(b_ref.innermost_coeff(1), 1);
+    }
+
+    #[test]
+    fn stencil_offsets() {
+        // X[i][j-1] style access.
+        let idx = LinIndex::var_plus(2, 1, -1);
+        assert_eq!(idx.offset, -1);
+        assert!(!idx.invariant_in(1));
+        assert!(idx.invariant_in(0));
+        let c = LinIndex::constant(2, 5);
+        assert!(c.invariant_in(0) && c.invariant_in(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong dimensionality")]
+    fn validate_catches_bad_dimensionality() {
+        let mut nest = mm_nest(4);
+        nest.stmts[0].reads[0].index.pop();
+        nest.validate();
+    }
+}

@@ -1,0 +1,126 @@
+//! ADI: alternating-direction-implicit stencil (Listing 1 of the paper).
+//!
+//! Two statements over `N×N` arrays, each division-heavy:
+//!
+//! ```c
+//! X[i][j] = X[i][j] - X[i][j-1] * A[i][j] / B[i][j-1];
+//! B[i][j] = B[i][j] - A[i][j] * A[i][j] / B[i][j-1];
+//! ```
+//!
+//! Orio distributes the two statements, so each becomes its own tunable
+//! block. Parameter counts match Table I: 8 tile, 4 unroll-jam, 4 regtile,
+//! 2 scalarreplace, 2 vector.
+
+use crate::ir::{ArrayDecl, ArrayRef, LinIndex, LoopDim, LoopNest, Statement};
+use crate::kernels::{BlockSpec, Kernel};
+
+const N: u64 = 4000;
+
+fn x_update_nest() -> LoopNest {
+    let nl = 2;
+    let v = |l| LinIndex::var(nl, l);
+    let vm = |l| LinIndex::var_plus(nl, l, -1);
+    LoopNest {
+        loops: vec![
+            LoopDim {
+                name: "i1".into(),
+                extent: N,
+            },
+            LoopDim {
+                name: "i2".into(),
+                extent: N - 1,
+            },
+        ],
+        stmts: vec![Statement {
+            reads: vec![
+                ArrayRef::new(0, vec![v(0), v(1)]),  // X[i1][i2]
+                ArrayRef::new(0, vec![v(0), vm(1)]), // X[i1][i2-1]
+                ArrayRef::new(1, vec![v(0), v(1)]),  // A[i1][i2]
+                ArrayRef::new(2, vec![v(0), vm(1)]), // B[i1][i2-1]
+            ],
+            writes: vec![ArrayRef::new(0, vec![v(0), v(1)])],
+            adds: 1,
+            muls: 1,
+            divs: 1,
+        }],
+        arrays: vec![
+            ArrayDecl::doubles("X", vec![N, N]),
+            ArrayDecl::doubles("A", vec![N, N]),
+            ArrayDecl::doubles("B", vec![N, N]),
+        ],
+    }
+}
+
+fn b_update_nest() -> LoopNest {
+    let nl = 2;
+    let v = |l| LinIndex::var(nl, l);
+    let vm = |l| LinIndex::var_plus(nl, l, -1);
+    LoopNest {
+        loops: vec![
+            LoopDim {
+                name: "i1".into(),
+                extent: N,
+            },
+            LoopDim {
+                name: "i2".into(),
+                extent: N - 1,
+            },
+        ],
+        stmts: vec![Statement {
+            reads: vec![
+                ArrayRef::new(0, vec![v(0), v(1)]),  // B[i1][i2]
+                ArrayRef::new(1, vec![v(0), v(1)]),  // A[i1][i2]
+                ArrayRef::new(0, vec![v(0), vm(1)]), // B[i1][i2-1]
+            ],
+            writes: vec![ArrayRef::new(0, vec![v(0), v(1)])],
+            adds: 1,
+            muls: 1,
+            divs: 1,
+        }],
+        arrays: vec![
+            ArrayDecl::doubles("B", vec![N, N]),
+            ArrayDecl::doubles("A", vec![N, N]),
+        ],
+    }
+}
+
+/// Builds the `adi` kernel.
+#[must_use]
+pub fn build() -> Kernel {
+    Kernel::new(
+        "adi",
+        vec![
+            BlockSpec {
+                label: "s1",
+                nest: x_update_nest(),
+                tiled: vec![0, 1],
+                unrolled: vec![0, 1],
+                regtiled: vec![0, 1],
+            },
+            BlockSpec {
+                label: "s2",
+                nest: b_update_nest(),
+                tiled: vec![0, 1],
+                unrolled: vec![0, 1],
+                regtiled: vec![0, 1],
+            },
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwu_space::TuningTarget;
+
+    #[test]
+    fn adi_has_twenty_parameters_and_divisions_dominate() {
+        let k = build();
+        assert_eq!(k.space().dim(), 20);
+        // Division latency should make ADI meaningfully slower than its pure
+        // memory traffic would suggest: identity config time at least 10 ms.
+        let cfg = pwu_space::Configuration::new(vec![0; 20]);
+        let t = k.ideal_time(&cfg);
+        assert!(t > 5e-3, "adi identity time {t}");
+    }
+}

@@ -1,0 +1,114 @@
+//! ATAX: `y = Aᵀ(Ax)` — two dependent matrix-vector products.
+//!
+//! Block `t`: `tmp[i] += A[i][j]·x[j]` (row-major friendly).
+//! Block `y`: `y[j] += A[i][j]·tmp[i]` (the transpose product; the write is
+//! unit-stride in the *inner* loop, giving the two blocks different optimal
+//! transformations — the interaction PWU must learn).
+
+use crate::ir::{ArrayDecl, ArrayRef, LinIndex, LoopDim, LoopNest, Statement};
+use crate::kernels::{BlockSpec, Kernel};
+
+const N: u64 = 4000;
+
+fn loops2(n0: u64, n1: u64) -> Vec<LoopDim> {
+    vec![
+        LoopDim {
+            name: "i".into(),
+            extent: n0,
+        },
+        LoopDim {
+            name: "j".into(),
+            extent: n1,
+        },
+    ]
+}
+
+fn ax_nest() -> LoopNest {
+    let nl = 2;
+    let v = |l| LinIndex::var(nl, l);
+    LoopNest {
+        loops: loops2(N, N),
+        stmts: vec![Statement {
+            reads: vec![
+                ArrayRef::new(0, vec![v(0), v(1)]), // A[i][j]
+                ArrayRef::new(1, vec![v(1)]),       // x[j]
+                ArrayRef::new(2, vec![v(0)]),       // tmp[i]
+            ],
+            writes: vec![ArrayRef::new(2, vec![v(0)])],
+            adds: 1,
+            muls: 1,
+            divs: 0,
+        }],
+        arrays: vec![
+            ArrayDecl::doubles("A", vec![N, N]),
+            ArrayDecl::doubles("x", vec![N]),
+            ArrayDecl::doubles("tmp", vec![N]),
+        ],
+    }
+}
+
+fn atx_nest() -> LoopNest {
+    let nl = 2;
+    let v = |l| LinIndex::var(nl, l);
+    LoopNest {
+        loops: loops2(N, N),
+        stmts: vec![Statement {
+            reads: vec![
+                ArrayRef::new(0, vec![v(0), v(1)]), // A[i][j]
+                ArrayRef::new(1, vec![v(0)]),       // tmp[i]
+                ArrayRef::new(2, vec![v(1)]),       // y[j]
+            ],
+            writes: vec![ArrayRef::new(2, vec![v(1)])],
+            adds: 1,
+            muls: 1,
+            divs: 0,
+        }],
+        arrays: vec![
+            ArrayDecl::doubles("A", vec![N, N]),
+            ArrayDecl::doubles("tmp", vec![N]),
+            ArrayDecl::doubles("y", vec![N]),
+        ],
+    }
+}
+
+/// Builds the `atax` kernel.
+#[must_use]
+pub fn build() -> Kernel {
+    Kernel::new(
+        "atax",
+        vec![
+            BlockSpec {
+                label: "t",
+                nest: ax_nest(),
+                tiled: vec![0, 1],
+                unrolled: vec![0, 1],
+                regtiled: vec![0, 1],
+            },
+            BlockSpec {
+                label: "y",
+                nest: atx_nest(),
+                tiled: vec![0, 1],
+                unrolled: vec![0, 1],
+                regtiled: vec![0, 1],
+            },
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwu_space::TuningTarget;
+    use pwu_stats::Xoshiro256PlusPlus;
+
+    #[test]
+    fn atax_surface_has_spread() {
+        let k = build();
+        let mut rng = Xoshiro256PlusPlus::new(5);
+        let cfgs = k.space().sample_distinct(64, &mut rng);
+        let times: Vec<f64> = cfgs.iter().map(|c| k.ideal_time(c)).collect();
+        let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = times.iter().cloned().fold(0.0f64, f64::max);
+        assert!(max / min > 1.5, "spread {min}..{max}");
+    }
+}

@@ -1,0 +1,87 @@
+//! BiCG kernel: `q = A·p` and `s = Aᵀ·r`, the two matvecs of the
+//! biconjugate-gradient step (SPAPT's `bicgkernel`).
+
+use crate::ir::{ArrayDecl, ArrayRef, LinIndex, LoopDim, LoopNest, Statement};
+use crate::kernels::{BlockSpec, Kernel};
+
+// Distinct problem size from atax: the BiCG step works on a rectangular
+// operator in SPAPT's setting, and a different extent keeps the two
+// benchmark surfaces distinguishable.
+const N: u64 = 3200;
+
+fn nest(transpose: bool) -> LoopNest {
+    let nl = 2;
+    let v = |l| LinIndex::var(nl, l);
+    // q = A p:  q[i] += A[i][j] p[j]
+    // s = Aᵀ r: s[j] += A[i][j] r[i]
+    let (vec_in, vec_out) = if transpose {
+        (v(0), v(1))
+    } else {
+        (v(1), v(0))
+    };
+    LoopNest {
+        loops: vec![
+            LoopDim {
+                name: "i".into(),
+                extent: N,
+            },
+            LoopDim {
+                name: "j".into(),
+                extent: N,
+            },
+        ],
+        stmts: vec![Statement {
+            reads: vec![
+                ArrayRef::new(0, vec![v(0), v(1)]),
+                ArrayRef::new(1, vec![vec_in]),
+                ArrayRef::new(2, vec![vec_out.clone()]),
+            ],
+            writes: vec![ArrayRef::new(2, vec![vec_out])],
+            adds: 1,
+            muls: 1,
+            divs: 0,
+        }],
+        arrays: vec![
+            ArrayDecl::doubles("A", vec![N, N]),
+            ArrayDecl::doubles("in", vec![N]),
+            ArrayDecl::doubles("out", vec![N]),
+        ],
+    }
+}
+
+/// Builds the `bicgkernel` kernel.
+#[must_use]
+pub fn build() -> Kernel {
+    Kernel::new(
+        "bicgkernel",
+        vec![
+            BlockSpec {
+                label: "q",
+                nest: nest(false),
+                tiled: vec![0, 1],
+                unrolled: vec![0, 1],
+                regtiled: vec![0, 1],
+            },
+            BlockSpec {
+                label: "s",
+                nest: nest(true),
+                tiled: vec![0, 1],
+                unrolled: vec![0, 1],
+                regtiled: vec![0, 1],
+            },
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwu_space::TuningTarget;
+
+    #[test]
+    fn bicg_space_is_spapt_scale() {
+        let k = build();
+        assert_eq!(k.space().dim(), 20);
+        assert!(k.space().cardinality() > 10u128.pow(10));
+    }
+}

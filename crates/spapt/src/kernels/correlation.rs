@@ -1,0 +1,129 @@
+//! Correlation-matrix kernel: column statistics plus the `M×M` pairwise
+//! correlation accumulation over an `N×M` data matrix.
+
+use crate::ir::{ArrayDecl, ArrayRef, LinIndex, LoopDim, LoopNest, Statement};
+use crate::kernels::{BlockSpec, Kernel};
+
+const N: u64 = 500; // rows (observations)
+const M: u64 = 500; // columns (variables)
+
+/// Column means and second moments: loops (j, i) over data[i][j].
+fn stats_nest() -> LoopNest {
+    let nl = 2;
+    let v = |l| LinIndex::var(nl, l);
+    LoopNest {
+        loops: vec![
+            LoopDim {
+                name: "j".into(),
+                extent: M,
+            },
+            LoopDim {
+                name: "i".into(),
+                extent: N,
+            },
+        ],
+        stmts: vec![
+            Statement {
+                reads: vec![
+                    ArrayRef::new(0, vec![v(1), v(0)]), // data[i][j]
+                    ArrayRef::new(1, vec![v(0)]),       // mean[j]
+                ],
+                writes: vec![ArrayRef::new(1, vec![v(0)])],
+                adds: 1,
+                muls: 0,
+                divs: 0,
+            },
+            Statement {
+                reads: vec![
+                    ArrayRef::new(0, vec![v(1), v(0)]), // data[i][j]
+                    ArrayRef::new(2, vec![v(0)]),       // stddev[j]
+                ],
+                writes: vec![ArrayRef::new(2, vec![v(0)])],
+                adds: 1,
+                muls: 1,
+                divs: 0,
+            },
+        ],
+        arrays: vec![
+            ArrayDecl::doubles("data", vec![N, M]),
+            ArrayDecl::doubles("mean", vec![M]),
+            ArrayDecl::doubles("stddev", vec![M]),
+        ],
+    }
+}
+
+/// Correlation accumulation: loops (j1, j2, i).
+fn corr_nest() -> LoopNest {
+    let nl = 3;
+    let v = |l| LinIndex::var(nl, l);
+    LoopNest {
+        loops: vec![
+            LoopDim {
+                name: "j1".into(),
+                extent: M,
+            },
+            LoopDim {
+                name: "j2".into(),
+                extent: M,
+            },
+            LoopDim {
+                name: "i".into(),
+                extent: N,
+            },
+        ],
+        stmts: vec![Statement {
+            reads: vec![
+                ArrayRef::new(0, vec![v(2), v(0)]), // data[i][j1]
+                ArrayRef::new(0, vec![v(2), v(1)]), // data[i][j2]
+                ArrayRef::new(1, vec![v(0), v(1)]), // corr[j1][j2]
+            ],
+            writes: vec![ArrayRef::new(1, vec![v(0), v(1)])],
+            adds: 1,
+            muls: 1,
+            divs: 0,
+        }],
+        arrays: vec![
+            ArrayDecl::doubles("data", vec![N, M]),
+            ArrayDecl::doubles("corr", vec![M, M]),
+        ],
+    }
+}
+
+/// Builds the `correlation` kernel.
+#[must_use]
+pub fn build() -> Kernel {
+    Kernel::new(
+        "correlation",
+        vec![
+            BlockSpec {
+                label: "ms",
+                nest: stats_nest(),
+                tiled: vec![0, 1],
+                unrolled: vec![0, 1],
+                regtiled: vec![0, 1],
+            },
+            BlockSpec {
+                label: "cr",
+                nest: corr_nest(),
+                tiled: vec![0, 1, 2],
+                unrolled: vec![0, 1, 2],
+                regtiled: vec![0, 1, 2],
+            },
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwu_space::TuningTarget;
+
+    #[test]
+    fn correlation_dimensions() {
+        let k = build();
+        // tiles: (2+3)×2=10, unroll 5, regtile 5, scr 2, vec 2 → 24.
+        assert_eq!(k.space().dim(), 24);
+        let cfg = pwu_space::Configuration::new(vec![0; 24]);
+        assert!(k.ideal_time(&cfg) > 0.0);
+    }
+}

@@ -1,0 +1,73 @@
+//! DGEMV3: three chained dense matrix-vector products (SPAPT's largest
+//! matvec problem, 30 parameters here).
+
+use crate::ir::{ArrayDecl, ArrayRef, LinIndex, LoopDim, LoopNest, Statement};
+use crate::kernels::{BlockSpec, Kernel};
+
+const N: u64 = 3000;
+
+fn matvec_nest(mat: &str, xin: &str, xout: &str) -> LoopNest {
+    let nl = 2;
+    let v = |l| LinIndex::var(nl, l);
+    LoopNest {
+        loops: vec![
+            LoopDim {
+                name: "i".into(),
+                extent: N,
+            },
+            LoopDim {
+                name: "j".into(),
+                extent: N,
+            },
+        ],
+        stmts: vec![Statement {
+            reads: vec![
+                ArrayRef::new(0, vec![v(0), v(1)]),
+                ArrayRef::new(1, vec![v(1)]),
+                ArrayRef::new(2, vec![v(0)]),
+            ],
+            writes: vec![ArrayRef::new(2, vec![v(0)])],
+            adds: 1,
+            muls: 1,
+            divs: 0,
+        }],
+        arrays: vec![
+            ArrayDecl::doubles(mat, vec![N, N]),
+            ArrayDecl::doubles(xin, vec![N]),
+            ArrayDecl::doubles(xout, vec![N]),
+        ],
+    }
+}
+
+/// Builds the `dgemv3` kernel.
+#[must_use]
+pub fn build() -> Kernel {
+    let block = |label: &'static str, mat: &str, xin: &str, xout: &str| BlockSpec {
+        label,
+        nest: matvec_nest(mat, xin, xout),
+        tiled: vec![0, 1],
+        unrolled: vec![0, 1],
+        regtiled: vec![0, 1],
+    };
+    Kernel::new(
+        "dgemv3",
+        vec![
+            block("g1", "A", "x", "y1"),
+            block("g2", "B", "y1", "y2"),
+            block("g3", "C", "y2", "y3"),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwu_space::TuningTarget;
+
+    #[test]
+    fn dgemv3_has_thirty_parameters() {
+        let k = build();
+        assert_eq!(k.space().dim(), 30);
+        assert!(k.space().cardinality() > 10u128.pow(15));
+    }
+}

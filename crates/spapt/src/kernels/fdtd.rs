@@ -1,0 +1,139 @@
+//! FDTD-2D: finite-difference time-domain electromagnetic kernel.
+//!
+//! Three stencil updates (`ey`, `ex`, `hz`) inside a short time loop. The
+//! time loop is not tileable (loop-carried dependence), so only the spatial
+//! loops receive transformation parameters.
+
+use crate::ir::{ArrayDecl, ArrayRef, LinIndex, LoopDim, LoopNest, Statement};
+use crate::kernels::{BlockSpec, Kernel};
+
+const T: u64 = 10;
+const N: u64 = 1000;
+
+fn loops3() -> Vec<LoopDim> {
+    vec![
+        LoopDim {
+            name: "t".into(),
+            extent: T,
+        },
+        LoopDim {
+            name: "i".into(),
+            extent: N,
+        },
+        LoopDim {
+            name: "j".into(),
+            extent: N,
+        },
+    ]
+}
+
+fn ey_nest() -> LoopNest {
+    let nl = 3;
+    let v = |l| LinIndex::var(nl, l);
+    let vm = |l| LinIndex::var_plus(nl, l, -1);
+    LoopNest {
+        loops: loops3(),
+        stmts: vec![Statement {
+            reads: vec![
+                ArrayRef::new(0, vec![v(1), v(2)]),  // ey[i][j]
+                ArrayRef::new(1, vec![v(1), v(2)]),  // hz[i][j]
+                ArrayRef::new(1, vec![vm(1), v(2)]), // hz[i-1][j]
+            ],
+            writes: vec![ArrayRef::new(0, vec![v(1), v(2)])],
+            adds: 2,
+            muls: 1,
+            divs: 0,
+        }],
+        arrays: vec![
+            ArrayDecl::doubles("ey", vec![N, N]),
+            ArrayDecl::doubles("hz", vec![N, N]),
+        ],
+    }
+}
+
+fn ex_nest() -> LoopNest {
+    let nl = 3;
+    let v = |l| LinIndex::var(nl, l);
+    let vm = |l| LinIndex::var_plus(nl, l, -1);
+    LoopNest {
+        loops: loops3(),
+        stmts: vec![Statement {
+            reads: vec![
+                ArrayRef::new(0, vec![v(1), v(2)]),  // ex[i][j]
+                ArrayRef::new(1, vec![v(1), v(2)]),  // hz[i][j]
+                ArrayRef::new(1, vec![v(1), vm(2)]), // hz[i][j-1]
+            ],
+            writes: vec![ArrayRef::new(0, vec![v(1), v(2)])],
+            adds: 2,
+            muls: 1,
+            divs: 0,
+        }],
+        arrays: vec![
+            ArrayDecl::doubles("ex", vec![N, N]),
+            ArrayDecl::doubles("hz", vec![N, N]),
+        ],
+    }
+}
+
+fn hz_nest() -> LoopNest {
+    let nl = 3;
+    let v = |l| LinIndex::var(nl, l);
+    let vp = |l| LinIndex::var_plus(nl, l, 1);
+    LoopNest {
+        loops: loops3(),
+        stmts: vec![Statement {
+            reads: vec![
+                ArrayRef::new(2, vec![v(1), v(2)]),  // hz[i][j]
+                ArrayRef::new(0, vec![v(1), vp(2)]), // ex[i][j+1]
+                ArrayRef::new(0, vec![v(1), v(2)]),  // ex[i][j]
+                ArrayRef::new(1, vec![vp(1), v(2)]), // ey[i+1][j]
+                ArrayRef::new(1, vec![v(1), v(2)]),  // ey[i][j]
+            ],
+            writes: vec![ArrayRef::new(2, vec![v(1), v(2)])],
+            adds: 4,
+            muls: 1,
+            divs: 0,
+        }],
+        arrays: vec![
+            ArrayDecl::doubles("ex", vec![N, N]),
+            ArrayDecl::doubles("ey", vec![N, N]),
+            ArrayDecl::doubles("hz", vec![N, N]),
+        ],
+    }
+}
+
+/// Builds the `fdtd` kernel.
+#[must_use]
+pub fn build() -> Kernel {
+    let block = |label: &'static str, nest: LoopNest| BlockSpec {
+        label,
+        nest,
+        tiled: vec![1, 2],
+        unrolled: vec![1, 2],
+        regtiled: vec![2],
+    };
+    Kernel::new(
+        "fdtd",
+        vec![
+            block("ey", ey_nest()),
+            block("ex", ex_nest()),
+            block("hz", hz_nest()),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwu_space::TuningTarget;
+
+    #[test]
+    fn fdtd_dimensions_and_time() {
+        let k = build();
+        // tiles 3 blocks × 2 loops × 2 = 12, unroll 6, regtile 3, scr 3, vec 3 → 27.
+        assert_eq!(k.space().dim(), 27);
+        let cfg = pwu_space::Configuration::new(vec![0; 27]);
+        let t = k.ideal_time(&cfg);
+        assert!(t > 0.0 && t < 10.0, "fdtd time {t}");
+    }
+}

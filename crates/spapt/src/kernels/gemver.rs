@@ -1,0 +1,179 @@
+//! GEMVER: the BLAS-like composite
+//! `B = A + u1·v1ᵀ + u2·v2ᵀ; x = β·Bᵀy + z; w = α·B·x`.
+//!
+//! Four blocks with very different access patterns: a rank-2 update, a
+//! transposed matvec (strided inner loop), a vector add, and a plain matvec.
+//! With 36 parameters this is the widest kernel space in the suite.
+
+use crate::ir::{ArrayDecl, ArrayRef, LinIndex, LoopDim, LoopNest, Statement};
+use crate::kernels::{BlockSpec, Kernel};
+
+const N: u64 = 4000;
+
+fn loops2() -> Vec<LoopDim> {
+    vec![
+        LoopDim {
+            name: "i".into(),
+            extent: N,
+        },
+        LoopDim {
+            name: "j".into(),
+            extent: N,
+        },
+    ]
+}
+
+/// `B[i][j] = A[i][j] + u1[i]·v1[j] + u2[i]·v2[j]`.
+fn rank2_nest() -> LoopNest {
+    let nl = 2;
+    let v = |l| LinIndex::var(nl, l);
+    LoopNest {
+        loops: loops2(),
+        stmts: vec![Statement {
+            reads: vec![
+                ArrayRef::new(0, vec![v(0), v(1)]), // A
+                ArrayRef::new(2, vec![v(0)]),       // u1
+                ArrayRef::new(3, vec![v(1)]),       // v1
+                ArrayRef::new(4, vec![v(0)]),       // u2
+                ArrayRef::new(5, vec![v(1)]),       // v2
+            ],
+            writes: vec![ArrayRef::new(1, vec![v(0), v(1)])], // B
+            adds: 2,
+            muls: 2,
+            divs: 0,
+        }],
+        arrays: vec![
+            ArrayDecl::doubles("A", vec![N, N]),
+            ArrayDecl::doubles("B", vec![N, N]),
+            ArrayDecl::doubles("u1", vec![N]),
+            ArrayDecl::doubles("v1", vec![N]),
+            ArrayDecl::doubles("u2", vec![N]),
+            ArrayDecl::doubles("v2", vec![N]),
+        ],
+    }
+}
+
+/// `x[i] += β·B[j][i]·y[j]` — the transposed product; inner loop `j` walks
+/// `B` with stride `N`.
+fn transposed_matvec_nest() -> LoopNest {
+    let nl = 2;
+    let v = |l| LinIndex::var(nl, l);
+    LoopNest {
+        loops: loops2(),
+        stmts: vec![Statement {
+            reads: vec![
+                ArrayRef::new(0, vec![v(1), v(0)]), // B[j][i]
+                ArrayRef::new(1, vec![v(1)]),       // y[j]
+                ArrayRef::new(2, vec![v(0)]),       // x[i]
+            ],
+            writes: vec![ArrayRef::new(2, vec![v(0)])],
+            adds: 1,
+            muls: 2,
+            divs: 0,
+        }],
+        arrays: vec![
+            ArrayDecl::doubles("B", vec![N, N]),
+            ArrayDecl::doubles("y", vec![N]),
+            ArrayDecl::doubles("x", vec![N]),
+        ],
+    }
+}
+
+/// `x[i] += z[i]`.
+fn vadd_nest() -> LoopNest {
+    let nl = 1;
+    let v = |l| LinIndex::var(nl, l);
+    LoopNest {
+        loops: vec![LoopDim {
+            name: "i".into(),
+            extent: N,
+        }],
+        stmts: vec![Statement {
+            reads: vec![ArrayRef::new(0, vec![v(0)]), ArrayRef::new(1, vec![v(0)])],
+            writes: vec![ArrayRef::new(0, vec![v(0)])],
+            adds: 1,
+            muls: 0,
+            divs: 0,
+        }],
+        arrays: vec![
+            ArrayDecl::doubles("x", vec![N]),
+            ArrayDecl::doubles("z", vec![N]),
+        ],
+    }
+}
+
+/// `w[i] += α·B[i][j]·x[j]`.
+fn matvec_nest() -> LoopNest {
+    let nl = 2;
+    let v = |l| LinIndex::var(nl, l);
+    LoopNest {
+        loops: loops2(),
+        stmts: vec![Statement {
+            reads: vec![
+                ArrayRef::new(0, vec![v(0), v(1)]), // B
+                ArrayRef::new(1, vec![v(1)]),       // x[j]
+                ArrayRef::new(2, vec![v(0)]),       // w[i]
+            ],
+            writes: vec![ArrayRef::new(2, vec![v(0)])],
+            adds: 1,
+            muls: 2,
+            divs: 0,
+        }],
+        arrays: vec![
+            ArrayDecl::doubles("B", vec![N, N]),
+            ArrayDecl::doubles("x", vec![N]),
+            ArrayDecl::doubles("w", vec![N]),
+        ],
+    }
+}
+
+/// Builds the `gemver` kernel.
+#[must_use]
+pub fn build() -> Kernel {
+    Kernel::new(
+        "gemver",
+        vec![
+            BlockSpec {
+                label: "b",
+                nest: rank2_nest(),
+                tiled: vec![0, 1],
+                unrolled: vec![0, 1],
+                regtiled: vec![0, 1],
+            },
+            BlockSpec {
+                label: "xt",
+                nest: transposed_matvec_nest(),
+                tiled: vec![0, 1],
+                unrolled: vec![0, 1],
+                regtiled: vec![0, 1],
+            },
+            BlockSpec {
+                label: "xz",
+                nest: vadd_nest(),
+                tiled: vec![0],
+                unrolled: vec![0],
+                regtiled: vec![0],
+            },
+            BlockSpec {
+                label: "w",
+                nest: matvec_nest(),
+                tiled: vec![0, 1],
+                unrolled: vec![0, 1],
+                regtiled: vec![0, 1],
+            },
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwu_space::TuningTarget;
+
+    #[test]
+    fn gemver_is_the_widest_space() {
+        let k = build();
+        // tiles (2+2+1+2)×2=14, unroll 7, regtile 7, scr 4, vec 4 → 36.
+        assert_eq!(k.space().dim(), 36);
+    }
+}

@@ -1,0 +1,116 @@
+//! GESUMMV: `y = α·A·x + β·B·x` — two matvecs sharing the input vector plus
+//! a scaled vector combination.
+
+use crate::ir::{ArrayDecl, ArrayRef, LinIndex, LoopDim, LoopNest, Statement};
+use crate::kernels::{BlockSpec, Kernel};
+
+const N: u64 = 4000;
+
+/// The fused double matvec: `tmp[i] += A[i][j]x[j]; y[i] += B[i][j]x[j]`.
+fn mv_nest() -> LoopNest {
+    let nl = 2;
+    let v = |l| LinIndex::var(nl, l);
+    LoopNest {
+        loops: vec![
+            LoopDim {
+                name: "i".into(),
+                extent: N,
+            },
+            LoopDim {
+                name: "j".into(),
+                extent: N,
+            },
+        ],
+        stmts: vec![
+            Statement {
+                reads: vec![
+                    ArrayRef::new(0, vec![v(0), v(1)]), // A
+                    ArrayRef::new(2, vec![v(1)]),       // x[j]
+                    ArrayRef::new(3, vec![v(0)]),       // tmp[i]
+                ],
+                writes: vec![ArrayRef::new(3, vec![v(0)])],
+                adds: 1,
+                muls: 1,
+                divs: 0,
+            },
+            Statement {
+                reads: vec![
+                    ArrayRef::new(1, vec![v(0), v(1)]), // B
+                    ArrayRef::new(2, vec![v(1)]),       // x[j]
+                    ArrayRef::new(4, vec![v(0)]),       // y[i]
+                ],
+                writes: vec![ArrayRef::new(4, vec![v(0)])],
+                adds: 1,
+                muls: 1,
+                divs: 0,
+            },
+        ],
+        arrays: vec![
+            ArrayDecl::doubles("A", vec![N, N]),
+            ArrayDecl::doubles("B", vec![N, N]),
+            ArrayDecl::doubles("x", vec![N]),
+            ArrayDecl::doubles("tmp", vec![N]),
+            ArrayDecl::doubles("y", vec![N]),
+        ],
+    }
+}
+
+/// `y[i] = α·tmp[i] + β·y[i]`.
+fn combine_nest() -> LoopNest {
+    let nl = 1;
+    let v = |l| LinIndex::var(nl, l);
+    LoopNest {
+        loops: vec![LoopDim {
+            name: "i".into(),
+            extent: N,
+        }],
+        stmts: vec![Statement {
+            reads: vec![ArrayRef::new(0, vec![v(0)]), ArrayRef::new(1, vec![v(0)])],
+            writes: vec![ArrayRef::new(1, vec![v(0)])],
+            adds: 1,
+            muls: 2,
+            divs: 0,
+        }],
+        arrays: vec![
+            ArrayDecl::doubles("tmp", vec![N]),
+            ArrayDecl::doubles("y", vec![N]),
+        ],
+    }
+}
+
+/// Builds the `gesummv` kernel.
+#[must_use]
+pub fn build() -> Kernel {
+    Kernel::new(
+        "gesummv",
+        vec![
+            BlockSpec {
+                label: "mv",
+                nest: mv_nest(),
+                tiled: vec![0, 1],
+                unrolled: vec![0, 1],
+                regtiled: vec![0, 1],
+            },
+            BlockSpec {
+                label: "cb",
+                nest: combine_nest(),
+                tiled: vec![0],
+                unrolled: vec![0],
+                regtiled: vec![0],
+            },
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwu_space::TuningTarget;
+
+    #[test]
+    fn gesummv_dimensions() {
+        let k = build();
+        // tiles (2+1)×2=6, unroll 3, regtile 3, scr 2, vec 2 → 16.
+        assert_eq!(k.space().dim(), 16);
+    }
+}

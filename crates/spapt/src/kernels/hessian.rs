@@ -1,0 +1,108 @@
+//! Hessian kernel: second-derivative stencils of a scalar field — the
+//! diagonal terms (`gxx`, `gyy`) and the mixed term (`gxy`) as two blocks.
+
+use crate::ir::{ArrayDecl, ArrayRef, LinIndex, LoopDim, LoopNest, Statement};
+use crate::kernels::{BlockSpec, Kernel};
+
+const N: u64 = 4000;
+
+fn loops2() -> Vec<LoopDim> {
+    vec![
+        LoopDim {
+            name: "i".into(),
+            extent: N,
+        },
+        LoopDim {
+            name: "j".into(),
+            extent: N,
+        },
+    ]
+}
+
+/// Diagonal second derivatives: 5-point star.
+fn diag_nest() -> LoopNest {
+    let nl = 2;
+    let v = |l| LinIndex::var(nl, l);
+    let off = |l, o| LinIndex::var_plus(nl, l, o);
+    LoopNest {
+        loops: loops2(),
+        stmts: vec![Statement {
+            reads: vec![
+                ArrayRef::new(0, vec![off(0, 1), v(1)]),
+                ArrayRef::new(0, vec![off(0, -1), v(1)]),
+                ArrayRef::new(0, vec![v(0), off(1, 1)]),
+                ArrayRef::new(0, vec![v(0), off(1, -1)]),
+                ArrayRef::new(0, vec![v(0), v(1)]),
+            ],
+            writes: vec![ArrayRef::new(1, vec![v(0), v(1)])],
+            adds: 5,
+            muls: 2,
+            divs: 0,
+        }],
+        arrays: vec![
+            ArrayDecl::doubles("f", vec![N, N]),
+            ArrayDecl::doubles("gdiag", vec![N, N]),
+        ],
+    }
+}
+
+/// Mixed derivative: 4 corner points.
+fn mixed_nest() -> LoopNest {
+    let nl = 2;
+    let off = |l, o| LinIndex::var_plus(nl, l, o);
+    let v = |l| LinIndex::var(nl, l);
+    LoopNest {
+        loops: loops2(),
+        stmts: vec![Statement {
+            reads: vec![
+                ArrayRef::new(0, vec![off(0, 1), off(1, 1)]),
+                ArrayRef::new(0, vec![off(0, 1), off(1, -1)]),
+                ArrayRef::new(0, vec![off(0, -1), off(1, 1)]),
+                ArrayRef::new(0, vec![off(0, -1), off(1, -1)]),
+            ],
+            writes: vec![ArrayRef::new(1, vec![v(0), v(1)])],
+            adds: 3,
+            muls: 1,
+            divs: 0,
+        }],
+        arrays: vec![
+            ArrayDecl::doubles("f", vec![N, N]),
+            ArrayDecl::doubles("gxy", vec![N, N]),
+        ],
+    }
+}
+
+/// Builds the `hessian` kernel.
+#[must_use]
+pub fn build() -> Kernel {
+    Kernel::new(
+        "hessian",
+        vec![
+            BlockSpec {
+                label: "dg",
+                nest: diag_nest(),
+                tiled: vec![0, 1],
+                unrolled: vec![0, 1],
+                regtiled: vec![0, 1],
+            },
+            BlockSpec {
+                label: "xy",
+                nest: mixed_nest(),
+                tiled: vec![0, 1],
+                unrolled: vec![0, 1],
+                regtiled: vec![0, 1],
+            },
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwu_space::TuningTarget;
+
+    #[test]
+    fn hessian_dimensions() {
+        assert_eq!(build().space().dim(), 20);
+    }
+}

@@ -1,0 +1,99 @@
+//! Jacobi-2D: a 5-point relaxation sweep plus the copy-back block.
+
+use crate::ir::{ArrayDecl, ArrayRef, LinIndex, LoopDim, LoopNest, Statement};
+use crate::kernels::{BlockSpec, Kernel};
+
+const N: u64 = 4000;
+
+fn loops2() -> Vec<LoopDim> {
+    vec![
+        LoopDim {
+            name: "i".into(),
+            extent: N,
+        },
+        LoopDim {
+            name: "j".into(),
+            extent: N,
+        },
+    ]
+}
+
+fn sweep_nest() -> LoopNest {
+    let nl = 2;
+    let v = |l| LinIndex::var(nl, l);
+    let off = |l, o| LinIndex::var_plus(nl, l, o);
+    LoopNest {
+        loops: loops2(),
+        stmts: vec![Statement {
+            reads: vec![
+                ArrayRef::new(0, vec![v(0), v(1)]),
+                ArrayRef::new(0, vec![v(0), off(1, -1)]),
+                ArrayRef::new(0, vec![v(0), off(1, 1)]),
+                ArrayRef::new(0, vec![off(0, 1), v(1)]),
+                ArrayRef::new(0, vec![off(0, -1), v(1)]),
+            ],
+            writes: vec![ArrayRef::new(1, vec![v(0), v(1)])],
+            adds: 4,
+            muls: 1,
+            divs: 0,
+        }],
+        arrays: vec![
+            ArrayDecl::doubles("A", vec![N, N]),
+            ArrayDecl::doubles("B", vec![N, N]),
+        ],
+    }
+}
+
+fn copy_nest() -> LoopNest {
+    let nl = 2;
+    let v = |l| LinIndex::var(nl, l);
+    LoopNest {
+        loops: loops2(),
+        stmts: vec![Statement {
+            reads: vec![ArrayRef::new(1, vec![v(0), v(1)])],
+            writes: vec![ArrayRef::new(0, vec![v(0), v(1)])],
+            adds: 0,
+            muls: 0,
+            divs: 0,
+        }],
+        arrays: vec![
+            ArrayDecl::doubles("A", vec![N, N]),
+            ArrayDecl::doubles("B", vec![N, N]),
+        ],
+    }
+}
+
+/// Builds the `jacobi` kernel.
+#[must_use]
+pub fn build() -> Kernel {
+    Kernel::new(
+        "jacobi",
+        vec![
+            BlockSpec {
+                label: "sw",
+                nest: sweep_nest(),
+                tiled: vec![0, 1],
+                unrolled: vec![0, 1],
+                regtiled: vec![0, 1],
+            },
+            BlockSpec {
+                label: "cp",
+                nest: copy_nest(),
+                tiled: vec![0, 1],
+                unrolled: vec![0, 1],
+                regtiled: vec![0, 1],
+            },
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwu_space::TuningTarget;
+
+    #[test]
+    fn jacobi_dimensions() {
+        assert_eq!(build().space().dim(), 20);
+    }
+}

@@ -1,0 +1,71 @@
+//! LU: the Gaussian-elimination update kernel
+//! `A[i][j] -= A[i][k]·A[k][j]` over a rectangular `(k, i, j)` nest.
+//!
+//! The real LU nest is triangular; SPAPT's tunable version (like PolyBench's)
+//! is modeled here with the full rectangular bound, which preserves the
+//! locality structure the transformations act on.
+
+use crate::ir::{ArrayDecl, ArrayRef, LinIndex, LoopDim, LoopNest, Statement};
+use crate::kernels::{BlockSpec, Kernel};
+
+const N: u64 = 512;
+
+fn lu_nest() -> LoopNest {
+    let nl = 3;
+    let v = |l| LinIndex::var(nl, l);
+    LoopNest {
+        loops: vec![
+            LoopDim {
+                name: "k".into(),
+                extent: N,
+            },
+            LoopDim {
+                name: "i".into(),
+                extent: N,
+            },
+            LoopDim {
+                name: "j".into(),
+                extent: N,
+            },
+        ],
+        stmts: vec![Statement {
+            reads: vec![
+                ArrayRef::new(0, vec![v(1), v(2)]), // A[i][j]
+                ArrayRef::new(0, vec![v(1), v(0)]), // A[i][k]
+                ArrayRef::new(0, vec![v(0), v(2)]), // A[k][j]
+            ],
+            writes: vec![ArrayRef::new(0, vec![v(1), v(2)])],
+            adds: 1,
+            muls: 1,
+            divs: 0,
+        }],
+        arrays: vec![ArrayDecl::doubles("A", vec![N, N])],
+    }
+}
+
+/// Builds the `lu` kernel.
+#[must_use]
+pub fn build() -> Kernel {
+    Kernel::new(
+        "lu",
+        vec![BlockSpec {
+            label: "up",
+            nest: lu_nest(),
+            tiled: vec![0, 1, 2],
+            unrolled: vec![0, 1, 2],
+            regtiled: vec![0, 1, 2],
+        }],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwu_space::TuningTarget;
+
+    #[test]
+    fn lu_dimensions() {
+        // tiles 3×2=6, unroll 3, regtile 3, scr 1, vec 1 → 14.
+        assert_eq!(build().space().dim(), 14);
+    }
+}

@@ -1,0 +1,70 @@
+//! MVT: the two coupled matrix-vector products `x1 += A·y1; x2 += Aᵀ·y2`
+//! (one of the six SPAPT problems the paper did not select; provided as part
+//! of the extended suite).
+
+use crate::ir::{ArrayDecl, ArrayRef, LinIndex, LoopDim, LoopNest, Statement};
+use crate::kernels::{BlockSpec, Kernel};
+
+const N: u64 = 4000;
+
+fn nest(transpose: bool) -> LoopNest {
+    let nl = 2;
+    let v = |l| LinIndex::var(nl, l);
+    let (vec_idx, out_idx) = if transpose {
+        (v(0), v(1))
+    } else {
+        (v(1), v(0))
+    };
+    LoopNest {
+        loops: vec![
+            LoopDim {
+                name: "i".into(),
+                extent: N,
+            },
+            LoopDim {
+                name: "j".into(),
+                extent: N,
+            },
+        ],
+        stmts: vec![Statement {
+            reads: vec![
+                ArrayRef::new(0, vec![v(0), v(1)]),
+                ArrayRef::new(1, vec![vec_idx]),
+                ArrayRef::new(2, vec![out_idx.clone()]),
+            ],
+            writes: vec![ArrayRef::new(2, vec![out_idx])],
+            adds: 1,
+            muls: 1,
+            divs: 0,
+        }],
+        arrays: vec![
+            ArrayDecl::doubles("A", vec![N, N]),
+            ArrayDecl::doubles("y", vec![N]),
+            ArrayDecl::doubles("x", vec![N]),
+        ],
+    }
+}
+
+/// Builds the `mvt` kernel.
+#[must_use]
+pub fn build() -> Kernel {
+    Kernel::new(
+        "mvt",
+        vec![
+            BlockSpec {
+                label: "x1",
+                nest: nest(false),
+                tiled: vec![0, 1],
+                unrolled: vec![0, 1],
+                regtiled: vec![0, 1],
+            },
+            BlockSpec {
+                label: "x2",
+                nest: nest(true),
+                tiled: vec![0, 1],
+                unrolled: vec![0, 1],
+                regtiled: vec![0, 1],
+            },
+        ],
+    )
+}

@@ -1,0 +1,59 @@
+//! Seidel: the Gauss–Seidel 2-D 9-point in-place relaxation (extended
+//! suite). The in-place update gives every access the same array, producing
+//! a different locality profile than Jacobi's two-array sweep.
+
+use crate::ir::{ArrayDecl, ArrayRef, LinIndex, LoopDim, LoopNest, Statement};
+use crate::kernels::{BlockSpec, Kernel};
+
+const N: u64 = 4000;
+
+fn seidel_nest() -> LoopNest {
+    let nl = 2;
+    let v = |l| LinIndex::var(nl, l);
+    let off = |l, o| LinIndex::var_plus(nl, l, o);
+    LoopNest {
+        loops: vec![
+            LoopDim {
+                name: "i".into(),
+                extent: N,
+            },
+            LoopDim {
+                name: "j".into(),
+                extent: N,
+            },
+        ],
+        stmts: vec![Statement {
+            reads: vec![
+                ArrayRef::new(0, vec![off(0, -1), off(1, -1)]),
+                ArrayRef::new(0, vec![off(0, -1), v(1)]),
+                ArrayRef::new(0, vec![off(0, -1), off(1, 1)]),
+                ArrayRef::new(0, vec![v(0), off(1, -1)]),
+                ArrayRef::new(0, vec![v(0), v(1)]),
+                ArrayRef::new(0, vec![v(0), off(1, 1)]),
+                ArrayRef::new(0, vec![off(0, 1), off(1, -1)]),
+                ArrayRef::new(0, vec![off(0, 1), v(1)]),
+                ArrayRef::new(0, vec![off(0, 1), off(1, 1)]),
+            ],
+            writes: vec![ArrayRef::new(0, vec![v(0), v(1)])],
+            adds: 8,
+            muls: 0,
+            divs: 1, // the /9.0 average
+        }],
+        arrays: vec![ArrayDecl::doubles("A", vec![N, N])],
+    }
+}
+
+/// Builds the `seidel` kernel.
+#[must_use]
+pub fn build() -> Kernel {
+    Kernel::new(
+        "seidel",
+        vec![BlockSpec {
+            label: "gs",
+            nest: seidel_nest(),
+            tiled: vec![0, 1],
+            unrolled: vec![0, 1],
+            regtiled: vec![0, 1],
+        }],
+    )
+}

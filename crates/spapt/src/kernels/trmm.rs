@@ -1,0 +1,59 @@
+//! TRMM: triangular matrix-matrix multiply `B = A·B` with lower-triangular
+//! `A` (extended suite). The triangular bound is modeled with the full
+//! rectangular nest at half the flop density, preserving the access pattern.
+
+use crate::ir::{ArrayDecl, ArrayRef, LinIndex, LoopDim, LoopNest, Statement};
+use crate::kernels::{BlockSpec, Kernel};
+
+const N: u64 = 512;
+
+fn trmm_nest() -> LoopNest {
+    let nl = 3;
+    let v = |l| LinIndex::var(nl, l);
+    LoopNest {
+        loops: vec![
+            LoopDim {
+                name: "i".into(),
+                extent: N,
+            },
+            LoopDim {
+                name: "j".into(),
+                extent: N,
+            },
+            LoopDim {
+                name: "k".into(),
+                extent: N / 2, // triangular: half the inner trips on average
+            },
+        ],
+        stmts: vec![Statement {
+            reads: vec![
+                ArrayRef::new(0, vec![v(0), v(2)]), // A[i][k]
+                ArrayRef::new(1, vec![v(2), v(1)]), // B[k][j]
+                ArrayRef::new(1, vec![v(0), v(1)]), // B[i][j]
+            ],
+            writes: vec![ArrayRef::new(1, vec![v(0), v(1)])],
+            adds: 1,
+            muls: 1,
+            divs: 0,
+        }],
+        arrays: vec![
+            ArrayDecl::doubles("A", vec![N, N]),
+            ArrayDecl::doubles("B", vec![N, N]),
+        ],
+    }
+}
+
+/// Builds the `trmm` kernel.
+#[must_use]
+pub fn build() -> Kernel {
+    Kernel::new(
+        "trmm",
+        vec![BlockSpec {
+            label: "tm",
+            nest: trmm_nest(),
+            tiled: vec![0, 1, 2],
+            unrolled: vec![0, 1, 2],
+            regtiled: vec![0, 1, 2],
+        }],
+    )
+}

@@ -1,0 +1,204 @@
+//! Platform models.
+//!
+//! Table IV of the paper: kernels run on Platform A (Xeon E5-2680 v3,
+//! 2.5 GHz, 24 cores, 64 GB) and applications on Platform B (E5-2680 v4,
+//! 2.4 GHz, 28 cores, 128 GB, 100 Gb/s Omni-Path). The kernels are serial,
+//! so the kernel model only needs single-core parameters; the network side
+//! of Platform B lives in `pwu-apps`.
+
+/// One cache level of the memory hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheLevel {
+    /// Capacity in bytes.
+    pub capacity: u64,
+    /// Line size in bytes.
+    pub line: u64,
+    /// Associativity (ways).
+    pub ways: u32,
+    /// Load-to-use latency in cycles.
+    pub latency: f64,
+}
+
+/// Single-core machine model used by the kernel cost model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineModel {
+    /// Human-readable platform name.
+    pub name: &'static str,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Cache hierarchy, L1 first.
+    pub caches: Vec<CacheLevel>,
+    /// Main-memory access latency in cycles.
+    pub memory_latency: f64,
+    /// Sustained single-core memory bandwidth in bytes/cycle.
+    pub memory_bandwidth: f64,
+    /// Scalar floating add/mul throughput (ops per cycle).
+    pub flops_per_cycle: f64,
+    /// Latency of one double-precision division in cycles.
+    pub div_latency: f64,
+    /// SIMD vector width in doubles (4 for AVX2).
+    pub vector_width: f64,
+    /// Efficiency factor of vectorized loops (imperfect due to prologue,
+    /// alignment and mixed operations).
+    pub vector_efficiency: f64,
+    /// Architectural floating-point registers usable by register tiling.
+    pub fp_registers: u32,
+    /// Cycles of loop overhead (compare + branch + increment) per iteration
+    /// of a non-unrolled innermost loop.
+    pub loop_overhead: f64,
+    /// Penalty in cycles per spilled live value per iteration.
+    pub spill_penalty: f64,
+}
+
+impl MachineModel {
+    /// Platform A: Xeon E5-2680 v3 (Haswell), the kernel platform.
+    #[must_use]
+    pub fn platform_a() -> Self {
+        Self {
+            name: "Platform A (E5-2680 v3)",
+            clock_ghz: 2.5,
+            caches: vec![
+                CacheLevel {
+                    capacity: 32 * 1024,
+                    line: 64,
+                    ways: 8,
+                    latency: 4.0,
+                },
+                CacheLevel {
+                    capacity: 256 * 1024,
+                    line: 64,
+                    ways: 8,
+                    latency: 12.0,
+                },
+                CacheLevel {
+                    capacity: 30 * 1024 * 1024,
+                    line: 64,
+                    ways: 20,
+                    latency: 42.0,
+                },
+            ],
+            memory_latency: 200.0,
+            memory_bandwidth: 8.0,
+            flops_per_cycle: 4.0,
+            div_latency: 14.0,
+            vector_width: 4.0,
+            vector_efficiency: 0.7,
+            fp_registers: 16,
+            loop_overhead: 2.0,
+            spill_penalty: 3.0,
+        }
+    }
+
+    /// Platform B: Xeon E5-2680 v4 (Broadwell), the application platform.
+    #[must_use]
+    pub fn platform_b() -> Self {
+        Self {
+            name: "Platform B (E5-2680 v4)",
+            clock_ghz: 2.4,
+            caches: vec![
+                CacheLevel {
+                    capacity: 32 * 1024,
+                    line: 64,
+                    ways: 8,
+                    latency: 4.0,
+                },
+                CacheLevel {
+                    capacity: 256 * 1024,
+                    line: 64,
+                    ways: 8,
+                    latency: 12.0,
+                },
+                CacheLevel {
+                    capacity: 35 * 1024 * 1024,
+                    line: 64,
+                    ways: 20,
+                    latency: 44.0,
+                },
+            ],
+            memory_latency: 210.0,
+            memory_bandwidth: 8.5,
+            flops_per_cycle: 4.0,
+            div_latency: 14.0,
+            vector_width: 4.0,
+            vector_efficiency: 0.7,
+            fp_registers: 16,
+            loop_overhead: 2.0,
+            spill_penalty: 3.0,
+        }
+    }
+
+    /// Platform C: a hypothetical AVX-512-class node (wider vectors, larger
+    /// private L2, slower clock). Not part of the paper's Table IV; used by
+    /// the `transfer` study to probe model portability across machines whose
+    /// performance surfaces are *not* affinely related (vectorization and
+    /// tiling optima genuinely move).
+    #[must_use]
+    pub fn platform_c() -> Self {
+        Self {
+            name: "Platform C (hypothetical AVX-512)",
+            clock_ghz: 2.0,
+            caches: vec![
+                CacheLevel {
+                    capacity: 48 * 1024,
+                    line: 64,
+                    ways: 12,
+                    latency: 5.0,
+                },
+                CacheLevel {
+                    capacity: 1024 * 1024,
+                    line: 64,
+                    ways: 16,
+                    latency: 14.0,
+                },
+                CacheLevel {
+                    capacity: 36 * 1024 * 1024,
+                    line: 64,
+                    ways: 11,
+                    latency: 50.0,
+                },
+            ],
+            memory_latency: 240.0,
+            memory_bandwidth: 10.0,
+            flops_per_cycle: 8.0,
+            div_latency: 16.0,
+            vector_width: 8.0,
+            vector_efficiency: 0.6,
+            fp_registers: 32,
+            loop_overhead: 2.0,
+            spill_penalty: 3.0,
+        }
+    }
+
+    /// Converts cycles to seconds on this machine.
+    #[must_use]
+    pub fn cycles_to_seconds(&self, cycles: f64) -> f64 {
+        cycles / (self.clock_ghz * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn platforms_are_distinct_and_sane() {
+        let a = MachineModel::platform_a();
+        let b = MachineModel::platform_b();
+        assert_ne!(a.name, b.name);
+        assert_eq!(a.caches.len(), 3);
+        // Monotone hierarchy.
+        for m in [&a, &b] {
+            for w in m.caches.windows(2) {
+                assert!(w[0].capacity < w[1].capacity);
+                assert!(w[0].latency < w[1].latency);
+            }
+            assert!(m.memory_latency > m.caches.last().unwrap().latency);
+        }
+    }
+
+    #[test]
+    fn cycles_to_seconds_uses_clock() {
+        let a = MachineModel::platform_a();
+        assert!((a.cycles_to_seconds(2.5e9) - 1.0).abs() < 1e-12);
+    }
+}

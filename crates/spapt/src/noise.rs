@@ -1,0 +1,116 @@
+//! Wall-clock measurement-noise model.
+//!
+//! The paper measures kernels 35 times and averages to suppress system
+//! noise. The model here reproduces that setting: a noise-free "ideal" time
+//! is perturbed multiplicatively by lognormal jitter (OS noise can only add
+//! time, so the distribution is right-skewed), plus rare large outliers
+//! (daemon wakeups, page-cache misses).
+
+use pwu_stats::dist::sample_exponential;
+use pwu_stats::{LogNormal, Xoshiro256PlusPlus};
+
+/// Multiplicative measurement-noise model.
+#[derive(Debug, Clone)]
+pub struct NoiseModel {
+    /// Log-scale standard deviation of the jitter (0.03 ≈ 3 % CV).
+    pub sigma: f64,
+    /// Probability of an outlier spike per measurement.
+    pub outlier_prob: f64,
+    /// Mean relative magnitude of an outlier spike (e.g. 0.5 → +50 %).
+    pub outlier_scale: f64,
+}
+
+impl NoiseModel {
+    /// The kernel-platform default: quiesced node, ~2 % jitter, rare spikes.
+    #[must_use]
+    pub fn quiet() -> Self {
+        Self {
+            sigma: 0.02,
+            outlier_prob: 0.01,
+            outlier_scale: 0.3,
+        }
+    }
+
+    /// The cluster default: network jitter raises dispersion.
+    #[must_use]
+    pub fn cluster() -> Self {
+        Self {
+            sigma: 0.05,
+            outlier_prob: 0.03,
+            outlier_scale: 0.5,
+        }
+    }
+
+    /// A noise-free model (for deterministic tests).
+    #[must_use]
+    pub fn none() -> Self {
+        Self {
+            sigma: 0.0,
+            outlier_prob: 0.0,
+            outlier_scale: 0.0,
+        }
+    }
+
+    /// Perturbs one ideal time into a single noisy measurement.
+    ///
+    /// The jitter distribution is normalized to mean 1 so repeated
+    /// measurement averages converge to `ideal`.
+    #[must_use]
+    pub fn perturb(&self, ideal: f64, rng: &mut Xoshiro256PlusPlus) -> f64 {
+        debug_assert!(ideal > 0.0, "ideal time must be positive");
+        let mut factor = if self.sigma > 0.0 {
+            // mean of LogNormal(mu, sigma) is exp(mu + sigma²/2); shifting
+            // mu by −sigma²/2 normalizes the mean to 1.
+            let mut d = LogNormal::new(-0.5 * self.sigma * self.sigma, self.sigma);
+            d.sample(rng)
+        } else {
+            1.0
+        };
+        if self.outlier_prob > 0.0 && rng.next_f64() < self.outlier_prob {
+            factor += self.outlier_scale * sample_exponential(rng, 1.0);
+        }
+        ideal * factor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwu_stats::mean;
+
+    #[test]
+    fn noise_free_model_is_identity() {
+        let m = NoiseModel::none();
+        let mut rng = Xoshiro256PlusPlus::new(0);
+        assert_eq!(m.perturb(0.5, &mut rng), 0.5);
+    }
+
+    #[test]
+    fn average_converges_to_ideal() {
+        let m = NoiseModel::quiet();
+        let mut rng = Xoshiro256PlusPlus::new(1);
+        let xs: Vec<f64> = (0..100_000).map(|_| m.perturb(1.0, &mut rng)).collect();
+        let avg = mean(&xs);
+        // Outliers bias upward by outlier_prob × outlier_scale ≈ 0.3 %.
+        assert!((avg - 1.0).abs() < 0.02, "mean {avg}");
+    }
+
+    #[test]
+    fn measurements_stay_positive() {
+        let m = NoiseModel::cluster();
+        let mut rng = Xoshiro256PlusPlus::new(2);
+        assert!((0..10_000).all(|_| m.perturb(1e-3, &mut rng) > 0.0));
+    }
+
+    #[test]
+    fn cluster_noise_has_higher_dispersion() {
+        let mut rng = Xoshiro256PlusPlus::new(3);
+        let quiet = NoiseModel::quiet();
+        let cluster = NoiseModel::cluster();
+        let q: Vec<f64> = (0..20_000).map(|_| quiet.perturb(1.0, &mut rng)).collect();
+        let c: Vec<f64> = (0..20_000)
+            .map(|_| cluster.perturb(1.0, &mut rng))
+            .collect();
+        assert!(pwu_stats::std_dev(&c) > pwu_stats::std_dev(&q));
+    }
+}

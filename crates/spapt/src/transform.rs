@@ -1,0 +1,432 @@
+//! Structural application of SPAPT/Orio-style transformations.
+//!
+//! The transformation parameters follow SPAPT conventions:
+//!
+//! - **tile** — two tiling levels per loop (outer for L2/L3, inner for L1).
+//!   A tile value of 1 disables that level, matching Orio.
+//! - **unroll-jam** — per-loop unroll factor (1 = none).
+//! - **register tile** — a second, register-level unroll factor.
+//! - **scalar replacement** — hoists innermost-invariant loads to scalars.
+//! - **vector** — requests vectorization of the innermost loop.
+//!
+//! [`apply`] normalizes the raw parameters against the loop extents and
+//! produces a [`TransformedNest`]: the concrete tiled loop order plus derived
+//! quantities (unroll factors, register pressure, vectorizability) consumed
+//! by the cache and cost models.
+
+use crate::ir::LoopNest;
+
+/// Raw transformation parameters for one loop nest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockTransform {
+    /// Per-loop `(outer, inner)` tile sizes; 1 disables a level.
+    pub tiles: Vec<(u64, u64)>,
+    /// Per-loop unroll-jam factors (≥ 1).
+    pub unroll: Vec<u64>,
+    /// Per-loop register-tile factors (≥ 1).
+    pub regtile: Vec<u64>,
+    /// Scalar replacement on/off.
+    pub scalar_replace: bool,
+    /// Vectorization pragma on/off.
+    pub vectorize: bool,
+}
+
+impl BlockTransform {
+    /// The identity transformation for a nest of `depth` loops.
+    #[must_use]
+    pub fn identity(depth: usize) -> Self {
+        Self {
+            tiles: vec![(1, 1); depth],
+            unroll: vec![1; depth],
+            regtile: vec![1; depth],
+            scalar_replace: false,
+            vectorize: false,
+        }
+    }
+}
+
+/// Which tiling band a transformed loop belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Segment {
+    /// Iterates tile origins of the outer tiling level.
+    TileOuter,
+    /// Iterates inner-tile origins within an outer tile.
+    TileMiddle,
+    /// Iterates points within the innermost tile.
+    Point,
+}
+
+/// One loop of the transformed nest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TLoop {
+    /// Index of the original loop this segment derives from.
+    pub orig: usize,
+    /// Trip count of this segment.
+    pub trip: u64,
+    /// Band of the segment.
+    pub segment: Segment,
+}
+
+/// A loop nest after tiling/unrolling, with derived metrics.
+#[derive(Debug, Clone)]
+pub struct TransformedNest {
+    /// Transformed loops, outermost first: outer-tile band, middle band,
+    /// then point band (original loop order within each band).
+    pub loops: Vec<TLoop>,
+    /// Effective per-loop `(outer, inner)` tile sizes after clamping.
+    pub eff_tiles: Vec<(u64, u64)>,
+    /// Effective combined per-loop unroll factor (unroll-jam × regtile,
+    /// clamped to the point trip).
+    pub eff_unroll: Vec<u64>,
+    /// Whether scalar replacement is active.
+    pub scalar_replace: bool,
+    /// Whether vectorization was requested.
+    pub vectorize_requested: bool,
+}
+
+/// Applies `t` to `nest`.
+///
+/// # Panics
+/// Panics if the parameter vectors do not match the nest depth or contain
+/// zeros.
+#[must_use]
+pub fn apply(nest: &LoopNest, t: &BlockTransform) -> TransformedNest {
+    let depth = nest.depth();
+    assert_eq!(t.tiles.len(), depth, "tile parameters per loop");
+    assert_eq!(t.unroll.len(), depth, "unroll parameters per loop");
+    assert_eq!(t.regtile.len(), depth, "regtile parameters per loop");
+    assert!(
+        t.unroll.iter().chain(&t.regtile).all(|&u| u >= 1),
+        "unroll factors must be at least 1"
+    );
+    assert!(
+        t.tiles.iter().all(|&(a, b)| a >= 1 && b >= 1),
+        "tile sizes must be at least 1"
+    );
+
+    // Normalize tiles: 1 disables a level; clamp to extents; inner ≤ outer.
+    let mut eff_tiles = Vec::with_capacity(depth);
+    for (l, &(t1, t2)) in nest.loops.iter().zip(&t.tiles) {
+        let outer = if t1 <= 1 { l.extent } else { t1.min(l.extent) };
+        let inner = if t2 <= 1 { outer } else { t2.min(outer) };
+        eff_tiles.push((outer, inner));
+    }
+
+    // Build the loop bands.
+    let mut loops = Vec::new();
+    for (i, l) in nest.loops.iter().enumerate() {
+        let (outer, _) = eff_tiles[i];
+        if outer < l.extent {
+            loops.push(TLoop {
+                orig: i,
+                trip: l.extent.div_ceil(outer),
+                segment: Segment::TileOuter,
+            });
+        }
+    }
+    for (i, &(outer, inner)) in eff_tiles.iter().enumerate() {
+        if inner < outer {
+            loops.push(TLoop {
+                orig: i,
+                trip: outer.div_ceil(inner),
+                segment: Segment::TileMiddle,
+            });
+        }
+    }
+    for (i, &(_, inner)) in eff_tiles.iter().enumerate() {
+        loops.push(TLoop {
+            orig: i,
+            trip: inner,
+            segment: Segment::Point,
+        });
+    }
+
+    // Effective unroll factors: unroll-jam × register tile, clamped to the
+    // point-band trip (cannot unroll beyond the tile).
+    let eff_unroll: Vec<u64> = (0..depth)
+        .map(|i| (t.unroll[i] * t.regtile[i]).min(eff_tiles[i].1).max(1))
+        .collect();
+
+    TransformedNest {
+        loops,
+        eff_tiles,
+        eff_unroll,
+        scalar_replace: t.scalar_replace,
+        vectorize_requested: t.vectorize,
+    }
+}
+
+impl TransformedNest {
+    /// Number of innermost-point iterations (equals the original nest's).
+    ///
+    /// Tiling introduces ceiling effects on tile counts; this returns the
+    /// *executed* iteration count including partial-tile rounding.
+    #[must_use]
+    pub fn iterations(&self) -> f64 {
+        self.loops.iter().map(|l| l.trip as f64).product()
+    }
+
+    /// For the subnest strictly below `depth` (loops at positions ≥ depth),
+    /// the iteration range covered by each original loop variable.
+    ///
+    /// Returns one entry per original loop: the product of the trips of that
+    /// loop's segments inside the subnest (≥ 1).
+    #[must_use]
+    pub fn inner_ranges(&self, depth: usize, n_orig: usize) -> Vec<u64> {
+        let mut ranges = vec![1u64; n_orig];
+        for l in &self.loops[depth..] {
+            ranges[l.orig] = ranges[l.orig].saturating_mul(l.trip);
+        }
+        ranges
+    }
+
+    /// Number of times the subnest below `depth` executes.
+    #[must_use]
+    pub fn executions(&self, depth: usize) -> f64 {
+        self.loops[..depth].iter().map(|l| l.trip as f64).product()
+    }
+
+    /// The original index of the innermost point loop.
+    ///
+    /// # Panics
+    /// Panics if the nest has no loops (impossible for validated nests).
+    #[must_use]
+    pub fn innermost_orig(&self) -> usize {
+        self.loops.last().expect("nest has loops").orig
+    }
+
+    /// Iterations of the innermost point loop between branches
+    /// (its trip divided by its unroll factor drives loop overhead).
+    #[must_use]
+    pub fn innermost_unroll(&self) -> u64 {
+        self.eff_unroll[self.innermost_orig()]
+    }
+
+    /// Estimated live floating-point values in the fully unrolled body.
+    ///
+    /// Every array reference contributes one live value per distinct unrolled
+    /// instance: the product of the unroll factors of the loops the reference
+    /// actually depends on. Scalar replacement adds one live scalar per
+    /// innermost-invariant read it hoists.
+    #[must_use]
+    pub fn register_pressure(&self, nest: &LoopNest) -> f64 {
+        let inner = self.innermost_orig();
+        let mut live = 0.0f64;
+        for stmt in &nest.stmts {
+            for r in stmt.reads.iter().chain(&stmt.writes) {
+                let mut instances = 1.0f64;
+                for (l, &u) in self.eff_unroll.iter().enumerate() {
+                    if u > 1 && !r.invariant_in(l) {
+                        instances *= u as f64;
+                    }
+                }
+                if self.scalar_replace && r.invariant_in(inner) {
+                    // Hoisted: one scalar regardless of innermost unroll, but
+                    // it stays live across the whole loop body.
+                    live += instances.max(1.0);
+                } else {
+                    // Streamed through registers; a fraction stays live.
+                    live += 0.5 * instances;
+                }
+            }
+        }
+        live
+    }
+
+    /// Whether the innermost loop is profitably vectorizable: every access
+    /// must be unit-stride or invariant in it.
+    #[must_use]
+    pub fn vectorizable(&self, nest: &LoopNest) -> bool {
+        let inner = self.innermost_orig();
+        nest.stmts.iter().all(|stmt| {
+            stmt.reads
+                .iter()
+                .chain(&stmt.writes)
+                .all(|r| r.invariant_in(inner) || r.unit_stride_in(inner))
+        })
+    }
+
+    /// Fraction of reads per iteration eliminated by scalar replacement
+    /// (reads invariant in the innermost loop, kept in scalars).
+    #[must_use]
+    pub fn scalar_replaced_read_fraction(&self, nest: &LoopNest) -> f64 {
+        if !self.scalar_replace {
+            return 0.0;
+        }
+        let inner = self.innermost_orig();
+        let total: usize = nest.stmts.iter().map(|s| s.reads.len()).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let invariant: usize = nest
+            .stmts
+            .iter()
+            .flat_map(|s| &s.reads)
+            .filter(|r| r.invariant_in(inner))
+            .count();
+        invariant as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{ArrayDecl, ArrayRef, LinIndex, LoopDim, LoopNest, Statement};
+
+    fn mm_nest(n: u64) -> LoopNest {
+        let nl = 3;
+        LoopNest {
+            loops: vec![
+                LoopDim {
+                    name: "i".into(),
+                    extent: n,
+                },
+                LoopDim {
+                    name: "j".into(),
+                    extent: n,
+                },
+                LoopDim {
+                    name: "k".into(),
+                    extent: n,
+                },
+            ],
+            stmts: vec![Statement {
+                reads: vec![
+                    ArrayRef::new(0, vec![LinIndex::var(nl, 0), LinIndex::var(nl, 2)]),
+                    ArrayRef::new(1, vec![LinIndex::var(nl, 2), LinIndex::var(nl, 1)]),
+                    ArrayRef::new(2, vec![LinIndex::var(nl, 0), LinIndex::var(nl, 1)]),
+                ],
+                writes: vec![ArrayRef::new(
+                    2,
+                    vec![LinIndex::var(nl, 0), LinIndex::var(nl, 1)],
+                )],
+                adds: 1,
+                muls: 1,
+                divs: 0,
+            }],
+            arrays: vec![
+                ArrayDecl::doubles("A", vec![n, n]),
+                ArrayDecl::doubles("B", vec![n, n]),
+                ArrayDecl::doubles("C", vec![n, n]),
+            ],
+        }
+    }
+
+    #[test]
+    fn identity_transform_preserves_structure() {
+        let nest = mm_nest(64);
+        let t = apply(&nest, &BlockTransform::identity(3));
+        assert_eq!(t.loops.len(), 3);
+        assert!(t.loops.iter().all(|l| l.segment == Segment::Point));
+        assert_eq!(t.iterations(), 64.0 * 64.0 * 64.0);
+        assert_eq!(t.innermost_orig(), 2);
+        assert_eq!(t.innermost_unroll(), 1);
+    }
+
+    #[test]
+    fn two_level_tiling_produces_three_bands() {
+        let nest = mm_nest(64);
+        let mut p = BlockTransform::identity(3);
+        p.tiles = vec![(32, 8), (32, 8), (1, 1)];
+        let t = apply(&nest, &p);
+        // i and j: outer + middle + point; k: point only → 2+2+3 loops.
+        assert_eq!(t.loops.len(), 7);
+        let outers: Vec<_> = t
+            .loops
+            .iter()
+            .filter(|l| l.segment == Segment::TileOuter)
+            .collect();
+        assert_eq!(outers.len(), 2);
+        assert!(outers.iter().all(|l| l.trip == 2)); // 64/32
+        // Point band trips: 8, 8, 64.
+        let points: Vec<u64> = t
+            .loops
+            .iter()
+            .filter(|l| l.segment == Segment::Point)
+            .map(|l| l.trip)
+            .collect();
+        assert_eq!(points, vec![8, 8, 64]);
+        // Iteration count preserved (tiles divide extents exactly here).
+        assert_eq!(t.iterations(), 64.0 * 64.0 * 64.0);
+    }
+
+    #[test]
+    fn oversized_and_unit_tiles_are_normalized() {
+        let nest = mm_nest(10);
+        let mut p = BlockTransform::identity(3);
+        p.tiles = vec![(512, 16), (1, 7), (16, 1)];
+        let t = apply(&nest, &p);
+        // Loop 0: outer clamps to 10 (no TileOuter loop), inner 10.
+        assert_eq!(t.eff_tiles[0], (10, 10));
+        // Loop 1: outer disabled → 10, inner 7.
+        assert_eq!(t.eff_tiles[1], (10, 7));
+        // Loop 2: outer 16 clamps to 10, inner disabled → = outer.
+        assert_eq!(t.eff_tiles[2], (10, 10));
+        // Partial tiles round up: loop 1 middle trip = ceil(10/7) = 2.
+        let mid: Vec<_> = t
+            .loops
+            .iter()
+            .filter(|l| l.segment == Segment::TileMiddle)
+            .collect();
+        assert_eq!(mid.len(), 1);
+        assert_eq!(mid[0].trip, 2);
+    }
+
+    #[test]
+    fn inner_ranges_reflect_subnest() {
+        let nest = mm_nest(64);
+        let mut p = BlockTransform::identity(3);
+        p.tiles = vec![(16, 1), (16, 1), (1, 1)];
+        let t = apply(&nest, &p);
+        // Bands: [outer_i(4), outer_j(4), point_i(16), point_j(16), point_k(64)]
+        assert_eq!(t.loops.len(), 5);
+        // Below depth 2 (inside both tile loops): i ranges 16, j 16, k 64.
+        assert_eq!(t.inner_ranges(2, 3), vec![16, 16, 64]);
+        // Below depth 0: full extents.
+        assert_eq!(t.inner_ranges(0, 3), vec![64, 64, 64]);
+        // Executions of the innermost subnest.
+        assert_eq!(t.executions(2), 16.0);
+    }
+
+    #[test]
+    fn unroll_clamps_to_tile() {
+        let nest = mm_nest(64);
+        let mut p = BlockTransform::identity(3);
+        p.tiles = vec![(1, 1), (1, 1), (1, 4)];
+        p.unroll = vec![1, 1, 31];
+        p.regtile = vec![1, 1, 8];
+        let t = apply(&nest, &p);
+        // 31 × 8 = 248 clamped to the point trip 4.
+        assert_eq!(t.eff_unroll[2], 4);
+    }
+
+    #[test]
+    fn mm_vectorizable_iff_innermost_is_j() {
+        let nest = mm_nest(64);
+        // Default order i,j,k: innermost k → B[k][j] strided → not vectorizable.
+        let t = apply(&nest, &BlockTransform::identity(3));
+        assert!(!t.vectorizable(&nest));
+    }
+
+    #[test]
+    fn register_pressure_grows_with_unroll() {
+        let nest = mm_nest(64);
+        let base = apply(&nest, &BlockTransform::identity(3));
+        let mut p = BlockTransform::identity(3);
+        p.unroll = vec![4, 4, 1];
+        let unrolled = apply(&nest, &p);
+        assert!(unrolled.register_pressure(&nest) > base.register_pressure(&nest));
+    }
+
+    #[test]
+    fn scalar_replacement_fraction() {
+        let nest = mm_nest(64);
+        let mut p = BlockTransform::identity(3);
+        p.scalar_replace = true;
+        let t = apply(&nest, &p);
+        // Innermost is k; C[i][j] is invariant in k → 1 of 3 reads replaced.
+        assert!((t.scalar_replaced_read_fraction(&nest) - 1.0 / 3.0).abs() < 1e-12);
+        let off = apply(&nest, &BlockTransform::identity(3));
+        assert_eq!(off.scalar_replaced_read_fraction(&nest), 0.0);
+    }
+}

@@ -1,0 +1,67 @@
+//! Property-based tests for the kernel simulators.
+
+use proptest::prelude::*;
+use pwu_space::TuningTarget;
+use pwu_spapt::{all_kernels, kernel_by_name, NoiseModel};
+use pwu_stats::Xoshiro256PlusPlus;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every configuration of every kernel yields a positive, finite time —
+    /// the annotator can never poison the training set.
+    #[test]
+    fn all_times_positive_and_finite(seed in 0u64..10_000) {
+        let mut rng = Xoshiro256PlusPlus::new(seed);
+        for k in all_kernels() {
+            let cfg = k.space().sample(&mut rng);
+            let t = k.ideal_time(&cfg);
+            prop_assert!(t.is_finite() && t > 0.0, "{}: {t}", k.name());
+            // Sanity ceiling: no config should "run" for more than an hour.
+            prop_assert!(t < 3600.0, "{}: absurd time {t}", k.name());
+        }
+    }
+
+    /// Noisy measurements scatter around the ideal time.
+    #[test]
+    fn measurements_bracket_ideal(seed in 0u64..10_000) {
+        let k = kernel_by_name("atax").expect("atax exists");
+        let mut rng = Xoshiro256PlusPlus::new(seed);
+        let cfg = k.space().sample(&mut rng);
+        let ideal = k.ideal_time(&cfg);
+        let m = k.measure(&cfg, &mut rng);
+        prop_assert!(m > 0.0);
+        prop_assert!(m > ideal * 0.5 && m < ideal * 20.0, "measurement {m} vs ideal {ideal}");
+    }
+
+    /// The ideal surface is deterministic: same config, same time.
+    #[test]
+    fn ideal_time_is_a_function(seed in 0u64..10_000) {
+        let k = kernel_by_name("mm").expect("mm exists");
+        let mut rng = Xoshiro256PlusPlus::new(seed);
+        let cfg = k.space().sample(&mut rng);
+        prop_assert_eq!(k.ideal_time(&cfg), k.ideal_time(&cfg));
+    }
+
+    /// Averaging repeats reduces dispersion (the reason the paper runs 35×).
+    #[test]
+    fn averaging_tightens_measurements(seed in 0u64..1000) {
+        let k = kernel_by_name("gesummv")
+            .expect("gesummv exists")
+            .with_noise(NoiseModel::cluster());
+        let mut rng = Xoshiro256PlusPlus::new(seed);
+        let cfg = k.space().sample(&mut rng);
+        let ideal = k.ideal_time(&cfg);
+        // Enough samples on both sides that the ~10x dispersion reduction of
+        // 100-fold averaging cannot be masked by sampling luck.
+        let single: Vec<f64> = (0..40).map(|_| k.measure(&cfg, &mut rng)).collect();
+        let averaged: Vec<f64> = (0..40)
+            .map(|_| k.measure_averaged(&cfg, 100, &mut rng))
+            .collect();
+        let dev = |xs: &[f64]| {
+            xs.iter().map(|x| (x - ideal).abs()).sum::<f64>() / xs.len() as f64
+        };
+        prop_assert!(dev(&averaged) < dev(&single) * 0.8,
+            "averaging did not tighten: {} vs {}", dev(&averaged), dev(&single));
+    }
+}

@@ -1,0 +1,175 @@
+//! Continuous distributions used by the simulated annotators.
+//!
+//! The workspace needs only a handful of distributions (normal noise on log
+//! scale for wall-clock jitter, exponential spikes for outliers), so they are
+//! implemented here directly rather than pulling in `rand_distr`.
+
+use crate::rng::Xoshiro256PlusPlus;
+
+/// Normal distribution sampled with the Box–Muller transform.
+///
+/// Both Box–Muller outputs are used: the spare value is cached, so the
+/// amortized cost is one `ln` + one `sqrt` + one `sincos` per two samples.
+#[derive(Debug, Clone)]
+pub struct Normal {
+    mean: f64,
+    std: f64,
+    spare: Option<f64>,
+}
+
+impl Normal {
+    /// Creates a normal distribution with the given mean and standard
+    /// deviation.
+    ///
+    /// # Panics
+    /// Panics if `std` is negative or not finite.
+    #[must_use]
+    pub fn new(mean: f64, std: f64) -> Self {
+        assert!(
+            std.is_finite() && std >= 0.0,
+            "standard deviation must be finite and non-negative, got {std}"
+        );
+        assert!(mean.is_finite(), "mean must be finite, got {mean}");
+        Self {
+            mean,
+            std,
+            spare: None,
+        }
+    }
+
+    /// Draws one sample.
+    pub fn sample(&mut self, rng: &mut Xoshiro256PlusPlus) -> f64 {
+        self.mean + self.std * self.sample_standard(rng)
+    }
+
+    /// Draws one standard-normal sample (mean 0, std 1).
+    pub fn sample_standard(&mut self, rng: &mut Xoshiro256PlusPlus) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        // Box–Muller: u1 must be strictly positive for the log.
+        let mut u1 = rng.next_f64();
+        while u1 <= f64::MIN_POSITIVE {
+            u1 = rng.next_f64();
+        }
+        let u2 = rng.next_f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = std::f64::consts::TAU * u2;
+        let (s, c) = theta.sin_cos();
+        self.spare = Some(r * s);
+        r * c
+    }
+}
+
+/// Lognormal distribution: `exp(N(mu, sigma))`.
+///
+/// Used for multiplicative wall-clock noise: a configuration's ideal time `t`
+/// is reported as `t * LogNormal(0, sigma)`, matching the right-skewed jitter
+/// of real measurements (OS noise can only ever add time).
+#[derive(Debug, Clone)]
+pub struct LogNormal {
+    inner: Normal,
+}
+
+impl LogNormal {
+    /// Creates a lognormal distribution with log-scale location `mu` and
+    /// log-scale deviation `sigma`.
+    ///
+    /// # Panics
+    /// Panics if `sigma` is negative or not finite.
+    #[must_use]
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        Self {
+            inner: Normal::new(mu, sigma),
+        }
+    }
+
+    /// Draws one sample (always strictly positive).
+    pub fn sample(&mut self, rng: &mut Xoshiro256PlusPlus) -> f64 {
+        self.inner.sample(rng).exp()
+    }
+
+    /// The distribution mean, `exp(mu + sigma²/2)`.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        (self.inner.mean + 0.5 * self.inner.std * self.inner.std).exp()
+    }
+}
+
+/// Draws one exponentially distributed sample with the given rate `lambda`.
+///
+/// Used for rare outlier spikes in the measurement-noise model.
+///
+/// # Panics
+/// Panics if `lambda` is not strictly positive.
+pub fn sample_exponential(rng: &mut Xoshiro256PlusPlus, lambda: f64) -> f64 {
+    assert!(
+        lambda > 0.0 && lambda.is_finite(),
+        "rate must be positive and finite, got {lambda}"
+    );
+    let mut u = rng.next_f64();
+    while u <= f64::MIN_POSITIVE {
+        u = rng.next_f64();
+    }
+    -u.ln() / lambda
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::describe::{mean, std_dev};
+
+    fn draws(mut f: impl FnMut(&mut Xoshiro256PlusPlus) -> f64, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = Xoshiro256PlusPlus::new(seed);
+        (0..n).map(|_| f(&mut rng)).collect()
+    }
+
+    #[test]
+    fn normal_moments_match() {
+        let mut d = Normal::new(3.0, 2.0);
+        let xs = draws(|r| d.sample(r), 200_000, 17);
+        assert!((mean(&xs) - 3.0).abs() < 0.02, "mean {}", mean(&xs));
+        assert!((std_dev(&xs) - 2.0).abs() < 0.02, "std {}", std_dev(&xs));
+    }
+
+    #[test]
+    fn normal_zero_std_is_constant() {
+        let mut d = Normal::new(5.0, 0.0);
+        let xs = draws(|r| d.sample(r), 100, 1);
+        assert!(xs.iter().all(|&x| x == 5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn normal_rejects_negative_std() {
+        let _ = Normal::new(0.0, -1.0);
+    }
+
+    #[test]
+    fn lognormal_positive_and_mean_matches() {
+        let mut d = LogNormal::new(0.0, 0.25);
+        let xs = draws(|r| d.sample(r), 200_000, 23);
+        assert!(xs.iter().all(|&x| x > 0.0));
+        let expected = d.mean();
+        assert!(
+            (mean(&xs) - expected).abs() / expected < 0.01,
+            "mean {} vs {}",
+            mean(&xs),
+            expected
+        );
+    }
+
+    #[test]
+    fn exponential_mean_is_inverse_rate() {
+        let xs = draws(|r| sample_exponential(r, 4.0), 200_000, 29);
+        assert!(xs.iter().all(|&x| x >= 0.0));
+        assert!((mean(&xs) - 0.25).abs() < 0.005, "mean {}", mean(&xs));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn exponential_rejects_zero_rate() {
+        let mut rng = Xoshiro256PlusPlus::new(0);
+        let _ = sample_exponential(&mut rng, 0.0);
+    }
+}

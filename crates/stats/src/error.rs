@@ -1,0 +1,125 @@
+//! Regression error metrics.
+
+fn check_lengths(obs: &[f64], pred: &[f64]) {
+    assert_eq!(
+        obs.len(),
+        pred.len(),
+        "observation/prediction length mismatch: {} vs {}",
+        obs.len(),
+        pred.len()
+    );
+}
+
+/// Root mean squared error (Eq. 2 of the paper, over the full slice).
+///
+/// Returns `NaN` for empty input.
+#[must_use]
+pub fn rmse(obs: &[f64], pred: &[f64]) -> f64 {
+    check_lengths(obs, pred);
+    if obs.is_empty() {
+        return f64::NAN;
+    }
+    let sse: f64 = obs
+        .iter()
+        .zip(pred)
+        .map(|(&y, &yh)| (y - yh) * (y - yh))
+        .sum();
+    (sse / obs.len() as f64).sqrt()
+}
+
+/// Mean absolute error. Returns `NaN` for empty input.
+#[must_use]
+pub fn mae(obs: &[f64], pred: &[f64]) -> f64 {
+    check_lengths(obs, pred);
+    if obs.is_empty() {
+        return f64::NAN;
+    }
+    obs.iter().zip(pred).map(|(&y, &yh)| (y - yh).abs()).sum::<f64>() / obs.len() as f64
+}
+
+/// Coefficient of determination R².
+///
+/// Returns `NaN` for empty input or constant observations.
+#[must_use]
+pub fn r2(obs: &[f64], pred: &[f64]) -> f64 {
+    check_lengths(obs, pred);
+    if obs.is_empty() {
+        return f64::NAN;
+    }
+    let mean = obs.iter().sum::<f64>() / obs.len() as f64;
+    let ss_tot: f64 = obs.iter().map(|&y| (y - mean) * (y - mean)).sum();
+    if ss_tot == 0.0 {
+        return f64::NAN;
+    }
+    let ss_res: f64 = obs
+        .iter()
+        .zip(pred)
+        .map(|(&y, &yh)| (y - yh) * (y - yh))
+        .sum();
+    1.0 - ss_res / ss_tot
+}
+
+/// Mean absolute percentage error (skips observations equal to zero).
+///
+/// Returns `NaN` if no non-zero observation exists.
+#[must_use]
+pub fn mape(obs: &[f64], pred: &[f64]) -> f64 {
+    check_lengths(obs, pred);
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for (&y, &yh) in obs.iter().zip(pred) {
+        if y != 0.0 {
+            total += ((y - yh) / y).abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        f64::NAN
+    } else {
+        total / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmse_basic() {
+        assert_eq!(rmse(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert!((rmse(&[0.0, 0.0], &[3.0, 4.0]) - (12.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mae_basic() {
+        assert_eq!(mae(&[1.0, 3.0], &[2.0, 1.0]), 1.5);
+    }
+
+    #[test]
+    fn r2_perfect_is_one_and_mean_is_zero() {
+        let obs = [1.0, 2.0, 3.0];
+        assert!((r2(&obs, &obs) - 1.0).abs() < 1e-12);
+        let mean_pred = [2.0, 2.0, 2.0];
+        assert!(r2(&obs, &mean_pred).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mape_skips_zero_observations() {
+        let m = mape(&[0.0, 2.0], &[5.0, 1.0]);
+        assert!((m - 0.5).abs() < 1e-12);
+        assert!(mape(&[0.0], &[1.0]).is_nan());
+    }
+
+    #[test]
+    fn empty_inputs_are_nan() {
+        assert!(rmse(&[], &[]).is_nan());
+        assert!(mae(&[], &[]).is_nan());
+        assert!(r2(&[], &[]).is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = rmse(&[1.0], &[1.0, 2.0]);
+    }
+}

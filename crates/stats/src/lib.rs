@@ -1,0 +1,28 @@
+//! Numeric substrate for the PWU reproduction.
+//!
+//! Every stochastic component in the workspace (pool sampling, bootstrap
+//! resampling, measurement noise, experiment repetitions) draws from the
+//! deterministic, splittable generators defined here, so a single `u64` seed
+//! reproduces an entire experiment bit-for-bit.
+//!
+//! Modules:
+//! - [`rng`] — SplitMix64 and Xoshiro256++ generators plus seed derivation
+//! - [`dist`] — normal / lognormal / exponential sampling (Box–Muller)
+//! - [`describe`] — descriptive statistics and quantiles
+//! - [`online`] — Welford online moments for streaming aggregation
+//! - [`rank`] — argsort, ranking with ties, top-k selection, Spearman ρ
+//! - [`error`] — regression error metrics (RMSE, MAE, R², MAPE)
+
+pub mod describe;
+pub mod dist;
+pub mod error;
+pub mod online;
+pub mod rank;
+pub mod rng;
+
+pub use describe::{geomean, mean, quantile, std_dev, variance, Summary};
+pub use dist::{LogNormal, Normal};
+pub use error::{mae, mape, r2, rmse};
+pub use online::OnlineMoments;
+pub use rank::{argsort_by, ranks_average, spearman, top_k_indices};
+pub use rng::{derive_seed, SplitMix64, Xoshiro256PlusPlus};

@@ -1,0 +1,172 @@
+//! Streaming (online) moment accumulation.
+
+/// Welford online accumulator for count / mean / variance / min / max.
+///
+/// Numerically stable for long streams; merging two accumulators is exact,
+/// which lets parallel experiment repetitions be reduced without collecting
+/// raw samples.
+#[derive(Debug, Clone, Default)]
+pub struct OnlineMoments {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineMoments {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator into this one (Chan's parallel update).
+    pub fn merge(&mut self, other: &Self) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.n as f64 / n as f64;
+        self.m2 += other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        self.n = n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean (`NaN` if empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (`NaN` if empty).
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation (`NaN` if empty).
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum (`NaN` if empty).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Maximum (`NaN` if empty).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::describe;
+
+    #[test]
+    fn matches_batch_statistics() {
+        let xs = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let mut acc = OnlineMoments::new();
+        for &x in &xs {
+            acc.push(x);
+        }
+        assert_eq!(acc.count(), xs.len() as u64);
+        assert!((acc.mean() - describe::mean(&xs)).abs() < 1e-12);
+        assert!((acc.variance() - describe::variance(&xs)).abs() < 1e-12);
+        assert_eq!(acc.min(), 1.0);
+        assert_eq!(acc.max(), 9.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [10.0, 20.0, 30.0, 40.0];
+        let mut a = OnlineMoments::new();
+        xs.iter().for_each(|&x| a.push(x));
+        let mut b = OnlineMoments::new();
+        ys.iter().for_each(|&y| b.push(y));
+        a.merge(&b);
+
+        let mut all = OnlineMoments::new();
+        xs.iter().chain(&ys).for_each(|&x| all.push(x));
+
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-12);
+        assert!((a.variance() - all.variance()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = OnlineMoments::new();
+        a.push(1.0);
+        a.push(2.0);
+        let before = a.clone();
+        a.merge(&OnlineMoments::new());
+        assert_eq!(a.count(), before.count());
+        assert_eq!(a.mean(), before.mean());
+
+        let mut e = OnlineMoments::new();
+        e.merge(&before);
+        assert_eq!(e.count(), 2);
+        assert!((e.mean() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_reports_nan() {
+        let acc = OnlineMoments::new();
+        assert!(acc.mean().is_nan());
+        assert!(acc.variance().is_nan());
+        assert!(acc.min().is_nan());
+        assert!(acc.max().is_nan());
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for the numeric substrate.
+
+use proptest::prelude::*;
+use pwu_stats::{
+    argsort_by, mean, quantile, ranks_average, rmse, std_dev, OnlineMoments, Xoshiro256PlusPlus,
+};
+
+fn finite_vec(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6, 1..max_len)
+}
+
+proptest! {
+    #[test]
+    fn online_moments_match_batch(xs in finite_vec(200)) {
+        let mut acc = OnlineMoments::new();
+        for &x in &xs {
+            acc.push(x);
+        }
+        prop_assert_eq!(acc.count(), xs.len() as u64);
+        prop_assert!((acc.mean() - mean(&xs)).abs() < 1e-6 * (1.0 + mean(&xs).abs()));
+        prop_assert!((acc.std_dev() - std_dev(&xs)).abs() < 1e-5 * (1.0 + std_dev(&xs)));
+    }
+
+    #[test]
+    fn online_merge_is_associative_enough(
+        xs in finite_vec(100),
+        ys in finite_vec(100),
+    ) {
+        let mut a = OnlineMoments::new();
+        xs.iter().for_each(|&x| a.push(x));
+        let mut b = OnlineMoments::new();
+        ys.iter().for_each(|&y| b.push(y));
+        a.merge(&b);
+
+        let mut whole = OnlineMoments::new();
+        xs.iter().chain(&ys).for_each(|&x| whole.push(x));
+
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() < 1e-6 * (1.0 + whole.mean().abs()));
+    }
+
+    #[test]
+    fn argsort_yields_sorted_permutation(xs in finite_vec(200)) {
+        let idx = argsort_by(&xs, |&x| x);
+        // Permutation of 0..n.
+        let mut seen = vec![false; xs.len()];
+        for &i in &idx {
+            prop_assert!(!seen[i]);
+            seen[i] = true;
+        }
+        // Sorted.
+        for w in idx.windows(2) {
+            prop_assert!(xs[w[0]] <= xs[w[1]]);
+        }
+    }
+
+    #[test]
+    fn ranks_are_a_valid_assignment(xs in finite_vec(100)) {
+        let r = ranks_average(&xs);
+        // Ranks sum to n(n+1)/2 regardless of ties.
+        let n = xs.len() as f64;
+        let total: f64 = r.iter().sum();
+        prop_assert!((total - n * (n + 1.0) / 2.0).abs() < 1e-6);
+        // Equal values get equal ranks; strictly smaller values smaller ranks.
+        for i in 0..xs.len() {
+            for j in 0..xs.len() {
+                if xs[i] < xs[j] {
+                    prop_assert!(r[i] < r[j]);
+                } else if xs[i] == xs[j] {
+                    prop_assert!((r[i] - r[j]).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_is_monotone_and_bounded(xs in finite_vec(100), q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = quantile(&xs, lo);
+        let b = quantile(&xs, hi);
+        prop_assert!(a <= b);
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(a >= min && b <= max);
+    }
+
+    #[test]
+    fn rmse_is_zero_iff_equal(xs in finite_vec(100)) {
+        prop_assert_eq!(rmse(&xs, &xs), 0.0);
+        let shifted: Vec<f64> = xs.iter().map(|&x| x + 1.0).collect();
+        prop_assert!((rmse(&xs, &shifted) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn xoshiro_streams_with_distinct_seeds_differ(seed in 0u64..u64::MAX / 2) {
+        let mut a = Xoshiro256PlusPlus::new(seed);
+        let mut b = Xoshiro256PlusPlus::new(seed + 1);
+        let va: Vec<u64> = (0..4).map(|_| a.next()).collect();
+        let vb: Vec<u64> = (0..4).map(|_| b.next()).collect();
+        prop_assert_ne!(va, vb);
+    }
+}

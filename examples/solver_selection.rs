@@ -1,0 +1,89 @@
+//! Domain example: pick a *hypre* solver stack with a learned model.
+//!
+//! The hypre space (Table III) is dominated by categorical parameters with
+//! hard interactions — some solver × smoother combinations diverge outright.
+//! This example shows the random forest handling those natively and PWU
+//! steering annotations away from the divergent tail.
+//!
+//! Run with: `cargo run --release --example solver_selection`
+
+use pwu_repro::core::experiment::run_experiment;
+use pwu_repro::core::{ActiveConfig, Protocol, Strategy};
+use pwu_repro::forest::ForestConfig;
+use pwu_repro::space::TuningTarget;
+use pwu_repro::stats::Xoshiro256PlusPlus;
+
+fn main() {
+    let hypre = pwu_repro::apps::Hypre::new();
+    println!(
+        "hypre space: {} configurations over {:?}",
+        hypre.space().cardinality(),
+        hypre
+            .space()
+            .params()
+            .iter()
+            .map(|p| p.name())
+            .collect::<Vec<_>>()
+    );
+
+    // Show the tail: sample 200 configurations, print the time spread.
+    let mut rng = Xoshiro256PlusPlus::new(5);
+    let sample = hypre.space().sample_distinct(200, &mut rng);
+    let mut times: Vec<f64> = sample.iter().map(|c| hypre.ideal_time(c)).collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    println!(
+        "time spread over 200 random configs: best {:.2} s, median {:.2} s, worst {:.2} s",
+        times[0],
+        times[100],
+        times[199]
+    );
+
+    // Model the space with PWU vs Uniform and compare where the annotation
+    // budget went.
+    let alpha = 0.05;
+    let protocol = Protocol {
+        surrogate_size: 1_600,
+        pool_size: 1_200,
+        active: ActiveConfig {
+            n_init: 10,
+            n_batch: 1,
+            n_max: 120,
+            forest: ForestConfig::default(),
+            eval_every: 10,
+            alphas: vec![alpha],
+            repeats: 3,
+            ..ActiveConfig::default()
+        },
+        n_reps: 3,
+    };
+    println!("\nmodeling with PWU vs Uniform ({} reps) …", protocol.n_reps);
+    let result = run_experiment(
+        &hypre,
+        &[Strategy::Pwu { alpha }, Strategy::Uniform],
+        &protocol,
+        31,
+    );
+    for curve in &result.curves {
+        println!(
+            "  {:8}  final RMSE@{alpha} = {:.3} s   annotation cost = {:.0} s",
+            curve.strategy.name(),
+            curve.rmse[0].last().unwrap(),
+            curve.cumulative_cost.last().unwrap(),
+        );
+    }
+    println!(
+        "\nUniform wastes budget measuring divergent solvers (huge cost);\n\
+         PWU concentrates on the fast subspace and models it more accurately."
+    );
+
+    // Use the PWU model to rank solver families.
+    let pwu = result.curve("PWU").expect("PWU ran");
+    println!(
+        "PWU annotated {} configurations; cheapest observed: {:.2} s",
+        pwu.selections.len(),
+        pwu.selections
+            .iter()
+            .map(|s| s.observed)
+            .fold(f64::INFINITY, f64::min)
+    );
+}

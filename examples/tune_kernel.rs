@@ -1,0 +1,103 @@
+//! Domain example: tune a compilation-parameter space end to end.
+//!
+//! Builds a PWU-sampled surrogate for the `mm` kernel, inspects which
+//! parameters dominate the performance surface, then tunes with the
+//! surrogate as a free annotator (the paper's Fig 8 workflow).
+//!
+//! Run with: `cargo run --release --example tune_kernel`
+
+use pwu_repro::core::tuning::{model_based_tuning, TuningAnnotator};
+use pwu_repro::core::{ActiveConfig, Strategy};
+use pwu_repro::forest::importance::feature_importances;
+use pwu_repro::forest::ForestConfig;
+use pwu_repro::space::{FeatureSchema, Pool, TuningTarget};
+use pwu_repro::stats::Xoshiro256PlusPlus;
+
+fn main() {
+    let kernel = pwu_repro::spapt::kernel_by_name("mm").expect("mm is registered");
+    let space = kernel.space();
+    let schema = FeatureSchema::for_space(space);
+    let mut rng = Xoshiro256PlusPlus::new(99);
+
+    // --- Phase 1: build the surrogate with PWU active learning -----------
+    let budget = 150;
+    let sample = space.sample_distinct(1200, &mut rng);
+    let (pool_cfgs, rest) = sample.split_at(600);
+    let (test_cfgs, candidates) = rest.split_at(200);
+    let test_features = schema.encode_all(space, test_cfgs);
+    let test_labels: Vec<f64> = test_cfgs.iter().map(|c| kernel.ideal_time(c)).collect();
+
+    let config = ActiveConfig {
+        n_init: 10,
+        n_batch: 1,
+        n_max: budget,
+        forest: ForestConfig::default(),
+        eval_every: 50,
+        alphas: vec![0.05],
+        repeats: 5,
+        ..ActiveConfig::default()
+    };
+    println!("phase 1: learning a surrogate from {budget} annotated runs (PWU) …");
+    let run = pwu_repro::core::active::run(
+        &kernel,
+        Strategy::Pwu { alpha: 0.05 },
+        &config,
+        Pool::new(space, &schema, pool_cfgs.to_vec()),
+        &test_features,
+        &test_labels,
+        4242,
+    );
+    println!(
+        "  annotation cost: {:.2} s of simulated kernel time",
+        run.train.cumulative_cost()
+    );
+
+    // --- Phase 2: what did the model learn? -------------------------------
+    let importances = feature_importances(&run.model);
+    let mut ranked: Vec<(&str, f64)> = space
+        .params()
+        .iter()
+        .map(|p| p.name())
+        .zip(importances.iter().copied())
+        .collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite importances"));
+    println!("\nmost influential parameters:");
+    for (name, imp) in ranked.iter().take(5) {
+        println!("  {name:12} {:.1}%", imp * 100.0);
+    }
+
+    // --- Phase 3: tune with the surrogate as a free annotator -------------
+    println!("\nphase 2: greedy model-based tuning with the surrogate annotator …");
+    let traj = model_based_tuning(
+        &kernel,
+        candidates,
+        &TuningAnnotator::Surrogate(&run.model),
+        10,
+        60,
+        &ForestConfig::default(),
+        7,
+    );
+    let best = traj.best_true.last().unwrap();
+    let baseline: f64 = candidates
+        .iter()
+        .take(10)
+        .map(|c| kernel.ideal_time(c))
+        .fold(f64::INFINITY, f64::min);
+    println!("  best of 10 random candidates: {baseline:.4e} s");
+    println!("  best after surrogate tuning:  {best:.4e} s");
+    println!("  improvement: {:.2}x", baseline / best);
+    let best_cfg = traj
+        .chosen
+        .iter()
+        .min_by(|a, b| {
+            kernel
+                .ideal_time(a)
+                .partial_cmp(&kernel.ideal_time(b))
+                .expect("finite")
+        })
+        .expect("nonempty");
+    println!("\nwinning configuration:");
+    for (name, value) in space.values(best_cfg) {
+        println!("  {name:12} = {value}");
+    }
+}

@@ -1,0 +1,37 @@
+//! Umbrella crate for the PWU reproduction workspace.
+//!
+//! Re-exports the public surface of every member crate so examples and
+//! integration tests can use a single dependency. See the individual crates
+//! for the real implementations:
+//!
+//! - [`pwu_stats`] — numeric substrate (RNG, distributions, error metrics)
+//! - [`pwu_space`] — parameter spaces, configurations, pools, encodings
+//! - [`pwu_forest`] — from-scratch random-forest regression with uncertainty
+//! - [`pwu_spapt`] — simulated SPAPT kernel benchmarks (loop-nest machine model)
+//! - [`pwu_apps`] — simulated *kripke* and *hypre* parallel applications
+//! - [`pwu_core`] — the paper's active-learning loop and sampling strategies
+//! - [`pwu_report`] — tables, CSV emission and ASCII plots
+//!
+//! ```
+//! use pwu_repro::core::{Protocol, Strategy, experiment::run_experiment};
+//! use pwu_repro::space::TuningTarget;
+//!
+//! // Model kripke's parameter space with a tiny PWU run.
+//! let app = pwu_repro::apps::Kripke::new();
+//! let mut protocol = Protocol::quick(0.05);
+//! protocol.surrogate_size = 400;
+//! protocol.pool_size = 300;
+//! protocol.active.n_max = 30;
+//! protocol.n_reps = 1;
+//! let result = run_experiment(&app, &[Strategy::Pwu { alpha: 0.05 }], &protocol, 7);
+//! let curve = result.curve("PWU").expect("PWU ran");
+//! assert!(curve.rmse[0].iter().all(|r| r.is_finite()));
+//! ```
+
+pub use pwu_apps as apps;
+pub use pwu_core as core;
+pub use pwu_forest as forest;
+pub use pwu_report as report;
+pub use pwu_space as space;
+pub use pwu_spapt as spapt;
+pub use pwu_stats as stats;

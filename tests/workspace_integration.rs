@@ -1,0 +1,142 @@
+//! Cross-crate integration tests: the whole stack wired together through
+//! the umbrella crate, the way a downstream user consumes it.
+
+use pwu_repro::core::experiment::run_experiment;
+use pwu_repro::core::{ActiveConfig, Protocol, Strategy};
+use pwu_repro::forest::{ForestConfig, RandomForest};
+use pwu_repro::space::{FeatureSchema, TuningTarget};
+use pwu_repro::stats::Xoshiro256PlusPlus;
+
+/// Every benchmark in the suite exposes a consistent space/encoding triple
+/// and a usable annotator.
+#[test]
+fn all_fourteen_benchmarks_are_well_formed() {
+    let mut targets: Vec<Box<dyn TuningTarget>> = pwu_repro::spapt::all_kernels()
+        .into_iter()
+        .map(|k| Box::new(k) as Box<dyn TuningTarget>)
+        .collect();
+    targets.push(Box::new(pwu_repro::apps::Kripke::new()));
+    targets.push(Box::new(pwu_repro::apps::Hypre::new()));
+    assert_eq!(targets.len(), 14);
+
+    let mut rng = Xoshiro256PlusPlus::new(0);
+    for t in &targets {
+        let schema = FeatureSchema::for_space(t.space());
+        assert_eq!(schema.dim(), t.space().dim(), "{}", t.name());
+        let cfgs = t.space().sample_distinct(16, &mut rng);
+        for cfg in &cfgs {
+            let row = schema.encode(t.space(), cfg);
+            assert!(row.iter().all(|v| v.is_finite()), "{}", t.name());
+            let y = t.ideal_time(cfg);
+            assert!(y > 0.0 && y.is_finite(), "{}: time {y}", t.name());
+            let m = t.measure(cfg, &mut rng);
+            assert!(m > 0.0 && m.is_finite(), "{}: measurement {m}", t.name());
+        }
+    }
+}
+
+/// A forest trained on one benchmark's encoding ranks its elite usefully:
+/// predicted-fast configurations are actually faster on average than
+/// predicted-slow ones.
+#[test]
+fn forest_rankings_transfer_to_true_times() {
+    let kernel = pwu_repro::spapt::kernel_by_name("lu").expect("lu exists");
+    let schema = FeatureSchema::for_space(kernel.space());
+    let mut rng = Xoshiro256PlusPlus::new(3);
+    let train_cfgs = kernel.space().sample_distinct(400, &mut rng);
+    let x = schema.encode_all(kernel.space(), &train_cfgs);
+    let y: Vec<f64> = train_cfgs.iter().map(|c| kernel.ideal_time(c)).collect();
+    let forest = RandomForest::fit(&ForestConfig::default(), schema.kinds(), &x, &y, 9);
+
+    let probe_cfgs = kernel.space().sample_distinct(200, &mut rng);
+    let mut scored: Vec<(f64, f64)> = probe_cfgs
+        .iter()
+        .map(|c| {
+            let row = schema.encode(kernel.space(), c);
+            (forest.predict(&row), kernel.ideal_time(c))
+        })
+        .collect();
+    scored.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite predictions"));
+    let fast_mean: f64 = scored[..50].iter().map(|s| s.1).sum::<f64>() / 50.0;
+    let slow_mean: f64 = scored[150..].iter().map(|s| s.1).sum::<f64>() / 50.0;
+    assert!(
+        fast_mean < slow_mean,
+        "predicted-fast group {fast_mean} should beat predicted-slow {slow_mean}"
+    );
+}
+
+/// The full protocol is deterministic across crates for a fixed seed and
+/// differs across seeds.
+#[test]
+fn cross_crate_determinism() {
+    let kripke = pwu_repro::apps::Kripke::new();
+    let protocol = Protocol {
+        surrogate_size: 500,
+        pool_size: 380,
+        active: ActiveConfig {
+            n_init: 8,
+            n_batch: 1,
+            n_max: 30,
+            forest: ForestConfig {
+                n_trees: 16,
+                ..ForestConfig::default()
+            },
+            eval_every: 10,
+            alphas: vec![0.05],
+            repeats: 2,
+            ..ActiveConfig::default()
+        },
+        n_reps: 2,
+    };
+    let strategies = [Strategy::Pwu { alpha: 0.05 }];
+    let a = run_experiment(&kripke, &strategies, &protocol, 77);
+    let b = run_experiment(&kripke, &strategies, &protocol, 77);
+    let c = run_experiment(&kripke, &strategies, &protocol, 78);
+    assert_eq!(a.curves[0].rmse, b.curves[0].rmse);
+    assert_eq!(a.curves[0].cumulative_cost, b.curves[0].cumulative_cost);
+    assert_ne!(a.curves[0].rmse, c.curves[0].rmse);
+}
+
+/// The Fig 9 shape claim in miniature: PWU's selected samples carry more
+/// predicted uncertainty than PBUS's on the same benchmark and seed.
+#[test]
+fn pwu_selects_more_uncertainty_than_pbus() {
+    let kernel = pwu_repro::spapt::kernel_by_name("atax").expect("atax exists");
+    let protocol = Protocol {
+        surrogate_size: 700,
+        pool_size: 550,
+        active: ActiveConfig {
+            n_init: 10,
+            n_batch: 1,
+            n_max: 90,
+            forest: ForestConfig {
+                n_trees: 32,
+                ..ForestConfig::default()
+            },
+            eval_every: 20,
+            alphas: vec![0.05],
+            repeats: 2,
+            ..ActiveConfig::default()
+        },
+        n_reps: 2,
+    };
+    let result = run_experiment(
+        &kernel,
+        &[
+            Strategy::Pwu { alpha: 0.05 },
+            Strategy::Pbus { fraction: 0.10 },
+        ],
+        &protocol,
+        2025,
+    );
+    let mean_sigma = |name: &str| {
+        let sel = &result.curve(name).expect("ran").selections;
+        sel.iter().map(|s| s.std).sum::<f64>() / sel.len() as f64
+    };
+    assert!(
+        mean_sigma("PWU") > mean_sigma("PBUS"),
+        "PWU σ {} vs PBUS σ {}",
+        mean_sigma("PWU"),
+        mean_sigma("PBUS")
+    );
+}
