@@ -1,0 +1,67 @@
+//! `pwu-lint`: the suite-wide static-analysis gate.
+//!
+//! Walks all 18 SPAPT kernels (the paper's 12 plus the extended suite),
+//! runs the dependence/legality/invariant analysis on each, prints the
+//! per-kernel diagnostic table, and exits non-zero when any Error-level
+//! finding exists. Pass `-v`/`--verbose` to list every diagnostic instead
+//! of only Warn-and-above.
+
+use std::process::ExitCode;
+
+use pwu_analyze::{lint_suite, render_table, LintLevel};
+
+fn main() -> ExitCode {
+    let mut verbose = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "-v" | "--verbose" => verbose = true,
+            other => {
+                eprintln!("pwu-lint: unknown argument {other:?}\n\nusage: pwu-lint [-v|--verbose]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let reports = lint_suite();
+    print!("{}", render_table(&reports));
+    println!();
+
+    let floor = if verbose {
+        LintLevel::Info
+    } else {
+        LintLevel::Warn
+    };
+    let mut n_errors = 0usize;
+    for report in &reports {
+        for d in &report.diagnostics {
+            if d.level == LintLevel::Error {
+                n_errors += 1;
+            }
+            if d.level >= floor {
+                println!("{d}");
+            }
+        }
+    }
+
+    let totals: (usize, usize, usize) = reports.iter().fold((0, 0, 0), |acc, r| {
+        (
+            acc.0 + r.count(LintLevel::Error),
+            acc.1 + r.count(LintLevel::Warn),
+            acc.2 + r.count(LintLevel::Info),
+        )
+    });
+    println!();
+    println!(
+        "{} kernels: {} error(s), {} warning(s), {} info",
+        reports.len(),
+        totals.0,
+        totals.1,
+        totals.2
+    );
+
+    if n_errors > 0 {
+        eprintln!("pwu-lint: {n_errors} error-level finding(s)");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,525 @@
+//! Data-dependence analysis over affine loop-nest accesses.
+//!
+//! Two references to the same array *depend* on each other when some pair
+//! of iteration vectors makes them touch the same element and at least one
+//! of them writes. For the IR's affine references (`pwu_spapt::ir::LinIndex`
+//! is `Σ cₖ·iₖ + o`), the difference `D = J − I` between the target and
+//! source iteration vectors satisfies one linear equation per array
+//! dimension. This module solves those equations conservatively:
+//!
+//! - a dimension whose coefficient vectors match on both sides and mention
+//!   a single loop pins that loop's difference exactly (or proves the pair
+//!   independent when the offset gap is not divisible, conflicts with
+//!   another dimension, or exceeds the loop extent);
+//! - a dimension mentioning several loops, or with mismatched coefficients
+//!   (`lu`'s non-uniform accesses), leaves the mentioned loops *free* —
+//!   every direction is assumed possible;
+//! - loops mentioned by no dimension (reduction loops) are free.
+//!
+//! Every lexicographically positive sign assignment of the resulting
+//! pattern becomes one [`Dependence`] with a full direction vector, so the
+//! legality rules in [`crate::legality`] can quantify exactly over the
+//! instances the analysis could not exclude.
+
+use std::collections::HashMap;
+
+use pwu_spapt::ir::{ArrayRef, LoopNest};
+
+/// Kind of a dependence, by the access kinds of its source and target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DepKind {
+    /// Write before read (true dependence).
+    Flow,
+    /// Read before write.
+    Anti,
+    /// Write before write.
+    Output,
+}
+
+impl DepKind {
+    /// Short display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Flow => "flow",
+            Self::Anti => "anti",
+            Self::Output => "output",
+        }
+    }
+}
+
+/// Direction of a dependence in one loop: the sign of `target − source`
+/// for that loop's iteration index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// `<`: the target iterates later (positive distance).
+    Lt,
+    /// `=`: same iteration of this loop.
+    Eq,
+    /// `>`: the target iterates *earlier* in this loop (an outer loop
+    /// carries the dependence).
+    Gt,
+}
+
+impl Direction {
+    /// The conventional `<`/`=`/`>` notation.
+    #[must_use]
+    pub fn symbol(self) -> char {
+        match self {
+            Self::Lt => '<',
+            Self::Eq => '=',
+            Self::Gt => '>',
+        }
+    }
+}
+
+/// One dependence instance: a feasible, lexicographically positive
+/// direction vector between two references of the same array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dependence {
+    /// Flow, anti or output.
+    pub kind: DepKind,
+    /// Index of the array in the nest's declarations.
+    pub array: usize,
+    /// Per-loop direction, outermost first. The first non-`=` entry is
+    /// always `<` (lexicographic positivity).
+    pub dirs: Vec<Direction>,
+    /// The exact distance vector, when every component was pinned.
+    pub distance: Option<Vec<i64>>,
+    /// False when the pair was non-uniform and the directions are a
+    /// conservative over-approximation.
+    pub exact: bool,
+    /// True for a flow dependence between a read and a write with
+    /// *identical* index expressions — the recognizable reduction pattern
+    /// (`C[i][j] += …`), which compilers vectorize via reassociation.
+    pub reduction: bool,
+}
+
+impl Dependence {
+    /// The loop that carries this dependence: the outermost loop with a
+    /// `<` direction (it exists — the all-`=` vector is never stored).
+    ///
+    /// # Panics
+    /// Panics on a malformed all-`=` vector, which this module never
+    /// produces.
+    #[must_use]
+    pub fn carrier(&self) -> usize {
+        self.dirs
+            .iter()
+            .position(|&d| d != Direction::Eq)
+            .expect("dependence vectors are never all-'='")
+    }
+
+    /// Renders the direction vector as e.g. `(<, =, >)`.
+    #[must_use]
+    pub fn dirs_string(&self) -> String {
+        let syms: Vec<String> = self.dirs.iter().map(|d| d.symbol().to_string()).collect();
+        format!("({})", syms.join(", "))
+    }
+}
+
+/// Per-loop difference pattern between two references.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Component {
+    /// The difference in this loop is exactly this value.
+    Exact(i64),
+    /// Unconstrained: any difference within the loop extent is possible.
+    Free,
+}
+
+/// Solves for the difference pattern `D = J − I` between `src@I` and
+/// `dst@J` touching the same element. `None` means provably independent.
+/// The second result is false when a non-uniform dimension forced a
+/// conservative over-approximation.
+fn pattern(src: &ArrayRef, dst: &ArrayRef, nest: &LoopNest) -> Option<(Vec<Component>, bool)> {
+    let depth = nest.depth();
+    let mut comps = vec![Component::Free; depth];
+    let mut pinned = vec![false; depth];
+    let mut exact = true;
+    if src.index.len() != dst.index.len() {
+        // Malformed pair; never dependent through mismatched ranks.
+        return None;
+    }
+    for (s, d) in src.index.iter().zip(&dst.index) {
+        if s.coeffs == d.coeffs {
+            // Uniform dimension: Σ cₖ·Dₖ = o_src − o_dst.
+            let rhs = s.offset - d.offset;
+            let nonzero: Vec<usize> = (0..depth).filter(|&k| s.coeffs[k] != 0).collect();
+            match nonzero.as_slice() {
+                [] => {
+                    if rhs != 0 {
+                        return None; // distinct constant elements
+                    }
+                }
+                [k] => {
+                    let c = s.coeffs[*k];
+                    if rhs % c != 0 {
+                        return None; // offset gap not reachable
+                    }
+                    let val = rhs / c;
+                    if val.unsigned_abs() >= nest.loops[*k].extent {
+                        return None; // distance exceeds the iteration space
+                    }
+                    match comps[*k] {
+                        Component::Exact(v) if pinned[*k] => {
+                            if v != val {
+                                return None; // dimensions disagree
+                            }
+                        }
+                        _ => {
+                            comps[*k] = Component::Exact(val);
+                            pinned[*k] = true;
+                        }
+                    }
+                }
+                many => {
+                    // Coupled subscript (e.g. A[i + j]): leave every
+                    // mentioned loop free unless already pinned exactly.
+                    for &k in many {
+                        if !pinned[k] {
+                            comps[k] = Component::Free;
+                        }
+                    }
+                    exact = false;
+                }
+            }
+        } else {
+            // Non-uniform dimension (lu's A[k][j] vs A[i][k]): every loop
+            // either side mentions could take any difference.
+            for k in 0..depth {
+                if (s.coeffs[k] != 0 || d.coeffs[k] != 0) && !pinned[k] {
+                    comps[k] = Component::Free;
+                }
+            }
+            exact = false;
+        }
+    }
+    Some((comps, exact))
+}
+
+/// Enumerates every lexicographically positive direction vector consistent
+/// with `comps` (the all-`=` vector is excluded: loop-independent
+/// dependences do not constrain the transformations modeled here, which
+/// preserve statement order within an iteration).
+fn enumerate_dirs(comps: &[Component], nest: &LoopNest) -> Vec<Vec<Direction>> {
+    let per_loop: Vec<Vec<Direction>> = comps
+        .iter()
+        .zip(&nest.loops)
+        .map(|(c, l)| match c {
+            Component::Exact(v) if *v > 0 => vec![Direction::Lt],
+            Component::Exact(v) if *v < 0 => vec![Direction::Gt],
+            Component::Exact(_) => vec![Direction::Eq],
+            Component::Free if l.extent <= 1 => vec![Direction::Eq],
+            Component::Free => vec![Direction::Lt, Direction::Eq, Direction::Gt],
+        })
+        .collect();
+    let mut out = Vec::new();
+    let mut current = Vec::with_capacity(comps.len());
+    expand(&per_loop, &mut current, &mut out);
+    out
+}
+
+/// Depth-first cartesian product keeping only lex-positive vectors.
+fn expand(per_loop: &[Vec<Direction>], current: &mut Vec<Direction>, out: &mut Vec<Vec<Direction>>) {
+    if current.len() == per_loop.len() {
+        if current.contains(&Direction::Lt) || current.contains(&Direction::Gt) {
+            out.push(current.clone());
+        }
+        return;
+    }
+    let all_eq_so_far = current.iter().all(|&d| d == Direction::Eq);
+    for &d in &per_loop[current.len()] {
+        // Lexicographic positivity: the first non-'=' must be '<'.
+        if all_eq_so_far && d == Direction::Gt {
+            continue;
+        }
+        current.push(d);
+        expand(per_loop, current, out);
+        current.pop();
+    }
+}
+
+/// Analyzes every same-array reference pair of `nest` and returns the
+/// deduplicated dependence instances, outermost-loop direction first.
+#[must_use]
+pub fn analyze_dependences(nest: &LoopNest) -> Vec<Dependence> {
+    // Collect (is_write, ref) over all statements, writes first so flow
+    // dependences are discovered in write→read orientation.
+    let refs: Vec<(bool, &ArrayRef)> = nest
+        .stmts
+        .iter()
+        .flat_map(|s| {
+            s.writes
+                .iter()
+                .map(|w| (true, w))
+                .chain(s.reads.iter().map(|r| (false, r)))
+        })
+        .collect();
+
+    let mut deps: Vec<Dependence> = Vec::new();
+    let mut seen: HashMap<(DepKind, usize, Vec<Direction>), usize> = HashMap::new();
+    let mut emit = |src: (bool, &ArrayRef), dst: (bool, &ArrayRef)| {
+        let Some((comps, exact)) = pattern(src.1, dst.1, nest) else {
+            return;
+        };
+        let kind = match (src.0, dst.0) {
+            (true, true) => DepKind::Output,
+            (true, false) => DepKind::Flow,
+            (false, true) => DepKind::Anti,
+            (false, false) => return,
+        };
+        let distance: Option<Vec<i64>> = comps
+            .iter()
+            .map(|c| match c {
+                Component::Exact(v) => Some(*v),
+                Component::Free => None,
+            })
+            .collect();
+        let reduction = kind == DepKind::Flow && src.1.index == dst.1.index;
+        for dirs in enumerate_dirs(&comps, nest) {
+            let key = (kind, src.1.array, dirs.clone());
+            if let Some(&i) = seen.get(&key) {
+                // Keep the more severe flags across duplicate instances.
+                deps[i].reduction &= reduction;
+                deps[i].exact &= exact;
+                continue;
+            }
+            seen.insert(key, deps.len());
+            deps.push(Dependence {
+                kind,
+                array: src.1.array,
+                dirs,
+                distance: distance.clone(),
+                exact,
+                reduction,
+            });
+        }
+    };
+
+    for i in 0..refs.len() {
+        for j in i..refs.len() {
+            let (a, b) = (refs[i], refs[j]);
+            if a.1.array != b.1.array || (!a.0 && !b.0) {
+                continue;
+            }
+            emit(a, b);
+            if i != j {
+                emit(b, a);
+            }
+        }
+    }
+    deps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwu_spapt::ir::{ArrayDecl, LinIndex, LoopDim, Statement};
+
+    fn dims(names: &[&str], extent: u64) -> Vec<LoopDim> {
+        names
+            .iter()
+            .map(|n| LoopDim {
+                name: (*n).into(),
+                extent,
+            })
+            .collect()
+    }
+
+    /// `C[i][j] += A[i][k] * B[k][j]` — the gemm accumulation.
+    fn gemm_nest() -> LoopNest {
+        let nl = 3;
+        let v = |l| LinIndex::var(nl, l);
+        LoopNest {
+            loops: dims(&["i", "j", "k"], 64),
+            stmts: vec![Statement {
+                reads: vec![
+                    ArrayRef::new(0, vec![v(0), v(2)]),
+                    ArrayRef::new(1, vec![v(2), v(1)]),
+                    ArrayRef::new(2, vec![v(0), v(1)]),
+                ],
+                writes: vec![ArrayRef::new(2, vec![v(0), v(1)])],
+                adds: 1,
+                muls: 1,
+                divs: 0,
+            }],
+            arrays: vec![
+                ArrayDecl::doubles("A", vec![64, 64]),
+                ArrayDecl::doubles("B", vec![64, 64]),
+                ArrayDecl::doubles("C", vec![64, 64]),
+            ],
+        }
+    }
+
+    /// In-place sweep `A[i][j] = f(A[i-1][j+1], A[i][j])`: carries the
+    /// classic (1, -1) dependence that breaks unroll-jam and inner tiling.
+    fn skewed_nest() -> LoopNest {
+        let nl = 2;
+        let v = |l| LinIndex::var(nl, l);
+        LoopNest {
+            loops: dims(&["i", "j"], 100),
+            stmts: vec![Statement {
+                reads: vec![
+                    ArrayRef::new(0, vec![v(0), v(1)]),
+                    ArrayRef::new(
+                        0,
+                        vec![LinIndex::var_plus(nl, 0, -1), LinIndex::var_plus(nl, 1, 1)],
+                    ),
+                ],
+                writes: vec![ArrayRef::new(0, vec![v(0), v(1)])],
+                adds: 1,
+                muls: 1,
+                divs: 0,
+            }],
+            arrays: vec![ArrayDecl::doubles("A", vec![100, 100])],
+        }
+    }
+
+    #[test]
+    fn gemm_reduction_dependences_are_innermost_carried() {
+        let deps = analyze_dependences(&gemm_nest());
+        // Flow, anti and output on C, all with direction (=, =, <).
+        assert_eq!(deps.len(), 3);
+        for d in &deps {
+            assert_eq!(d.array, 2);
+            assert_eq!(
+                d.dirs,
+                vec![Direction::Eq, Direction::Eq, Direction::Lt],
+                "{:?}",
+                d.kind
+            );
+            assert_eq!(d.carrier(), 2);
+            assert!(d.exact);
+        }
+        let flow = deps.iter().find(|d| d.kind == DepKind::Flow).unwrap();
+        assert!(flow.reduction, "C[i][j] += … is a reduction");
+        assert_eq!(flow.dirs_string(), "(=, =, <)");
+        assert!(deps.iter().any(|d| d.kind == DepKind::Anti));
+        assert!(deps.iter().any(|d| d.kind == DepKind::Output));
+    }
+
+    #[test]
+    fn skewed_stencil_has_exact_distance_vector() {
+        let deps = analyze_dependences(&skewed_nest());
+        // Write A[i][j] → read A[i-1][j+1]: the read at iteration
+        // (i+1, j-1) sees the value written at (i, j) → flow (1, -1).
+        let flow: Vec<&Dependence> = deps.iter().filter(|d| d.kind == DepKind::Flow).collect();
+        assert!(
+            flow.iter()
+                .any(|d| d.distance == Some(vec![1, -1])
+                    && d.dirs == vec![Direction::Lt, Direction::Gt]),
+            "missing (1,-1) flow dep: {flow:?}"
+        );
+        // All dependences here are exact and none is a pure reduction with
+        // distance (1, -1).
+        assert!(deps.iter().all(|d| d.exact));
+        for d in &deps {
+            if d.distance == Some(vec![1, -1]) {
+                assert!(!d.reduction);
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_place_sweep_has_no_intra_nest_dependences() {
+        // jacobi-style: reads A, writes B.
+        let nl = 2;
+        let v = |l| LinIndex::var(nl, l);
+        let nest = LoopNest {
+            loops: dims(&["i", "j"], 100),
+            stmts: vec![Statement {
+                reads: vec![
+                    ArrayRef::new(0, vec![v(0), v(1)]),
+                    ArrayRef::new(0, vec![LinIndex::var_plus(nl, 0, 1), v(1)]),
+                ],
+                writes: vec![ArrayRef::new(1, vec![v(0), v(1)])],
+                adds: 1,
+                muls: 0,
+                divs: 0,
+            }],
+            arrays: vec![
+                ArrayDecl::doubles("A", vec![101, 100]),
+                ArrayDecl::doubles("B", vec![100, 100]),
+            ],
+        };
+        assert!(analyze_dependences(&nest).is_empty());
+    }
+
+    #[test]
+    fn unreachable_offsets_prove_independence() {
+        // write A[2i], read A[2i+1]: parity separates them.
+        let nest = LoopNest {
+            loops: dims(&["i"], 50),
+            stmts: vec![Statement {
+                reads: vec![ArrayRef::new(
+                    0,
+                    vec![LinIndex {
+                        coeffs: vec![2],
+                        offset: 1,
+                    }],
+                )],
+                writes: vec![ArrayRef::new(
+                    0,
+                    vec![LinIndex {
+                        coeffs: vec![2],
+                        offset: 0,
+                    }],
+                )],
+                adds: 0,
+                muls: 0,
+                divs: 0,
+            }],
+            arrays: vec![ArrayDecl::doubles("A", vec![101])],
+        };
+        let deps = analyze_dependences(&nest);
+        // Read/write pairs differ by an odd offset over an even stride, and
+        // the write's self-pair pins distance 0 (loop-independent, excluded).
+        assert!(deps.is_empty(), "{deps:?}");
+    }
+
+    #[test]
+    fn non_uniform_pairs_are_conservative() {
+        // lu-like: write A[i][j], read A[k][j] with k a different loop.
+        let nl = 3;
+        let nest = LoopNest {
+            loops: dims(&["i", "j", "k"], 32),
+            stmts: vec![Statement {
+                reads: vec![ArrayRef::new(
+                    0,
+                    vec![LinIndex::var(nl, 2), LinIndex::var(nl, 1)],
+                )],
+                writes: vec![ArrayRef::new(
+                    0,
+                    vec![LinIndex::var(nl, 0), LinIndex::var(nl, 1)],
+                )],
+                adds: 1,
+                muls: 0,
+                divs: 0,
+            }],
+            arrays: vec![ArrayDecl::doubles("A", vec![32, 32])],
+        };
+        let deps = analyze_dependences(&nest);
+        assert!(!deps.is_empty());
+        // The write's self-pair (an output dependence over the free k loop)
+        // stays exact; every flow/anti instance from the non-uniform
+        // write↔read pair is conservative.
+        assert!(deps
+            .iter()
+            .filter(|d| d.kind != DepKind::Output)
+            .all(|d| !d.exact));
+        assert!(deps.iter().any(|d| !d.exact));
+        // The j component is pinned to '=' everywhere; i and k are free, so
+        // some instance has a '>' in a non-leading position.
+        assert!(deps.iter().all(|d| d.dirs[1] == Direction::Eq));
+        assert!(deps
+            .iter()
+            .any(|d| d.dirs.contains(&Direction::Gt)));
+        // Every stored vector is lexicographically positive.
+        for d in &deps {
+            assert_eq!(d.dirs[d.carrier()], Direction::Lt);
+            assert!(d.dirs[..d.carrier()]
+                .iter()
+                .all(|&x| x == Direction::Eq));
+        }
+    }
+}

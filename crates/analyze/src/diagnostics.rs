@@ -1,0 +1,134 @@
+//! Machine-readable lint diagnostics.
+//!
+//! Every finding the analyzer produces — dependence-based legality
+//! restrictions, IR invariant violations, model sanity failures — is a
+//! [`Diagnostic`]: a severity level, a stable rule id (`area/rule-name`),
+//! provenance (kernel, block, and the loop/array/parameter concerned) and a
+//! human-readable message. The `pwu-lint` binary renders them and gates CI
+//! on the worst level.
+
+use std::fmt;
+
+/// Severity of a finding.
+///
+/// Ordered so `max` folds give the worst finding: `Info < Warn < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LintLevel {
+    /// Informational: benign, but worth surfacing (degenerate loop, tile
+    /// sizes the extents will clamp).
+    Info,
+    /// Suspicious but tolerated: the search space contains transformation
+    /// requests the legality analysis restricts, or an access pattern
+    /// (stencil halo) that leans on the simulator's tolerance.
+    Warn,
+    /// A genuine defect: an IR invariant or model sanity check failed.
+    /// `pwu-lint` exits non-zero when any Error-level finding exists.
+    Error,
+}
+
+impl fmt::Display for LintLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Self::Info => "info",
+            Self::Warn => "warn",
+            Self::Error => "error",
+        })
+    }
+}
+
+/// One analyzer finding with full provenance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Severity.
+    pub level: LintLevel,
+    /// Stable rule id, `area/rule-name` (e.g. `legality/tile-negative-dep`).
+    pub rule: &'static str,
+    /// Kernel the finding belongs to.
+    pub kernel: String,
+    /// Block label within the kernel (`-` for kernel-wide findings).
+    pub block: String,
+    /// The loop, array or parameter concerned (`-` when not applicable).
+    pub subject: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic.
+    #[must_use]
+    pub fn new(
+        level: LintLevel,
+        rule: &'static str,
+        kernel: impl Into<String>,
+        block: impl Into<String>,
+        subject: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Self {
+            level,
+            rule,
+            kernel: kernel.into(),
+            block: block.into(),
+            subject: subject.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}/{} {}: {}",
+            self.level, self.rule, self.kernel, self.block, self.subject, self.message
+        )
+    }
+}
+
+/// The worst severity present in `diags`, if any.
+#[must_use]
+pub fn worst_level(diags: &[Diagnostic]) -> Option<LintLevel> {
+    diags.iter().map(|d| d.level).max()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_are_ordered_and_displayed() {
+        assert!(LintLevel::Info < LintLevel::Warn);
+        assert!(LintLevel::Warn < LintLevel::Error);
+        assert_eq!(LintLevel::Error.to_string(), "error");
+    }
+
+    #[test]
+    fn diagnostics_render_with_provenance() {
+        let d = Diagnostic::new(
+            LintLevel::Warn,
+            "legality/tile-negative-dep",
+            "seidel",
+            "gs",
+            "loop j",
+            "dependence (1, -1) has direction '>' in j",
+        );
+        let s = d.to_string();
+        assert!(s.contains("warn[legality/tile-negative-dep]"));
+        assert!(s.contains("seidel/gs"));
+        assert!(s.contains("loop j"));
+    }
+
+    #[test]
+    fn worst_level_folds() {
+        assert_eq!(worst_level(&[]), None);
+        let mk = |level| Diagnostic::new(level, "x/y", "k", "b", "-", "m");
+        assert_eq!(
+            worst_level(&[mk(LintLevel::Info), mk(LintLevel::Warn)]),
+            Some(LintLevel::Warn)
+        );
+        assert_eq!(
+            worst_level(&[mk(LintLevel::Error), mk(LintLevel::Info)]),
+            Some(LintLevel::Error)
+        );
+    }
+}

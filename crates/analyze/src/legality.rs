@@ -1,0 +1,305 @@
+//! Transformation-legality rules over the dependence analysis.
+//!
+//! [`apply`](pwu_spapt::transform::apply) builds the transformed nest as
+//! three bands — tile-origin loops of every tiled loop hoisted outermost,
+//! then middle-tile loops, then the point loops in original order. The
+//! legality conditions below follow from that structure:
+//!
+//! - **Tiling loop `l`** hoists `l`'s tile loop above *all* other loops, so
+//!   it is safe only when no dependence has a `>` direction in `l` (any
+//!   such dependence has an instance whose reordered direction vector turns
+//!   lexicographically negative at a tile boundary). This is the classic
+//!   full-permutability condition, applied per loop.
+//! - **Unroll-jamming loop `l`** fuses consecutive `l`-iterations into one
+//!   body, executing iteration `(l+1, m)` before `(l, m′)` for `m < m′`. A
+//!   dependence carried by `l` with a `>` direction in some inner loop is
+//!   then violated. The innermost loop has no inner loops — always safe.
+//! - **Register tiling** is a second unroll-jam level: same rule.
+//! - **Vectorizing** the innermost loop executes its iterations as one
+//!   wide operation: a flow dependence carried by it is a hard violation —
+//!   except the recognizable reduction pattern (`C[i][j] += …`), which
+//!   compilers handle by reassociation and we only flag. Anti/output
+//!   dependences carried by it are likewise flag-only (hardware gathers
+//!   sources before stores retire).
+//! - **Scalar replacement** hoists innermost-invariant reads into scalars;
+//!   it goes stale only if the array is also written through a *different*
+//!   index expression inside the nest.
+
+use pwu_spapt::ir::LoopNest;
+use pwu_spapt::transform::BlockLegality;
+
+use crate::dependence::{analyze_dependences, DepKind, Dependence, Direction};
+use crate::diagnostics::{Diagnostic, LintLevel};
+
+/// Derives the legality mask for one nest (see the module docs for the
+/// rules). Returns the mask and one diagnostic per restriction.
+#[must_use]
+pub fn block_legality(
+    kernel: &str,
+    block: &str,
+    nest: &LoopNest,
+) -> (BlockLegality, Vec<Diagnostic>) {
+    let deps = analyze_dependences(nest);
+    legality_from_deps(kernel, block, nest, &deps)
+}
+
+/// [`block_legality`] over pre-computed dependences.
+#[must_use]
+pub fn legality_from_deps(
+    kernel: &str,
+    block: &str,
+    nest: &LoopNest,
+    deps: &[Dependence],
+) -> (BlockLegality, Vec<Diagnostic>) {
+    let depth = nest.depth();
+    if depth == 0 {
+        return (BlockLegality::permissive(0), Vec::new());
+    }
+    let innermost = depth - 1;
+    let mut mask = BlockLegality::permissive(depth);
+    let mut diags = Vec::new();
+    let loop_name = |l: usize| nest.loops[l].name.clone();
+    let array_name = |a: usize| nest.arrays[a].name.clone();
+    let describe = |d: &Dependence| {
+        format!(
+            "{} dependence on {} with directions {}{}",
+            d.kind.name(),
+            array_name(d.array),
+            d.dirs_string(),
+            if d.exact { "" } else { " (conservative)" },
+        )
+    };
+
+    // Tiling: no '>' direction in a tiled loop.
+    for l in 0..depth {
+        if let Some(d) = deps.iter().find(|d| d.dirs[l] == Direction::Gt) {
+            mask.tile_ok[l] = false;
+            diags.push(Diagnostic::new(
+                LintLevel::Warn,
+                "legality/tile-negative-dep",
+                kernel,
+                block,
+                format!("loop {}", loop_name(l)),
+                format!(
+                    "tiling would hoist this loop across a {}; tile requests are clamped off",
+                    describe(d)
+                ),
+            ));
+        }
+    }
+
+    // Unroll-jam / register tiling: a dependence carried by `l` must not
+    // have a '>' direction in any loop nested inside `l`.
+    for l in 0..innermost {
+        let violating = deps.iter().find(|d| {
+            d.carrier() == l && d.dirs[l + 1..].contains(&Direction::Gt)
+        });
+        if let Some(d) = violating {
+            mask.unroll_ok[l] = false;
+            mask.regtile_ok[l] = false;
+            diags.push(Diagnostic::new(
+                LintLevel::Warn,
+                "legality/unroll-jam-carried-dep",
+                kernel,
+                block,
+                format!("loop {}", loop_name(l)),
+                format!(
+                    "unroll-jam would fuse iterations across a {}; unroll/regtile requests are clamped to 1",
+                    describe(d)
+                ),
+            ));
+        }
+    }
+
+    // Vectorization of the innermost loop.
+    if let Some(d) = deps
+        .iter()
+        .find(|d| d.kind == DepKind::Flow && !d.reduction && d.carrier() == innermost)
+    {
+        mask.vectorize_ok = false;
+        mask.vectorize_clean = false;
+        diags.push(Diagnostic::new(
+            LintLevel::Warn,
+            "legality/vectorize-flow-dep",
+            kernel,
+            block,
+            format!("loop {}", loop_name(innermost)),
+            format!(
+                "the innermost loop carries a {}; vector requests are clamped off",
+                describe(d)
+            ),
+        ));
+    } else if let Some(d) = deps.iter().find(|d| d.carrier() == innermost) {
+        mask.vectorize_clean = false;
+        diags.push(Diagnostic::new(
+            LintLevel::Info,
+            "legality/vectorize-carried-dep",
+            kernel,
+            block,
+            format!("loop {}", loop_name(innermost)),
+            format!(
+                "the innermost loop carries a {}; vector requests are honored but flagged",
+                describe(d)
+            ),
+        ));
+    }
+
+    // Scalar replacement: an innermost-invariant read goes stale if its
+    // array is written through a different index expression.
+    'scalar: for stmt in &nest.stmts {
+        for r in &stmt.reads {
+            if !r.invariant_in(innermost) {
+                continue;
+            }
+            let stale = nest
+                .stmts
+                .iter()
+                .flat_map(|s| &s.writes)
+                .find(|w| w.array == r.array && w.index != r.index);
+            if let Some(w) = stale {
+                mask.scalar_replace_ok = false;
+                diags.push(Diagnostic::new(
+                    LintLevel::Warn,
+                    "legality/scalar-replace-stale",
+                    kernel,
+                    block,
+                    format!("array {}", array_name(r.array)),
+                    format!(
+                        "a hoisted read of {} would miss writes through a \
+                         different subscript (ref dims {} vs {}); scalar-replace requests are clamped off",
+                        array_name(r.array),
+                        r.index.len(),
+                        w.index.len(),
+                    ),
+                ));
+                break 'scalar;
+            }
+        }
+    }
+
+    (mask, diags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwu_spapt::ir::{ArrayDecl, ArrayRef, LinIndex, LoopDim, Statement};
+    use pwu_spapt::transform::BlockTransform;
+    use pwu_space::ConfigLegality;
+
+    fn dims(names: &[&str], extent: u64) -> Vec<LoopDim> {
+        names
+            .iter()
+            .map(|n| LoopDim {
+                name: (*n).into(),
+                extent,
+            })
+            .collect()
+    }
+
+    /// gemm: everything legal except that vector requests are flag-only
+    /// (reduction over k).
+    #[test]
+    fn gemm_is_fully_tileable_and_jam_safe() {
+        let nl = 3;
+        let v = |l| LinIndex::var(nl, l);
+        let nest = LoopNest {
+            loops: dims(&["i", "j", "k"], 64),
+            stmts: vec![Statement {
+                reads: vec![
+                    ArrayRef::new(0, vec![v(0), v(2)]),
+                    ArrayRef::new(1, vec![v(2), v(1)]),
+                    ArrayRef::new(2, vec![v(0), v(1)]),
+                ],
+                writes: vec![ArrayRef::new(2, vec![v(0), v(1)])],
+                adds: 1,
+                muls: 1,
+                divs: 0,
+            }],
+            arrays: vec![
+                ArrayDecl::doubles("A", vec![64, 64]),
+                ArrayDecl::doubles("B", vec![64, 64]),
+                ArrayDecl::doubles("C", vec![64, 64]),
+            ],
+        };
+        let (mask, diags) = block_legality("gemm", "mm", &nest);
+        assert!(mask.tile_ok.iter().all(|&b| b));
+        assert!(mask.unroll_ok.iter().all(|&b| b));
+        assert!(mask.regtile_ok.iter().all(|&b| b));
+        assert!(mask.scalar_replace_ok);
+        assert!(mask.vectorize_ok, "reduction flow is not a hard error");
+        assert!(!mask.vectorize_clean, "but it is flagged");
+        assert!(diags
+            .iter()
+            .all(|d| d.level < LintLevel::Warn || d.rule.starts_with("legality/")));
+    }
+
+    /// The skewed in-place sweep `A[i][j] = f(A[i-1][j+1], …)`: unroll-jam
+    /// of `i` and tiling of `j` are illegal — the issue's required
+    /// known-illegal case.
+    #[test]
+    fn skewed_dependence_blocks_unroll_jam_and_inner_tiling() {
+        let nl = 2;
+        let v = |l| LinIndex::var(nl, l);
+        let nest = LoopNest {
+            loops: dims(&["i", "j"], 100),
+            stmts: vec![Statement {
+                reads: vec![
+                    ArrayRef::new(0, vec![v(0), v(1)]),
+                    ArrayRef::new(
+                        0,
+                        vec![LinIndex::var_plus(nl, 0, -1), LinIndex::var_plus(nl, 1, 1)],
+                    ),
+                ],
+                writes: vec![ArrayRef::new(0, vec![v(0), v(1)])],
+                adds: 1,
+                muls: 1,
+                divs: 0,
+            }],
+            arrays: vec![ArrayDecl::doubles("A", vec![100, 100])],
+        };
+        let (mask, diags) = block_legality("skewed", "sw", &nest);
+        // The (1, -1) dependence: '>' in j forbids tiling j; carried by i
+        // with '>' inside forbids unroll-jamming i.
+        assert!(mask.tile_ok[0], "tiling i alone is strip-mining-safe");
+        assert!(!mask.tile_ok[1], "tiling j reorders across (1, -1)");
+        assert!(!mask.unroll_ok[0], "unroll-jam of i is illegal");
+        assert!(mask.unroll_ok[1], "innermost unroll is always legal");
+        assert!(!mask.regtile_ok[0]);
+        assert!(diags.iter().any(|d| d.rule == "legality/tile-negative-dep"));
+        assert!(diags
+            .iter()
+            .any(|d| d.rule == "legality/unroll-jam-carried-dep"));
+
+        // End-to-end: an unroll-jam request on i classifies as Illegal and
+        // clamps to the identity.
+        let mut t = BlockTransform::identity(2);
+        t.unroll[0] = 4;
+        assert_eq!(mask.classify(&t), ConfigLegality::Illegal);
+        let (clamped, changed) = mask.clamp(&t);
+        assert!(changed);
+        assert_eq!(clamped, BlockTransform::identity(2));
+    }
+
+    /// A nest where scalar replacement would go stale: read `first[0]`
+    /// (innermost-invariant) while writing `first[i]`.
+    #[test]
+    fn stale_scalar_replacement_is_detected() {
+        let nest = LoopNest {
+            loops: dims(&["i"], 64),
+            stmts: vec![Statement {
+                reads: vec![ArrayRef::new(0, vec![LinIndex::constant(1, 0)])],
+                writes: vec![ArrayRef::new(0, vec![LinIndex::var(1, 0)])],
+                adds: 1,
+                muls: 0,
+                divs: 0,
+            }],
+            arrays: vec![ArrayDecl::doubles("first", vec![64])],
+        };
+        let (mask, diags) = block_legality("toy", "b", &nest);
+        assert!(!mask.scalar_replace_ok);
+        assert!(diags
+            .iter()
+            .any(|d| d.rule == "legality/scalar-replace-stale"));
+    }
+}

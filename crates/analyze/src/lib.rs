@@ -1,0 +1,42 @@
+//! Static dependence, legality and invariant analysis for the SPAPT
+//! loop-nest IR.
+//!
+//! The tuning spaces the simulator exposes are *syntactic*: every
+//! combination of tile/unroll/regtile/scalar-replace/vector parameters is a
+//! point, whether or not a real compiler could apply it without changing
+//! the program's meaning. This crate recovers the missing semantics:
+//!
+//! - [`dependence`] computes data-dependence direction/distance vectors
+//!   between the affine array references of a nest;
+//! - [`legality`] turns them into per-loop
+//!   [`BlockLegality`](pwu_spapt::transform::BlockLegality) masks for the
+//!   five transformation kinds;
+//! - [`validate`] checks IR, machine-model and parameter-space invariants
+//!   (array bounds vs. subscript ranges, degenerate extents, non-finite
+//!   predicted times, out-of-space pool configurations);
+//! - [`lint`] assembles per-kernel [`KernelReport`]s, the 18-kernel
+//!   diagnostic table, and [`legalize`], which attaches the masks to a
+//!   kernel so the tuning loop can exclude illegal configurations;
+//! - [`diagnostics`] defines the machine-readable [`Diagnostic`] records
+//!   (severity, stable rule id, kernel/block/loop provenance).
+//!
+//! The `pwu-lint` binary walks all 18 kernels, prints the table and exits
+//! non-zero on any Error-level finding — `cargo xtask lint` runs it in CI.
+//!
+//! **Limits.** The analysis is affine-only (every subscript is
+//! `Σ cₖ·iₖ + o` with constant coefficients), extents are concrete numbers
+//! (no symbolic sizes), and coupled or non-uniform subscripts degrade to
+//! conservative "every direction possible" patterns rather than exact
+//! distances. See `DESIGN.md` ("Static analysis & legality").
+
+pub mod dependence;
+pub mod diagnostics;
+pub mod legality;
+pub mod lint;
+pub mod validate;
+
+pub use dependence::{analyze_dependences, DepKind, Dependence, Direction};
+pub use diagnostics::{worst_level, Diagnostic, LintLevel};
+pub use legality::block_legality;
+pub use lint::{legalize, lint_kernel, lint_suite, render_table, KernelReport};
+pub use validate::{validate_kernel_model, validate_nest, validate_pool};

@@ -1,0 +1,277 @@
+//! Kernel-level lint reports and the suite-wide diagnostic table.
+
+use std::fmt::Write as _;
+
+use pwu_space::TuningTarget;
+use pwu_spapt::transform::BlockLegality;
+use pwu_spapt::{all_kernels, extended_kernels, Kernel};
+
+use crate::dependence::analyze_dependences;
+use crate::diagnostics::{worst_level, Diagnostic, LintLevel};
+use crate::legality::legality_from_deps;
+use crate::validate::{validate_kernel_model, validate_kernel_space, validate_nest};
+
+/// Analysis summary of one block.
+#[derive(Debug, Clone)]
+pub struct BlockReport {
+    /// Block label.
+    pub label: String,
+    /// Number of dependence instances found.
+    pub n_deps: usize,
+    /// The derived legality mask.
+    pub legality: BlockLegality,
+}
+
+impl BlockReport {
+    /// Compact summary of what the mask restricts, e.g. `tile(j) ujam(i)`;
+    /// empty when permissive.
+    #[must_use]
+    pub fn restrictions(&self, loop_names: &[String]) -> String {
+        let mut parts = Vec::new();
+        let joined = |ok: &[bool]| {
+            ok.iter()
+                .enumerate()
+                .filter(|&(_, &b)| !b)
+                .map(|(l, _)| loop_names[l].clone())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let tiles = joined(&self.legality.tile_ok);
+        if !tiles.is_empty() {
+            parts.push(format!("tile({tiles})"));
+        }
+        let jams = joined(&self.legality.unroll_ok);
+        if !jams.is_empty() {
+            parts.push(format!("ujam({jams})"));
+        }
+        if !self.legality.scalar_replace_ok {
+            parts.push("scr".into());
+        }
+        if !self.legality.vectorize_ok {
+            parts.push("vec".into());
+        } else if !self.legality.vectorize_clean {
+            parts.push("vec?".into());
+        }
+        parts.join(" ")
+    }
+}
+
+/// Full analysis report for one kernel.
+#[derive(Debug, Clone)]
+pub struct KernelReport {
+    /// Kernel name.
+    pub kernel: String,
+    /// Parameter-space dimension.
+    pub dim: usize,
+    /// Per-block summaries, in block order.
+    pub blocks: Vec<BlockReport>,
+    /// Every diagnostic the analysis produced.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Per-block restriction summaries (block label: restrictions).
+    pub restrictions: Vec<String>,
+}
+
+impl KernelReport {
+    /// Number of diagnostics at `level`.
+    #[must_use]
+    pub fn count(&self, level: LintLevel) -> usize {
+        self.diagnostics.iter().filter(|d| d.level == level).count()
+    }
+
+    /// Worst severity present, if any.
+    #[must_use]
+    pub fn worst(&self) -> Option<LintLevel> {
+        worst_level(&self.diagnostics)
+    }
+
+    /// Total dependence instances across blocks.
+    #[must_use]
+    pub fn n_deps(&self) -> usize {
+        self.blocks.iter().map(|b| b.n_deps).sum()
+    }
+}
+
+/// Runs the full analysis (dependences, legality, IR/model/space
+/// validation) on one kernel.
+#[must_use]
+pub fn lint_kernel(kernel: &Kernel) -> KernelReport {
+    let name = kernel.name().to_string();
+    let mut diagnostics = Vec::new();
+    let mut blocks = Vec::new();
+    let mut restrictions = Vec::new();
+    for block in kernel.blocks() {
+        let deps = analyze_dependences(&block.nest);
+        let (mask, diags) = legality_from_deps(&name, block.label, &block.nest, &deps);
+        diagnostics.extend(diags);
+        diagnostics.extend(validate_nest(&name, block.label, &block.nest));
+        let report = BlockReport {
+            label: block.label.to_string(),
+            n_deps: deps.len(),
+            legality: mask,
+        };
+        let loop_names: Vec<String> =
+            block.nest.loops.iter().map(|l| l.name.clone()).collect();
+        let summary = report.restrictions(&loop_names);
+        if !summary.is_empty() {
+            restrictions.push(format!("{}: {summary}", block.label));
+        }
+        blocks.push(report);
+    }
+    diagnostics.extend(validate_kernel_model(kernel));
+    diagnostics.extend(validate_kernel_space(kernel));
+    KernelReport {
+        kernel: name,
+        dim: kernel.space().dim(),
+        blocks,
+        diagnostics,
+        restrictions,
+    }
+}
+
+/// Attaches the analysis-derived legality masks to a kernel, so its
+/// [`TuningTarget::lint_config`] verdicts and clamped evaluation reflect
+/// the dependence analysis.
+#[must_use]
+pub fn legalize(kernel: Kernel) -> Kernel {
+    let masks: Vec<BlockLegality> = kernel
+        .blocks()
+        .iter()
+        .map(|b| {
+            crate::legality::block_legality(kernel.name(), b.label, &b.nest).0
+        })
+        .collect();
+    kernel.with_legality(masks)
+}
+
+/// Lints the full 18-problem suite: the paper's 12 kernels plus the
+/// extended 6.
+#[must_use]
+pub fn lint_suite() -> Vec<KernelReport> {
+    all_kernels()
+        .iter()
+        .chain(&extended_kernels())
+        .map(lint_kernel)
+        .collect()
+}
+
+/// Renders the per-kernel diagnostic table `pwu-lint` prints.
+#[must_use]
+pub fn render_table(reports: &[KernelReport]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<12} {:>4} {:>6} {:>5} {:>4} {:>4} {:>4}  restricted",
+        "kernel", "dim", "blocks", "deps", "err", "warn", "info"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(78));
+    for r in reports {
+        let _ = writeln!(
+            out,
+            "{:<12} {:>4} {:>6} {:>5} {:>4} {:>4} {:>4}  {}",
+            r.kernel,
+            r.dim,
+            r.blocks.len(),
+            r.n_deps(),
+            r.count(LintLevel::Error),
+            r.count(LintLevel::Warn),
+            r.count(LintLevel::Info),
+            if r.restrictions.is_empty() {
+                "-".to_string()
+            } else {
+                r.restrictions.join("; ")
+            },
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_covers_all_18_kernels_without_errors() {
+        let reports = lint_suite();
+        assert_eq!(reports.len(), 18);
+        for r in &reports {
+            assert_eq!(
+                r.count(LintLevel::Error),
+                0,
+                "{}: unexpected Error diagnostics: {:#?}",
+                r.kernel,
+                r.diagnostics
+            );
+        }
+    }
+
+    #[test]
+    fn adi_vectorization_is_restricted_by_its_carried_flow_dep() {
+        let adi = pwu_spapt::kernel_by_name("adi").expect("adi exists");
+        let report = lint_kernel(&adi);
+        // Both update sweeps read X[i1][i2-1] (resp. B) while writing
+        // X[i1][i2]: a flow dependence with distance (0, 1) carried by the
+        // innermost loop — vectorization must be clamped off.
+        for b in &report.blocks {
+            assert!(
+                !b.legality.vectorize_ok,
+                "adi/{}: innermost-carried flow dep must forbid vectorize",
+                b.label
+            );
+            assert!(b.legality.tile_ok.iter().all(|&x| x), "adi tiling is legal");
+            assert!(
+                b.legality.unroll_ok.iter().all(|&x| x),
+                "adi unroll-jam is legal: no '>' below the carrier"
+            );
+        }
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.rule == "legality/vectorize-flow-dep"));
+    }
+
+    #[test]
+    fn seidel_tiling_and_jamming_are_restricted() {
+        let seidel = pwu_spapt::kernel_by_name("seidel").expect("seidel exists");
+        let report = lint_kernel(&seidel);
+        let gs = &report.blocks[0];
+        // The in-place 9-point sweep carries (1, -1): tiling j and
+        // unroll-jamming i are illegal; tiling i (strip-mining) is fine.
+        assert!(gs.legality.tile_ok[0]);
+        assert!(!gs.legality.tile_ok[1]);
+        assert!(!gs.legality.unroll_ok[0]);
+        assert!(gs.legality.unroll_ok[1]);
+        assert!(!gs.legality.vectorize_ok);
+    }
+
+    #[test]
+    fn legalize_attaches_masks_that_change_verdicts() {
+        use pwu_space::{ConfigLegality, Configuration};
+        let plain = pwu_spapt::kernel_by_name("seidel").expect("seidel exists");
+        let legal = legalize(pwu_spapt::kernel_by_name("seidel").expect("seidel exists"));
+        assert!(legal.legality().is_some());
+        // Find a configuration requesting an unroll-jam of loop i: params
+        // are T1/T2 (i, j), then U_i, U_j, …
+        let dim = plain.space().dim();
+        let u_i = plain
+            .space()
+            .params()
+            .iter()
+            .position(|p| p.name().starts_with("U_") && p.name().ends_with("_i"))
+            .expect("unroll param for i");
+        let mut levels = vec![0u32; dim];
+        levels[u_i] = 3; // unroll factor 4
+        let cfg = Configuration::new(levels);
+        assert_eq!(plain.lint_config(&cfg), ConfigLegality::Legal);
+        assert_eq!(legal.lint_config(&cfg), ConfigLegality::Illegal);
+    }
+
+    #[test]
+    fn table_renders_one_row_per_kernel() {
+        let reports = lint_suite();
+        let table = render_table(&reports);
+        for r in &reports {
+            assert!(table.contains(&r.kernel), "missing row for {}", r.kernel);
+        }
+        assert!(table.contains("restricted"));
+    }
+}

@@ -1,0 +1,332 @@
+//! IR, machine-model and parameter-space invariant checks.
+//!
+//! Complements the dependence-based legality rules with sanity checks that
+//! catch *defects* rather than restrictions: array accesses that run past
+//! their declared bounds (beyond the small halo stencil kernels lean on),
+//! degenerate loop extents, non-finite or non-positive predicted times from
+//! the machine model, tile values the extents will always clamp, and pool
+//! configurations outside the declared parameter space.
+
+use pwu_space::{Configuration, TuningTarget};
+use pwu_spapt::cost::estimate_time;
+use pwu_spapt::ir::{LinIndex, LoopNest};
+use pwu_spapt::transform::BlockTransform;
+use pwu_spapt::Kernel;
+
+use crate::diagnostics::{Diagnostic, LintLevel};
+
+/// Largest per-side out-of-bounds distance tolerated as a stencil halo
+/// before it escalates from Warn to Error.
+pub const HALO_TOLERANCE: i128 = 2;
+
+/// Range of a [`LinIndex`] over the iteration domain `0..extent` per loop.
+fn index_range(ix: &LinIndex, nest: &LoopNest) -> (i128, i128) {
+    let mut lo = i128::from(ix.offset);
+    let mut hi = lo;
+    for (c, l) in ix.coeffs.iter().zip(&nest.loops) {
+        let span = i128::from(*c) * i128::from(l.extent.saturating_sub(1));
+        if span >= 0 {
+            hi += span;
+        } else {
+            lo += span;
+        }
+    }
+    (lo, hi)
+}
+
+/// Checks one nest's structural invariants: loop extents and array bounds.
+#[must_use]
+pub fn validate_nest(kernel: &str, block: &str, nest: &LoopNest) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for l in &nest.loops {
+        if l.extent == 0 {
+            diags.push(Diagnostic::new(
+                LintLevel::Error,
+                "ir/zero-extent",
+                kernel,
+                block,
+                format!("loop {}", l.name),
+                "loop extent is 0: the nest never executes",
+            ));
+        } else if l.extent == 1 {
+            diags.push(Diagnostic::new(
+                LintLevel::Info,
+                "ir/degenerate-loop",
+                kernel,
+                block,
+                format!("loop {}", l.name),
+                "loop extent is 1: tiling/unroll parameters for it are dead",
+            ));
+        }
+    }
+    for stmt in &nest.stmts {
+        for r in stmt.reads.iter().chain(&stmt.writes) {
+            let decl = &nest.arrays[r.array];
+            if r.index.len() != decl.dims.len() {
+                diags.push(Diagnostic::new(
+                    LintLevel::Error,
+                    "ir/rank-mismatch",
+                    kernel,
+                    block,
+                    format!("array {}", decl.name),
+                    format!(
+                        "reference has {} subscripts but the array has {} dims",
+                        r.index.len(),
+                        decl.dims.len()
+                    ),
+                ));
+                continue;
+            }
+            for (d, (ix, &dim)) in r.index.iter().zip(&decl.dims).enumerate() {
+                let (lo, hi) = index_range(ix, nest);
+                let under = -lo.min(0);
+                let over = (hi - (i128::from(dim) - 1)).max(0);
+                let worst = under.max(over);
+                if worst == 0 {
+                    continue;
+                }
+                let (level, rule) = if worst <= HALO_TOLERANCE {
+                    (LintLevel::Warn, "ir/stencil-halo")
+                } else {
+                    (LintLevel::Error, "ir/bounds-overrun")
+                };
+                diags.push(Diagnostic::new(
+                    level,
+                    rule,
+                    kernel,
+                    block,
+                    format!("array {}", decl.name),
+                    format!(
+                        "dim {d}: subscript spans {lo}..={hi} against extent {dim} \
+                         ({worst} element(s) out of bounds)"
+                    ),
+                ));
+            }
+        }
+    }
+    diags
+}
+
+/// Probes the machine model with boundary transformations and reports any
+/// non-finite or non-positive predicted time.
+#[must_use]
+pub fn validate_kernel_model(kernel: &Kernel) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for block in kernel.blocks() {
+        let depth = block.nest.depth();
+        let mut extreme = BlockTransform {
+            tiles: vec![(512, 64); depth],
+            unroll: vec![31; depth],
+            regtile: vec![32; depth],
+            scalar_replace: true,
+            vectorize: true,
+        };
+        // A mid-range tiling exercises the partial-tile paths.
+        if depth > 1 {
+            extreme.tiles[depth - 1] = (128, 16);
+        }
+        for (probe_name, t) in [
+            ("identity", BlockTransform::identity(depth)),
+            ("extreme", extreme),
+        ] {
+            let time = estimate_time(&block.nest, &t, kernel.machine());
+            if !time.is_finite() || time <= 0.0 {
+                diags.push(Diagnostic::new(
+                    LintLevel::Error,
+                    "model/bad-time",
+                    kernel.name(),
+                    block.label,
+                    format!("probe {probe_name}"),
+                    format!("machine model predicted {time} s (must be finite and positive)"),
+                ));
+            }
+        }
+    }
+    diags
+}
+
+/// Reports tile parameters whose largest value exceeds the loop extent
+/// (the transform clamps them, so the parameter's upper levels alias).
+#[must_use]
+pub fn validate_kernel_space(kernel: &Kernel) -> Vec<Diagnostic> {
+    let max_tile = pwu_spapt::kernels::TILE_VALUES
+        .iter()
+        .copied()
+        .fold(0.0f64, f64::max) as u64;
+    let mut diags = Vec::new();
+    for block in kernel.blocks() {
+        for &l in &block.tiled {
+            let extent = block.nest.loops[l].extent;
+            if extent < max_tile {
+                diags.push(Diagnostic::new(
+                    LintLevel::Info,
+                    "space/tile-exceeds-extent",
+                    kernel.name(),
+                    block.label,
+                    format!("loop {}", block.nest.loops[l].name),
+                    format!(
+                        "largest tile value {max_tile} exceeds the loop extent {extent}; \
+                         upper tile levels alias after clamping"
+                    ),
+                ));
+            }
+        }
+    }
+    diags
+}
+
+/// Validates pool configurations against a target's declared space:
+/// dimension count and per-parameter level ranges.
+#[must_use]
+pub fn validate_pool(target: &dyn TuningTarget, configs: &[Configuration]) -> Vec<Diagnostic> {
+    let space = target.space();
+    let mut diags = Vec::new();
+    for (i, cfg) in configs.iter().enumerate() {
+        if cfg.len() != space.dim() {
+            diags.push(Diagnostic::new(
+                LintLevel::Error,
+                "space/config-rank-mismatch",
+                target.name(),
+                "-",
+                format!("pool[{i}]"),
+                format!(
+                    "configuration has {} levels but the space has {} parameters",
+                    cfg.len(),
+                    space.dim()
+                ),
+            ));
+            continue;
+        }
+        for (p, param) in space.params().iter().enumerate() {
+            let level = cfg.level(p) as usize;
+            if level >= param.arity() {
+                diags.push(Diagnostic::new(
+                    LintLevel::Error,
+                    "space/config-out-of-range",
+                    target.name(),
+                    "-",
+                    format!("pool[{i}].{}", param.name()),
+                    format!("level {level} outside the domain of {} values", param.arity()),
+                ));
+            }
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwu_spapt::ir::{ArrayDecl, ArrayRef, LoopDim, Statement};
+    use pwu_spapt::kernel_by_name;
+
+    #[test]
+    fn in_bounds_accesses_are_clean() {
+        let mm = kernel_by_name("mm").expect("mm exists");
+        for b in mm.blocks() {
+            assert!(validate_nest("mm", b.label, &b.nest).is_empty());
+        }
+    }
+
+    #[test]
+    fn stencil_halo_warns_but_larger_overruns_error() {
+        let mk = |offset: i64| LoopNest {
+            loops: vec![LoopDim {
+                name: "i".into(),
+                extent: 100,
+            }],
+            stmts: vec![Statement {
+                reads: vec![ArrayRef::new(0, vec![LinIndex::var_plus(1, 0, offset)])],
+                writes: vec![],
+                adds: 0,
+                muls: 0,
+                divs: 0,
+            }],
+            arrays: vec![ArrayDecl::doubles("A", vec![100])],
+        };
+        let halo = validate_nest("k", "b", &mk(1));
+        assert_eq!(halo.len(), 1);
+        assert_eq!(halo[0].rule, "ir/stencil-halo");
+        assert_eq!(halo[0].level, LintLevel::Warn);
+
+        let overrun = validate_nest("k", "b", &mk(7));
+        assert_eq!(overrun.len(), 1);
+        assert_eq!(overrun[0].rule, "ir/bounds-overrun");
+        assert_eq!(overrun[0].level, LintLevel::Error);
+
+        let under = validate_nest("k", "b", &mk(-5));
+        assert_eq!(under[0].rule, "ir/bounds-overrun");
+    }
+
+    #[test]
+    fn degenerate_extents_are_reported() {
+        let nest = LoopNest {
+            loops: vec![
+                LoopDim {
+                    name: "i".into(),
+                    extent: 1,
+                },
+                LoopDim {
+                    name: "j".into(),
+                    extent: 8,
+                },
+            ],
+            stmts: vec![Statement {
+                reads: vec![],
+                writes: vec![ArrayRef::new(
+                    0,
+                    vec![LinIndex::var(2, 0), LinIndex::var(2, 1)],
+                )],
+                adds: 0,
+                muls: 0,
+                divs: 0,
+            }],
+            arrays: vec![ArrayDecl::doubles("A", vec![1, 8])],
+        };
+        let diags = validate_nest("k", "b", &nest);
+        assert!(diags
+            .iter()
+            .any(|d| d.rule == "ir/degenerate-loop" && d.level == LintLevel::Info));
+    }
+
+    #[test]
+    fn machine_model_probes_are_finite_on_the_suite() {
+        for k in pwu_spapt::all_kernels() {
+            assert!(
+                validate_kernel_model(&k).is_empty(),
+                "{} model probe failed",
+                k.name()
+            );
+        }
+    }
+
+    #[test]
+    fn small_extents_report_tile_aliasing() {
+        let tensor = kernel_by_name("tensor").expect("tensor exists");
+        let diags = validate_kernel_space(&tensor);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.rule == "space/tile-exceeds-extent" && d.level == LintLevel::Info),
+            "tensor's extent-120 loops alias 128..512 tiles"
+        );
+    }
+
+    #[test]
+    fn pool_validation_catches_bad_configs() {
+        let mm = kernel_by_name("mm").expect("mm exists");
+        let dim = pwu_space::TuningTarget::space(&mm).dim();
+        let good = Configuration::new(vec![0; dim]);
+        let short = Configuration::new(vec![0; dim - 1]);
+        let wild = Configuration::new(
+            std::iter::once(200)
+                .chain(std::iter::repeat_n(0, dim - 1))
+                .collect(),
+        );
+        assert!(validate_pool(&mm, std::slice::from_ref(&good)).is_empty());
+        let diags = validate_pool(&mm, &[good, short, wild]);
+        assert!(diags.iter().any(|d| d.rule == "space/config-rank-mismatch"));
+        assert!(diags.iter().any(|d| d.rule == "space/config-out-of-range"));
+        assert!(diags.iter().all(|d| d.level == LintLevel::Error));
+    }
+}

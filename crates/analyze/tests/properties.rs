@@ -1,0 +1,154 @@
+//! Property tests for the legality analysis, plus the 18-kernel
+//! lint-table snapshot.
+
+use proptest::prelude::*;
+use pwu_analyze::{legalize, lint_suite, render_table, LintLevel};
+use pwu_space::{ConfigLegality, Configuration, TuningTarget};
+use pwu_spapt::{all_kernels, extended_kernels, BlockLegality, BlockTransform};
+use pwu_stats::Xoshiro256PlusPlus;
+
+fn full_suite() -> Vec<pwu_spapt::Kernel> {
+    all_kernels().into_iter().chain(extended_kernels()).collect()
+}
+
+/// The identity configuration (every parameter at level 0: tile 1,
+/// unroll 1, no scalar replacement, no vectorization) must be Legal for
+/// every kernel, before and after attaching the analysis masks.
+#[test]
+fn identity_configuration_is_always_legal() {
+    for kernel in full_suite() {
+        let identity = Configuration::new(vec![0; kernel.space().dim()]);
+        assert_eq!(
+            kernel.lint_config(&identity),
+            ConfigLegality::Legal,
+            "{}: identity flagged without masks",
+            kernel.name()
+        );
+        let legal = legalize(kernel);
+        assert_eq!(
+            legal.lint_config(&identity),
+            ConfigLegality::Legal,
+            "{}: identity flagged by the dependence analysis",
+            legal.name()
+        );
+    }
+}
+
+/// Derives a pseudo-random legality mask and transform of the given depth
+/// from a seed.
+fn arbitrary_case(depth: usize, seed: u64) -> (BlockLegality, BlockTransform) {
+    let mut rng = Xoshiro256PlusPlus::new(seed);
+    let mut flip = |p: u64| rng.next().is_multiple_of(p);
+    let mut mask = BlockLegality::permissive(depth);
+    for l in 0..depth {
+        mask.tile_ok[l] = !flip(3);
+        mask.unroll_ok[l] = !flip(3);
+        mask.regtile_ok[l] = !flip(3);
+    }
+    mask.scalar_replace_ok = !flip(3);
+    mask.vectorize_ok = !flip(3);
+    mask.vectorize_clean = mask.vectorize_ok && !flip(2);
+
+    let mut t = BlockTransform::identity(depth);
+    let mut rng2 = Xoshiro256PlusPlus::new(seed ^ 0x9E37_79B9);
+    let mut pick = |choices: &[u64]| choices[(rng2.next() % choices.len() as u64) as usize];
+    for l in 0..depth {
+        t.tiles[l] = (pick(&[1, 1, 16, 64]), pick(&[1, 1, 8]));
+        t.unroll[l] = pick(&[1, 1, 2, 4]);
+        t.regtile[l] = pick(&[1, 1, 2]);
+    }
+    t.scalar_replace = pick(&[0, 1]) == 1;
+    t.vectorize = pick(&[0, 1]) == 1;
+    (mask, t)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The identity transform classifies Legal under *any* legality mask.
+    #[test]
+    fn identity_transform_is_legal_under_any_mask(seed in 0u64..100_000, depth in 1usize..5) {
+        let (mask, _) = arbitrary_case(depth, seed);
+        let identity = BlockTransform::identity(depth);
+        prop_assert_eq!(mask.classify(&identity), ConfigLegality::Legal);
+    }
+
+    /// Legality is monotone under tile shrinking: resetting any tile pair
+    /// to (1, 1) never makes the verdict worse.
+    #[test]
+    fn legality_is_monotone_under_tile_shrinking(seed in 0u64..100_000, depth in 1usize..5) {
+        let (mask, t) = arbitrary_case(depth, seed);
+        let before = mask.classify(&t);
+        for l in 0..depth {
+            let mut shrunk = t.clone();
+            shrunk.tiles[l] = (1, 1);
+            prop_assert!(
+                mask.classify(&shrunk) <= before,
+                "shrinking tile {l} worsened {before:?}"
+            );
+        }
+        // Shrinking everything restricted to identity levels reaches Legal.
+        let mut minimal = t.clone();
+        for l in 0..depth {
+            minimal.tiles[l] = (1, 1);
+            minimal.unroll[l] = 1;
+            minimal.regtile[l] = 1;
+        }
+        minimal.scalar_replace = false;
+        minimal.vectorize = false;
+        prop_assert_eq!(mask.classify(&minimal), ConfigLegality::Legal);
+    }
+
+    /// Clamping always produces a transform the mask accepts (never
+    /// Illegal), and clamping a clean transform is the identity operation.
+    #[test]
+    fn clamp_is_idempotent_and_legalizing(seed in 0u64..100_000, depth in 1usize..5) {
+        let (mask, t) = arbitrary_case(depth, seed);
+        let (clamped, changed) = mask.clamp(&t);
+        prop_assert!(mask.classify(&clamped) != ConfigLegality::Illegal);
+        let (again, changed_again) = mask.clamp(&clamped);
+        prop_assert!(!changed_again, "clamp must be idempotent");
+        prop_assert_eq!(&again, &clamped);
+        if !changed {
+            prop_assert_eq!(&clamped, &t);
+        }
+    }
+}
+
+/// Snapshot of the 18-kernel lint table: kernel set, dependence counts,
+/// severity totals and restriction summaries are pinned so an analysis
+/// regression shows up as a diff here.
+#[test]
+fn lint_table_snapshot() {
+    let reports = lint_suite();
+    let table = render_table(&reports);
+    let expected = "\
+kernel        dim blocks  deps  err warn info  restricted
+------------------------------------------------------------------------------
+adi            20      2     2    0    5    0  s1: vec; s2: vec
+atax           20      2     6    0    0    1  t: vec?
+bicgkernel     20      2     6    0    0    1  q: vec?
+correlation    24      2     9    0    0    7  ms: vec?; cr: vec?
+dgemv3         30      3     9    0    0    3  g1: vec?; g2: vec?; g3: vec?
+fdtd           27      3     9    0    4    0  -
+gemver         36      4     6    0    0    2  xt: vec?; w: vec?
+gesummv        16      2     6    0    0    1  mv: vec?
+hessian        20      2     0    0   12    0  -
+jacobi         20      2     0    0    4    0  -
+lu             14      1    15    0    5    0  up: tile(i,j) ujam(k) scr vec
+mm             14      1     3    0    0    1  c: vec?
+mvt            20      2     6    0    0    1  x1: vec?
+seidel         10      1     8    0   15    0  gs: tile(j) ujam(i) vec
+trmm           14      1     9    0    3    1  tm: tile(k) ujam(i) vec
+covariance     14      1     3    0    0    4  cov: vec?
+stencil3d      14      1     0    0    6    3  -
+tensor         18      1     3    0    0    5  tc: vec?
+";
+    assert_eq!(
+        table, expected,
+        "lint table drifted:\n--- got ---\n{table}\n--- want ---\n{expected}"
+    );
+    assert!(reports
+        .iter()
+        .all(|r| r.count(LintLevel::Error) == 0));
+}

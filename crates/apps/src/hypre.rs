@@ -306,7 +306,7 @@ mod tests {
     #[test]
     fn space_matches_table_three() {
         let h = Hypre::new();
-        let arity: Vec<usize> = h.space().params().iter().map(|p| p.arity()).collect();
+        let arity: Vec<usize> = h.space().params().iter().map(pwu_space::Param::arity).collect();
         assert_eq!(arity, vec![24, 2, 9, 7]);
         assert_eq!(h.space().cardinality(), 24 * 2 * 9 * 7);
     }

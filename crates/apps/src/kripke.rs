@@ -228,7 +228,7 @@ mod tests {
     fn space_matches_table_two() {
         let k = Kripke::new();
         assert_eq!(k.space().dim(), 5);
-        let arity: Vec<usize> = k.space().params().iter().map(|p| p.arity()).collect();
+        let arity: Vec<usize> = k.space().params().iter().map(pwu_space::Param::arity).collect();
         assert_eq!(arity, vec![6, 8, 3, 2, 8]);
         assert_eq!(k.space().cardinality(), 6 * 8 * 3 * 2 * 8);
     }

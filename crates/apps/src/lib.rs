@@ -8,7 +8,7 @@
 //!
 //! - [`kripke`] — a KBA sweep-pipeline model: zone/group/direction blocking,
 //!   data-layout (nesting-order) efficiency, sweep vs block-Jacobi iteration
-//!   counts, LogGP communication;
+//!   counts, `LogGP` communication;
 //! - [`hypre`] — an AMG/Krylov cost model: solver composition, PMIS/HMIS
 //!   coarsening complexity, smoother cost/damping, convergence-derived
 //!   iteration counts, per-level halo and reduction communication.

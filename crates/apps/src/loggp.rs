@@ -1,11 +1,11 @@
-//! LogGP communication model.
+//! `LogGP` communication model.
 //!
 //! `T(s) = L + 2o + (s − 1)·G` for a point-to-point message of `s` bytes,
 //! plus the `g` gap between consecutive message injections. Collectives are
 //! modeled as binomial trees. Two parameter sets exist per platform: shared
 //! memory inside a node and the fabric between nodes.
 
-/// LogGP parameters, all in seconds (per byte for `big_g`).
+/// `LogGP` parameters, all in seconds (per byte for `big_g`).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LogGp {
     /// Wire latency `L`.

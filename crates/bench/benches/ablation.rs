@@ -77,7 +77,7 @@ fn ablation_forest_size(c: &mut Criterion) {
     group.finish();
 }
 
-/// Batch size: n_batch 1 (the paper) vs greedy top-k batches.
+/// Batch size: `n_batch` 1 (the paper) vs greedy top-k batches.
 fn ablation_batch_size(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_batch_size");
     group.sample_size(10);

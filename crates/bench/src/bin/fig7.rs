@@ -40,8 +40,8 @@ fn main() {
         let pbus = result.curve("PBUS").expect("PBUS ran");
         let level = pwu.rmse[0]
             .last()
-            .unwrap()
-            .max(*pbus.rmse[0].last().unwrap());
+            .expect("curves have at least one snapshot")
+            .max(*pbus.rmse[0].last().expect("curves have at least one snapshot"));
         let hist = |c: &pwu_core::StrategyCurve| -> Vec<(f64, f64)> {
             c.cumulative_cost
                 .iter()

@@ -93,8 +93,8 @@ fn main() {
     println!("{}", plot.render());
     println!(
         "final best: direct {:.4e} s, surrogate {:.4e} s",
-        direct.best_true.last().unwrap(),
-        surrogate_traj.best_true.last().unwrap()
+        direct.best_true.last().expect("tuning recorded at least one step"),
+        surrogate_traj.best_true.last().expect("tuning recorded at least one step")
     );
 
     let rows = (0..direct.best_true.len().max(surrogate_traj.best_true.len())).map(|i| {

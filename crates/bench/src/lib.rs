@@ -23,7 +23,7 @@ pub enum Scale {
     Quick,
     /// Default scale: minutes for the full suite on one core.
     Default,
-    /// Paper scale: pool 7000 / test 3000 / n_max 500 / 10 repetitions.
+    /// Paper scale: pool 7000 / test 3000 / `n_max` 500 / 10 repetitions.
     Full,
 }
 

@@ -1,7 +1,7 @@
 //! Algorithm 1: the active-learning loop.
 
 use pwu_forest::{ForestConfig, RandomForest};
-use pwu_space::{FeatureSchema, LabeledSet, Pool, TuningTarget};
+use pwu_space::{ConfigLegality, FeatureSchema, LabeledSet, Pool, PoolLintCounts, TuningTarget};
 use pwu_stats::{derive_seed, Xoshiro256PlusPlus};
 
 use crate::annotator::Annotator;
@@ -108,6 +108,9 @@ pub struct ActiveRun {
     pub selections: Vec<SelectionTrace>,
     /// The final model.
     pub model: RandomForest,
+    /// Static-analysis verdict counts over the *original* pool; the
+    /// `illegal` ones were removed before the cold start.
+    pub lint: PoolLintCounts,
 }
 
 /// Runs Algorithm 1.
@@ -115,8 +118,14 @@ pub struct ActiveRun {
 /// `pool_configs` is `X_pool`; `test` is the held-out evaluation set with
 /// pre-measured labels. All randomness derives from `seed`.
 ///
+/// Pool points the target's [`TuningTarget::lint_config`] marks
+/// [`ConfigLegality::Illegal`] are removed before the cold start; the
+/// verdict tally over the original pool is reported on
+/// [`ActiveRun::lint`].
+///
 /// # Panics
-/// Panics if the pool is smaller than `n_max` or the config is inconsistent.
+/// Panics if the pool (after removing illegal points) is smaller than
+/// `n_max` or the config is inconsistent.
 pub fn run(
     target: &dyn TuningTarget,
     strategy: Strategy,
@@ -127,10 +136,14 @@ pub fn run(
     seed: u64,
 ) -> ActiveRun {
     config.validate();
+    let lint = PoolLintCounts::tally(target, pool.configs());
+    let removed = pool.retain(|cfg| target.lint_config(cfg) != ConfigLegality::Illegal);
+    debug_assert_eq!(removed, lint.illegal, "retain and tally must agree");
     assert!(
         pool.len() >= config.n_max,
-        "pool of {} cannot supply n_max = {}",
+        "pool of {} legal points ({} illegal removed) cannot supply n_max = {}",
         pool.len(),
+        removed,
         config.n_max
     );
     assert_eq!(test_features.len(), test_labels.len());
@@ -221,6 +234,7 @@ pub fn run(
         history,
         selections,
         model,
+        lint,
     }
 }
 
@@ -451,6 +465,62 @@ mod tests {
         let f = full.history.last().unwrap().rmse[0];
         let p = part.history.last().unwrap().rmse[0];
         assert!(p < f * 3.0 + 1e-9, "partial {p} vs full {f}");
+    }
+
+    /// The synthetic target with a lint rule: `flag = 1` together with
+    /// `a > 8` is declared Illegal (and `a == 8` Flagged).
+    struct LintedSynthetic(Synthetic);
+
+    impl TuningTarget for LintedSynthetic {
+        fn name(&self) -> &str {
+            "linted-synthetic"
+        }
+        fn space(&self) -> &ParamSpace {
+            self.0.space()
+        }
+        fn ideal_time(&self, cfg: &Configuration) -> f64 {
+            self.0.ideal_time(cfg)
+        }
+        fn lint_config(&self, cfg: &Configuration) -> pwu_space::ConfigLegality {
+            if cfg.level(2) == 1 && cfg.level(0) > 8 {
+                pwu_space::ConfigLegality::Illegal
+            } else if cfg.level(2) == 1 && cfg.level(0) == 8 {
+                pwu_space::ConfigLegality::Flagged
+            } else {
+                pwu_space::ConfigLegality::Legal
+            }
+        }
+    }
+
+    #[test]
+    fn illegal_pool_points_are_never_annotated() {
+        let inner = Synthetic::new();
+        let target = LintedSynthetic(Synthetic::new());
+        let (pool, tf, tl) = setup(&inner, 150, 60, 21);
+        let n_pool_illegal = pool
+            .configs()
+            .iter()
+            .filter(|c| target.lint_config(c) == pwu_space::ConfigLegality::Illegal)
+            .count();
+        assert!(n_pool_illegal > 0, "pool must contain illegal points");
+        let run = run(
+            &target,
+            Strategy::Pwu { alpha: 0.05 },
+            &quick_config(40),
+            pool,
+            &tf,
+            &tl,
+            17,
+        );
+        assert_eq!(run.lint.illegal, n_pool_illegal);
+        assert_eq!(run.lint.total(), 150);
+        assert!(
+            run.train
+                .configs()
+                .iter()
+                .all(|c| target.lint_config(c) != pwu_space::ConfigLegality::Illegal),
+            "training set must never contain an illegal configuration"
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@
 
 use rayon::prelude::*;
 
-use pwu_space::{FeatureSchema, Pool, TuningTarget};
+use pwu_space::{FeatureSchema, Pool, PoolLintCounts, TuningTarget};
 use pwu_stats::{derive_seed, Xoshiro256PlusPlus};
 
 use crate::active::{self, ActiveConfig, SelectionTrace};
@@ -21,7 +21,7 @@ pub struct Protocol {
     pub surrogate_size: usize,
     /// Pool size (paper: 7000); the rest becomes the test set.
     pub pool_size: usize,
-    /// Active-learning settings (n_init, n_batch, n_max, forest, alphas).
+    /// Active-learning settings (`n_init`, `n_batch`, `n_max`, forest, alphas).
     pub active: ActiveConfig,
     /// Number of averaged repetitions (paper: 10).
     pub n_reps: usize,
@@ -113,6 +113,9 @@ pub struct ExperimentResult {
     pub alphas: Vec<f64>,
     /// One curve per strategy.
     pub curves: Vec<StrategyCurve>,
+    /// Static-analysis verdict counts over the first repetition's pool
+    /// (illegal points are removed inside each run before learning).
+    pub pool_lint: PoolLintCounts,
 }
 
 impl ExperimentResult {
@@ -138,8 +141,8 @@ pub fn run_experiment(
     protocol.validate();
     let schema = FeatureSchema::for_space(target.space());
 
-    // rep → (runs per strategy, that rep's test features)
-    let reps: Vec<(Vec<active::ActiveRun>, Vec<Vec<f64>>)> = (0..protocol.n_reps)
+    // rep → (runs per strategy, that rep's test features, pool lint tally)
+    let reps: Vec<(Vec<active::ActiveRun>, Vec<Vec<f64>>, PoolLintCounts)> = (0..protocol.n_reps)
         .into_par_iter()
         .map(|rep| {
             let rep_seed = derive_seed(seed, rep as u64);
@@ -155,6 +158,7 @@ pub fn run_experiment(
                 derive_seed(rep_seed, 101),
             );
             let test_labels = test_annotator.evaluate_all(test_cfgs);
+            let pool_lint = PoolLintCounts::tally(target, pool_cfgs);
 
             let runs = strategies
                 .iter()
@@ -171,7 +175,7 @@ pub fn run_experiment(
                     )
                 })
                 .collect();
-            (runs, test_features)
+            (runs, test_features, pool_lint)
         })
         .collect();
 
@@ -183,7 +187,7 @@ pub fn run_experiment(
         .map(|(si, &strategy)| {
             let n_snapshots = reps
                 .iter()
-                .map(|(runs, _)| runs[si].history.len())
+                .map(|(runs, _, _)| runs[si].history.len())
                 .min()
                 .expect("at least one repetition");
             let n_train = reps[0].0[si].history[..n_snapshots]
@@ -192,7 +196,7 @@ pub fn run_experiment(
                 .collect();
             let mut rmse = vec![vec![0.0; n_snapshots]; n_alphas];
             let mut cc = vec![0.0; n_snapshots];
-            for (runs, _) in &reps {
+            for (runs, _, _) in &reps {
                 for (t, snap) in runs[si].history[..n_snapshots].iter().enumerate() {
                     cc[t] += snap.cumulative_cost / protocol.n_reps as f64;
                     for (a, &r) in snap.rmse.iter().enumerate() {
@@ -200,7 +204,7 @@ pub fn run_experiment(
                     }
                 }
             }
-            let (first_runs, first_test_features) = &reps[0];
+            let (first_runs, first_test_features, _) = &reps[0];
             let first = &first_runs[si];
             // The final model's (μ, σ) over held-out configurations — the
             // background scatter of Fig 9.
@@ -225,6 +229,7 @@ pub fn run_experiment(
         target: target.name().to_string(),
         alphas: protocol.active.alphas.clone(),
         curves,
+        pool_lint: reps[0].2,
     }
 }
 
@@ -305,6 +310,10 @@ mod tests {
         assert!(result.curve("PWU").is_some());
         assert!(result.curve("Uniform").is_some());
         assert!(result.curve("PBUS").is_none());
+        // The default target lints everything Legal; the tally covers the
+        // whole pool.
+        assert_eq!(result.pool_lint.total(), 200);
+        assert_eq!(result.pool_lint.legal, 200);
     }
 
     #[test]

@@ -11,8 +11,8 @@
 //! - **PBUS** (Balaprakash et al. 2013): restrict to the predicted
 //!   high-performance fraction first, then take the most uncertain;
 //! - **BRS** — biased random sampling inside the predicted top fraction;
-//! - **BestPerf** — pure exploitation (minimal predicted time);
-//! - **MaxU** — classic uncertainty sampling;
+//! - **`BestPerf`** — pure exploitation (minimal predicted time);
+//! - **`MaxU`** — classic uncertainty sampling;
 //! - **Uniform** — passive random sampling.
 //!
 //! Modules:

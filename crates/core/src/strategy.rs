@@ -91,6 +91,12 @@ impl Strategy {
             }
             Strategy::Pbus { fraction } => {
                 let keep = biased_subset(preds, fraction, n_batch);
+                // Invariant: forest predictions are means/stds of finite
+                // training labels, so σ is never NaN here.
+                debug_assert!(
+                    keep.iter().all(|&i| !preds[i].std.is_nan()),
+                    "NaN uncertainty reached PBUS selection"
+                );
                 // Most uncertain within the subset.
                 let mut idx = keep;
                 idx.sort_by(|&a, &b| {

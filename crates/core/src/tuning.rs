@@ -14,7 +14,7 @@
 //! configuration selected so far, so the curves are directly comparable.
 
 use pwu_forest::{ForestConfig, RandomForest};
-use pwu_space::{Configuration, FeatureSchema, TuningTarget};
+use pwu_space::{ConfigLegality, Configuration, FeatureSchema, TuningTarget};
 use pwu_stats::{derive_seed, Xoshiro256PlusPlus};
 
 use crate::annotator::Annotator;
@@ -38,6 +38,12 @@ pub struct TuningTrajectory {
     pub best_true: Vec<f64>,
     /// The configurations chosen at each step.
     pub chosen: Vec<Configuration>,
+    /// Candidates excluded up front because the target's static analysis
+    /// marked them [`ConfigLegality::Illegal`].
+    pub excluded_illegal: usize,
+    /// Surviving candidates the analysis marked
+    /// [`ConfigLegality::Flagged`] (searchable, but counted).
+    pub flagged: usize,
 }
 
 /// Runs greedy model-based tuning over a fixed candidate set.
@@ -47,8 +53,14 @@ pub struct TuningTrajectory {
 /// append, repeat. The returned trajectory records the *true* time of the
 /// best-so-far selection, independent of how labels were produced.
 ///
+/// Candidates the target's [`TuningTarget::lint_config`] marks
+/// [`ConfigLegality::Illegal`] are excluded before the search starts;
+/// [`ConfigLegality::Flagged`] candidates stay searchable but are counted
+/// on the trajectory.
+///
 /// # Panics
-/// Panics if the candidate set is smaller than `n_init + n_iters`.
+/// Panics if fewer than `n_init + n_iters` legal candidates remain after
+/// excluding illegal ones.
 #[must_use]
 pub fn model_based_tuning(
     target: &dyn TuningTarget,
@@ -59,10 +71,23 @@ pub fn model_based_tuning(
     forest: &ForestConfig,
     seed: u64,
 ) -> TuningTrajectory {
+    let mut flagged = 0usize;
+    let legal: Vec<usize> = (0..candidates.len())
+        .filter(|&i| match target.lint_config(&candidates[i]) {
+            ConfigLegality::Legal => true,
+            ConfigLegality::Flagged => {
+                flagged += 1;
+                true
+            }
+            ConfigLegality::Illegal => false,
+        })
+        .collect();
+    let excluded_illegal = candidates.len() - legal.len();
     assert!(
-        candidates.len() >= n_init + n_iters,
-        "candidate set of {} cannot supply {} evaluations",
-        candidates.len(),
+        legal.len() >= n_init + n_iters,
+        "{} legal candidates ({} excluded as illegal) cannot supply {} evaluations",
+        legal.len(),
+        excluded_illegal,
         n_init + n_iters
     );
     let schema = FeatureSchema::for_space(target.space());
@@ -77,7 +102,7 @@ pub fn model_based_tuning(
         derive_seed(seed, 1),
     );
 
-    let mut remaining: Vec<usize> = (0..candidates.len()).collect();
+    let mut remaining: Vec<usize> = legal;
     let mut features: Vec<Vec<f64>> = Vec::new();
     let mut labels: Vec<f64> = Vec::new();
     let mut chosen = Vec::new();
@@ -113,6 +138,10 @@ pub fn model_based_tuning(
             &labels,
             derive_seed(seed, 100 + it as u64),
         );
+        // Invariant: the forest predicts means of finite labels, so the
+        // expects below cannot fire; `remaining` is nonempty because the
+        // entry assert guarantees n_init + n_iters legal candidates.
+        debug_assert!(!remaining.is_empty(), "greedy step with empty pool");
         // Greedy: smallest predicted time among the un-evaluated candidates.
         let (pos, _) = remaining
             .iter()
@@ -134,7 +163,12 @@ pub fn model_based_tuning(
         chosen.push(cfg.clone());
     }
 
-    TuningTrajectory { best_true, chosen }
+    TuningTrajectory {
+        best_true,
+        chosen,
+        excluded_illegal,
+        flagged,
+    }
 }
 
 #[cfg(test)]
@@ -231,6 +265,65 @@ mod tests {
             "surrogate tuning reached {}",
             traj.best_true.last().unwrap()
         );
+    }
+
+    /// A bowl whose static analysis forbids half the space: every
+    /// configuration with `a < 10` is Illegal, and `a == 10` is Flagged.
+    /// The true optimum (a = 13) stays legal, so tuning still works.
+    struct LintedBowl(Bowl);
+
+    impl TuningTarget for LintedBowl {
+        fn name(&self) -> &str {
+            "linted-bowl"
+        }
+        fn space(&self) -> &ParamSpace {
+            self.0.space()
+        }
+        fn ideal_time(&self, cfg: &Configuration) -> f64 {
+            self.0.ideal_time(cfg)
+        }
+        fn lint_config(&self, cfg: &Configuration) -> ConfigLegality {
+            match cfg.level(0) {
+                0..=9 => ConfigLegality::Illegal,
+                10 => ConfigLegality::Flagged,
+                _ => ConfigLegality::Legal,
+            }
+        }
+    }
+
+    #[test]
+    fn tuning_excludes_illegal_candidates_end_to_end() {
+        let target = LintedBowl(Bowl::new());
+        let mut rng = Xoshiro256PlusPlus::new(11);
+        let candidates = target.space().sample_distinct(250, &mut rng);
+        let n_illegal = candidates
+            .iter()
+            .filter(|c| target.lint_config(c) == ConfigLegality::Illegal)
+            .count();
+        let n_flagged = candidates
+            .iter()
+            .filter(|c| target.lint_config(c) == ConfigLegality::Flagged)
+            .count();
+        assert!(n_illegal > 0, "sample must contain illegal points");
+        let traj = model_based_tuning(
+            &target,
+            &candidates,
+            &TuningAnnotator::True { repeats: 1 },
+            8,
+            30,
+            &forest16(),
+            13,
+        );
+        assert_eq!(traj.excluded_illegal, n_illegal);
+        assert_eq!(traj.flagged, n_flagged);
+        assert!(
+            traj.chosen
+                .iter()
+                .all(|c| target.lint_config(c) != ConfigLegality::Illegal),
+            "no evaluated configuration may be illegal"
+        );
+        // The legal region still contains the optimum; tuning finds it.
+        assert!(*traj.best_true.last().unwrap() < 1.5);
     }
 
     #[test]

@@ -88,7 +88,7 @@ impl RandomForest {
                 } else {
                     ((0..n as u32).collect(), Vec::new())
                 };
-                let tree = RegressionTree::fit(x, y, rows, kinds, config, &mut rng);
+                let tree = RegressionTree::fit(x, y, &rows, kinds, config, &mut rng);
                 (tree, oob)
             })
             .collect();
@@ -206,7 +206,7 @@ impl RandomForest {
                 } else {
                     ((0..n as u32).collect(), Vec::new())
                 };
-                let tree = RegressionTree::fit(x, y, rows, kinds, &self.config, &mut rng);
+                let tree = RegressionTree::fit(x, y, &rows, kinds, &self.config, &mut rng);
                 (t, (tree, oob))
             })
             .collect();

@@ -1,5 +1,7 @@
 //! Forest hyper-parameters.
 
+use pwu_stats::InvalidInput;
+
 /// How many features each node considers for splitting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Mtry {
@@ -61,14 +63,35 @@ impl Default for ForestConfig {
 }
 
 impl ForestConfig {
+    /// Validates internal consistency, rejecting malformed settings.
+    ///
+    /// # Errors
+    /// Returns [`InvalidInput`] on zero trees, zero leaf size, or
+    /// `min_split < 2`.
+    pub fn try_validate(&self) -> Result<(), InvalidInput> {
+        let reject = |msg: &str| Err(InvalidInput::new("forest config", msg));
+        if self.n_trees == 0 {
+            return reject("forest needs at least one tree");
+        }
+        if self.min_leaf == 0 {
+            return reject("min_leaf must be at least 1");
+        }
+        if self.min_split < 2 {
+            return reject("min_split must be at least 2");
+        }
+        Ok(())
+    }
+
     /// Validates internal consistency.
     ///
     /// # Panics
-    /// Panics on zero trees, zero leaf size, or `min_split < 2`.
+    /// Panics on zero trees, zero leaf size, or `min_split < 2`. Use
+    /// [`ForestConfig::try_validate`] to handle user-supplied
+    /// hyper-parameters without panicking.
     pub fn validate(&self) {
-        assert!(self.n_trees > 0, "forest needs at least one tree");
-        assert!(self.min_leaf > 0, "min_leaf must be at least 1");
-        assert!(self.min_split >= 2, "min_split must be at least 2");
+        if let Err(e) = self.try_validate() {
+            panic!("{}", e.message);
+        }
     }
 }
 
@@ -100,5 +123,17 @@ mod tests {
             ..ForestConfig::default()
         }
         .validate();
+    }
+
+    #[test]
+    fn try_validate_returns_typed_errors() {
+        assert!(ForestConfig::default().try_validate().is_ok());
+        let bad = ForestConfig {
+            min_split: 1,
+            ..ForestConfig::default()
+        };
+        let err = bad.try_validate().unwrap_err();
+        assert_eq!(err.context, "forest config");
+        assert!(err.to_string().contains("min_split"));
     }
 }

@@ -102,6 +102,12 @@ fn best_numeric_split(
     if n < 2 * min_leaf {
         return None;
     }
+    // Invariant: feature encodings are produced by FeatureSchema::encode,
+    // which never emits NaN — the expect below cannot fire on valid input.
+    debug_assert!(
+        rows.iter().all(|&r| !x[r as usize][feature].is_nan()),
+        "NaN feature value reached the splitter"
+    );
     let order = &mut scratch.order;
     order.clear();
     order.extend_from_slice(rows);

@@ -51,7 +51,7 @@ impl RegressionTree {
     pub fn fit(
         x: &[Vec<f64>],
         y: &[f64],
-        rows: Vec<u32>,
+        rows: &[u32],
         kinds: &[FeatureKind],
         config: &ForestConfig,
         rng: &mut Xoshiro256PlusPlus,
@@ -87,7 +87,7 @@ impl RegressionTree {
         &mut self,
         x: &[Vec<f64>],
         y: &[f64],
-        rows: Vec<u32>,
+        rows: &[u32],
         kinds: &[FeatureKind],
         config: &ForestConfig,
         mtry: usize,
@@ -98,21 +98,21 @@ impl RegressionTree {
     ) -> u32 {
         let stop = rows.len() < config.min_split
             || config.max_depth.is_some_and(|d| depth >= d)
-            || constant_targets(y, &rows);
+            || constant_targets(y, rows);
         let split = if stop {
             None
         } else {
-            self.pick_split(x, y, &rows, kinds, mtry, rng, scratch, feature_ids, config)
+            self.pick_split(x, y, rows, kinds, mtry, rng, scratch, feature_ids, config)
         };
 
         match split {
             None => {
                 let idx = self.nodes.len() as u32;
-                self.nodes.push(Node::Leaf(leaf_stats(y, &rows)));
+                self.nodes.push(Node::Leaf(leaf_stats(y, rows)));
                 idx
             }
             Some(split) => {
-                let (left_rows, right_rows) = partition(x, &rows, &split);
+                let (left_rows, right_rows) = partition(x, rows, &split);
                 debug_assert!(!left_rows.is_empty() && !right_rows.is_empty());
                 self.split_gains.push((split.feature as u32, split.gain));
                 let idx = self.nodes.len() as u32;
@@ -123,10 +123,10 @@ impl RegressionTree {
                     count: 0,
                 }));
                 let left = self.grow(
-                    x, y, left_rows, kinds, config, mtry, rng, scratch, feature_ids, depth + 1,
+                    x, y, &left_rows, kinds, config, mtry, rng, scratch, feature_ids, depth + 1,
                 );
                 let right = self.grow(
-                    x, y, right_rows, kinds, config, mtry, rng, scratch, feature_ids, depth + 1,
+                    x, y, &right_rows, kinds, config, mtry, rng, scratch, feature_ids, depth + 1,
                 );
                 self.nodes[idx as usize] = Node::Internal {
                     feature: split.feature as u32,
@@ -272,7 +272,7 @@ mod tests {
         let kinds = vec![FeatureKind::Numeric; x[0].len()];
         let rows: Vec<u32> = (0..x.len() as u32).collect();
         let mut rng = Xoshiro256PlusPlus::new(0);
-        RegressionTree::fit(x, y, rows, &kinds, config, &mut rng)
+        RegressionTree::fit(x, y, &rows, &kinds, config, &mut rng)
     }
 
     #[test]
@@ -344,7 +344,7 @@ mod tests {
         let kinds = vec![FeatureKind::Categorical { n_categories: 3 }];
         let rows: Vec<u32> = (0..8).collect();
         let mut rng = Xoshiro256PlusPlus::new(1);
-        let tree = RegressionTree::fit(&x, &y, rows, &kinds, &ForestConfig::default(), &mut rng);
+        let tree = RegressionTree::fit(&x, &y, &rows, &kinds, &ForestConfig::default(), &mut rng);
         // Category 1 rows predict ~9, others ~1.
         assert!(tree.predict(&[1.0]) > 8.0);
         assert!(tree.predict(&[0.0]) < 2.0);
@@ -378,12 +378,12 @@ mod tests {
         let t1 = RegressionTree::fit(
             &x,
             &y,
-            rows.clone(),
+            &rows,
             &kinds,
             &cfg,
             &mut Xoshiro256PlusPlus::new(7),
         );
-        let t2 = RegressionTree::fit(&x, &y, rows, &kinds, &cfg, &mut Xoshiro256PlusPlus::new(7));
+        let t2 = RegressionTree::fit(&x, &y, &rows, &kinds, &cfg, &mut Xoshiro256PlusPlus::new(7));
         for xi in &x {
             assert_eq!(t1.predict(xi), t2.predict(xi));
         }

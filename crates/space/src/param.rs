@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use pwu_stats::InvalidInput;
+
 /// The domain of one tunable parameter.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Domain {
@@ -89,36 +91,49 @@ pub struct Param {
 }
 
 impl Param {
-    /// Creates a parameter.
+    /// Creates a parameter, rejecting malformed domains.
     ///
-    /// # Panics
-    /// Panics if the domain is empty or, for ordinal domains, contains
-    /// non-finite or duplicate values.
-    #[must_use]
-    pub fn new(name: impl Into<String>, domain: Domain) -> Self {
+    /// # Errors
+    /// Returns [`InvalidInput`] if the domain is empty or, for ordinal
+    /// domains, contains non-finite or duplicate values.
+    pub fn try_new(name: impl Into<String>, domain: Domain) -> Result<Self, InvalidInput> {
         let name = name.into();
-        assert!(!domain.is_empty(), "parameter {name} has an empty domain");
+        let reject = |msg: String| Err(InvalidInput::new("parameter", msg));
+        if domain.is_empty() {
+            return reject(format!("parameter {name} has an empty domain"));
+        }
         if let Domain::Ordinal(vs) = &domain {
-            assert!(
-                vs.iter().all(|v| v.is_finite()),
-                "parameter {name} has non-finite ordinal values"
-            );
+            if !vs.iter().all(|v| v.is_finite()) {
+                return reject(format!("parameter {name} has non-finite ordinal values"));
+            }
             for (i, v) in vs.iter().enumerate() {
-                assert!(
-                    !vs[..i].contains(v),
-                    "parameter {name} has duplicate ordinal value {v}"
-                );
+                if vs[..i].contains(v) {
+                    return reject(format!("parameter {name} has duplicate ordinal value {v}"));
+                }
             }
         }
         if let Domain::Categorical(cs) = &domain {
             for (i, c) in cs.iter().enumerate() {
-                assert!(
-                    !cs[..i].contains(c),
-                    "parameter {name} has duplicate category {c}"
-                );
+                if cs[..i].contains(c) {
+                    return reject(format!("parameter {name} has duplicate category {c}"));
+                }
             }
         }
-        Self { name, domain }
+        Ok(Self { name, domain })
+    }
+
+    /// Creates a parameter.
+    ///
+    /// # Panics
+    /// Panics if the domain is empty or, for ordinal domains, contains
+    /// non-finite or duplicate values. Use [`Param::try_new`] to handle
+    /// malformed user input without panicking.
+    #[must_use]
+    pub fn new(name: impl Into<String>, domain: Domain) -> Self {
+        match Self::try_new(name, domain) {
+            Ok(p) => p,
+            Err(e) => panic!("{}", e.message),
+        }
     }
 
     /// Convenience constructor for an ordinal parameter.
@@ -210,5 +225,18 @@ mod tests {
     #[should_panic(expected = "duplicate")]
     fn duplicate_category_rejected() {
         let _ = Param::categorical("c", ["x", "x"]);
+    }
+
+    #[test]
+    fn try_new_returns_typed_errors() {
+        assert!(Param::try_new("ok", Domain::Ordinal(vec![1.0, 2.0])).is_ok());
+        let err = Param::try_new("t", Domain::Ordinal(vec![])).unwrap_err();
+        assert_eq!(err.context, "parameter");
+        assert!(err.message.contains("empty domain"));
+        let err = Param::try_new("t", Domain::Ordinal(vec![1.0, f64::NAN])).unwrap_err();
+        assert!(err.message.contains("non-finite"));
+        let err = Param::try_new("c", Domain::Categorical(vec!["x".into(), "x".into()]))
+            .unwrap_err();
+        assert!(err.message.contains("duplicate category"));
     }
 }

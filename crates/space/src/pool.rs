@@ -80,6 +80,27 @@ impl Pool {
         out
     }
 
+    /// Keeps only the configurations `keep` accepts, preserving order, and
+    /// returns how many were removed.
+    ///
+    /// Used by the active-learning loop to drop candidates a legality
+    /// analysis has marked [`Illegal`](crate::ConfigLegality::Illegal)
+    /// before any measurement budget is spent on them.
+    pub fn retain(&mut self, mut keep: impl FnMut(&Configuration) -> bool) -> usize {
+        let before = self.configs.len();
+        let mut kept = Vec::with_capacity(before);
+        let mut kept_rows = Vec::with_capacity(before);
+        for (cfg, row) in self.configs.drain(..).zip(self.features.drain(..)) {
+            if keep(&cfg) {
+                kept.push(cfg);
+                kept_rows.push(row);
+            }
+        }
+        self.configs = kept;
+        self.features = kept_rows;
+        before - self.configs.len()
+    }
+
     /// Removes and returns `n` uniformly random candidates.
     pub fn take_random(
         &mut self,
@@ -227,6 +248,19 @@ mod tests {
         all.extend(pool.configs().iter().cloned());
         let set: std::collections::HashSet<_> = all.iter().cloned().collect();
         assert_eq!(set.len(), 16, "a configuration appeared twice");
+    }
+
+    #[test]
+    fn retain_filters_and_keeps_rows_aligned() {
+        let (_, _, mut pool) = setup();
+        let removed = pool.retain(|cfg| cfg.level(0) != 2);
+        assert_eq!(removed, 4);
+        assert_eq!(pool.len(), 12);
+        for (cfg, row) in pool.configs().iter().zip(pool.features()) {
+            assert_ne!(cfg.level(0), 2);
+            assert_eq!(row[0], f64::from(cfg.level(0)));
+            assert_eq!(row[1], f64::from(cfg.level(1)));
+        }
     }
 
     #[test]

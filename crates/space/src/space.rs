@@ -7,7 +7,7 @@ use rand::Rng;
 use crate::config::Configuration;
 use crate::param::{Param, Value};
 
-use pwu_stats::Xoshiro256PlusPlus;
+use pwu_stats::{InvalidInput, Xoshiro256PlusPlus};
 
 /// Cartesian product of named parameters.
 ///
@@ -35,22 +35,45 @@ pub struct ParamSpace {
 }
 
 impl ParamSpace {
+    /// Creates a space from a list of parameters, rejecting malformed ones.
+    ///
+    /// # Errors
+    /// Returns [`InvalidInput`] if `params` is empty or contains duplicate
+    /// names.
+    pub fn try_new(
+        name: impl Into<String>,
+        params: Vec<Param>,
+    ) -> Result<Self, InvalidInput> {
+        let name = name.into();
+        if params.is_empty() {
+            return Err(InvalidInput::new(
+                "param space",
+                format!("space {name} has no parameters"),
+            ));
+        }
+        for (i, p) in params.iter().enumerate() {
+            if params[..i].iter().any(|q| q.name() == p.name()) {
+                return Err(InvalidInput::new(
+                    "param space",
+                    format!("space {name} has duplicate parameter {}", p.name()),
+                ));
+            }
+        }
+        Ok(Self { name, params })
+    }
+
     /// Creates a space from a list of parameters.
     ///
     /// # Panics
-    /// Panics if `params` is empty or contains duplicate names.
+    /// Panics if `params` is empty or contains duplicate names. Use
+    /// [`ParamSpace::try_new`] to handle malformed user input without
+    /// panicking.
     #[must_use]
     pub fn new(name: impl Into<String>, params: Vec<Param>) -> Self {
-        let name = name.into();
-        assert!(!params.is_empty(), "space {name} has no parameters");
-        for (i, p) in params.iter().enumerate() {
-            assert!(
-                !params[..i].iter().any(|q| q.name() == p.name()),
-                "space {name} has duplicate parameter {}",
-                p.name()
-            );
+        match Self::try_new(name, params) {
+            Ok(s) => s,
+            Err(e) => panic!("{}", e.message),
         }
-        Self { name, params }
     }
 
     /// Space name (benchmark name).
@@ -82,24 +105,42 @@ impl ParamSpace {
     }
 
     /// Decodes a flat index in `[0, cardinality)` into a configuration
-    /// (mixed-radix little-endian: the first parameter varies fastest).
+    /// (mixed-radix little-endian: the first parameter varies fastest),
+    /// rejecting out-of-range indices.
     ///
-    /// # Panics
-    /// Panics if `index >= cardinality()`.
-    #[must_use]
-    pub fn decode_index(&self, mut index: u128) -> Configuration {
-        assert!(
-            index < self.cardinality(),
-            "index {index} out of range for space of {} points",
-            self.cardinality()
-        );
+    /// # Errors
+    /// Returns [`InvalidInput`] if `index >= cardinality()`.
+    pub fn try_decode_index(&self, mut index: u128) -> Result<Configuration, InvalidInput> {
+        if index >= self.cardinality() {
+            return Err(InvalidInput::new(
+                "pool index",
+                format!(
+                    "index {index} out of range for space of {} points",
+                    self.cardinality()
+                ),
+            ));
+        }
         let mut levels = Vec::with_capacity(self.params.len());
         for p in &self.params {
             let arity = p.arity() as u128;
             levels.push((index % arity) as u32);
             index /= arity;
         }
-        Configuration::new(levels)
+        Ok(Configuration::new(levels))
+    }
+
+    /// Decodes a flat index in `[0, cardinality)` into a configuration
+    /// (mixed-radix little-endian: the first parameter varies fastest).
+    ///
+    /// # Panics
+    /// Panics if `index >= cardinality()`. Use
+    /// [`ParamSpace::try_decode_index`] to handle untrusted indices.
+    #[must_use]
+    pub fn decode_index(&self, index: u128) -> Configuration {
+        match self.try_decode_index(index) {
+            Ok(cfg) => cfg,
+            Err(e) => panic!("{}", e.message),
+        }
     }
 
     /// Encodes a configuration back to its flat index.
@@ -118,26 +159,45 @@ impl ParamSpace {
         index
     }
 
+    /// Checks that `cfg` has the right shape for this space.
+    ///
+    /// # Errors
+    /// Returns [`InvalidInput`] on dimensionality or level-range mismatch.
+    pub fn try_validate(&self, cfg: &Configuration) -> Result<(), InvalidInput> {
+        if cfg.len() != self.params.len() {
+            return Err(InvalidInput::new(
+                "configuration",
+                format!(
+                    "configuration has {} levels, space {} has {} parameters",
+                    cfg.len(),
+                    self.name,
+                    self.params.len()
+                ),
+            ));
+        }
+        for (p, &l) in self.params.iter().zip(cfg.levels()) {
+            if l as usize >= p.arity() {
+                return Err(InvalidInput::new(
+                    "configuration",
+                    format!(
+                        "level {l} out of range for parameter {} (arity {})",
+                        p.name(),
+                        p.arity()
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Asserts that `cfg` has the right shape for this space.
     ///
     /// # Panics
-    /// Panics on dimensionality or level-range mismatch.
+    /// Panics on dimensionality or level-range mismatch. Use
+    /// [`ParamSpace::try_validate`] to handle untrusted configurations.
     pub fn validate(&self, cfg: &Configuration) {
-        assert_eq!(
-            cfg.len(),
-            self.params.len(),
-            "configuration has {} levels, space {} has {} parameters",
-            cfg.len(),
-            self.name,
-            self.params.len()
-        );
-        for (p, &l) in self.params.iter().zip(cfg.levels()) {
-            assert!(
-                (l as usize) < p.arity(),
-                "level {l} out of range for parameter {} (arity {})",
-                p.name(),
-                p.arity()
-            );
+        if let Err(e) = self.try_validate(cfg) {
+            panic!("{}", e.message);
         }
     }
 
@@ -307,6 +367,28 @@ mod tests {
             "dup",
             vec![Param::boolean("x"), Param::boolean("x")],
         );
+    }
+
+    #[test]
+    fn try_constructors_reject_without_panicking() {
+        let err = ParamSpace::try_new("empty", vec![]).unwrap_err();
+        assert_eq!(err.context, "param space");
+        let err = ParamSpace::try_new("dup", vec![Param::boolean("x"), Param::boolean("x")])
+            .unwrap_err();
+        assert!(err.message.contains("duplicate parameter"));
+
+        let s = tiny();
+        assert!(s.try_decode_index(11).is_ok());
+        let err = s.try_decode_index(12).unwrap_err();
+        assert_eq!(err.context, "pool index");
+
+        assert!(s.try_validate(&Configuration::new(vec![0, 0, 0])).is_ok());
+        let err = s.try_validate(&Configuration::new(vec![0, 0])).unwrap_err();
+        assert_eq!(err.context, "configuration");
+        let err = s
+            .try_validate(&Configuration::new(vec![3, 0, 0]))
+            .unwrap_err();
+        assert!(err.message.contains("out of range"));
     }
 
     #[test]

@@ -10,6 +10,60 @@ use crate::space::ParamSpace;
 
 use pwu_stats::Xoshiro256PlusPlus;
 
+/// Static-analysis verdict on one configuration of a target.
+///
+/// Produced by [`TuningTarget::lint_config`]; the active-learning pool and
+/// the model-based tuner use it to exclude configurations whose
+/// transformations a legality analysis has proven unsafe, and to count
+/// configurations that are safe but suspicious (e.g. a vectorization request
+/// the compiler would have to ignore).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ConfigLegality {
+    /// No finding: the configuration is safe to evaluate and search.
+    Legal,
+    /// Safe to evaluate, but a Warn-level finding applies (the simulated
+    /// compiler would decline part of the transformation).
+    Flagged,
+    /// An Error-level finding: the transformation would be rejected (or
+    /// would miscompile) on a real stack; searchers should exclude it.
+    Illegal,
+}
+
+/// Tally of [`ConfigLegality`] verdicts over a candidate pool.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolLintCounts {
+    /// Configurations with no finding.
+    pub legal: usize,
+    /// Configurations with Warn-level findings (kept, but counted).
+    pub flagged: usize,
+    /// Configurations excluded as illegal.
+    pub illegal: usize,
+}
+
+impl PoolLintCounts {
+    /// Classifies every configuration in `cfgs` against `target`.
+    pub fn tally<'a>(
+        target: &dyn TuningTarget,
+        cfgs: impl IntoIterator<Item = &'a Configuration>,
+    ) -> Self {
+        let mut counts = Self::default();
+        for cfg in cfgs {
+            match target.lint_config(cfg) {
+                ConfigLegality::Legal => counts.legal += 1,
+                ConfigLegality::Flagged => counts.flagged += 1,
+                ConfigLegality::Illegal => counts.illegal += 1,
+            }
+        }
+        counts
+    }
+
+    /// Total number of classified configurations.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.legal + self.flagged + self.illegal
+    }
+}
+
 /// A tunable program with a measurable execution time.
 pub trait TuningTarget: Send + Sync {
     /// Benchmark name (e.g. `"adi"`, `"kripke"`).
@@ -42,6 +96,17 @@ pub trait TuningTarget: Send + Sync {
     ) -> f64 {
         assert!(repeats > 0, "need at least one repeat");
         (0..repeats).map(|_| self.measure(cfg, rng)).sum::<f64>() / repeats as f64
+    }
+
+    /// Static legality verdict for one configuration.
+    ///
+    /// The default says every configuration is [`ConfigLegality::Legal`];
+    /// targets backed by a dependence analysis (the SPAPT kernel simulators
+    /// with an attached legality mask) override this so the tuning loop can
+    /// exclude provably illegal transformation requests before spending
+    /// measurements on them.
+    fn lint_config(&self, _cfg: &Configuration) -> ConfigLegality {
+        ConfigLegality::Legal
     }
 }
 
@@ -94,5 +159,26 @@ mod tests {
         };
         let mut rng = Xoshiro256PlusPlus::new(0);
         let _ = t.measure_averaged(&Configuration::new(vec![0]), 0, &mut rng);
+    }
+
+    #[test]
+    fn default_lint_is_legal_and_counts_tally() {
+        let t = Quadratic {
+            space: ParamSpace::new(
+                "q",
+                vec![Param::ordinal("x", (0..8).map(f64::from).collect::<Vec<_>>())],
+            ),
+        };
+        let cfgs: Vec<Configuration> = (0..4).map(|i| Configuration::new(vec![i])).collect();
+        for c in &cfgs {
+            assert_eq!(t.lint_config(c), ConfigLegality::Legal);
+        }
+        let counts = PoolLintCounts::tally(&t, &cfgs);
+        assert_eq!(counts.legal, 4);
+        assert_eq!(counts.flagged + counts.illegal, 0);
+        assert_eq!(counts.total(), 4);
+        // Severity is ordered for max-style folds.
+        assert!(ConfigLegality::Legal < ConfigLegality::Flagged);
+        assert!(ConfigLegality::Flagged < ConfigLegality::Illegal);
     }
 }

@@ -1,4 +1,4 @@
-//! BiCG kernel: `q = A·p` and `s = Aᵀ·r`, the two matvecs of the
+//! `BiCG` kernel: `q = A·p` and `s = Aᵀ·r`, the two matvecs of the
 //! biconjugate-gradient step (SPAPT's `bicgkernel`).
 
 use crate::ir::{ArrayDecl, ArrayRef, LinIndex, LoopDim, LoopNest, Statement};

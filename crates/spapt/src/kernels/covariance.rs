@@ -1,0 +1,78 @@
+//! Covariance: the symmetric-accumulation core of the covariance matrix,
+//! `cov[j1][j2] += (data[i][j1] - mean[j1]) * (data[i][j2] - mean[j2])`.
+//!
+//! Like `correlation`'s second block but without the per-column scaling: a
+//! three-deep nest whose two outer loops stream two columns of `data` while
+//! the reduction loop `i` runs innermost. Part of the extended SPAPT suite.
+
+use crate::ir::{ArrayDecl, ArrayRef, LinIndex, LoopDim, LoopNest, Statement};
+use crate::kernels::{BlockSpec, Kernel};
+
+const N: u64 = 500;
+const M: u64 = 500;
+
+fn cov_nest() -> LoopNest {
+    let nl = 3; // j1, j2, i
+    let v = |l| LinIndex::var(nl, l);
+    LoopNest {
+        loops: vec![
+            LoopDim {
+                name: "j1".into(),
+                extent: M,
+            },
+            LoopDim {
+                name: "j2".into(),
+                extent: M,
+            },
+            LoopDim {
+                name: "i".into(),
+                extent: N,
+            },
+        ],
+        stmts: vec![Statement {
+            reads: vec![
+                ArrayRef::new(0, vec![v(2), v(0)]),
+                ArrayRef::new(0, vec![v(2), v(1)]),
+                ArrayRef::new(1, vec![v(0)]),
+                ArrayRef::new(1, vec![v(1)]),
+                ArrayRef::new(2, vec![v(0), v(1)]),
+            ],
+            writes: vec![ArrayRef::new(2, vec![v(0), v(1)])],
+            adds: 3,
+            muls: 1,
+            divs: 0,
+        }],
+        arrays: vec![
+            ArrayDecl::doubles("data", vec![N, M]),
+            ArrayDecl::doubles("mean", vec![M]),
+            ArrayDecl::doubles("cov", vec![M, M]),
+        ],
+    }
+}
+
+/// Builds the `covariance` kernel.
+#[must_use]
+pub fn build() -> Kernel {
+    Kernel::new(
+        "covariance",
+        vec![BlockSpec {
+            label: "cov",
+            nest: cov_nest(),
+            tiled: vec![0, 1, 2],
+            unrolled: vec![0, 1, 2],
+            regtiled: vec![0, 1, 2],
+        }],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwu_space::TuningTarget;
+
+    #[test]
+    fn covariance_dimensions() {
+        // 6 tile + 3 unroll + 3 regtile + 1 scalarreplace + 1 vector.
+        assert_eq!(build().space().dim(), 14);
+    }
+}

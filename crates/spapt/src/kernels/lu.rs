@@ -1,7 +1,7 @@
 //! LU: the Gaussian-elimination update kernel
 //! `A[i][j] -= A[i][k]·A[k][j]` over a rectangular `(k, i, j)` nest.
 //!
-//! The real LU nest is triangular; SPAPT's tunable version (like PolyBench's)
+//! The real LU nest is triangular; SPAPT's tunable version (like `PolyBench`'s)
 //! is modeled here with the full rectangular bound, which preserves the
 //! locality structure the transformations act on.
 

@@ -1,4 +1,5 @@
-//! The 12 simulated SPAPT kernels.
+//! The 12 simulated SPAPT kernels, plus a six-kernel extended suite that
+//! completes SPAPT's 18 search problems (see [`extended_kernels`]).
 //!
 //! Each kernel is a list of [`BlockSpec`]s — loop nests that Orio would tune
 //! independently after loop distribution (e.g. ADI's two statements). The
@@ -19,6 +20,7 @@ mod adi;
 mod atax;
 mod bicg;
 mod correlation;
+mod covariance;
 mod dgemv3;
 mod fdtd;
 mod gemver;
@@ -29,16 +31,18 @@ mod lu;
 mod mm;
 mod mvt;
 mod seidel;
+mod stencil3d;
+mod tensor;
 mod trmm;
 
-use pwu_space::{Configuration, Param, ParamSpace, TuningTarget};
+use pwu_space::{ConfigLegality, Configuration, Param, ParamSpace, TuningTarget};
 use pwu_stats::Xoshiro256PlusPlus;
 
 use crate::cost::estimate_time;
 use crate::ir::LoopNest;
 use crate::machine::MachineModel;
 use crate::noise::NoiseModel;
-use crate::transform::BlockTransform;
+use crate::transform::{BlockLegality, BlockTransform};
 
 /// SPAPT tile-size levels (1 disables tiling at that level).
 pub const TILE_VALUES: [f64; 7] = [1.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0];
@@ -86,6 +90,9 @@ pub struct Kernel {
     machine: MachineModel,
     noise: NoiseModel,
     repeats: usize,
+    /// Per-block legality masks; `None` until a dependence analysis attaches
+    /// them (see `pwu-analyze`).
+    legality: Option<Vec<BlockLegality>>,
 }
 
 impl Kernel {
@@ -162,7 +169,38 @@ impl Kernel {
             machine: MachineModel::platform_a(),
             noise: NoiseModel::quiet(),
             repeats: 35,
+            legality: None,
         }
+    }
+
+    /// Attaches per-block legality masks from a dependence analysis.
+    ///
+    /// With masks attached, [`Kernel::ideal_time`] evaluates the *clamped*
+    /// transformations (the simulated compiler declines unsafe requests) and
+    /// [`TuningTarget::lint_config`] classifies configurations so searchers
+    /// can exclude illegal ones.
+    ///
+    /// # Panics
+    /// Panics if the masks do not match the blocks in count or depth.
+    #[must_use]
+    pub fn with_legality(mut self, legality: Vec<BlockLegality>) -> Self {
+        assert_eq!(legality.len(), self.blocks.len(), "one mask per block");
+        for (mask, block) in legality.iter().zip(&self.blocks) {
+            assert_eq!(
+                mask.depth(),
+                block.nest.depth(),
+                "mask depth mismatch on block {}",
+                block.label
+            );
+        }
+        self.legality = Some(legality);
+        self
+    }
+
+    /// The attached legality masks, if any.
+    #[must_use]
+    pub fn legality(&self) -> Option<&[BlockLegality]> {
+        self.legality.as_deref()
     }
 
     /// Replaces the noise model (tests use [`NoiseModel::none`]).
@@ -244,6 +282,31 @@ impl Kernel {
         }
         transforms
     }
+
+    /// Decodes a configuration and clamps each block's transformation
+    /// against the attached legality masks (identity clamp when no masks
+    /// are attached).
+    ///
+    /// Returns the transformations together with the configuration's
+    /// legality verdict: the worst [`BlockLegality::classify`] result over
+    /// the blocks.
+    #[must_use]
+    pub fn decode_legal(&self, cfg: &Configuration) -> (Vec<BlockTransform>, ConfigLegality) {
+        let raw = self.decode(cfg);
+        let Some(masks) = &self.legality else {
+            return (raw, ConfigLegality::Legal);
+        };
+        let mut worst = ConfigLegality::Legal;
+        let clamped = raw
+            .iter()
+            .zip(masks)
+            .map(|(t, mask)| {
+                worst = worst.max(mask.classify(t));
+                mask.clamp(t).0
+            })
+            .collect();
+        (clamped, worst)
+    }
 }
 
 impl TuningTarget for Kernel {
@@ -256,11 +319,16 @@ impl TuningTarget for Kernel {
     }
 
     fn ideal_time(&self, cfg: &Configuration) -> f64 {
-        self.decode(cfg)
+        let (transforms, _) = self.decode_legal(cfg);
+        transforms
             .iter()
             .zip(&self.blocks)
             .map(|(t, b)| estimate_time(&b.nest, t, &self.machine))
             .sum()
+    }
+
+    fn lint_config(&self, cfg: &Configuration) -> ConfigLegality {
+        self.decode_legal(cfg).1
     }
 
     fn measure(&self, cfg: &Configuration, rng: &mut Xoshiro256PlusPlus) -> f64 {
@@ -301,15 +369,23 @@ pub fn all_kernels() -> Vec<Kernel> {
     ]
 }
 
-/// The extended suite: three additional SPAPT problems (`mvt`, `seidel`,
-/// `trmm`) beyond the 12 the paper selected — SPAPT defines 18, and the
-/// paper skipped six whose transformation/compilation was too slow to
-/// evaluate; these three exercise access patterns the core 12 lack
-/// (coupled transpose matvecs, in-place 9-point relaxation, triangular
-/// matrix products).
+/// The extended suite: six additional SPAPT-style problems beyond the 12
+/// the paper selected — SPAPT defines 18, and the paper skipped six whose
+/// transformation/compilation was too slow to evaluate. These exercise
+/// access patterns the core 12 lack: coupled transpose matvecs (`mvt`),
+/// in-place 9-point relaxation (`seidel`), triangular matrix products
+/// (`trmm`), symmetric column-pair accumulation (`covariance`), a 7-point
+/// 3-D sweep (`stencil3d`) and a four-deep tensor contraction (`tensor`).
 #[must_use]
 pub fn extended_kernels() -> Vec<Kernel> {
-    vec![mvt::build(), seidel::build(), trmm::build()]
+    vec![
+        mvt::build(),
+        seidel::build(),
+        trmm::build(),
+        covariance::build(),
+        stencil3d::build(),
+        tensor::build(),
+    ]
 }
 
 /// Looks a kernel up by name, searching the paper's 12 and the extended
@@ -349,7 +425,7 @@ mod tests {
     #[test]
     fn adi_matches_table_one_parameter_counts() {
         let adi = kernel_by_name("adi").expect("adi exists");
-        let names: Vec<&str> = adi.space().params().iter().map(|p| p.name()).collect();
+        let names: Vec<&str> = adi.space().params().iter().map(pwu_space::Param::name).collect();
         let count = |prefix: &str| names.iter().filter(|n| n.starts_with(prefix)).count();
         assert_eq!(count("T1_") + count("T2_"), 8, "tile params");
         assert_eq!(count("U_"), 4, "unroll-jam params");
@@ -408,6 +484,34 @@ mod tests {
     }
 
     #[test]
+    fn legality_masks_drive_lint_and_clamp_ideal_time() {
+        let base = kernel_by_name("mm").expect("mm exists");
+        let dim = base.space().dim();
+        // mm has one block of depth 3; params are block-major:
+        // T1/T2 × 3 loops, then U × 3, RT × 3, SCR, VEC.
+        let mut levels = vec![0u32; dim];
+        levels[0] = 1; // T1 of loop i → 16: loop i becomes tiled.
+        let tiled_cfg = Configuration::new(levels);
+        let identity_cfg = Configuration::new(vec![0; dim]);
+
+        // Without masks nothing is restricted.
+        assert_eq!(base.lint_config(&tiled_cfg), pwu_space::ConfigLegality::Legal);
+
+        let mut mask = BlockLegality::permissive(3);
+        mask.tile_ok[0] = false;
+        let k = kernel_by_name("mm").expect("mm exists").with_legality(vec![mask]);
+        assert!(k.legality().is_some());
+        assert_eq!(k.lint_config(&tiled_cfg), pwu_space::ConfigLegality::Illegal);
+        assert_eq!(
+            k.lint_config(&identity_cfg),
+            pwu_space::ConfigLegality::Legal
+        );
+        // The clamped evaluation treats the illegal request as declined.
+        assert_eq!(k.ideal_time(&tiled_cfg), base.ideal_time(&identity_cfg));
+        assert_ne!(base.ideal_time(&tiled_cfg), base.ideal_time(&identity_cfg));
+    }
+
+    #[test]
     fn kernel_names_are_unique() {
         let names: Vec<String> = all_kernels()
             .iter()
@@ -422,7 +526,7 @@ mod tests {
     #[test]
     fn extended_suite_is_well_formed() {
         let extra = extended_kernels();
-        assert_eq!(extra.len(), 3);
+        assert_eq!(extra.len(), 6, "full SPAPT scale: 12 + 6 = 18 problems");
         let mut rng = Xoshiro256PlusPlus::new(88);
         for k in &extra {
             assert!((8..=38).contains(&k.space().dim()), "{}", k.name());
@@ -433,9 +537,9 @@ mod tests {
             }
         }
         // Reachable through lookup.
-        assert!(kernel_by_name("mvt").is_some());
-        assert!(kernel_by_name("seidel").is_some());
-        assert!(kernel_by_name("trmm").is_some());
+        for name in ["mvt", "seidel", "trmm", "covariance", "stencil3d", "tensor"] {
+            assert!(kernel_by_name(name).is_some(), "{name} missing");
+        }
         // The paper set stays exactly 12.
         assert_eq!(all_kernels().len(), 12);
     }

@@ -1,0 +1,80 @@
+//! `Stencil3D`: an out-of-place 7-point stencil sweep over a cubic grid,
+//! `B[i][j][k] = c0*A[i][j][k] + c1*(six face neighbours)`.
+//!
+//! The three-dimensional analogue of `jacobi`'s sweep: no intra-sweep
+//! dependences (reads `A`, writes `B`), but every spatial direction offers a
+//! tiling choice and only the unit-stride `k` accesses vectorize cleanly.
+//! Part of the extended SPAPT suite.
+
+use crate::ir::{ArrayDecl, ArrayRef, LinIndex, LoopDim, LoopNest, Statement};
+use crate::kernels::{BlockSpec, Kernel};
+
+const N: u64 = 256;
+
+fn sweep_nest() -> LoopNest {
+    let nl = 3; // i, j, k
+    let v = |l| LinIndex::var(nl, l);
+    let off = |l, o| LinIndex::var_plus(nl, l, o);
+    LoopNest {
+        loops: vec![
+            LoopDim {
+                name: "i".into(),
+                extent: N,
+            },
+            LoopDim {
+                name: "j".into(),
+                extent: N,
+            },
+            LoopDim {
+                name: "k".into(),
+                extent: N,
+            },
+        ],
+        stmts: vec![Statement {
+            reads: vec![
+                ArrayRef::new(0, vec![v(0), v(1), v(2)]),
+                ArrayRef::new(0, vec![off(0, -1), v(1), v(2)]),
+                ArrayRef::new(0, vec![off(0, 1), v(1), v(2)]),
+                ArrayRef::new(0, vec![v(0), off(1, -1), v(2)]),
+                ArrayRef::new(0, vec![v(0), off(1, 1), v(2)]),
+                ArrayRef::new(0, vec![v(0), v(1), off(2, -1)]),
+                ArrayRef::new(0, vec![v(0), v(1), off(2, 1)]),
+            ],
+            writes: vec![ArrayRef::new(1, vec![v(0), v(1), v(2)])],
+            adds: 6,
+            muls: 2,
+            divs: 0,
+        }],
+        arrays: vec![
+            ArrayDecl::doubles("A", vec![N, N, N]),
+            ArrayDecl::doubles("B", vec![N, N, N]),
+        ],
+    }
+}
+
+/// Builds the `stencil3d` kernel.
+#[must_use]
+pub fn build() -> Kernel {
+    Kernel::new(
+        "stencil3d",
+        vec![BlockSpec {
+            label: "sw",
+            nest: sweep_nest(),
+            tiled: vec![0, 1, 2],
+            unrolled: vec![0, 1, 2],
+            regtiled: vec![0, 1, 2],
+        }],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwu_space::TuningTarget;
+
+    #[test]
+    fn stencil3d_dimensions() {
+        // 6 tile + 3 unroll + 3 regtile + 1 scalarreplace + 1 vector.
+        assert_eq!(build().space().dim(), 14);
+    }
+}

@@ -1,0 +1,80 @@
+//! Tensor: a mode-3 tensor–matrix contraction,
+//! `C[i][j][k] += A[i][j][l] * B[l][k]`.
+//!
+//! The only four-deep nest in the suite: a dense matrix multiply applied
+//! across the slices of a third-order tensor. All four loops are tiling,
+//! unroll-jam and register-tile candidates, giving the largest per-block
+//! parameter count (18). Part of the extended SPAPT suite.
+
+use crate::ir::{ArrayDecl, ArrayRef, LinIndex, LoopDim, LoopNest, Statement};
+use crate::kernels::{BlockSpec, Kernel};
+
+const N: u64 = 120;
+
+fn contraction_nest() -> LoopNest {
+    let nl = 4; // i, j, k, l
+    let v = |l| LinIndex::var(nl, l);
+    LoopNest {
+        loops: vec![
+            LoopDim {
+                name: "i".into(),
+                extent: N,
+            },
+            LoopDim {
+                name: "j".into(),
+                extent: N,
+            },
+            LoopDim {
+                name: "k".into(),
+                extent: N,
+            },
+            LoopDim {
+                name: "l".into(),
+                extent: N,
+            },
+        ],
+        stmts: vec![Statement {
+            reads: vec![
+                ArrayRef::new(0, vec![v(0), v(1), v(3)]),
+                ArrayRef::new(1, vec![v(3), v(2)]),
+                ArrayRef::new(2, vec![v(0), v(1), v(2)]),
+            ],
+            writes: vec![ArrayRef::new(2, vec![v(0), v(1), v(2)])],
+            adds: 1,
+            muls: 1,
+            divs: 0,
+        }],
+        arrays: vec![
+            ArrayDecl::doubles("A", vec![N, N, N]),
+            ArrayDecl::doubles("B", vec![N, N]),
+            ArrayDecl::doubles("C", vec![N, N, N]),
+        ],
+    }
+}
+
+/// Builds the `tensor` kernel.
+#[must_use]
+pub fn build() -> Kernel {
+    Kernel::new(
+        "tensor",
+        vec![BlockSpec {
+            label: "tc",
+            nest: contraction_nest(),
+            tiled: vec![0, 1, 2, 3],
+            unrolled: vec![0, 1, 2, 3],
+            regtiled: vec![0, 1, 2, 3],
+        }],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwu_space::TuningTarget;
+
+    #[test]
+    fn tensor_dimensions() {
+        // 8 tile + 4 unroll + 4 regtile + 1 scalarreplace + 1 vector.
+        assert_eq!(build().space().dim(), 18);
+    }
+}

@@ -43,3 +43,4 @@ pub mod transform;
 pub use kernels::{all_kernels, extended_kernels, kernel_by_name, Kernel};
 pub use machine::MachineModel;
 pub use noise::NoiseModel;
+pub use transform::{BlockLegality, BlockTransform};

@@ -14,6 +14,8 @@
 //! quantities (unroll factors, register pressure, vectorizability) consumed
 //! by the cache and cost models.
 
+use pwu_space::ConfigLegality;
+
 use crate::ir::LoopNest;
 
 /// Raw transformation parameters for one loop nest.
@@ -43,6 +45,159 @@ impl BlockTransform {
             vectorize: false,
         }
     }
+}
+
+/// Per-loop legality mask for one block, derived by a dependence analysis
+/// (`pwu-analyze`) and consumed here when clamping transformations.
+///
+/// The masks encode what the analysis proved about the nest's dependences:
+///
+/// - `tile_ok[l]` — loop `l` may participate in tiling. [`apply`] hoists
+///   every tiled loop's tile-origin loop to the outer band, so tiling loop
+///   `l` is safe only when no dependence has a `>` (negative) direction in
+///   `l` — the full-permutability condition.
+/// - `unroll_ok[l]` / `regtile_ok[l]` — unroll-jamming loop `l` is safe:
+///   no dependence carried by `l` has a `>` direction in a loop nested
+///   inside `l`. The innermost loop is always safe to unroll.
+/// - `scalar_replace_ok` — no innermost-invariant read would go stale.
+/// - `vectorize_ok` — no non-reduction flow dependence is carried by the
+///   innermost loop (a hard error if violated).
+/// - `vectorize_clean` — additionally, no anti/output/reduction dependence
+///   is carried by the innermost loop. A request that violates only this is
+///   *flagged*, not illegal: a real compiler would still vectorize, via
+///   reduction recognition or by sourcing values before the store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockLegality {
+    /// Per-loop: may this loop be tiled?
+    pub tile_ok: Vec<bool>,
+    /// Per-loop: may this loop be unroll-jammed?
+    pub unroll_ok: Vec<bool>,
+    /// Per-loop: may this loop be register-tiled?
+    pub regtile_ok: Vec<bool>,
+    /// Is scalar replacement safe?
+    pub scalar_replace_ok: bool,
+    /// Is vectorization of the innermost loop free of hard violations?
+    pub vectorize_ok: bool,
+    /// Is vectorization free of *all* innermost-carried dependences?
+    pub vectorize_clean: bool,
+}
+
+impl BlockLegality {
+    /// The all-permissive mask for a nest of `depth` loops (no analysis
+    /// information: everything allowed).
+    #[must_use]
+    pub fn permissive(depth: usize) -> Self {
+        Self {
+            tile_ok: vec![true; depth],
+            unroll_ok: vec![true; depth],
+            regtile_ok: vec![true; depth],
+            scalar_replace_ok: true,
+            vectorize_ok: true,
+            vectorize_clean: true,
+        }
+    }
+
+    /// Nest depth the mask was built for.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.tile_ok.len()
+    }
+
+    /// True when the mask restricts nothing.
+    #[must_use]
+    pub fn is_permissive(&self) -> bool {
+        self.tile_ok.iter().all(|&b| b)
+            && self.unroll_ok.iter().all(|&b| b)
+            && self.regtile_ok.iter().all(|&b| b)
+            && self.scalar_replace_ok
+            && self.vectorize_ok
+            && self.vectorize_clean
+    }
+
+    /// Classifies a raw transformation against the mask.
+    ///
+    /// # Panics
+    /// Panics if `t` does not match the mask's depth.
+    #[must_use]
+    pub fn classify(&self, t: &BlockTransform) -> ConfigLegality {
+        let depth = self.depth();
+        assert_eq!(t.tiles.len(), depth, "transform depth mismatch");
+        let tiled = |l: usize| t.tiles[l].0 > 1 || t.tiles[l].1 > 1;
+        for l in 0..depth {
+            if tiled(l) && !self.tile_ok[l] {
+                return ConfigLegality::Illegal;
+            }
+            if t.unroll[l] > 1 && !self.unroll_ok[l] {
+                return ConfigLegality::Illegal;
+            }
+            if t.regtile[l] > 1 && !self.regtile_ok[l] {
+                return ConfigLegality::Illegal;
+            }
+        }
+        if t.scalar_replace && !self.scalar_replace_ok {
+            return ConfigLegality::Illegal;
+        }
+        if t.vectorize && !self.vectorize_ok {
+            return ConfigLegality::Illegal;
+        }
+        if t.vectorize && !self.vectorize_clean {
+            return ConfigLegality::Flagged;
+        }
+        ConfigLegality::Legal
+    }
+
+    /// Clamps `t` to its closest legal form; returns it and whether
+    /// anything changed.
+    ///
+    /// Illegal tile requests fall back to untiled, illegal unroll/regtile
+    /// factors to 1, and unsafe scalar-replacement/vectorization requests
+    /// are dropped — mirroring a compiler that declines an unsafe pragma.
+    ///
+    /// # Panics
+    /// Panics if `t` does not match the mask's depth.
+    #[must_use]
+    pub fn clamp(&self, t: &BlockTransform) -> (BlockTransform, bool) {
+        let depth = self.depth();
+        assert_eq!(t.tiles.len(), depth, "transform depth mismatch");
+        let mut out = t.clone();
+        for l in 0..depth {
+            if !self.tile_ok[l] {
+                out.tiles[l] = (1, 1);
+            }
+            if !self.unroll_ok[l] {
+                out.unroll[l] = 1;
+            }
+            if !self.regtile_ok[l] {
+                out.regtile[l] = 1;
+            }
+        }
+        if !self.scalar_replace_ok {
+            out.scalar_replace = false;
+        }
+        if !self.vectorize_ok {
+            out.vectorize = false;
+        }
+        let changed = out != *t;
+        (out, changed)
+    }
+}
+
+/// Applies `t` to `nest` after clamping it against `legality`.
+///
+/// Returns the transformed nest and whether the clamp changed anything —
+/// the caller can surface the second component as a "transformation
+/// declined" flag.
+///
+/// # Panics
+/// Panics if the parameter vectors or the mask do not match the nest depth.
+#[must_use]
+pub fn apply_with_legality(
+    nest: &LoopNest,
+    t: &BlockTransform,
+    legality: &BlockLegality,
+) -> (TransformedNest, bool) {
+    let (clamped, changed) = legality.clamp(t);
+    (apply(nest, &clamped), changed)
 }
 
 /// Which tiling band a transformed loop belongs to.
@@ -416,6 +571,54 @@ mod tests {
         p.unroll = vec![4, 4, 1];
         let unrolled = apply(&nest, &p);
         assert!(unrolled.register_pressure(&nest) > base.register_pressure(&nest));
+    }
+
+    #[test]
+    fn permissive_legality_never_clamps() {
+        let nest = mm_nest(64);
+        let leg = BlockLegality::permissive(3);
+        assert!(leg.is_permissive());
+        let mut p = BlockTransform::identity(3);
+        p.tiles = vec![(64, 16), (32, 8), (1, 1)];
+        p.unroll = vec![2, 4, 8];
+        p.vectorize = true;
+        assert_eq!(leg.classify(&p), pwu_space::ConfigLegality::Legal);
+        let (clamped, changed) = leg.clamp(&p);
+        assert!(!changed);
+        assert_eq!(clamped, p);
+        let (t, changed) = apply_with_legality(&nest, &p, &leg);
+        assert!(!changed);
+        assert_eq!(t.eff_tiles, apply(&nest, &p).eff_tiles);
+    }
+
+    #[test]
+    fn restrictive_legality_classifies_and_clamps() {
+        let mut leg = BlockLegality::permissive(3);
+        leg.tile_ok[1] = false;
+        leg.unroll_ok[0] = false;
+        leg.vectorize_clean = false;
+
+        let id = BlockTransform::identity(3);
+        assert_eq!(leg.classify(&id), pwu_space::ConfigLegality::Legal);
+
+        let mut tiled = id.clone();
+        tiled.tiles[1] = (32, 8);
+        assert_eq!(leg.classify(&tiled), pwu_space::ConfigLegality::Illegal);
+
+        let mut vec_req = id.clone();
+        vec_req.vectorize = true;
+        assert_eq!(leg.classify(&vec_req), pwu_space::ConfigLegality::Flagged);
+
+        let mut both = tiled.clone();
+        both.unroll[0] = 4;
+        both.vectorize = true;
+        let (clamped, changed) = leg.clamp(&both);
+        assert!(changed);
+        assert_eq!(clamped.tiles[1], (1, 1));
+        assert_eq!(clamped.unroll[0], 1);
+        // vectorize_clean is a soft finding: the request survives the clamp.
+        assert!(clamped.vectorize);
+        assert_eq!(leg.classify(&clamped), pwu_space::ConfigLegality::Flagged);
     }
 
     #[test]

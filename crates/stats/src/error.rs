@@ -1,4 +1,41 @@
-//! Regression error metrics.
+//! Regression error metrics and the workspace's typed input-validation
+//! error.
+
+use std::fmt;
+
+/// A rejected piece of user-supplied input (a parameter space, a pool
+/// configuration, forest hyper-parameters, …).
+///
+/// Constructors that parse or validate external input return
+/// `Result<_, InvalidInput>` so callers can surface the problem instead of
+/// panicking; the panicking convenience constructors delegate to the
+/// fallible ones and unwrap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidInput {
+    /// What was being validated (e.g. `"param space"`, `"forest config"`).
+    pub context: &'static str,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl InvalidInput {
+    /// Creates an error for `context` with a description of the violation.
+    #[must_use]
+    pub fn new(context: &'static str, message: impl Into<String>) -> Self {
+        Self {
+            context,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for InvalidInput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid {}: {}", self.context, self.message)
+    }
+}
+
+impl std::error::Error for InvalidInput {}
 
 fn check_lengths(obs: &[f64], pred: &[f64]) {
     assert_eq!(
@@ -83,6 +120,14 @@ pub fn mape(obs: &[f64], pred: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn invalid_input_displays_context_and_message() {
+        let e = InvalidInput::new("forest config", "zero trees");
+        assert_eq!(e.to_string(), "invalid forest config: zero trees");
+        let boxed: Box<dyn std::error::Error> = Box::new(e);
+        assert!(boxed.to_string().contains("zero trees"));
+    }
 
     #[test]
     fn rmse_basic() {

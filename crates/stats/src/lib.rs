@@ -6,12 +6,13 @@
 //! reproduces an entire experiment bit-for-bit.
 //!
 //! Modules:
-//! - [`rng`] — SplitMix64 and Xoshiro256++ generators plus seed derivation
+//! - [`rng`] — `SplitMix64` and Xoshiro256++ generators plus seed derivation
 //! - [`dist`] — normal / lognormal / exponential sampling (Box–Muller)
 //! - [`describe`] — descriptive statistics and quantiles
 //! - [`online`] — Welford online moments for streaming aggregation
 //! - [`rank`] — argsort, ranking with ties, top-k selection, Spearman ρ
-//! - [`error`] — regression error metrics (RMSE, MAE, R², MAPE)
+//! - [`error`] — regression error metrics (RMSE, MAE, R², MAPE) and the
+//!   [`InvalidInput`] type fallible constructors return
 
 pub mod describe;
 pub mod dist;
@@ -22,7 +23,7 @@ pub mod rng;
 
 pub use describe::{geomean, mean, quantile, std_dev, variance, Summary};
 pub use dist::{LogNormal, Normal};
-pub use error::{mae, mape, r2, rmse};
+pub use error::{mae, mape, r2, rmse, InvalidInput};
 pub use online::OnlineMoments;
 pub use rank::{argsort_by, ranks_average, spearman, top_k_indices};
 pub use rng::{derive_seed, SplitMix64, Xoshiro256PlusPlus};

@@ -16,10 +16,10 @@
 
 use rand::{RngCore, SeedableRng};
 
-/// SplitMix64 generator (Steele, Lea & Flood 2014).
+/// `SplitMix64` generator (Steele, Lea & Flood 2014).
 ///
 /// State is a single `u64`; every call advances the state by the golden-ratio
-/// increment and applies an avalanche mix. Passes BigCrush when used as a
+/// increment and applies an avalanche mix. Passes `BigCrush` when used as a
 /// 64-bit generator.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SplitMix64 {
@@ -85,14 +85,14 @@ impl SeedableRng for SplitMix64 {
 ///
 /// 256 bits of state, period 2^256 − 1, excellent statistical quality and a
 /// few nanoseconds per draw. The all-zero state is forbidden; construction
-/// from a `u64` seed goes through SplitMix64, which cannot produce it.
+/// from a `u64` seed goes through `SplitMix64`, which cannot produce it.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Xoshiro256PlusPlus {
     s: [u64; 4],
 }
 
 impl Xoshiro256PlusPlus {
-    /// Creates a generator by expanding `seed` through SplitMix64.
+    /// Creates a generator by expanding `seed` through `SplitMix64`.
     #[must_use]
     pub fn new(seed: u64) -> Self {
         let mut sm = SplitMix64::new(seed);
@@ -187,7 +187,7 @@ fn fill_bytes_from_u64(dest: &mut [u8], mut next: impl FnMut() -> u64) {
 ///
 /// Experiments give each component (pool shuffle, annotator noise, forest
 /// bootstrap, per-repetition streams, ...) its own label so component streams
-/// never overlap. The derivation hashes `(root, label)` through SplitMix64,
+/// never overlap. The derivation hashes `(root, label)` through `SplitMix64`,
 /// so neighbouring labels produce statistically unrelated seeds.
 #[must_use]
 pub fn derive_seed(root: u64, label: u64) -> u64 {

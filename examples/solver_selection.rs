@@ -22,7 +22,7 @@ fn main() {
             .space()
             .params()
             .iter()
-            .map(|p| p.name())
+            .map(pwu_repro::space::Param::name)
             .collect::<Vec<_>>()
     );
 

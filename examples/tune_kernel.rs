@@ -57,7 +57,7 @@ fn main() {
     let mut ranked: Vec<(&str, f64)> = space
         .params()
         .iter()
-        .map(|p| p.name())
+        .map(pwu_repro::space::Param::name)
         .zip(importances.iter().copied())
         .collect();
     ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite importances"));

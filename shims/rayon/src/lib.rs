@@ -1,0 +1,73 @@
+//! Offline stand-in for `rayon`: sequential execution behind the
+//! parallel-iterator entry points this workspace uses.
+//!
+//! The container this repository builds in exposes a single CPU core, so a
+//! sequential fallback is not just correct but loses no throughput. The
+//! `par_iter`/`into_par_iter` calls return ordinary [`Iterator`]s, and the
+//! downstream `.map(...).collect()` chains compile unchanged.
+
+/// Traits mirroring `rayon::prelude`.
+pub mod prelude {
+    /// Mirror of `rayon`'s by-value parallel iterator entry point.
+    pub trait IntoParallelIterator {
+        /// Element type.
+        type Item;
+        /// The (sequential) iterator standing in for a parallel one.
+        type Iter: Iterator<Item = Self::Item>;
+
+        /// Converts `self` into a "parallel" (here: sequential) iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Item = I::Item;
+        type Iter = I::IntoIter;
+
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// Mirror of `rayon`'s by-reference parallel iterator entry point.
+    pub trait IntoParallelRefIterator<'data> {
+        /// Element type (a reference with lifetime `'data`).
+        type Item: 'data;
+        /// The (sequential) iterator standing in for a parallel one.
+        type Iter: Iterator<Item = Self::Item>;
+
+        /// Iterates `&self` "in parallel" (here: sequentially).
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, C: ?Sized + 'data> IntoParallelRefIterator<'data> for C
+    where
+        &'data C: IntoIterator,
+        <&'data C as IntoIterator>::Item: 'data,
+    {
+        type Item = <&'data C as IntoIterator>::Item;
+        type Iter = <&'data C as IntoIterator>::IntoIter;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_and_slices_iterate() {
+        let squares: Vec<u64> = (0u64..5).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+
+        let rows = [vec![1.0, 2.0], vec![3.0]];
+        let lens: Vec<usize> = rows.par_iter().map(Vec::len).collect();
+        assert_eq!(lens, vec![2, 1]);
+
+        let slice: &[i32] = &[5, 6, 7];
+        let doubled: Vec<i32> = slice.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![10, 12, 14]);
+    }
+}

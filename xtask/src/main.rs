@@ -1,0 +1,52 @@
+//! Workspace automation entry point (`cargo xtask <command>`).
+//!
+//! Commands:
+//! - `lint` — the CI lint gate: `cargo clippy --workspace --all-targets`
+//!   with warnings denied, followed by the `pwu-lint` kernel legality
+//!   checker, which exits non-zero on any `Error`-level diagnostic.
+
+use std::process::{exit, Command};
+
+fn main() {
+    let command = std::env::args().nth(1).unwrap_or_default();
+    match command.as_str() {
+        "lint" => lint(),
+        other => {
+            eprintln!("unknown xtask command {other:?}\n\nusage: cargo xtask lint");
+            exit(2);
+        }
+    }
+}
+
+/// Runs a step, exiting with its status code on failure.
+fn run_step(description: &str, cmd: &mut Command) {
+    println!("xtask: {description}");
+    let status = cmd.status().unwrap_or_else(|e| {
+        eprintln!("xtask: failed to spawn {description}: {e}");
+        exit(1);
+    });
+    if !status.success() {
+        eprintln!("xtask: step failed: {description}");
+        exit(status.code().unwrap_or(1));
+    }
+}
+
+fn lint() {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    run_step(
+        "cargo clippy --workspace --all-targets -- -D warnings",
+        Command::new(&cargo).args([
+            "clippy",
+            "--workspace",
+            "--all-targets",
+            "--",
+            "-D",
+            "warnings",
+        ]),
+    );
+    run_step(
+        "pwu-lint (kernel legality & invariant gate)",
+        Command::new(&cargo).args(["run", "--release", "-p", "pwu-analyze", "--bin", "pwu-lint"]),
+    );
+    println!("xtask: lint gate passed");
+}
