@@ -9,6 +9,7 @@ use std::path::PathBuf;
 use pwu_core::{ActiveConfig, Protocol, Strategy};
 use pwu_forest::ForestConfig;
 use pwu_space::TuningTarget;
+use pwu_stats::InvalidInput;
 
 /// Where the harness mirrors every printed series as CSV.
 #[must_use]
@@ -95,10 +96,35 @@ pub fn all_benchmarks() -> Vec<Box<dyn TuningTarget>> {
     v
 }
 
+/// Names of every registered benchmark, in registry order.
+#[must_use]
+pub fn benchmark_names() -> Vec<String> {
+    all_benchmarks()
+        .iter()
+        .map(|t| t.name().to_string())
+        .collect()
+}
+
 /// A benchmark by name (kernel, `kripke`, or `hypre`).
 #[must_use]
 pub fn benchmark_by_name(name: &str) -> Option<Box<dyn TuningTarget>> {
     all_benchmarks().into_iter().find(|t| t.name() == name)
+}
+
+/// A benchmark by name, or a typed error listing every valid name.
+///
+/// # Errors
+/// Returns [`InvalidInput`] when `name` is not in the registry.
+pub fn try_benchmark_by_name(name: &str) -> Result<Box<dyn TuningTarget>, InvalidInput> {
+    benchmark_by_name(name).ok_or_else(|| {
+        InvalidInput::new(
+            "benchmark name",
+            format!(
+                "unknown benchmark `{name}`; valid names: {}",
+                benchmark_names().join(", ")
+            ),
+        )
+    })
 }
 
 /// The six strategies of the paper's figures.
@@ -111,7 +137,8 @@ pub fn paper_strategies(alpha: f64) -> Vec<Strategy> {
 /// given scale and α, printing progress to stderr.
 ///
 /// # Panics
-/// Panics if the benchmark name is unknown.
+/// Panics if the benchmark name is unknown; use [`try_run_benchmark_curves`]
+/// to handle that case gracefully.
 #[must_use]
 pub fn run_benchmark_curves(
     name: &str,
@@ -119,7 +146,24 @@ pub fn run_benchmark_curves(
     alpha: f64,
     seed: u64,
 ) -> pwu_core::ExperimentResult {
-    let target = benchmark_by_name(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
+    match try_run_benchmark_curves(name, scale, alpha, seed) {
+        Ok(result) => result,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible variant of [`run_benchmark_curves`].
+///
+/// # Errors
+/// Returns [`InvalidInput`] (listing every valid benchmark name) when `name`
+/// is not in the registry.
+pub fn try_run_benchmark_curves(
+    name: &str,
+    scale: Scale,
+    alpha: f64,
+    seed: u64,
+) -> Result<pwu_core::ExperimentResult, InvalidInput> {
+    let target = try_benchmark_by_name(name)?;
     let protocol = scale.protocol_for(target.as_ref(), alpha);
     let strategies = paper_strategies(alpha);
     eprintln!(
@@ -132,7 +176,7 @@ pub fn run_benchmark_curves(
     let start = std::time::Instant::now();
     let result = pwu_core::experiment::run_experiment(target.as_ref(), &strategies, &protocol, seed);
     eprintln!("[{name}] done in {:.1?}", start.elapsed());
-    result
+    Ok(result)
 }
 
 /// Writes one benchmark's per-strategy series (`y` picked by `select`) as a
@@ -182,6 +226,24 @@ mod tests {
         assert!(benchmark_by_name("hypre").is_some());
         assert!(benchmark_by_name("adi").is_some());
         assert!(benchmark_by_name("bogus").is_none());
+    }
+
+    #[test]
+    fn unknown_benchmark_is_a_typed_error_listing_valid_names() {
+        assert!(try_benchmark_by_name("adi").is_ok());
+        let err = match try_benchmark_by_name("bogus") {
+            Ok(_) => panic!("bogus must not resolve"),
+            Err(e) => e.to_string(),
+        };
+        assert!(err.contains("unknown benchmark `bogus`"), "{err}");
+        for name in benchmark_names() {
+            assert!(err.contains(&name), "error must list {name}: {err}");
+        }
+        let err = match try_run_benchmark_curves("bogus", Scale::Quick, 0.05, 1) {
+            Ok(_) => panic!("bogus must not run"),
+            Err(e) => e.to_string(),
+        };
+        assert!(err.contains("kripke"), "{err}");
     }
 
     #[test]

@@ -1,10 +1,27 @@
-//! Algorithm 1: the active-learning loop.
+//! Algorithm 1: the active-learning loop, hardened against measurement
+//! failure.
+//!
+//! The loop runs the paper's cold start + iterate protocol on top of the
+//! fault-tolerant [`Annotator`]. Configurations whose annotation fails —
+//! permanently (compile failure) or after exhausting the retry budget — are
+//! *quarantined*: removed from the pool, recorded on the run, and replaced
+//! by topping the cold start / batch back up so the training set still
+//! reaches its configured size. With no fault model on the target the loop
+//! consumes exactly the same RNG streams as the historical implementation,
+//! so fault-free trajectories are bit-identical.
+//!
+//! Long runs can be checkpointed every few iterations
+//! ([`run_with_checkpoints`]) and resumed after a crash ([`resume`]) with
+//! bit-identical results; see [`crate::checkpoint`].
 
 use pwu_forest::{ForestConfig, RandomForest};
-use pwu_space::{ConfigLegality, FeatureSchema, LabeledSet, Pool, PoolLintCounts, TuningTarget};
+use pwu_space::{
+    ConfigLegality, Configuration, FeatureSchema, LabeledSet, Pool, PoolLintCounts, TuningTarget,
+};
 use pwu_stats::{derive_seed, Xoshiro256PlusPlus};
 
-use crate::annotator::Annotator;
+use crate::annotator::{Aggregator, Annotator, MeasurementStats, RetryPolicy};
+use crate::checkpoint::{ActiveCheckpoint, CheckpointError, CheckpointPolicy};
 use crate::metrics::rmse_at_alpha;
 use crate::strategy::Strategy;
 
@@ -39,6 +56,11 @@ pub struct ActiveConfig {
     pub alphas: Vec<f64>,
     /// Measurement repeats per annotation.
     pub repeats: usize,
+    /// How repeat readings are reduced to one label (default: the paper's
+    /// plain mean; robust estimators survive injected outlier spikes).
+    pub aggregator: Aggregator,
+    /// Retry policy for transient measurement failures.
+    pub retry: RetryPolicy,
 }
 
 impl Default for ActiveConfig {
@@ -52,6 +74,8 @@ impl Default for ActiveConfig {
             eval_every: 1,
             alphas: vec![0.01, 0.05, 0.10],
             repeats: 35,
+            aggregator: Aggregator::Mean,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -70,6 +94,19 @@ impl ActiveConfig {
         if let RefitMode::Partial(n) = self.refit {
             assert!(n > 0, "partial refit must regrow at least one tree");
         }
+        if let Aggregator::TrimmedMean { trim } = self.aggregator {
+            assert!(
+                (0.0..0.5).contains(&trim),
+                "trim fraction must be in [0, 0.5)"
+            );
+        }
+        if let Aggregator::MadFiltered { k } = self.aggregator {
+            assert!(k > 0.0, "MAD band width must be positive");
+        }
+        assert!(
+            self.retry.backoff_cost >= 0.0,
+            "backoff cost cannot be negative"
+        );
         self.forest.validate();
     }
 }
@@ -79,7 +116,8 @@ impl ActiveConfig {
 pub struct Snapshot {
     /// Training-set size at this point.
     pub n_train: usize,
-    /// Cumulative annotation cost (Eq. 3) so far, in seconds.
+    /// Cumulative annotation cost (Eq. 3) so far, in seconds — labeled
+    /// measurement time plus wall-clock wasted on failed attempts.
     pub cumulative_cost: f64,
     /// RMSE@α on the test set, aligned with `ActiveConfig::alphas`.
     pub rmse: Vec<f64>,
@@ -111,6 +149,30 @@ pub struct ActiveRun {
     /// Static-analysis verdict counts over the *original* pool; the
     /// `illegal` ones were removed before the cold start.
     pub lint: PoolLintCounts,
+    /// Measurement tally: readings, failures by class, retries, wasted
+    /// wall-clock.
+    pub measurement: MeasurementStats,
+    /// Configurations whose annotation failed; they were removed from the
+    /// pool and never entered the training set.
+    pub quarantined: Vec<Configuration>,
+}
+
+/// In-flight state of one run: everything the iteration loop mutates, which
+/// is also exactly what a checkpoint must capture.
+struct LoopState<'a> {
+    schema: FeatureSchema,
+    annotator: Annotator<'a>,
+    select_rng: Xoshiro256PlusPlus,
+    pool_rng: Xoshiro256PlusPlus,
+    forest_seed: u64,
+    pool: Pool,
+    train: LabeledSet,
+    model: RandomForest,
+    history: Vec<Snapshot>,
+    selections: Vec<SelectionTrace>,
+    quarantined: Vec<Configuration>,
+    iteration: u64,
+    lint: PoolLintCounts,
 }
 
 /// Runs Algorithm 1.
@@ -121,7 +183,9 @@ pub struct ActiveRun {
 /// Pool points the target's [`TuningTarget::lint_config`] marks
 /// [`ConfigLegality::Illegal`] are removed before the cold start; the
 /// verdict tally over the original pool is reported on
-/// [`ActiveRun::lint`].
+/// [`ActiveRun::lint`]. Configurations whose annotation fails are
+/// quarantined (see [`ActiveRun::quarantined`]) and the batch is topped
+/// back up, so the run completes even under injected measurement faults.
 ///
 /// # Panics
 /// Panics if the pool (after removing illegal points) is smaller than
@@ -130,11 +194,164 @@ pub fn run(
     target: &dyn TuningTarget,
     strategy: Strategy,
     config: &ActiveConfig,
-    mut pool: Pool,
+    pool: Pool,
     test_features: &[Vec<f64>],
     test_labels: &[f64],
     seed: u64,
 ) -> ActiveRun {
+    let state = init_state(target, config, pool, test_features, test_labels, seed);
+    match drive(target, strategy, config, state, test_features, test_labels, None) {
+        Ok(run) => run,
+        // Without a checkpoint policy the loop performs no I/O.
+        Err(e) => unreachable!("checkpoint-free run cannot fail: {e}"),
+    }
+}
+
+/// Like [`run`], but saves an [`ActiveCheckpoint`] atomically every
+/// [`CheckpointPolicy::every`] iterations (and at completion), so a killed
+/// run can be picked up with [`resume`].
+///
+/// # Errors
+/// Returns [`CheckpointError::Io`] if a checkpoint cannot be written.
+///
+/// # Panics
+/// As [`run`].
+#[allow(clippy::too_many_arguments)] // mirrors `run` plus the policy
+pub fn run_with_checkpoints(
+    target: &dyn TuningTarget,
+    strategy: Strategy,
+    config: &ActiveConfig,
+    pool: Pool,
+    test_features: &[Vec<f64>],
+    test_labels: &[f64],
+    seed: u64,
+    policy: &CheckpointPolicy,
+) -> Result<ActiveRun, CheckpointError> {
+    let state = init_state(target, config, pool, test_features, test_labels, seed);
+    drive(
+        target,
+        strategy,
+        config,
+        state,
+        test_features,
+        test_labels,
+        Some(policy),
+    )
+}
+
+/// Resumes a run from a checkpoint, continuing bit-identically to the run
+/// that saved it.
+///
+/// Only [`RefitMode::FromScratch`] runs can resume: the from-scratch model
+/// is a pure function of the training set and the iteration-derived seed,
+/// so it is reconstructed instead of serialized. Pass a `policy` to keep
+/// checkpointing as the resumed run progresses.
+///
+/// # Errors
+/// Returns [`CheckpointError::Mismatch`] if the checkpoint belongs to a
+/// different target or a different configuration, and
+/// [`CheckpointError::Io`] if further checkpoints cannot be written.
+pub fn resume(
+    target: &dyn TuningTarget,
+    strategy: Strategy,
+    config: &ActiveConfig,
+    checkpoint: &ActiveCheckpoint,
+    test_features: &[Vec<f64>],
+    test_labels: &[f64],
+    policy: Option<&CheckpointPolicy>,
+) -> Result<ActiveRun, CheckpointError> {
+    config.validate();
+    if checkpoint.target_name != target.name() {
+        return Err(CheckpointError::Mismatch(format!(
+            "checkpoint is for target '{}', not '{}'",
+            checkpoint.target_name,
+            target.name()
+        )));
+    }
+    if config.refit != RefitMode::FromScratch {
+        return Err(CheckpointError::Mismatch(
+            "resume requires RefitMode::FromScratch (partial-refit forests \
+             are not reconstructible from a checkpoint)"
+            .into(),
+        ));
+    }
+    let same_counts = checkpoint.n_init == config.n_init
+        && checkpoint.n_batch == config.n_batch
+        && checkpoint.n_max == config.n_max
+        && checkpoint.repeats == config.repeats;
+    if !same_counts {
+        return Err(CheckpointError::Mismatch(format!(
+            "checkpoint counts (n_init {}, n_batch {}, n_max {}, repeats {}) \
+             do not match the config",
+            checkpoint.n_init, checkpoint.n_batch, checkpoint.n_max, checkpoint.repeats
+        )));
+    }
+    let same_alphas = checkpoint.alphas.len() == config.alphas.len()
+        && checkpoint
+            .alphas
+            .iter()
+            .zip(&config.alphas)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+    if !same_alphas {
+        return Err(CheckpointError::Mismatch(
+            "checkpoint alphas do not match the config".into(),
+        ));
+    }
+
+    let space = target.space();
+    let schema = FeatureSchema::for_space(space);
+    let to_cfgs = |levels: &[Vec<u32>]| -> Vec<Configuration> {
+        levels.iter().cloned().map(Configuration::new).collect()
+    };
+    let train_cfgs = to_cfgs(&checkpoint.train_configs);
+    let train_features = schema.encode_all(space, &train_cfgs);
+    let train = LabeledSet::from_parts(train_cfgs, train_features, checkpoint.train_labels.clone());
+    let pool = Pool::new(space, &schema, to_cfgs(&checkpoint.pool_configs));
+    let mut annotator = Annotator::new(target, config.repeats, 0)
+        .with_aggregator(config.aggregator)
+        .with_retry_policy(config.retry);
+    annotator.restore_state(
+        checkpoint.annotator_rng,
+        checkpoint.annotator_evaluations,
+        checkpoint.stats,
+    );
+    // The from-scratch model is a pure function of (train, iteration seed):
+    // refit it exactly as the checkpointing run last did.
+    let model = RandomForest::fit(
+        &config.forest,
+        schema.kinds(),
+        train.features(),
+        train.labels(),
+        derive_seed(checkpoint.forest_seed, checkpoint.iteration),
+    );
+    let state = LoopState {
+        schema,
+        annotator,
+        select_rng: Xoshiro256PlusPlus::from_state(checkpoint.select_rng),
+        pool_rng: Xoshiro256PlusPlus::from_state(checkpoint.pool_rng),
+        forest_seed: checkpoint.forest_seed,
+        pool,
+        train,
+        model,
+        history: checkpoint.history.clone(),
+        selections: checkpoint.selections.clone(),
+        quarantined: to_cfgs(&checkpoint.quarantined),
+        iteration: checkpoint.iteration,
+        lint: checkpoint.lint,
+    };
+    drive(target, strategy, config, state, test_features, test_labels, policy)
+}
+
+/// Validates inputs, removes illegal pool points, runs the cold start and
+/// fits the initial model — everything up to Algorithm 1's iteration phase.
+fn init_state<'a>(
+    target: &'a dyn TuningTarget,
+    config: &ActiveConfig,
+    mut pool: Pool,
+    test_features: &[Vec<f64>],
+    test_labels: &[f64],
+    seed: u64,
+) -> LoopState<'a> {
     config.validate();
     let lint = PoolLintCounts::tally(target, pool.configs());
     let removed = pool.retain(|cfg| target.lint_config(cfg) != ConfigLegality::Illegal);
@@ -149,92 +366,189 @@ pub fn run(
     assert_eq!(test_features.len(), test_labels.len());
 
     let schema = FeatureSchema::for_space(target.space());
-    let kinds = schema.kinds();
-    let mut annotator = Annotator::new(target, config.repeats, derive_seed(seed, 1));
-    let mut select_rng = Xoshiro256PlusPlus::new(derive_seed(seed, 2));
+    let mut annotator = Annotator::new(target, config.repeats, derive_seed(seed, 1))
+        .with_aggregator(config.aggregator)
+        .with_retry_policy(config.retry);
+    let select_rng = Xoshiro256PlusPlus::new(derive_seed(seed, 2));
     let mut pool_rng = Xoshiro256PlusPlus::new(derive_seed(seed, 3));
     let forest_seed = derive_seed(seed, 4);
 
     // --- Cold start (lines 1–4) -------------------------------------------
+    // Quarantine failed annotations and top the sample back up, so the cold
+    // start still reaches n_init unless the pool itself drains.
     let mut train = LabeledSet::new();
-    for (cfg, row) in pool.take_random(config.n_init, &mut pool_rng) {
-        let y = annotator.evaluate(&cfg);
-        train.push(cfg, row, y);
+    let mut quarantined = Vec::new();
+    while train.len() < config.n_init && !pool.is_empty() {
+        let need = config.n_init - train.len();
+        for (cfg, row) in pool.take_random(need, &mut pool_rng) {
+            match annotator.try_evaluate(&cfg) {
+                Ok(y) => train.push(cfg, row, y),
+                Err(_) => quarantined.push(cfg),
+            }
+        }
     }
-    let mut model = RandomForest::fit(
+    assert!(
+        !train.is_empty(),
+        "every pool candidate failed annotation during the cold start"
+    );
+    let model = RandomForest::fit(
         &config.forest,
-        kinds,
+        schema.kinds(),
         train.features(),
         train.labels(),
         derive_seed(forest_seed, 0),
     );
 
     let mut history = Vec::new();
-    let mut selections = Vec::new();
-    let mut iteration = 0u64;
     record(
         &mut history,
         &model,
         &train,
+        annotator.stats().wasted_cost,
         test_features,
         test_labels,
         &config.alphas,
     );
+    LoopState {
+        schema,
+        annotator,
+        select_rng,
+        pool_rng,
+        forest_seed,
+        pool,
+        train,
+        model,
+        history,
+        selections: Vec::new(),
+        quarantined,
+        iteration: 0,
+        lint,
+    }
+}
 
-    // --- Iteration phase (lines 5–9) ---------------------------------------
-    while train.len() < config.n_max && !pool.is_empty() {
-        iteration += 1;
-        let n_batch = config.n_batch.min(config.n_max - train.len());
-        let preds = model.predict_batch(pool.features());
-        let picked = strategy.select(&preds, n_batch, &mut select_rng);
-        let traces: Vec<(f64, f64)> = picked.iter().map(|&i| (preds[i].mean, preds[i].std)).collect();
-        for ((cfg, row), (mu, sigma)) in pool.take(&picked).into_iter().zip(traces) {
-            let y = annotator.evaluate(&cfg);
-            selections.push(SelectionTrace {
-                mean: mu,
-                std: sigma,
-                observed: y,
-            });
-            train.push(cfg, row, y);
+/// Algorithm 1's iteration phase (lines 5–9), shared by fresh and resumed
+/// runs. Saves checkpoints per `policy` when one is given.
+fn drive(
+    target: &dyn TuningTarget,
+    strategy: Strategy,
+    config: &ActiveConfig,
+    mut state: LoopState<'_>,
+    test_features: &[Vec<f64>],
+    test_labels: &[f64],
+    policy: Option<&CheckpointPolicy>,
+) -> Result<ActiveRun, CheckpointError> {
+    while state.train.len() < config.n_max && !state.pool.is_empty() {
+        state.iteration += 1;
+        // Top the batch back up after quarantines: keep selecting until the
+        // batch's worth of labels has landed or the pool drains. Fault-free
+        // runs execute this inner loop exactly once.
+        let goal = state.train.len() + config.n_batch.min(config.n_max - state.train.len());
+        while state.train.len() < goal && !state.pool.is_empty() {
+            let need = goal - state.train.len();
+            let preds = state.model.predict_batch(state.pool.features());
+            let picked = strategy.select(&preds, need, &mut state.select_rng);
+            if picked.is_empty() {
+                break;
+            }
+            let traces: Vec<(f64, f64)> = picked
+                .iter()
+                .map(|&i| (preds[i].mean, preds[i].std))
+                .collect();
+            for ((cfg, row), (mu, sigma)) in state.pool.take(&picked).into_iter().zip(traces) {
+                match state.annotator.try_evaluate(&cfg) {
+                    Ok(y) => {
+                        state.selections.push(SelectionTrace {
+                            mean: mu,
+                            std: sigma,
+                            observed: y,
+                        });
+                        state.train.push(cfg, row, y);
+                    }
+                    Err(_) => state.quarantined.push(cfg),
+                }
+            }
         }
         match config.refit {
             RefitMode::FromScratch => {
-                model = RandomForest::fit(
+                state.model = RandomForest::fit(
                     &config.forest,
-                    kinds,
-                    train.features(),
-                    train.labels(),
-                    derive_seed(forest_seed, iteration),
+                    state.schema.kinds(),
+                    state.train.features(),
+                    state.train.labels(),
+                    derive_seed(state.forest_seed, state.iteration),
                 );
             }
             RefitMode::Partial(n) => {
-                model.update(
-                    kinds,
-                    train.features(),
-                    train.labels(),
+                state.model.update(
+                    state.schema.kinds(),
+                    state.train.features(),
+                    state.train.labels(),
                     n,
-                    derive_seed(forest_seed, iteration),
+                    derive_seed(state.forest_seed, state.iteration),
                 );
             }
         }
-        if iteration.is_multiple_of(config.eval_every as u64) || train.len() >= config.n_max {
+        let done = state.train.len() >= config.n_max || state.pool.is_empty();
+        if state.iteration.is_multiple_of(config.eval_every as u64) || done {
             record(
-                &mut history,
-                &model,
-                &train,
+                &mut state.history,
+                &state.model,
+                &state.train,
+                state.annotator.stats().wasted_cost,
                 test_features,
                 test_labels,
                 &config.alphas,
             );
         }
+        if let Some(policy) = policy {
+            if state.iteration.is_multiple_of(policy.every) || done {
+                make_checkpoint(&state, target, config).save_atomic(&policy.path)?;
+            }
+        }
     }
 
-    ActiveRun {
-        train,
-        history,
-        selections,
-        model,
-        lint,
+    let measurement = *state.annotator.stats();
+    Ok(ActiveRun {
+        train: state.train,
+        history: state.history,
+        selections: state.selections,
+        model: state.model,
+        lint: state.lint,
+        measurement,
+        quarantined: state.quarantined,
+    })
+}
+
+/// Captures the loop state as a serializable checkpoint.
+fn make_checkpoint(
+    state: &LoopState<'_>,
+    target: &dyn TuningTarget,
+    config: &ActiveConfig,
+) -> ActiveCheckpoint {
+    let levels_of = |cfgs: &[Configuration]| -> Vec<Vec<u32>> {
+        cfgs.iter().map(|c| c.levels().to_vec()).collect()
+    };
+    ActiveCheckpoint {
+        target_name: target.name().to_string(),
+        iteration: state.iteration,
+        forest_seed: state.forest_seed,
+        n_init: config.n_init,
+        n_batch: config.n_batch,
+        n_max: config.n_max,
+        repeats: config.repeats,
+        alphas: config.alphas.clone(),
+        annotator_rng: state.annotator.rng_state(),
+        annotator_evaluations: state.annotator.evaluations(),
+        stats: *state.annotator.stats(),
+        select_rng: state.select_rng.state(),
+        pool_rng: state.pool_rng.state(),
+        lint: state.lint,
+        train_configs: levels_of(state.train.configs()),
+        train_labels: state.train.labels().to_vec(),
+        pool_configs: levels_of(state.pool.configs()),
+        quarantined: levels_of(&state.quarantined),
+        history: state.history.clone(),
+        selections: state.selections.clone(),
     }
 }
 
@@ -242,6 +556,7 @@ fn record(
     history: &mut Vec<Snapshot>,
     model: &RandomForest,
     train: &LabeledSet,
+    wasted_cost: f64,
     test_features: &[Vec<f64>],
     test_labels: &[f64],
     alphas: &[f64],
@@ -253,7 +568,10 @@ fn record(
         .collect();
     history.push(Snapshot {
         n_train: train.len(),
-        cumulative_cost: train.cumulative_cost(),
+        // Wasted wall-clock (failed runs, backoff) is real annotation cost:
+        // charge it alongside the labeled measurement time. Zero — and
+        // bit-neutral — when no faults fire.
+        cumulative_cost: train.cumulative_cost() + wasted_cost,
         rmse,
     });
 }
@@ -354,6 +672,11 @@ mod tests {
         // Cumulative cost is nondecreasing.
         let costs: Vec<f64> = run.history.iter().map(|s| s.cumulative_cost).collect();
         assert!(costs.windows(2).all(|w| w[0] <= w[1]));
+        // Fault-free run: nothing quarantined, no failures, no waste.
+        assert!(run.quarantined.is_empty());
+        assert_eq!(run.measurement.total_failures(), 0);
+        assert_eq!(run.measurement.wasted_cost, 0.0);
+        assert_eq!(run.measurement.annotations, 40);
     }
 
     #[test]
@@ -537,5 +860,72 @@ mod tests {
             &tl,
             0,
         );
+    }
+
+    /// A synthetic target that permanently fails annotation for a fixed
+    /// slice of its space (`a == 5`), exercising quarantine + top-up.
+    struct PartiallyBroken(Synthetic);
+
+    impl TuningTarget for PartiallyBroken {
+        fn name(&self) -> &str {
+            "partially-broken"
+        }
+        fn space(&self) -> &ParamSpace {
+            self.0.space()
+        }
+        fn ideal_time(&self, cfg: &Configuration) -> f64 {
+            self.0.ideal_time(cfg)
+        }
+        fn try_measure(
+            &self,
+            cfg: &Configuration,
+            _rng: &mut Xoshiro256PlusPlus,
+        ) -> pwu_space::MeasureOutcome {
+            if cfg.level(0) == 5 {
+                pwu_space::MeasureOutcome::Failed {
+                    kind: pwu_space::FailureKind::Compile,
+                    cost: 0.3,
+                }
+            } else {
+                pwu_space::MeasureOutcome::Ok(self.0.ideal_time(cfg))
+            }
+        }
+    }
+
+    #[test]
+    fn failed_annotations_are_quarantined_and_the_run_still_completes() {
+        let target = PartiallyBroken(Synthetic::new());
+        let (pool, tf, tl) = setup(&target.0, 180, 60, 31);
+        let n_broken = pool.configs().iter().filter(|c| c.level(0) == 5).count();
+        assert!(n_broken > 0, "pool must contain broken points");
+        let run = run(
+            &target,
+            Strategy::Pwu { alpha: 0.05 },
+            &quick_config(60),
+            pool,
+            &tf,
+            &tl,
+            13,
+        );
+        assert_eq!(run.train.len(), 60, "quarantine must not starve the run");
+        assert!(
+            run.train.configs().iter().all(|c| c.level(0) != 5),
+            "no broken configuration may be trained on"
+        );
+        assert!(
+            run.quarantined.iter().all(|c| c.level(0) == 5),
+            "only broken configurations may be quarantined"
+        );
+        assert!(!run.quarantined.is_empty(), "some must have been hit");
+        assert_eq!(
+            run.measurement.compile_failures,
+            run.quarantined.len(),
+            "each quarantined config burned exactly one compile attempt"
+        );
+        assert!(run.measurement.wasted_cost > 0.0);
+        // Wasted cost is charged into the history's cumulative cost.
+        let last = run.history.last().unwrap();
+        let labeled: f64 = run.train.labels().iter().sum();
+        assert!(last.cumulative_cost > labeled, "waste must be charged");
     }
 }

@@ -1,0 +1,668 @@
+//! Checkpoint/resume for long active-learning runs.
+//!
+//! A real tuning campaign annotates hundreds of configurations at tens of
+//! seconds each; the process hosting it will eventually be killed. An
+//! [`ActiveCheckpoint`] captures everything Algorithm 1's iteration loop
+//! mutates — the labeled set, the remaining pool, the quarantine list, all
+//! three RNG streams (annotation, selection, pool sampling) and the
+//! iteration counter — so [`crate::active::resume`] can continue the run
+//! *bit-identically* to the run that saved it. The from-scratch forest is
+//! deliberately not serialized: it is a pure function of the training set
+//! and the iteration-derived seed, so resume refits it instead.
+//!
+//! The on-disk format is a hand-rolled line-oriented text file (the
+//! workspace has no serialization dependency). Every `f64` is stored as its
+//! IEEE-754 bit pattern in hex, so round-trips are exact — a resumed run
+//! sees the same bits the killed run saw. Writes go through a temp file in
+//! the same directory followed by an atomic rename, so a crash mid-write
+//! leaves the previous checkpoint intact rather than a torn file.
+
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::str::SplitWhitespace;
+
+use pwu_space::PoolLintCounts;
+
+use crate::active::{SelectionTrace, Snapshot};
+use crate::annotator::MeasurementStats;
+
+/// When and where a run saves checkpoints.
+#[derive(Debug, Clone)]
+pub struct CheckpointPolicy {
+    /// Checkpoint file path (the temp file is written next to it).
+    pub path: PathBuf,
+    /// Save every this many iterations (a final save always happens when
+    /// the run completes).
+    pub every: u64,
+}
+
+impl CheckpointPolicy {
+    /// Creates a policy saving to `path` every `every` iterations.
+    ///
+    /// # Panics
+    /// Panics if `every` is zero.
+    #[must_use]
+    pub fn new(path: impl Into<PathBuf>, every: u64) -> Self {
+        assert!(every > 0, "checkpoint interval must be positive");
+        Self {
+            path: path.into(),
+            every,
+        }
+    }
+}
+
+/// Why a checkpoint could not be saved, loaded or resumed.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// The checkpoint file could not be read or written.
+    Io(std::io::Error),
+    /// The checkpoint file is malformed.
+    Parse {
+        /// 1-based line number where parsing failed.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// The checkpoint does not belong to the given target/configuration.
+    Mismatch(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::Parse { line, message } => {
+                write!(f, "checkpoint parse error at line {line}: {message}")
+            }
+            CheckpointError::Mismatch(msg) => write!(f, "checkpoint mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// A serializable snapshot of an in-flight active-learning run.
+///
+/// Captured at iteration boundaries (after the refit and any history
+/// recording), so resuming replays the loop from the next iteration with
+/// nothing lost and nothing repeated.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActiveCheckpoint {
+    /// Name of the target being tuned (verified on resume).
+    pub target_name: String,
+    /// Iterations completed.
+    pub iteration: u64,
+    /// The derived forest seed (refits use `derive_seed(forest_seed, i)`).
+    pub forest_seed: u64,
+    /// Cold-start size of the saving run (verified on resume).
+    pub n_init: usize,
+    /// Batch size of the saving run (verified on resume).
+    pub n_batch: usize,
+    /// Stop size of the saving run (verified on resume).
+    pub n_max: usize,
+    /// Measurement repeats of the saving run (verified on resume).
+    pub repeats: usize,
+    /// RMSE@α levels of the saving run (verified bit-exactly on resume).
+    pub alphas: Vec<f64>,
+    /// Annotation RNG stream position.
+    pub annotator_rng: [u64; 4],
+    /// Annotations attempted so far.
+    pub annotator_evaluations: usize,
+    /// Measurement tally so far.
+    pub stats: MeasurementStats,
+    /// Selection RNG stream position.
+    pub select_rng: [u64; 4],
+    /// Pool-sampling RNG stream position.
+    pub pool_rng: [u64; 4],
+    /// Lint tally over the original pool.
+    pub lint: PoolLintCounts,
+    /// Labeled configurations (levels; features are re-encoded on resume).
+    pub train_configs: Vec<Vec<u32>>,
+    /// Labels aligned with `train_configs`.
+    pub train_labels: Vec<f64>,
+    /// Remaining pool configurations (levels).
+    pub pool_configs: Vec<Vec<u32>>,
+    /// Quarantined configurations (levels).
+    pub quarantined: Vec<Vec<u32>>,
+    /// Test-set evaluation snapshots recorded so far.
+    pub history: Vec<Snapshot>,
+    /// Selection traces recorded so far.
+    pub selections: Vec<SelectionTrace>,
+}
+
+const MAGIC: &str = "pwu-active-checkpoint v1";
+
+fn hex(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+fn levels_line(levels: &[u32]) -> String {
+    let strs: Vec<String> = levels.iter().map(u32::to_string).collect();
+    strs.join(",")
+}
+
+impl ActiveCheckpoint {
+    /// Serializes to the line-oriented checkpoint text format.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        let w = &mut out;
+        let _ = writeln!(w, "{MAGIC}");
+        let _ = writeln!(w, "target {}", self.target_name);
+        let _ = writeln!(w, "iteration {}", self.iteration);
+        let _ = writeln!(w, "forest-seed {}", self.forest_seed);
+        let _ = writeln!(
+            w,
+            "counts {} {} {} {}",
+            self.n_init, self.n_batch, self.n_max, self.repeats
+        );
+        let alphas: Vec<String> = self.alphas.iter().map(|&a| hex(a)).collect();
+        let _ = writeln!(w, "alphas {}", alphas.join(" "));
+        for (tag, state) in [
+            ("annotator-rng", &self.annotator_rng),
+            ("select-rng", &self.select_rng),
+            ("pool-rng", &self.pool_rng),
+        ] {
+            let _ = writeln!(
+                w,
+                "{tag} {:016x} {:016x} {:016x} {:016x}",
+                state[0], state[1], state[2], state[3]
+            );
+        }
+        let _ = writeln!(w, "annotator-evaluations {}", self.annotator_evaluations);
+        let s = &self.stats;
+        let _ = writeln!(
+            w,
+            "stats {} {} {} {} {} {} {} {} {}",
+            s.annotations,
+            s.readings,
+            s.compile_failures,
+            s.crashes,
+            s.bad_readings,
+            s.timeouts,
+            s.retries,
+            s.failed_annotations,
+            hex(s.wasted_cost)
+        );
+        let _ = writeln!(
+            w,
+            "lint {} {} {}",
+            self.lint.legal, self.lint.flagged, self.lint.illegal
+        );
+        let _ = writeln!(w, "train {}", self.train_configs.len());
+        for (cfg, label) in self.train_configs.iter().zip(&self.train_labels) {
+            let _ = writeln!(w, "{} {}", levels_line(cfg), hex(*label));
+        }
+        let _ = writeln!(w, "pool {}", self.pool_configs.len());
+        for cfg in &self.pool_configs {
+            let _ = writeln!(w, "{}", levels_line(cfg));
+        }
+        let _ = writeln!(w, "quarantined {}", self.quarantined.len());
+        for cfg in &self.quarantined {
+            let _ = writeln!(w, "{}", levels_line(cfg));
+        }
+        let _ = writeln!(w, "history {}", self.history.len());
+        for snap in &self.history {
+            let rmse: Vec<String> = snap.rmse.iter().map(|&r| hex(r)).collect();
+            let _ = writeln!(
+                w,
+                "{} {} {}",
+                snap.n_train,
+                hex(snap.cumulative_cost),
+                rmse.join(" ")
+            );
+        }
+        let _ = writeln!(w, "selections {}", self.selections.len());
+        for sel in &self.selections {
+            let _ = writeln!(
+                w,
+                "{} {} {}",
+                hex(sel.mean),
+                hex(sel.std),
+                hex(sel.observed)
+            );
+        }
+        let _ = writeln!(w, "end");
+        out
+    }
+
+    /// Parses the checkpoint text format.
+    ///
+    /// # Errors
+    /// Returns [`CheckpointError::Parse`] with a 1-based line number on any
+    /// malformed line.
+    pub fn from_text(text: &str) -> Result<Self, CheckpointError> {
+        let mut lines = Lines::new(text);
+        lines.expect_exact(MAGIC)?;
+        let target_name = lines.tagged_rest("target")?.to_string();
+        let iteration = lines.tagged_rest("iteration")?.trim().parse().map_err(
+            |e: std::num::ParseIntError| lines.err(format!("bad iteration: {e}")),
+        )?;
+        let forest_seed = lines
+            .tagged_rest("forest-seed")?
+            .trim()
+            .parse()
+            .map_err(|e: std::num::ParseIntError| lines.err(format!("bad forest-seed: {e}")))?;
+        let counts = lines.tagged_rest("counts")?.to_string();
+        let mut it = counts.split_whitespace();
+        let n_init = lines.next_usize(&mut it, "counts")?;
+        let n_batch = lines.next_usize(&mut it, "counts")?;
+        let n_max = lines.next_usize(&mut it, "counts")?;
+        let repeats = lines.next_usize(&mut it, "counts")?;
+        let alphas_line = lines.tagged_rest("alphas")?.to_string();
+        let alphas = alphas_line
+            .split_whitespace()
+            .map(|tok| lines.parse_hex_f64(tok))
+            .collect::<Result<Vec<f64>, _>>()?;
+        let annotator_rng = lines.rng_state("annotator-rng")?;
+        let select_rng = lines.rng_state("select-rng")?;
+        let pool_rng = lines.rng_state("pool-rng")?;
+        let annotator_evaluations = lines
+            .tagged_rest("annotator-evaluations")?
+            .trim()
+            .parse()
+            .map_err(|e: std::num::ParseIntError| lines.err(format!("bad evaluations: {e}")))?;
+        let stats_line = lines.tagged_rest("stats")?.to_string();
+        let mut it = stats_line.split_whitespace();
+        let stats = MeasurementStats {
+            annotations: lines.next_usize(&mut it, "stats")?,
+            readings: lines.next_usize(&mut it, "stats")?,
+            compile_failures: lines.next_usize(&mut it, "stats")?,
+            crashes: lines.next_usize(&mut it, "stats")?,
+            bad_readings: lines.next_usize(&mut it, "stats")?,
+            timeouts: lines.next_usize(&mut it, "stats")?,
+            retries: lines.next_usize(&mut it, "stats")?,
+            failed_annotations: lines.next_usize(&mut it, "stats")?,
+            wasted_cost: {
+                let tok = it
+                    .next()
+                    .ok_or_else(|| lines.err("stats line is missing wasted_cost".into()))?;
+                lines.parse_hex_f64(tok)?
+            },
+        };
+        let lint_line = lines.tagged_rest("lint")?.to_string();
+        let mut it = lint_line.split_whitespace();
+        let lint = PoolLintCounts {
+            legal: lines.next_usize(&mut it, "lint")?,
+            flagged: lines.next_usize(&mut it, "lint")?,
+            illegal: lines.next_usize(&mut it, "lint")?,
+        };
+
+        let n_train = lines.counted_section("train")?;
+        let mut train_configs = Vec::with_capacity(n_train);
+        let mut train_labels = Vec::with_capacity(n_train);
+        for _ in 0..n_train {
+            let line = lines.next_line()?.to_string();
+            let (levels, label) = line
+                .rsplit_once(' ')
+                .ok_or_else(|| lines.err("train line needs 'levels label'".into()))?;
+            train_configs.push(lines.parse_levels(levels)?);
+            train_labels.push(lines.parse_hex_f64(label)?);
+        }
+        let n_pool = lines.counted_section("pool")?;
+        let mut pool_configs = Vec::with_capacity(n_pool);
+        for _ in 0..n_pool {
+            let line = lines.next_line()?.to_string();
+            pool_configs.push(lines.parse_levels(&line)?);
+        }
+        let n_quarantined = lines.counted_section("quarantined")?;
+        let mut quarantined = Vec::with_capacity(n_quarantined);
+        for _ in 0..n_quarantined {
+            let line = lines.next_line()?.to_string();
+            quarantined.push(lines.parse_levels(&line)?);
+        }
+        let n_history = lines.counted_section("history")?;
+        let mut history = Vec::with_capacity(n_history);
+        for _ in 0..n_history {
+            let line = lines.next_line()?.to_string();
+            let mut it = line.split_whitespace();
+            let n_train = lines.next_usize(&mut it, "history")?;
+            let cumulative_cost = {
+                let tok = it
+                    .next()
+                    .ok_or_else(|| lines.err("history line is missing cost".into()))?;
+                lines.parse_hex_f64(tok)?
+            };
+            let rmse = it
+                .map(|tok| lines.parse_hex_f64(tok))
+                .collect::<Result<Vec<f64>, _>>()?;
+            history.push(Snapshot {
+                n_train,
+                cumulative_cost,
+                rmse,
+            });
+        }
+        let n_selections = lines.counted_section("selections")?;
+        let mut selections = Vec::with_capacity(n_selections);
+        for _ in 0..n_selections {
+            let line = lines.next_line()?.to_string();
+            let mut it = line.split_whitespace();
+            let mut next = |what: &str| -> Result<f64, CheckpointError> {
+                let tok = it
+                    .next()
+                    .ok_or_else(|| lines.err(format!("selection line is missing {what}")))?;
+                lines.parse_hex_f64(tok)
+            };
+            selections.push(SelectionTrace {
+                mean: next("mean")?,
+                std: next("std")?,
+                observed: next("observed")?,
+            });
+        }
+        lines.expect_exact("end")?;
+        Ok(Self {
+            target_name,
+            iteration,
+            forest_seed,
+            n_init,
+            n_batch,
+            n_max,
+            repeats,
+            alphas,
+            annotator_rng,
+            annotator_evaluations,
+            stats,
+            select_rng,
+            pool_rng,
+            lint,
+            train_configs,
+            train_labels,
+            pool_configs,
+            quarantined,
+            history,
+            selections,
+        })
+    }
+
+    /// Writes the checkpoint atomically: serialize to a temp file in the
+    /// same directory, flush, then rename over `path`. A crash mid-write
+    /// cannot corrupt an existing checkpoint.
+    ///
+    /// # Errors
+    /// Returns [`CheckpointError::Io`] on any filesystem failure.
+    pub fn save_atomic(&self, path: &Path) -> Result<(), CheckpointError> {
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(self.to_text().as_bytes())?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Loads a checkpoint from disk.
+    ///
+    /// # Errors
+    /// Returns [`CheckpointError::Io`] if the file cannot be read and
+    /// [`CheckpointError::Parse`] if it is malformed.
+    pub fn load(path: &Path) -> Result<Self, CheckpointError> {
+        let text = fs::read_to_string(path)?;
+        Self::from_text(&text)
+    }
+}
+
+/// Line cursor with 1-based error positions.
+struct Lines<'a> {
+    iter: std::str::Lines<'a>,
+    line_no: usize,
+}
+
+impl<'a> Lines<'a> {
+    fn new(text: &'a str) -> Self {
+        Self {
+            iter: text.lines(),
+            line_no: 0,
+        }
+    }
+
+    fn err(&self, message: String) -> CheckpointError {
+        CheckpointError::Parse {
+            line: self.line_no,
+            message,
+        }
+    }
+
+    fn next_line(&mut self) -> Result<&'a str, CheckpointError> {
+        self.line_no += 1;
+        self.iter
+            .next()
+            .ok_or(CheckpointError::Parse {
+                line: self.line_no,
+                message: "unexpected end of file".into(),
+            })
+    }
+
+    fn expect_exact(&mut self, expected: &str) -> Result<(), CheckpointError> {
+        let line = self.next_line()?;
+        if line == expected {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{expected}', found '{line}'")))
+        }
+    }
+
+    /// Consumes a `tag rest...` line and returns `rest`.
+    fn tagged_rest(&mut self, tag: &str) -> Result<&'a str, CheckpointError> {
+        let line = self.next_line()?;
+        line.strip_prefix(tag)
+            .and_then(|rest| rest.strip_prefix(' ').or(Some(rest).filter(|r| r.is_empty())))
+            .ok_or_else(|| self.err(format!("expected '{tag} ...', found '{line}'")))
+    }
+
+    /// Consumes a `tag <count>` section header and returns the count.
+    fn counted_section(&mut self, tag: &str) -> Result<usize, CheckpointError> {
+        let rest = self.tagged_rest(tag)?;
+        rest.trim()
+            .parse()
+            .map_err(|e| self.err(format!("bad {tag} count: {e}")))
+    }
+
+    fn next_usize(
+        &self,
+        it: &mut SplitWhitespace<'_>,
+        what: &str,
+    ) -> Result<usize, CheckpointError> {
+        let tok = it
+            .next()
+            .ok_or_else(|| self.err(format!("{what} line is missing a field")))?;
+        tok.parse()
+            .map_err(|e| self.err(format!("bad {what} field '{tok}': {e}")))
+    }
+
+    fn parse_hex_u64(&self, tok: &str) -> Result<u64, CheckpointError> {
+        u64::from_str_radix(tok, 16).map_err(|e| self.err(format!("bad hex '{tok}': {e}")))
+    }
+
+    fn parse_hex_f64(&self, tok: &str) -> Result<f64, CheckpointError> {
+        self.parse_hex_u64(tok).map(f64::from_bits)
+    }
+
+    fn rng_state(&mut self, tag: &str) -> Result<[u64; 4], CheckpointError> {
+        let rest = self.tagged_rest(tag)?.to_string();
+        let mut it = rest.split_whitespace();
+        let mut state = [0u64; 4];
+        for slot in &mut state {
+            let tok = it
+                .next()
+                .ok_or_else(|| self.err(format!("{tag} needs four words")))?;
+            *slot = self.parse_hex_u64(tok)?;
+        }
+        Ok(state)
+    }
+
+    fn parse_levels(&self, s: &str) -> Result<Vec<u32>, CheckpointError> {
+        s.trim()
+            .split(',')
+            .map(|tok| {
+                tok.parse()
+                    .map_err(|e| self.err(format!("bad level '{tok}': {e}")))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ActiveCheckpoint {
+        ActiveCheckpoint {
+            target_name: "synthetic".into(),
+            iteration: 17,
+            forest_seed: 0xDEAD_BEEF,
+            n_init: 10,
+            n_batch: 2,
+            n_max: 100,
+            repeats: 35,
+            alphas: vec![0.05, 0.10],
+            annotator_rng: [1, 2, 3, 4],
+            annotator_evaluations: 42,
+            stats: MeasurementStats {
+                annotations: 42,
+                readings: 1400,
+                compile_failures: 3,
+                crashes: 5,
+                bad_readings: 1,
+                timeouts: 2,
+                retries: 8,
+                failed_annotations: 4,
+                wasted_cost: 12.375,
+            },
+            select_rng: [5, 6, 7, 8],
+            pool_rng: [9, 10, 11, 12],
+            lint: PoolLintCounts {
+                legal: 90,
+                flagged: 7,
+                illegal: 3,
+            },
+            train_configs: vec![vec![0, 1, 2], vec![3, 4, 5]],
+            // The second label is the smallest subnormal — an awkward bit
+            // pattern that proves exact round-tripping through hex.
+            train_labels: vec![0.25, f64::from_bits(0x0000_0000_0000_0001)],
+            pool_configs: vec![vec![6, 7, 8]],
+            quarantined: vec![vec![9, 9, 9]],
+            history: vec![Snapshot {
+                n_train: 10,
+                cumulative_cost: 3.5,
+                rmse: vec![0.1, 0.2],
+            }],
+            selections: vec![SelectionTrace {
+                mean: 0.3,
+                std: 0.01,
+                observed: 0.29,
+            }],
+        }
+    }
+
+    #[test]
+    fn text_round_trip_is_exact() {
+        let cp = sample();
+        let text = cp.to_text();
+        let back = ActiveCheckpoint::from_text(&text).unwrap();
+        assert_eq!(back, cp);
+        // Exact bits, including the subnormal label.
+        assert_eq!(
+            back.train_labels[1].to_bits(),
+            cp.train_labels[1].to_bits()
+        );
+    }
+
+    #[test]
+    fn save_and_load_round_trip_via_disk() {
+        let dir = std::env::temp_dir().join("pwu-checkpoint-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.ckpt");
+        let cp = sample();
+        cp.save_atomic(&path).unwrap();
+        let back = ActiveCheckpoint::load(&path).unwrap();
+        assert_eq!(back, cp);
+        // The temp file was renamed away.
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        assert!(!PathBuf::from(tmp).exists());
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn atomic_save_replaces_previous_checkpoint() {
+        let dir = std::env::temp_dir().join("pwu-checkpoint-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("replace.ckpt");
+        let mut cp = sample();
+        cp.save_atomic(&path).unwrap();
+        cp.iteration = 18;
+        cp.save_atomic(&path).unwrap();
+        assert_eq!(ActiveCheckpoint::load(&path).unwrap().iteration, 18);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let cp = sample();
+        let mut text = cp.to_text();
+        // Corrupt the magic line.
+        text = text.replacen("pwu-active-checkpoint", "bogus", 1);
+        match ActiveCheckpoint::from_text(&text) {
+            Err(CheckpointError::Parse { line: 1, .. }) => {}
+            other => panic!("expected parse error on line 1, got {other:?}"),
+        }
+        // Truncated file.
+        let cut: String = cp
+            .to_text()
+            .lines()
+            .take(5)
+            .map(|l| format!("{l}\n"))
+            .collect();
+        match ActiveCheckpoint::from_text(&cut) {
+            Err(CheckpointError::Parse { line, ref message }) => {
+                assert!(line >= 6, "line {line}");
+                assert!(message.contains("end of file") || !message.is_empty());
+            }
+            other => panic!("expected truncation error, got {other:?}"),
+        }
+        // Garbage hex in a label.
+        let bad = cp.to_text().replacen("stats", "stats zzz", 1);
+        assert!(matches!(
+            ActiveCheckpoint::from_text(&bad),
+            Err(CheckpointError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn error_display_and_policy_validation() {
+        let e = CheckpointError::Mismatch("different target".into());
+        assert!(e.to_string().contains("mismatch"));
+        let e = CheckpointError::Parse {
+            line: 3,
+            message: "bad".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+        let p = CheckpointPolicy::new("/tmp/x.ckpt", 5);
+        assert_eq!(p.every, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "interval must be positive")]
+    fn zero_checkpoint_interval_is_rejected() {
+        let _ = CheckpointPolicy::new("/tmp/x.ckpt", 0);
+    }
+}

@@ -11,7 +11,7 @@ use pwu_space::{FeatureSchema, Pool, PoolLintCounts, TuningTarget};
 use pwu_stats::{derive_seed, Xoshiro256PlusPlus};
 
 use crate::active::{self, ActiveConfig, SelectionTrace};
-use crate::annotator::Annotator;
+use crate::annotator::{Annotator, MeasurementStats};
 use crate::strategy::Strategy;
 
 /// Protocol parameters.
@@ -102,6 +102,11 @@ pub struct StrategyCurve {
     /// Final-model (μ, σ) predictions over the test set from the first
     /// repetition — the background scatter of Fig 9.
     pub test_scatter: Vec<(f64, f64)>,
+    /// Measurement tally merged across repetitions (failures, retries,
+    /// wasted wall-clock) for this strategy's training annotations.
+    pub measurement: MeasurementStats,
+    /// Configurations quarantined across repetitions for this strategy.
+    pub quarantined: usize,
 }
 
 /// All strategies' averaged curves on one benchmark.
@@ -116,6 +121,12 @@ pub struct ExperimentResult {
     /// Static-analysis verdict counts over the first repetition's pool
     /// (illegal points are removed inside each run before learning).
     pub pool_lint: PoolLintCounts,
+    /// Measurement tally of the test-set labeling, merged across
+    /// repetitions.
+    pub test_measurement: MeasurementStats,
+    /// Test configurations dropped across repetitions because their
+    /// labeling failed (they are excluded from the RMSE evaluation).
+    pub dropped_test_configs: usize,
 }
 
 impl ExperimentResult {
@@ -141,8 +152,16 @@ pub fn run_experiment(
     protocol.validate();
     let schema = FeatureSchema::for_space(target.space());
 
-    // rep → (runs per strategy, that rep's test features, pool lint tally)
-    let reps: Vec<(Vec<active::ActiveRun>, Vec<Vec<f64>>, PoolLintCounts)> = (0..protocol.n_reps)
+    /// One repetition's outputs.
+    struct Rep {
+        runs: Vec<active::ActiveRun>,
+        test_features: Vec<Vec<f64>>,
+        pool_lint: PoolLintCounts,
+        test_measurement: MeasurementStats,
+        dropped_test: usize,
+    }
+
+    let reps: Vec<Rep> = (0..protocol.n_reps)
         .into_par_iter()
         .map(|rep| {
             let rep_seed = derive_seed(seed, rep as u64);
@@ -151,13 +170,25 @@ pub fn run_experiment(
                 .space()
                 .sample_distinct(protocol.surrogate_size, &mut rng);
             let (pool_cfgs, test_cfgs) = all.split_at(protocol.pool_size);
-            let test_features = schema.encode_all(target.space(), test_cfgs);
             let mut test_annotator = Annotator::new(
                 target,
                 protocol.active.repeats,
                 derive_seed(rep_seed, 101),
             );
-            let test_labels = test_annotator.evaluate_all(test_cfgs);
+            // Label the test set up front; configurations whose measurement
+            // fails permanently are dropped from the held-out evaluation
+            // (with faults disabled every label succeeds and the features
+            // and labels are bit-identical to the infallible path).
+            let mut kept_cfgs = Vec::with_capacity(test_cfgs.len());
+            let mut test_labels = Vec::with_capacity(test_cfgs.len());
+            for cfg in test_cfgs {
+                if let Ok(label) = test_annotator.try_evaluate(cfg) {
+                    kept_cfgs.push(cfg.clone());
+                    test_labels.push(label);
+                }
+            }
+            let dropped_test = test_cfgs.len() - kept_cfgs.len();
+            let test_features = schema.encode_all(target.space(), &kept_cfgs);
             let pool_lint = PoolLintCounts::tally(target, pool_cfgs);
 
             let runs = strategies
@@ -175,7 +206,13 @@ pub fn run_experiment(
                     )
                 })
                 .collect();
-            (runs, test_features, pool_lint)
+            Rep {
+                runs,
+                test_features,
+                pool_lint,
+                test_measurement: *test_annotator.stats(),
+                dropped_test,
+            }
         })
         .collect();
 
@@ -187,25 +224,30 @@ pub fn run_experiment(
         .map(|(si, &strategy)| {
             let n_snapshots = reps
                 .iter()
-                .map(|(runs, _, _)| runs[si].history.len())
+                .map(|rep| rep.runs[si].history.len())
                 .min()
                 .expect("at least one repetition");
-            let n_train = reps[0].0[si].history[..n_snapshots]
+            let n_train = reps[0].runs[si].history[..n_snapshots]
                 .iter()
                 .map(|s| s.n_train)
                 .collect();
             let mut rmse = vec![vec![0.0; n_snapshots]; n_alphas];
             let mut cc = vec![0.0; n_snapshots];
-            for (runs, _, _) in &reps {
-                for (t, snap) in runs[si].history[..n_snapshots].iter().enumerate() {
+            let mut measurement = MeasurementStats::default();
+            let mut quarantined = 0;
+            for rep in &reps {
+                let run = &rep.runs[si];
+                measurement.merge(&run.measurement);
+                quarantined += run.quarantined.len();
+                for (t, snap) in run.history[..n_snapshots].iter().enumerate() {
                     cc[t] += snap.cumulative_cost / protocol.n_reps as f64;
                     for (a, &r) in snap.rmse.iter().enumerate() {
                         rmse[a][t] += r / protocol.n_reps as f64;
                     }
                 }
             }
-            let (first_runs, first_test_features, _) = &reps[0];
-            let first = &first_runs[si];
+            let first = &reps[0].runs[si];
+            let first_test_features = &reps[0].test_features;
             // The final model's (μ, σ) over held-out configurations — the
             // background scatter of Fig 9.
             let test_scatter = first
@@ -221,15 +263,26 @@ pub fn run_experiment(
                 cumulative_cost: cc,
                 selections: first.selections.clone(),
                 test_scatter,
+                measurement,
+                quarantined,
             }
         })
         .collect();
+
+    let mut test_measurement = MeasurementStats::default();
+    let mut dropped_test_configs = 0;
+    for rep in &reps {
+        test_measurement.merge(&rep.test_measurement);
+        dropped_test_configs += rep.dropped_test;
+    }
 
     ExperimentResult {
         target: target.name().to_string(),
         alphas: protocol.active.alphas.clone(),
         curves,
-        pool_lint: reps[0].2,
+        pool_lint: reps[0].pool_lint,
+        test_measurement,
+        dropped_test_configs,
     }
 }
 
@@ -314,6 +367,16 @@ mod tests {
         // whole pool.
         assert_eq!(result.pool_lint.total(), 200);
         assert_eq!(result.pool_lint.legal, 200);
+        // The synthetic target never faults: no test configuration is
+        // dropped, nothing is quarantined, and no failure is tallied.
+        assert_eq!(result.dropped_test_configs, 0);
+        assert_eq!(result.test_measurement.total_failures(), 0);
+        assert_eq!(result.test_measurement.annotations, 2 * 60);
+        for c in &result.curves {
+            assert_eq!(c.quarantined, 0);
+            assert_eq!(c.measurement.total_failures(), 0);
+            assert!(c.measurement.annotations > 0);
+        }
     }
 
     #[test]

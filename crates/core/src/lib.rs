@@ -27,13 +27,15 @@
 
 pub mod active;
 pub mod annotator;
+pub mod checkpoint;
 pub mod experiment;
 pub mod metrics;
 pub mod strategy;
 pub mod tuning;
 
 pub use active::{ActiveConfig, ActiveRun, RefitMode, Snapshot};
-pub use annotator::Annotator;
+pub use annotator::{Aggregator, AnnotationFailure, Annotator, MeasurementStats, RetryPolicy};
+pub use checkpoint::{ActiveCheckpoint, CheckpointError, CheckpointPolicy};
 pub use experiment::{ExperimentResult, Protocol, StrategyCurve};
 pub use metrics::{cost_to_reach, rmse_at_alpha};
 pub use strategy::Strategy;

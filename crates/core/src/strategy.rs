@@ -91,19 +91,17 @@ impl Strategy {
             }
             Strategy::Pbus { fraction } => {
                 let keep = biased_subset(preds, fraction, n_batch);
-                // Invariant: forest predictions are means/stds of finite
-                // training labels, so σ is never NaN here.
-                debug_assert!(
-                    keep.iter().all(|&i| !preds[i].std.is_nan()),
-                    "NaN uncertainty reached PBUS selection"
-                );
-                // Most uncertain within the subset.
+                // Most uncertain within the subset. Finite σ sorts first
+                // (descending); a degenerate model's non-finite σ is
+                // deprioritized instead of panicking the selection.
                 let mut idx = keep;
                 idx.sort_by(|&a, &b| {
-                    preds[b]
-                        .std
-                        .partial_cmp(&preds[a].std)
-                        .expect("NaN uncertainty")
+                    let (sa, sb) = (preds[a].std, preds[b].std);
+                    match (sa.is_finite(), sb.is_finite()) {
+                        (true, false) => std::cmp::Ordering::Less,
+                        (false, true) => std::cmp::Ordering::Greater,
+                        _ => sb.total_cmp(&sa),
+                    }
                 });
                 idx.truncate(n_batch);
                 idx
@@ -169,10 +167,15 @@ pub fn pwu_scores(preds: &[Prediction], alpha: f64) -> Vec<f64> {
         .collect()
 }
 
-/// Indices of the `k` largest scores, descending.
+/// Indices of the `k` largest scores, descending, with NaN scores ranked
+/// last so a degenerate model degrades the selection instead of leading it.
 fn top_desc(scores: &[f64], k: usize) -> Vec<usize> {
     let mut idx = argsort_by(scores, |&s| s);
     idx.reverse();
+    // `argsort_by` uses the IEEE total order, which sorts NaN after +∞;
+    // reversing put those entries first. Rotate them back to the end.
+    let n_nan = idx.iter().take_while(|&&i| scores[i].is_nan()).count();
+    idx.rotate_left(n_nan);
     idx.truncate(k);
     idx
 }
@@ -304,6 +307,33 @@ mod tests {
         for s in Strategy::paper_set(0.05) {
             assert_eq!(s.select(&preds, 10, &mut rng).len(), 2);
         }
+    }
+
+    #[test]
+    fn nan_predictions_are_deprioritized_not_fatal() {
+        // A degenerate model predicting (NaN, NaN) for one candidate: every
+        // strategy must still return a full, duplicate-free batch and rank
+        // the broken candidate last rather than panic or crown it.
+        let preds = vec![
+            pred(1.0, 0.5),
+            pred(f64::NAN, f64::NAN),
+            pred(2.0, 1.0),
+            pred(3.0, 0.1),
+        ];
+        let mut rng = Xoshiro256PlusPlus::new(5);
+        for s in Strategy::paper_set(0.05) {
+            let batch = s.select(&preds, 2, &mut rng);
+            assert_eq!(batch.len(), 2, "{} batch came up short", s.name());
+            let set: std::collections::HashSet<_> = batch.iter().collect();
+            assert_eq!(set.len(), 2, "{} produced duplicates", s.name());
+        }
+        assert_eq!(Strategy::BestPerf.select(&preds, 3, &mut rng), vec![0, 2, 3]);
+        let maxu = Strategy::MaxU.select(&preds, 4, &mut rng);
+        assert_eq!(*maxu.last().unwrap(), 1, "NaN σ must rank last");
+        let pwu = Strategy::Pwu { alpha: 0.05 }.select(&preds, 4, &mut rng);
+        assert_eq!(*pwu.last().unwrap(), 1, "NaN score must rank last");
+        let pbus = Strategy::Pbus { fraction: 1.0 }.select(&preds, 3, &mut rng);
+        assert_eq!(pbus, vec![2, 0, 3], "finite σ sorts first, descending");
     }
 
     #[test]

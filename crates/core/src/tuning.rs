@@ -17,7 +17,7 @@ use pwu_forest::{ForestConfig, RandomForest};
 use pwu_space::{ConfigLegality, Configuration, FeatureSchema, TuningTarget};
 use pwu_stats::{derive_seed, Xoshiro256PlusPlus};
 
-use crate::annotator::Annotator;
+use crate::annotator::{AnnotationFailure, Annotator, MeasurementStats};
 
 /// How selected configurations are labeled during tuning.
 pub enum TuningAnnotator<'a> {
@@ -44,6 +44,12 @@ pub struct TuningTrajectory {
     /// Surviving candidates the analysis marked
     /// [`ConfigLegality::Flagged`] (searchable, but counted).
     pub flagged: usize,
+    /// Candidates whose annotation failed during the search; they were
+    /// removed from the candidate set without consuming a tuning step.
+    pub quarantined: Vec<Configuration>,
+    /// Measurement tally of the true annotator (all zeros for surrogate
+    /// tuning, which never executes the program).
+    pub measurement: MeasurementStats,
 }
 
 /// Runs greedy model-based tuning over a fixed candidate set.
@@ -58,9 +64,15 @@ pub struct TuningTrajectory {
 /// [`ConfigLegality::Flagged`] candidates stay searchable but are counted
 /// on the trajectory.
 ///
+/// Candidates whose annotation fails (compile failure, retry budget
+/// exhausted) are quarantined without consuming a cold-start slot or a
+/// tuning step; the search re-selects among the survivors, so the run
+/// completes under injected measurement faults.
+///
 /// # Panics
 /// Panics if fewer than `n_init + n_iters` legal candidates remain after
-/// excluding illegal ones.
+/// excluding illegal ones, or if every candidate fails annotation during
+/// the cold start.
 #[must_use]
 pub fn model_based_tuning(
     target: &dyn TuningTarget,
@@ -107,30 +119,48 @@ pub fn model_based_tuning(
     let mut labels: Vec<f64> = Vec::new();
     let mut chosen = Vec::new();
     let mut best_true = Vec::new();
+    let mut quarantined: Vec<Configuration> = Vec::new();
     let mut incumbent = f64::INFINITY;
 
     let label_of = |cfg: &Configuration,
                         row: &[f64],
-                        true_annotator: &mut Annotator<'_>| match annotator {
-        TuningAnnotator::True { .. } => true_annotator.evaluate(cfg),
-        TuningAnnotator::Surrogate(model) => model.predict(row),
+                        true_annotator: &mut Annotator<'_>|
+     -> Result<f64, AnnotationFailure> {
+        match annotator {
+            TuningAnnotator::True { .. } => true_annotator.try_evaluate(cfg),
+            TuningAnnotator::Surrogate(model) => Ok(model.predict(row)),
+        }
     };
 
-    // Cold start: random candidates.
-    for _ in 0..n_init {
+    // Cold start: random candidates. A failed annotation quarantines the
+    // candidate without counting toward n_init.
+    let mut cold = 0usize;
+    while cold < n_init && !remaining.is_empty() {
         let pick = (rng.next() % remaining.len() as u64) as usize;
         let idx = remaining.swap_remove(pick);
         let cfg = &candidates[idx];
         let row = schema.encode(target.space(), cfg);
-        let y = label_of(cfg, &row, &mut true_annotator);
-        incumbent = incumbent.min(target.ideal_time(cfg));
-        best_true.push(incumbent);
-        features.push(row);
-        labels.push(y);
-        chosen.push(cfg.clone());
+        match label_of(cfg, &row, &mut true_annotator) {
+            Ok(y) => {
+                incumbent = incumbent.min(target.ideal_time(cfg));
+                best_true.push(incumbent);
+                features.push(row);
+                labels.push(y);
+                chosen.push(cfg.clone());
+                cold += 1;
+            }
+            Err(_) => quarantined.push(cfg.clone()),
+        }
     }
+    assert!(
+        !labels.is_empty(),
+        "every candidate failed annotation during the cold start"
+    );
 
-    for it in 0..n_iters {
+    // Iteration phase: a quarantined candidate does not consume a tuning
+    // step — the same model greedily re-selects among the survivors.
+    let mut it = 0usize;
+    while it < n_iters && !remaining.is_empty() {
         let model = RandomForest::fit(
             forest,
             kinds,
@@ -138,29 +168,36 @@ pub fn model_based_tuning(
             &labels,
             derive_seed(seed, 100 + it as u64),
         );
-        // Invariant: the forest predicts means of finite labels, so the
-        // expects below cannot fire; `remaining` is nonempty because the
-        // entry assert guarantees n_init + n_iters legal candidates.
-        debug_assert!(!remaining.is_empty(), "greedy step with empty pool");
-        // Greedy: smallest predicted time among the un-evaluated candidates.
-        let (pos, _) = remaining
-            .iter()
-            .enumerate()
-            .map(|(pos, &idx)| {
-                let row = schema.encode(target.space(), &candidates[idx]);
-                (pos, model.predict(&row))
-            })
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN prediction"))
-            .expect("candidates remain");
-        let idx = remaining.swap_remove(pos);
-        let cfg = &candidates[idx];
-        let row = schema.encode(target.space(), cfg);
-        let y = label_of(cfg, &row, &mut true_annotator);
-        incumbent = incumbent.min(target.ideal_time(cfg));
-        best_true.push(incumbent);
-        features.push(row);
-        labels.push(y);
-        chosen.push(cfg.clone());
+        while !remaining.is_empty() {
+            // Greedy: smallest predicted time among the un-evaluated
+            // candidates. `total_cmp` keeps a degenerate model's non-finite
+            // predictions sorted after every finite one instead of
+            // panicking, so the search degrades rather than dies.
+            let (pos, _) = remaining
+                .iter()
+                .enumerate()
+                .map(|(pos, &idx)| {
+                    let row = schema.encode(target.space(), &candidates[idx]);
+                    (pos, model.predict(&row))
+                })
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("candidates remain");
+            let idx = remaining.swap_remove(pos);
+            let cfg = &candidates[idx];
+            let row = schema.encode(target.space(), cfg);
+            match label_of(cfg, &row, &mut true_annotator) {
+                Ok(y) => {
+                    incumbent = incumbent.min(target.ideal_time(cfg));
+                    best_true.push(incumbent);
+                    features.push(row);
+                    labels.push(y);
+                    chosen.push(cfg.clone());
+                    it += 1;
+                    break;
+                }
+                Err(_) => quarantined.push(cfg.clone()),
+            }
+        }
     }
 
     TuningTrajectory {
@@ -168,6 +205,8 @@ pub fn model_based_tuning(
         chosen,
         excluded_illegal,
         flagged,
+        quarantined,
+        measurement: *true_annotator.stats(),
     }
 }
 
@@ -324,6 +363,116 @@ mod tests {
         );
         // The legal region still contains the optimum; tuning finds it.
         assert!(*traj.best_true.last().unwrap() < 1.5);
+    }
+
+    /// A bowl where every configuration with `a == 13` — the column holding
+    /// the optimum — permanently fails to compile.
+    struct BrokenBowl(Bowl);
+
+    impl TuningTarget for BrokenBowl {
+        fn name(&self) -> &str {
+            "broken-bowl"
+        }
+        fn space(&self) -> &ParamSpace {
+            self.0.space()
+        }
+        fn ideal_time(&self, cfg: &Configuration) -> f64 {
+            self.0.ideal_time(cfg)
+        }
+        fn try_measure(
+            &self,
+            cfg: &Configuration,
+            _rng: &mut Xoshiro256PlusPlus,
+        ) -> pwu_space::MeasureOutcome {
+            if cfg.level(0) == 13 {
+                pwu_space::MeasureOutcome::Failed {
+                    kind: pwu_space::FailureKind::Compile,
+                    cost: 0.2,
+                }
+            } else {
+                pwu_space::MeasureOutcome::Ok(self.0.ideal_time(cfg))
+            }
+        }
+    }
+
+    #[test]
+    fn failed_candidates_are_quarantined_without_consuming_steps() {
+        let target = BrokenBowl(Bowl::new());
+        let mut rng = Xoshiro256PlusPlus::new(19);
+        let candidates = target.space().sample_distinct(200, &mut rng);
+        let n_broken = candidates.iter().filter(|c| c.level(0) == 13).count();
+        assert!(n_broken > 0, "sample must contain broken points");
+        let traj = model_based_tuning(
+            &target,
+            &candidates,
+            &TuningAnnotator::True { repeats: 1 },
+            8,
+            30,
+            &forest16(),
+            23,
+        );
+        // Quarantine does not consume cold-start slots or tuning steps:
+        // the trajectory still has its full length.
+        assert_eq!(traj.best_true.len(), 38);
+        assert!(
+            !traj.quarantined.is_empty(),
+            "the search must have tried the broken optimum column"
+        );
+        assert!(traj.chosen.iter().all(|c| c.level(0) != 13));
+        assert!(traj.quarantined.iter().all(|c| c.level(0) == 13));
+        assert_eq!(
+            traj.measurement.compile_failures,
+            traj.quarantined.len(),
+            "one compile attempt per quarantined candidate"
+        );
+        assert!(traj.measurement.wasted_cost > 0.0);
+    }
+
+    /// A bowl whose timer returns NaN for part of the space: the annotator
+    /// must intercept the garbage (the forest rejects non-finite labels at
+    /// fit, so a single leaked NaN would abort the whole search).
+    struct NanBowl(Bowl);
+
+    impl TuningTarget for NanBowl {
+        fn name(&self) -> &str {
+            "nan-bowl"
+        }
+        fn space(&self) -> &ParamSpace {
+            self.0.space()
+        }
+        fn ideal_time(&self, cfg: &Configuration) -> f64 {
+            self.0.ideal_time(cfg)
+        }
+        fn measure(&self, cfg: &Configuration, _rng: &mut Xoshiro256PlusPlus) -> f64 {
+            if cfg.level(1) == 3 {
+                f64::NAN
+            } else {
+                self.0.ideal_time(cfg)
+            }
+        }
+    }
+
+    #[test]
+    fn nan_readings_never_reach_the_search_model() {
+        let target = NanBowl(Bowl::new());
+        let mut rng = Xoshiro256PlusPlus::new(29);
+        let candidates = target.space().sample_distinct(200, &mut rng);
+        assert!(candidates.iter().any(|c| c.level(1) == 3));
+        // Would panic inside RandomForest::fit ("targets must be finite")
+        // if a NaN label leaked through the annotator.
+        let traj = model_based_tuning(
+            &target,
+            &candidates,
+            &TuningAnnotator::True { repeats: 2 },
+            8,
+            25,
+            &forest16(),
+            31,
+        );
+        assert!(traj.chosen.iter().all(|c| c.level(1) != 3));
+        assert!(traj.quarantined.iter().all(|c| c.level(1) == 3));
+        assert!(traj.measurement.bad_readings > 0);
+        assert!(traj.best_true.iter().all(|t| t.is_finite()));
     }
 
     #[test]

@@ -26,4 +26,4 @@ pub use encode::{FeatureKind, FeatureSchema};
 pub use param::{Domain, Param, Value};
 pub use pool::{LabeledSet, Pool};
 pub use space::ParamSpace;
-pub use target::{ConfigLegality, PoolLintCounts, TuningTarget};
+pub use target::{ConfigLegality, FailureKind, MeasureOutcome, PoolLintCounts, TuningTarget};

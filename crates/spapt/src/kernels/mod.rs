@@ -35,10 +35,11 @@ mod stencil3d;
 mod tensor;
 mod trmm;
 
-use pwu_space::{ConfigLegality, Configuration, Param, ParamSpace, TuningTarget};
+use pwu_space::{ConfigLegality, Configuration, MeasureOutcome, Param, ParamSpace, TuningTarget};
 use pwu_stats::Xoshiro256PlusPlus;
 
 use crate::cost::estimate_time;
+use crate::fault::FaultModel;
 use crate::ir::LoopNest;
 use crate::machine::MachineModel;
 use crate::noise::NoiseModel;
@@ -93,6 +94,9 @@ pub struct Kernel {
     /// Per-block legality masks; `None` until a dependence analysis attaches
     /// them (see `pwu-analyze`).
     legality: Option<Vec<BlockLegality>>,
+    /// Fault-injection model; `None` keeps measurement infallible (and
+    /// bit-identical to the pre-fault-model behaviour).
+    faults: Option<FaultModel>,
 }
 
 impl Kernel {
@@ -170,6 +174,7 @@ impl Kernel {
             noise: NoiseModel::quiet(),
             repeats: 35,
             legality: None,
+            faults: None,
         }
     }
 
@@ -208,6 +213,36 @@ impl Kernel {
     pub fn with_noise(mut self, noise: NoiseModel) -> Self {
         self.noise = noise;
         self
+    }
+
+    /// Attaches a fault-injection model; measurement through
+    /// [`TuningTarget::try_measure`] then becomes fallible.
+    ///
+    /// A disabled model (see [`FaultModel::is_enabled`]) is treated exactly
+    /// like no model at all: the fallible path consumes the same RNG stream
+    /// and returns the same readings as the infallible one.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultModel) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// The attached fault model, if any.
+    #[must_use]
+    pub fn faults(&self) -> Option<&FaultModel> {
+        self.faults.as_ref()
+    }
+
+    /// True when a configuration requests an *aggressive* transformation —
+    /// deep unroll-jam (factor ≥ 16) on any loop of any block. Aggressive
+    /// configurations blow up generated-code size, which is what makes real
+    /// Orio compiles fail; the fault model boosts their compile-failure
+    /// probability.
+    #[must_use]
+    pub fn is_aggressive(&self, cfg: &Configuration) -> bool {
+        self.decode(cfg)
+            .iter()
+            .any(|t| t.unroll.iter().any(|&u| u >= 16))
     }
 
     /// Moves the kernel to a different machine model.
@@ -333,6 +368,21 @@ impl TuningTarget for Kernel {
 
     fn measure(&self, cfg: &Configuration, rng: &mut Xoshiro256PlusPlus) -> f64 {
         self.noise.perturb(self.ideal_time(cfg), rng)
+    }
+
+    fn try_measure(&self, cfg: &Configuration, rng: &mut Xoshiro256PlusPlus) -> MeasureOutcome {
+        let Some(fm) = self.faults.as_ref().filter(|fm| fm.is_enabled()) else {
+            return MeasureOutcome::Ok(self.measure(cfg, rng));
+        };
+        if fm.compile_fails(cfg, self.is_aggressive(cfg)) {
+            return MeasureOutcome::Failed {
+                kind: pwu_space::FailureKind::Compile,
+                cost: fm.compile_cost,
+            };
+        }
+        fm.measure_transient(self.ideal_time(cfg), rng, |ideal, rng| {
+            self.noise.perturb(ideal, rng)
+        })
     }
 
     fn measure_averaged(

@@ -29,17 +29,21 @@
 //! - [`cachesim`] — trace-driven set-associative LRU simulator (validation)
 //! - [`cost`] — the cycle/time model combining compute and memory
 //! - [`noise`] — wall-clock measurement-noise model
+//! - [`fault`] — compile-failure / crash / timeout / garbage-reading
+//!   injection layered on the noise model
 //! - [`kernels`] — the 12 kernel definitions and their parameter spaces
 
 pub mod cache;
 pub mod cachesim;
 pub mod cost;
+pub mod fault;
 pub mod ir;
 pub mod kernels;
 pub mod machine;
 pub mod noise;
 pub mod transform;
 
+pub use fault::FaultModel;
 pub use kernels::{all_kernels, extended_kernels, kernel_by_name, Kernel};
 pub use machine::MachineModel;
 pub use noise::NoiseModel;

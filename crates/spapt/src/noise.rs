@@ -96,6 +96,77 @@ mod tests {
     }
 
     #[test]
+    fn outlier_path_produces_right_tail_spikes() {
+        // Isolate the outlier branch: no lognormal jitter, guaranteed spike.
+        let always = NoiseModel {
+            sigma: 0.0,
+            outlier_prob: 1.0,
+            outlier_scale: 0.5,
+        };
+        let mut rng = Xoshiro256PlusPlus::new(7);
+        let spiked: Vec<f64> = (0..5_000).map(|_| always.perturb(2.0, &mut rng)).collect();
+        // factor = 1 + 0.5·Exp(1): strictly above ideal, mean ≈ 1.5×.
+        assert!(spiked.iter().all(|&x| x > 2.0));
+        let avg = pwu_stats::mean(&spiked);
+        assert!((avg - 3.0).abs() < 0.1, "spiked mean {avg}");
+        // With the branch disabled nothing ever exceeds the ideal.
+        let never = NoiseModel {
+            sigma: 0.0,
+            outlier_prob: 0.0,
+            outlier_scale: 0.5,
+        };
+        assert!((0..1000).all(|_| never.perturb(2.0, &mut rng) == 2.0));
+        // At realistic rates the spikes live in the far right tail: the 99.9%
+        // quantile dwarfs the jitter-only quantile.
+        let rare = NoiseModel::quiet();
+        let jitter_only = NoiseModel {
+            outlier_prob: 0.0,
+            ..NoiseModel::quiet()
+        };
+        let a: Vec<f64> = (0..50_000).map(|_| rare.perturb(1.0, &mut rng)).collect();
+        let b: Vec<f64> = (0..50_000)
+            .map(|_| jitter_only.perturb(1.0, &mut rng))
+            .collect();
+        let qa = pwu_stats::quantile(&a, 0.999);
+        let qb = pwu_stats::quantile(&b, 0.999);
+        assert!(qa > qb * 1.05, "outlier tail {qa} vs jitter tail {qb}");
+    }
+
+    #[test]
+    fn robust_aggregation_recovers_ideal_under_spikes_where_mean_does_not() {
+        // The paper-motivating case: 35 repeats, a daemon fires on ~8% of
+        // them with a +300% spike. The plain mean is biased by ≈ +24%;
+        // median and trimmed mean stay within 2% of the ideal time.
+        let spiky = NoiseModel {
+            sigma: 0.02,
+            outlier_prob: 0.08,
+            outlier_scale: 3.0,
+        };
+        let mut rng = Xoshiro256PlusPlus::new(21);
+        let ideal = 0.4;
+        let mut mean_err_worst: f64 = 0.0;
+        let mut median_err_worst: f64 = 0.0;
+        let mut trimmed_err_worst: f64 = 0.0;
+        for _ in 0..50 {
+            let reps: Vec<f64> = (0..35).map(|_| spiky.perturb(ideal, &mut rng)).collect();
+            mean_err_worst = mean_err_worst.max((pwu_stats::mean(&reps) / ideal - 1.0).abs());
+            median_err_worst =
+                median_err_worst.max((pwu_stats::median(&reps) / ideal - 1.0).abs());
+            trimmed_err_worst = trimmed_err_worst
+                .max((pwu_stats::trimmed_mean(&reps, 0.2) / ideal - 1.0).abs());
+        }
+        assert!(
+            mean_err_worst > 0.10,
+            "the plain mean should be visibly biased at least once, worst {mean_err_worst}"
+        );
+        assert!(median_err_worst < 0.03, "median worst error {median_err_worst}");
+        assert!(
+            trimmed_err_worst < 0.03,
+            "trimmed-mean worst error {trimmed_err_worst}"
+        );
+    }
+
+    #[test]
     fn measurements_stay_positive() {
         let m = NoiseModel::cluster();
         let mut rng = Xoshiro256PlusPlus::new(2);

@@ -89,6 +89,83 @@ pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
     }
 }
 
+/// Median (50 % quantile). Returns `NaN` for an empty slice.
+///
+/// # Panics
+/// Panics if any value is `NaN`.
+#[must_use]
+pub fn median(xs: &[f64]) -> f64 {
+    quantile(xs, 0.5)
+}
+
+/// Symmetrically trimmed mean: sort, drop `⌊n·trim⌋` observations from each
+/// end, average the rest. `trim = 0` is the plain mean; `trim` approaching
+/// 0.5 approaches the median. Returns `NaN` for an empty slice.
+///
+/// This is the classic robust location estimate for repeat-averaged
+/// wall-clock timings: a few daemon-wakeup spikes land in the trimmed tail
+/// and never touch the estimate.
+///
+/// # Panics
+/// Panics if `trim` is outside `[0, 0.5)` or any value is `NaN`.
+#[must_use]
+pub fn trimmed_mean(xs: &[f64], trim: f64) -> f64 {
+    assert!(
+        (0.0..0.5).contains(&trim),
+        "trim fraction {trim} outside [0, 0.5)"
+    );
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in trimmed_mean input"));
+    let cut = (xs.len() as f64 * trim).floor() as usize;
+    mean(&sorted[cut..sorted.len() - cut])
+}
+
+/// Median absolute deviation (unscaled): `median(|x − median(x)|)`.
+/// Returns `NaN` for an empty slice.
+///
+/// # Panics
+/// Panics if any value is `NaN`.
+#[must_use]
+pub fn mad(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let m = median(xs);
+    let deviations: Vec<f64> = xs.iter().map(|&x| (x - m).abs()).collect();
+    median(&deviations)
+}
+
+/// Mean of the observations within `k` MADs of the median (MAD outlier
+/// rejection). When the MAD is zero (half the sample identical) only exact
+/// ties with the median survive, which is the conventional degenerate-case
+/// behaviour. Returns `NaN` for an empty slice.
+///
+/// # Panics
+/// Panics if `k` is negative or any value is `NaN`.
+#[must_use]
+pub fn mad_filtered_mean(xs: &[f64], k: f64) -> f64 {
+    assert!(k >= 0.0, "MAD multiplier {k} must be non-negative");
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let m = median(xs);
+    let d = mad(xs);
+    let kept: Vec<f64> = xs
+        .iter()
+        .copied()
+        .filter(|&x| (x - m).abs() <= k * d)
+        .collect();
+    if kept.is_empty() {
+        // Possible only when the interpolated median is not an element
+        // (even n) and the band is empty; the median is the honest answer.
+        return m;
+    }
+    mean(&kept)
+}
+
 /// Five-number-plus summary of a sample.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Summary {
@@ -185,6 +262,47 @@ mod tests {
         assert_eq!(s.mean, 3.0);
     }
 
+
+    #[test]
+    fn median_and_trimmed_mean_resist_spikes() {
+        // 10 honest readings around 1.0 plus two 100× daemon spikes.
+        let mut xs = vec![0.98, 1.01, 0.99, 1.02, 1.0, 1.01, 0.97, 1.03, 1.0, 0.99];
+        xs.push(100.0);
+        xs.push(120.0);
+        assert!((median(&xs) - 1.005).abs() < 0.01);
+        assert!((trimmed_mean(&xs, 0.2) - 1.0).abs() < 0.02);
+        // The plain mean is dragged far away by the spikes.
+        assert!(mean(&xs) > 15.0);
+    }
+
+    #[test]
+    fn trimmed_mean_zero_trim_is_mean() {
+        let xs = [3.0, 1.0, 2.0, 4.0];
+        assert_eq!(trimmed_mean(&xs, 0.0), mean(&xs));
+        assert!(trimmed_mean(&[], 0.1).is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn trimmed_mean_rejects_half_trim() {
+        let _ = trimmed_mean(&[1.0, 2.0], 0.5);
+    }
+
+    #[test]
+    fn mad_and_filtered_mean() {
+        let xs = [1.0, 1.1, 0.9, 1.0, 1.2, 0.8, 1.0, 50.0];
+        assert!((mad(&xs) - 0.1).abs() < 1e-9);
+        // The 50.0 outlier sits hundreds of MADs out; rejection recovers ~1.
+        let robust = mad_filtered_mean(&xs, 5.0);
+        assert!((robust - 1.0).abs() < 0.05, "robust mean {robust}");
+        assert!(mean(&xs) > 7.0);
+        // Degenerate: MAD 0 keeps exact ties with the median.
+        assert_eq!(mad_filtered_mean(&[2.0, 2.0, 2.0, 9.0], 3.0), 2.0);
+        // Empty band falls back to the median.
+        assert_eq!(mad_filtered_mean(&[1.0, 2.0], 0.0), 1.5);
+        assert!(mad_filtered_mean(&[], 1.0).is_nan());
+        assert!(mad(&[]).is_nan());
+    }
 
     #[test]
     fn geomean_basics() {

@@ -21,7 +21,10 @@ pub mod online;
 pub mod rank;
 pub mod rng;
 
-pub use describe::{geomean, mean, quantile, std_dev, variance, Summary};
+pub use describe::{
+    geomean, mad, mad_filtered_mean, mean, median, quantile, std_dev, trimmed_mean, variance,
+    Summary,
+};
 pub use dist::{LogNormal, Normal};
 pub use error::{mae, mape, r2, rmse, InvalidInput};
 pub use online::OnlineMoments;

@@ -6,18 +6,17 @@
 
 /// Returns the indices that sort `xs` ascending by the given key.
 ///
-/// Ties keep their original relative order (stable sort).
-///
-/// # Panics
-/// Panics if any key comparison is undefined (`NaN`).
+/// Ties keep their original relative order (stable sort). Keys are compared
+/// with [`f64::total_cmp`], so `NaN` keys sort deterministically after every
+/// finite key (and after `+∞`) instead of panicking.
 #[must_use]
 pub fn argsort_by<T>(xs: &[T], key: impl Fn(&T) -> f64) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..xs.len()).collect();
-    idx.sort_by(|&a, &b| {
-        key(&xs[a])
-            .partial_cmp(&key(&xs[b]))
-            .expect("NaN in argsort key")
-    });
+    // total_cmp gives the IEEE total order: identical to partial_cmp on
+    // finite keys (so existing behaviour is unchanged) while sorting NaNs
+    // deterministically after +∞ instead of panicking — degenerate model
+    // output must degrade a ranking, not abort a run.
+    idx.sort_by(|&a, &b| key(&xs[a]).total_cmp(&key(&xs[b])));
     idx
 }
 
@@ -34,8 +33,8 @@ pub fn top_k_indices(xs: &[f64], k: usize) -> Vec<usize> {
 
 /// Fractional ranks (1-based) with ties assigned the average rank.
 ///
-/// # Panics
-/// Panics if `xs` contains `NaN`.
+/// `NaN` values rank after every finite value (see [`argsort_by`]); each
+/// `NaN` gets its own rank since `NaN != NaN`.
 #[must_use]
 pub fn ranks_average(xs: &[f64]) -> Vec<f64> {
     let order = argsort_by(xs, |&x| x);
@@ -110,6 +109,14 @@ mod tests {
     fn argsort_orders_ascending() {
         let xs = [3.0, 1.0, 2.0];
         assert_eq!(argsort_by(&xs, |&x| x), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn argsort_sends_nan_last_without_panicking() {
+        let xs = [f64::NAN, 1.0, f64::INFINITY, -1.0, f64::NAN];
+        let idx = argsort_by(&xs, |&x| x);
+        assert_eq!(&idx[..3], &[3, 1, 2], "finite keys keep their order");
+        assert_eq!(&idx[3..], &[0, 4], "NaN keys rank last, stably");
     }
 
     #[test]

@@ -4,6 +4,9 @@
 //! - `lint` — the CI lint gate: `cargo clippy --workspace --all-targets`
 //!   with warnings denied, followed by the `pwu-lint` kernel legality
 //!   checker, which exits non-zero on any `Error`-level diagnostic.
+//! - `faults` — the fault-injection gate: runs the deterministic fault-model
+//!   unit tests and the end-to-end fault-tolerance suite, which drive the
+//!   active-learning loop under ~20 % injected measurement failures.
 
 use std::process::{exit, Command};
 
@@ -11,8 +14,9 @@ fn main() {
     let command = std::env::args().nth(1).unwrap_or_default();
     match command.as_str() {
         "lint" => lint(),
+        "faults" => faults(),
         other => {
-            eprintln!("unknown xtask command {other:?}\n\nusage: cargo xtask lint");
+            eprintln!("unknown xtask command {other:?}\n\nusage: cargo xtask <lint|faults>");
             exit(2);
         }
     }
@@ -49,4 +53,21 @@ fn lint() {
         Command::new(&cargo).args(["run", "--release", "-p", "pwu-analyze", "--bin", "pwu-lint"]),
     );
     println!("xtask: lint gate passed");
+}
+
+fn faults() {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    run_step(
+        "fault-model unit tests (pwu-spapt fault::)",
+        Command::new(&cargo).args(["test", "-q", "-p", "pwu-spapt", "fault"]),
+    );
+    run_step(
+        "annotator retry/quarantine tests (pwu-core annotator::)",
+        Command::new(&cargo).args(["test", "-q", "-p", "pwu-core", "--lib", "annotator"]),
+    );
+    run_step(
+        "end-to-end fault-tolerance suite (pwu-core fault_tolerance)",
+        Command::new(&cargo).args(["test", "-q", "-p", "pwu-core", "--test", "fault_tolerance"]),
+    );
+    println!("xtask: fault-injection gate passed");
 }
