@@ -220,7 +220,11 @@ fn enumerate_dirs(comps: &[Component], nest: &LoopNest) -> Vec<Vec<Direction>> {
 }
 
 /// Depth-first cartesian product keeping only lex-positive vectors.
-fn expand(per_loop: &[Vec<Direction>], current: &mut Vec<Direction>, out: &mut Vec<Vec<Direction>>) {
+fn expand(
+    per_loop: &[Vec<Direction>],
+    current: &mut Vec<Direction>,
+    out: &mut Vec<Vec<Direction>>,
+) {
     if current.len() == per_loop.len() {
         if current.contains(&Direction::Lt) || current.contains(&Direction::Gt) {
             out.push(current.clone());
@@ -511,15 +515,11 @@ mod tests {
         // The j component is pinned to '=' everywhere; i and k are free, so
         // some instance has a '>' in a non-leading position.
         assert!(deps.iter().all(|d| d.dirs[1] == Direction::Eq));
-        assert!(deps
-            .iter()
-            .any(|d| d.dirs.contains(&Direction::Gt)));
+        assert!(deps.iter().any(|d| d.dirs.contains(&Direction::Gt)));
         // Every stored vector is lexicographically positive.
         for d in &deps {
             assert_eq!(d.dirs[d.carrier()], Direction::Lt);
-            assert!(d.dirs[..d.carrier()]
-                .iter()
-                .all(|&x| x == Direction::Eq));
+            assert!(d.dirs[..d.carrier()].iter().all(|&x| x == Direction::Eq));
         }
     }
 }

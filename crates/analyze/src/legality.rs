@@ -91,9 +91,9 @@ pub fn legality_from_deps(
     // Unroll-jam / register tiling: a dependence carried by `l` must not
     // have a '>' direction in any loop nested inside `l`.
     for l in 0..innermost {
-        let violating = deps.iter().find(|d| {
-            d.carrier() == l && d.dirs[l + 1..].contains(&Direction::Gt)
-        });
+        let violating = deps
+            .iter()
+            .find(|d| d.carrier() == l && d.dirs[l + 1..].contains(&Direction::Gt));
         if let Some(d) = violating {
             mask.unroll_ok[l] = false;
             mask.regtile_ok[l] = false;
@@ -183,9 +183,9 @@ pub fn legality_from_deps(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pwu_space::ConfigLegality;
     use pwu_spapt::ir::{ArrayDecl, ArrayRef, LinIndex, LoopDim, Statement};
     use pwu_spapt::transform::BlockTransform;
-    use pwu_space::ConfigLegality;
 
     fn dims(names: &[&str], extent: u64) -> Vec<LoopDim> {
         names

@@ -109,8 +109,7 @@ pub fn lint_kernel(kernel: &Kernel) -> KernelReport {
             n_deps: deps.len(),
             legality: mask,
         };
-        let loop_names: Vec<String> =
-            block.nest.loops.iter().map(|l| l.name.clone()).collect();
+        let loop_names: Vec<String> = block.nest.loops.iter().map(|l| l.name.clone()).collect();
         let summary = report.restrictions(&loop_names);
         if !summary.is_empty() {
             restrictions.push(format!("{}: {summary}", block.label));
@@ -136,9 +135,7 @@ pub fn legalize(kernel: Kernel) -> Kernel {
     let masks: Vec<BlockLegality> = kernel
         .blocks()
         .iter()
-        .map(|b| {
-            crate::legality::block_legality(kernel.name(), b.label, &b.nest).0
-        })
+        .map(|b| crate::legality::block_legality(kernel.name(), b.label, &b.nest).0)
         .collect();
     kernel.with_legality(masks)
 }

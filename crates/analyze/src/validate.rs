@@ -206,7 +206,10 @@ pub fn validate_pool(target: &dyn TuningTarget, configs: &[Configuration]) -> Ve
                     target.name(),
                     "-",
                     format!("pool[{i}].{}", param.name()),
-                    format!("level {level} outside the domain of {} values", param.arity()),
+                    format!(
+                        "level {level} outside the domain of {} values",
+                        param.arity()
+                    ),
                 ));
             }
         }

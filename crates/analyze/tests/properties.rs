@@ -8,7 +8,10 @@ use pwu_spapt::{all_kernels, extended_kernels, BlockLegality, BlockTransform};
 use pwu_stats::Xoshiro256PlusPlus;
 
 fn full_suite() -> Vec<pwu_spapt::Kernel> {
-    all_kernels().into_iter().chain(extended_kernels()).collect()
+    all_kernels()
+        .into_iter()
+        .chain(extended_kernels())
+        .collect()
 }
 
 /// The identity configuration (every parameter at level 0: tile 1,
@@ -148,7 +151,5 @@ tensor         18      1     3    0    0    5  tc: vec?
         table, expected,
         "lint table drifted:\n--- got ---\n{table}\n--- want ---\n{expected}"
     );
-    assert!(reports
-        .iter()
-        .all(|r| r.count(LintLevel::Error) == 0));
+    assert!(reports.iter().all(|r| r.count(LintLevel::Error) == 0));
 }

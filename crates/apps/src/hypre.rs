@@ -124,10 +124,7 @@ impl Hypre {
         let space = ParamSpace::new(
             "hypre",
             vec![
-                Param::categorical(
-                    "solver",
-                    solver_ids().iter().map(|id| format!("s{id}")),
-                ),
+                Param::categorical("solver", solver_ids().iter().map(|id| format!("s{id}"))),
                 Param::categorical("coarsening", ["pmis", "hmis"]),
                 Param::categorical("smtype", (0..9).map(|s| format!("r{s}"))),
                 Param::ordinal("process", PROCS.to_vec()),
@@ -269,7 +266,9 @@ impl TuningTarget for Hypre {
         let flops_per_rank =
             nnz * op_complexity * (matvecs_per_iter * periter_factor + extra_periter) * 2.0 / p;
         // SpMV reads matrix + vectors: ~1.3 bytes/flop effective.
-        let compute = self.platform.compute_time(flops_per_rank, 1.3, ranks_on_node);
+        let compute = self
+            .platform
+            .compute_time(flops_per_rank, 1.3, ranks_on_node);
 
         let net = self.platform.transport_for(procs);
         let local_n = N / p;
@@ -306,7 +305,12 @@ mod tests {
     #[test]
     fn space_matches_table_three() {
         let h = Hypre::new();
-        let arity: Vec<usize> = h.space().params().iter().map(pwu_space::Param::arity).collect();
+        let arity: Vec<usize> = h
+            .space()
+            .params()
+            .iter()
+            .map(pwu_space::Param::arity)
+            .collect();
         assert_eq!(arity, vec![24, 2, 9, 7]);
         assert_eq!(h.space().cardinality(), 24 * 2 * 9 * 7);
     }
@@ -328,7 +332,10 @@ mod tests {
         let median = times[times.len() / 2];
         let worst = times[times.len() - 1];
         assert!(worst / best > 30.0, "tail too light: {best}..{worst}");
-        assert!(median / best > 1.5, "median {median} too close to best {best}");
+        assert!(
+            median / best > 1.5,
+            "median {median} too close to best {best}"
+        );
     }
 
     #[test]
@@ -356,7 +363,7 @@ mod tests {
     }
 
     #[test]
-    fn smtype_is_inert_for_non_amg_solvers(){
+    fn smtype_is_inert_for_non_amg_solvers() {
         let h = Hypre::new();
         // DS-PCG (solver 2): smtype must not change the time.
         let a = h.ideal_time(&Configuration::new(vec![2, 0, 0, 3]));

@@ -158,7 +158,9 @@ impl TuningTarget for Kripke {
         let flops_per_block = unknowns_per_block * FLOPS_PER_UNKNOWN / eff;
         let ranks_on_node = procs.min(self.platform.cores_per_node);
         // Transport sweeps stream the angular flux: ~1.5 bytes/flop.
-        let block_compute = self.platform.compute_time(flops_per_block, 1.5, ranks_on_node);
+        let block_compute = self
+            .platform
+            .compute_time(flops_per_block, 1.5, ranks_on_node);
 
         // --- Per-block communication --------------------------------------
         // KBA: each block forwards two face buffers downstream.
@@ -228,7 +230,12 @@ mod tests {
     fn space_matches_table_two() {
         let k = Kripke::new();
         assert_eq!(k.space().dim(), 5);
-        let arity: Vec<usize> = k.space().params().iter().map(pwu_space::Param::arity).collect();
+        let arity: Vec<usize> = k
+            .space()
+            .params()
+            .iter()
+            .map(pwu_space::Param::arity)
+            .collect();
         assert_eq!(arity, vec![6, 8, 3, 2, 8]);
         assert_eq!(k.space().cardinality(), 6 * 8 * 3 * 2 * 8);
     }
@@ -261,9 +268,7 @@ mod tests {
         let k = Kripke::new();
         // layout GZD? use fixed moderate blocking: gset=8 (idx 3), dset=8 (idx 0),
         // sweep, varying process count.
-        let t = |p_idx: u32| {
-            k.ideal_time(&Configuration::new(vec![0, 3, 0, 0, p_idx]))
-        };
+        let t = |p_idx: u32| k.ideal_time(&Configuration::new(vec![0, 3, 0, 0, p_idx]));
         // 16 ranks must beat 1 rank.
         assert!(t(4) < t(0), "16 ranks {} vs 1 rank {}", t(4), t(0));
     }

@@ -55,9 +55,7 @@ impl LogGp {
         if n <= 0.0 {
             return 0.0;
         }
-        self.latency
-            + 2.0 * self.overhead
-            + n * (self.gap + (bytes.max(1.0) - 1.0) * self.big_g)
+        self.latency + 2.0 * self.overhead + n * (self.gap + (bytes.max(1.0) - 1.0) * self.big_g)
     }
 
     /// Binomial-tree allreduce over `p` ranks of a payload of `bytes`.

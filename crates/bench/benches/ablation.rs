@@ -12,12 +12,18 @@ use pwu_core::{ActiveConfig, Protocol, Strategy};
 use pwu_forest::{ForestConfig, Mtry, RandomForest};
 use pwu_stats::Xoshiro256PlusPlus;
 
-fn data(n: usize, d: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+fn data(n: usize, d: usize) -> (pwu_space::FeatureMatrix, Vec<f64>) {
     let mut rng = Xoshiro256PlusPlus::new(1);
-    let x: Vec<Vec<f64>> = (0..n)
-        .map(|_| (0..d).map(|_| rng.next_f64() * 4.0).collect())
-        .collect();
-    let y: Vec<f64> = x.iter().map(|r| r.iter().sum::<f64>() + 0.5).collect();
+    let mut x = pwu_space::FeatureMatrix::new(d);
+    let mut y = Vec::with_capacity(n);
+    let mut row = vec![0.0; d];
+    for _ in 0..n {
+        for v in row.iter_mut() {
+            *v = rng.next_f64() * 4.0;
+        }
+        y.push(row.iter().sum::<f64>() + 0.5);
+        x.push_row(&row);
+    }
     (x, y)
 }
 
@@ -29,16 +35,20 @@ fn ablation_uncertainty(c: &mut Criterion) {
     let kinds = vec![pwu_space::FeatureKind::Numeric; 16];
     let forest = RandomForest::fit(&ForestConfig::default(), &kinds, &x, &y, 2);
     let (pool, _) = data(2000, 16);
+    let pool_rows: Vec<Vec<f64>> = (0..pool.n_rows()).map(|i| pool.row(i)).collect();
     group.bench_function("across_tree_variance", |b| {
         b.iter(|| {
-            pool.iter()
-                .map(|r| forest.predict_one(black_box(r)).std)
+            forest
+                .predict_batch(black_box(&pool))
+                .iter()
+                .map(|p| p.std)
                 .sum::<f64>()
         });
     });
     group.bench_function("total_variance_hutter", |b| {
         b.iter(|| {
-            pool.iter()
+            pool_rows
+                .iter()
                 .map(|r| forest.predict_total_variance(black_box(r)).std)
                 .sum::<f64>()
         });

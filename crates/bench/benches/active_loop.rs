@@ -36,14 +36,7 @@ fn bench_fig2_micro(c: &mut Criterion) {
     let kernel = pwu_spapt::kernel_by_name("gesummv").expect("gesummv exists");
     let strategies = Strategy::paper_set(0.01);
     group.bench_function("gesummv_six_strategies", |b| {
-        b.iter(|| {
-            run_experiment(
-                black_box(&kernel),
-                &strategies,
-                &micro_protocol(0.01),
-                42,
-            )
-        });
+        b.iter(|| run_experiment(black_box(&kernel), &strategies, &micro_protocol(0.01), 42));
     });
     group.finish();
 }
@@ -53,7 +46,10 @@ fn bench_fig4_micro(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig4_micro");
     group.sample_size(10);
     let kripke = pwu_apps::Kripke::new();
-    let strategies = [Strategy::Pwu { alpha: 0.01 }, Strategy::Pbus { fraction: 0.1 }];
+    let strategies = [
+        Strategy::Pwu { alpha: 0.01 },
+        Strategy::Pbus { fraction: 0.1 },
+    ];
     group.bench_function("kripke_pwu_vs_pbus", |b| {
         b.iter(|| run_experiment(black_box(&kripke), &strategies, &micro_protocol(0.01), 7));
     });
@@ -87,5 +83,10 @@ fn bench_fig8_micro(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fig2_micro, bench_fig4_micro, bench_fig8_micro);
+criterion_group!(
+    benches,
+    bench_fig2_micro,
+    bench_fig4_micro,
+    bench_fig8_micro
+);
 criterion_main!(benches);

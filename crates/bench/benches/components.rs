@@ -10,18 +10,27 @@ use std::hint::black_box;
 
 use pwu_core::Strategy;
 use pwu_forest::{ForestConfig, RandomForest};
-use pwu_space::{FeatureSchema, TuningTarget};
+use pwu_space::{FeatureMatrix, FeatureSchema, TuningTarget};
 use pwu_stats::Xoshiro256PlusPlus;
 
-fn synthetic_data(n: usize, d: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+fn synthetic_data(n: usize, d: usize, seed: u64) -> (FeatureMatrix, Vec<f64>) {
     let mut rng = Xoshiro256PlusPlus::new(seed);
-    let x: Vec<Vec<f64>> = (0..n)
-        .map(|_| (0..d).map(|_| rng.next_f64() * 8.0).collect())
-        .collect();
-    let y: Vec<f64> = x
-        .iter()
-        .map(|r| r.iter().enumerate().map(|(i, v)| v * (i % 3) as f64).sum::<f64>() + 0.1)
-        .collect();
+    let mut x = FeatureMatrix::new(d);
+    let mut y = Vec::with_capacity(n);
+    let mut row = vec![0.0; d];
+    for _ in 0..n {
+        for v in row.iter_mut() {
+            *v = rng.next_f64() * 8.0;
+        }
+        y.push(
+            row.iter()
+                .enumerate()
+                .map(|(i, v)| v * (i % 3) as f64)
+                .sum::<f64>()
+                + 0.1,
+        );
+        x.push_row(&row);
+    }
     (x, y)
 }
 
@@ -32,9 +41,7 @@ fn bench_forest(c: &mut Criterion) {
     for &n in &[100usize, 500] {
         let (x, y) = synthetic_data(n, 20, 1);
         group.bench_with_input(BenchmarkId::new("fit_64_trees", n), &n, |b, _| {
-            b.iter(|| {
-                RandomForest::fit(&ForestConfig::default(), &kinds, black_box(&x), &y, 7)
-            });
+            b.iter(|| RandomForest::fit(&ForestConfig::default(), &kinds, black_box(&x), &y, 7));
         });
     }
     let (x, y) = synthetic_data(500, 20, 2);
@@ -105,7 +112,7 @@ fn bench_encoding(c: &mut Criterion) {
     let mut rng = Xoshiro256PlusPlus::new(17);
     let cfgs = kernel.space().sample_distinct(1000, &mut rng);
     group.bench_function("encode_1000_gemver_configs", |b| {
-        b.iter(|| schema.encode_all(kernel.space(), black_box(&cfgs)));
+        b.iter(|| schema.encode_matrix(kernel.space(), black_box(&cfgs)));
     });
     group.finish();
 }

@@ -16,10 +16,7 @@ fn main() {
     let mut rows: Vec<Vec<String>> = Vec::new();
     for &alpha in &[0.01, 0.05, 0.10] {
         let protocol = scale.protocol(alpha);
-        let strategies = [
-            Strategy::Pwu { alpha },
-            Strategy::Pbus { fraction: 0.10 },
-        ];
+        let strategies = [Strategy::Pwu { alpha }, Strategy::Pbus { fraction: 0.10 }];
         eprintln!("[atax] alpha = {alpha} …");
         let result = run_experiment(&kernel, &strategies, &protocol, 0xF166);
         let mut plot = LinePlot::new(

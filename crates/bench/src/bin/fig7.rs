@@ -31,7 +31,13 @@ fn main() {
         }
     };
 
-    let mut table = Table::new(["benchmark", "target RMSE", "CC(PBUS) s", "CC(PWU) s", "speedup"]);
+    let mut table = Table::new([
+        "benchmark",
+        "target RMSE",
+        "CC(PBUS) s",
+        "CC(PWU) s",
+        "speedup",
+    ]);
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut speedups: Vec<f64> = Vec::new();
     for name in &names {
@@ -41,7 +47,11 @@ fn main() {
         let level = pwu.rmse[0]
             .last()
             .expect("curves have at least one snapshot")
-            .max(*pbus.rmse[0].last().expect("curves have at least one snapshot"));
+            .max(
+                *pbus.rmse[0]
+                    .last()
+                    .expect("curves have at least one snapshot"),
+            );
         let hist = |c: &pwu_core::StrategyCurve| -> Vec<(f64, f64)> {
             c.cumulative_cost
                 .iter()
@@ -76,7 +86,13 @@ fn main() {
     println!("(paper: 3x on average, up to 21x)");
     write_csv(
         output_dir().join("fig7_speedups.csv"),
-        &["benchmark", "target_rmse", "cc_pbus_s", "cc_pwu_s", "speedup"],
+        &[
+            "benchmark",
+            "target_rmse",
+            "cc_pbus_s",
+            "cc_pwu_s",
+            "speedup",
+        ],
         rows,
     )
     .expect("CSV write failed");

@@ -7,8 +7,8 @@ use pwu_bench::{output_dir, Scale};
 use pwu_core::tuning::{model_based_tuning, TuningAnnotator};
 use pwu_core::{ActiveConfig, Strategy};
 use pwu_forest::ForestConfig;
-use pwu_space::{FeatureSchema, Pool, TuningTarget};
 use pwu_report::{write_csv, LinePlot};
+use pwu_space::{FeatureSchema, Pool, TuningTarget};
 use pwu_stats::Xoshiro256PlusPlus;
 
 fn main() {
@@ -31,7 +31,7 @@ fn main() {
         .sample_distinct(n_candidates + al_budget * 3, &mut rng);
     let (pool_cfgs, rest) = all.split_at(al_budget * 2);
     let (test_cfgs, candidates) = rest.split_at(al_budget);
-    let test_features = schema.encode_all(kernel.space(), test_cfgs);
+    let test_features = schema.encode_matrix(kernel.space(), test_cfgs);
     let test_labels: Vec<f64> = test_cfgs.iter().map(|c| kernel.ideal_time(c)).collect();
     let config = ActiveConfig {
         n_init: 10,
@@ -93,8 +93,14 @@ fn main() {
     println!("{}", plot.render());
     println!(
         "final best: direct {:.4e} s, surrogate {:.4e} s",
-        direct.best_true.last().expect("tuning recorded at least one step"),
-        surrogate_traj.best_true.last().expect("tuning recorded at least one step")
+        direct
+            .best_true
+            .last()
+            .expect("tuning recorded at least one step"),
+        surrogate_traj
+            .best_true
+            .last()
+            .expect("tuning recorded at least one step")
     );
 
     let rows = (0..direct.best_true.len().max(surrogate_traj.best_true.len())).map(|i| {

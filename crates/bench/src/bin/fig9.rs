@@ -20,10 +20,7 @@ fn main() {
     let mut protocol = scale.protocol(alpha);
     protocol.n_reps = 1; // Fig 9 is a single-run snapshot
 
-    let strategies = [
-        Strategy::Pbus { fraction: 0.10 },
-        Strategy::Pwu { alpha },
-    ];
+    let strategies = [Strategy::Pbus { fraction: 0.10 }, Strategy::Pwu { alpha }];
     let result = run_experiment(&kernel, &strategies, &protocol, 0xF169);
 
     let mut rows: Vec<Vec<String>> = Vec::new();

@@ -1,0 +1,225 @@
+//! Before/after perf harness for the forest hot-path overhaul.
+//!
+//! Times the historical row-major implementation
+//! ([`pwu_forest::reference`]) against the optimized flat-matrix path **in
+//! the same process on the same data**, so the recorded speedups are
+//! reproducible on any machine rather than being a snapshot of one
+//! historical host. Four benchmarks cover the costs that dominate an
+//! active-learning run: two forest fits, one pool-sized batch prediction,
+//! and one end-to-end partial-refit tuning iteration (refit + pool
+//! rescoring, the per-iteration model work of Algorithm 1).
+//!
+//! Run via `cargo xtask perf`, or directly:
+//!
+//! ```text
+//! cargo run --release -p pwu-bench --bin perf -- [--smoke] [--out PATH]
+//! ```
+//!
+//! `--smoke` keeps the workload sizes but drops the sample count, for quick
+//! regression checks (`cargo xtask perf --check`). Results go to `PATH`
+//! (default `BENCH_forest.json`) as
+//! `{"schema":"pwu-bench-forest-v1","mode":...,"results":[{name,
+//! baseline_ns, optimized_ns, speedup}, ...]}`; each number is the median
+//! of the timed samples, with baseline and optimized calls interleaved so
+//! machine-speed drift cancels out of the ratio.
+
+use std::time::Instant;
+
+use pwu_core::PoolScoreCache;
+use pwu_forest::{reference, ForestConfig, RandomForest};
+use pwu_space::{FeatureKind, FeatureMatrix};
+use pwu_stats::Xoshiro256PlusPlus;
+
+/// Synthetic tuning-like data, in both layouts (bitwise-equal contents).
+fn data(n: usize, d: usize, seed: u64) -> (Vec<Vec<f64>>, FeatureMatrix, Vec<f64>) {
+    let mut rng = Xoshiro256PlusPlus::new(seed);
+    let mut rows = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for _ in 0..n {
+        let row: Vec<f64> = (0..d)
+            .map(|f| (rng.next() as usize % (3 + f)) as f64)
+            .collect();
+        y.push(row.iter().sum::<f64>() + 0.05 * rng.next_f64());
+        rows.push(row);
+    }
+    let matrix = FeatureMatrix::from_rows(d, &rows);
+    (rows, matrix, y)
+}
+
+/// Median of a sample vector, in place.
+fn median(v: &mut [f64]) -> f64 {
+    v.sort_unstable_by(f64::total_cmp);
+    let mid = v.len() / 2;
+    if v.len() % 2 == 1 {
+        v[mid]
+    } else {
+        (v[mid - 1] + v[mid]) / 2.0
+    }
+}
+
+/// Median wall-clock nanoseconds of two routines timed **interleaved**
+/// (one warm-up call each, then baseline/optimized alternating every
+/// sample). Interleaving matters on a throttled single-core container:
+/// cgroup CPU-quota and frequency drift move both series together, so the
+/// reported *ratio* stays stable even when absolute times wander between
+/// the start and end of a run.
+fn time_pair(
+    samples: usize,
+    mut baseline: impl FnMut(),
+    mut optimized: impl FnMut(),
+) -> (f64, f64) {
+    baseline();
+    optimized();
+    let mut vb = Vec::with_capacity(samples);
+    let mut vo = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        baseline();
+        vb.push(start.elapsed().as_nanos() as f64);
+        let start = Instant::now();
+        optimized();
+        vo.push(start.elapsed().as_nanos() as f64);
+    }
+    (median(&mut vb), median(&mut vo))
+}
+
+struct Row {
+    name: &'static str,
+    baseline_ns: f64,
+    optimized_ns: f64,
+}
+
+fn bench_fit(name: &'static str, n: usize, d: usize, samples: usize) -> Row {
+    let (rows, matrix, y) = data(n, d, 11);
+    let kinds = vec![FeatureKind::Numeric; d];
+    let config = ForestConfig::default();
+    let (baseline_ns, optimized_ns) = time_pair(
+        samples,
+        || {
+            std::hint::black_box(reference::fit(&config, &kinds, &rows, &y, 7));
+        },
+        || {
+            std::hint::black_box(RandomForest::fit(&config, &kinds, &matrix, &y, 7));
+        },
+    );
+    Row {
+        name,
+        baseline_ns,
+        optimized_ns,
+    }
+}
+
+fn bench_predict_batch(samples: usize) -> Row {
+    let d = 12;
+    let (_, x, y) = data(300, d, 21);
+    let kinds = vec![FeatureKind::Numeric; d];
+    let forest = RandomForest::fit(&ForestConfig::default(), &kinds, &x, &y, 3);
+    let (pool_rows, pool, _) = data(4000, d, 22);
+    let (baseline_ns, optimized_ns) = time_pair(
+        samples,
+        || {
+            std::hint::black_box(reference::predict_batch(&forest, &pool_rows));
+        },
+        || {
+            std::hint::black_box(forest.predict_batch(&pool));
+        },
+    );
+    Row {
+        name: "predict_batch/pool4000_d12",
+        baseline_ns,
+        optimized_ns,
+    }
+}
+
+/// One `RefitMode::Partial(8)` iteration's model work: regrow 8 of 64 trees
+/// on the training set, then rescore the whole pool. The baseline rescans
+/// every pool row with every tree, as Algorithm 1 did before the
+/// [`PoolScoreCache`]; the optimized path refreshes only the refitted
+/// trees' cached columns.
+fn bench_tuning_iteration(samples: usize) -> Row {
+    let d = 12;
+    let (train_rows, train, y) = data(240, d, 31);
+    let kinds = vec![FeatureKind::Numeric; d];
+    let (pool_rows, pool, _) = data(4000, d, 32);
+    let config = ForestConfig::default();
+    let forest = RandomForest::fit(&config, &kinds, &train, &y, 5);
+    let cache = PoolScoreCache::build(&forest, &pool);
+
+    let mut base_step = 0u64;
+    let mut base_forest = forest.clone();
+    let mut opt_forest = forest.clone();
+    let mut opt_cache = cache.clone();
+    let mut opt_step = 0u64;
+    let (baseline_ns, optimized_ns) = time_pair(
+        samples,
+        || {
+            base_step += 1;
+            reference::update(&mut base_forest, &kinds, &train_rows, &y, 8, base_step);
+            std::hint::black_box(reference::predict_batch(&base_forest, &pool_rows));
+        },
+        || {
+            opt_step += 1;
+            let refitted = opt_forest.update(&kinds, &train, &y, 8, opt_step);
+            opt_cache.refresh(&opt_forest, &pool, &refitted);
+            std::hint::black_box(opt_cache.predictions());
+        },
+    );
+    Row {
+        name: "tuning_iteration/partial8",
+        baseline_ns,
+        optimized_ns,
+    }
+}
+
+fn write_json(path: &str, mode: &str, results: &[Row]) -> std::io::Result<()> {
+    let mut out = format!("{{\"schema\":\"pwu-bench-forest-v1\",\"mode\":\"{mode}\",\"results\":[");
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"baseline_ns\":{:.1},\"optimized_ns\":{:.1},\"speedup\":{:.3}}}",
+            r.name,
+            r.baseline_ns,
+            r.optimized_ns,
+            r.baseline_ns / r.optimized_ns
+        ));
+    }
+    out.push_str("]}\n");
+    std::fs::write(path, out)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or("BENCH_forest.json", String::as_str);
+    let (mode, samples) = if smoke { ("smoke", 5) } else { ("full", 15) };
+
+    eprintln!("[perf] mode {mode}: {samples} samples per benchmark, median reported");
+    let results = [
+        bench_fit("fit/n200_d8", 200, 8, samples),
+        bench_fit("fit/n500_d20", 500, 20, samples),
+        bench_predict_batch(samples),
+        bench_tuning_iteration(samples),
+    ];
+
+    println!(
+        "{:<28} {:>14} {:>14} {:>9}",
+        "benchmark", "baseline", "optimized", "speedup"
+    );
+    for r in &results {
+        println!(
+            "{:<28} {:>11.2} ms {:>11.2} ms {:>8.2}x",
+            r.name,
+            r.baseline_ns / 1e6,
+            r.optimized_ns / 1e6,
+            r.baseline_ns / r.optimized_ns
+        );
+    }
+    write_json(out_path, mode, &results).expect("write benchmark report");
+    eprintln!("[perf] wrote {out_path}");
+}

@@ -43,22 +43,40 @@ fn main() {
         let sample = on_a.space().sample_distinct(n_train + n_test, &mut rng);
         let (train_cfgs, test_cfgs) = sample.split_at(n_train);
 
-        let x_train = schema.encode_all(on_a.space(), train_cfgs);
+        let x_train = schema.encode_matrix(on_a.space(), train_cfgs);
         let y_train_a: Vec<f64> = train_cfgs.iter().map(|c| on_a.ideal_time(c)).collect();
         let y_train_b: Vec<f64> = train_cfgs.iter().map(|c| on_b.ideal_time(c)).collect();
         let y_train_c: Vec<f64> = train_cfgs.iter().map(|c| on_c.ideal_time(c)).collect();
-        let x_test = schema.encode_all(on_a.space(), test_cfgs);
+        let x_test = schema.encode_matrix(on_a.space(), test_cfgs);
         let y_test_a: Vec<f64> = test_cfgs.iter().map(|c| on_a.ideal_time(c)).collect();
         let y_test_b: Vec<f64> = test_cfgs.iter().map(|c| on_b.ideal_time(c)).collect();
         let y_test_c: Vec<f64> = test_cfgs.iter().map(|c| on_c.ideal_time(c)).collect();
 
-        let model_a = RandomForest::fit(&ForestConfig::default(), schema.kinds(), &x_train, &y_train_a, 1);
-        let model_b = RandomForest::fit(&ForestConfig::default(), schema.kinds(), &x_train, &y_train_b, 1);
-        let model_c = RandomForest::fit(&ForestConfig::default(), schema.kinds(), &x_train, &y_train_c, 1);
+        let model_a = RandomForest::fit(
+            &ForestConfig::default(),
+            schema.kinds(),
+            &x_train,
+            &y_train_a,
+            1,
+        );
+        let model_b = RandomForest::fit(
+            &ForestConfig::default(),
+            schema.kinds(),
+            &x_train,
+            &y_train_b,
+            1,
+        );
+        let model_c = RandomForest::fit(
+            &ForestConfig::default(),
+            schema.kinds(),
+            &x_train,
+            &y_train_c,
+            1,
+        );
 
-        let pred_a: Vec<f64> = x_test.iter().map(|r| model_a.predict(r)).collect();
-        let pred_b: Vec<f64> = x_test.iter().map(|r| model_b.predict(r)).collect();
-        let pred_c: Vec<f64> = x_test.iter().map(|r| model_c.predict(r)).collect();
+        let pred_a = model_a.predict_batch_mean(&x_test);
+        let pred_b = model_b.predict_batch_mean(&x_test);
+        let pred_c = model_c.predict_batch_mean(&x_test);
 
         let rho_ab = spearman(&y_test_a, &y_test_b);
         let rho_ac = spearman(&y_test_a, &y_test_c);

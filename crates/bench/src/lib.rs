@@ -174,7 +174,8 @@ pub fn try_run_benchmark_curves(
         protocol.n_reps
     );
     let start = std::time::Instant::now();
-    let result = pwu_core::experiment::run_experiment(target.as_ref(), &strategies, &protocol, seed);
+    let result =
+        pwu_core::experiment::run_experiment(target.as_ref(), &strategies, &protocol, seed);
     eprintln!("[{name}] done in {:.1?}", start.elapsed());
     Ok(result)
 }

@@ -16,13 +16,15 @@
 
 use pwu_forest::{ForestConfig, RandomForest};
 use pwu_space::{
-    ConfigLegality, Configuration, FeatureSchema, LabeledSet, Pool, PoolLintCounts, TuningTarget,
+    ConfigLegality, Configuration, FeatureMatrix, FeatureSchema, LabeledSet, Pool, PoolLintCounts,
+    TuningTarget,
 };
 use pwu_stats::{derive_seed, Xoshiro256PlusPlus};
 
 use crate::annotator::{Aggregator, Annotator, MeasurementStats, RetryPolicy};
 use crate::checkpoint::{ActiveCheckpoint, CheckpointError, CheckpointPolicy};
 use crate::metrics::rmse_at_alpha;
+use crate::score::PoolScoreCache;
 use crate::strategy::Strategy;
 
 /// How the model is rebuilt after each batch (Algorithm 1 line 9:
@@ -173,6 +175,10 @@ struct LoopState<'a> {
     quarantined: Vec<Configuration>,
     iteration: u64,
     lint: PoolLintCounts,
+    /// Incremental pool scorer, used (and lazily built) only under
+    /// [`RefitMode::Partial`]; never checkpointed — a resumed run rebuilds
+    /// it on first use. Its fold is bit-identical to `predict_batch`.
+    scores: Option<PoolScoreCache>,
 }
 
 /// Runs Algorithm 1.
@@ -195,12 +201,20 @@ pub fn run(
     strategy: Strategy,
     config: &ActiveConfig,
     pool: Pool,
-    test_features: &[Vec<f64>],
+    test_features: &FeatureMatrix,
     test_labels: &[f64],
     seed: u64,
 ) -> ActiveRun {
     let state = init_state(target, config, pool, test_features, test_labels, seed);
-    match drive(target, strategy, config, state, test_features, test_labels, None) {
+    match drive(
+        target,
+        strategy,
+        config,
+        state,
+        test_features,
+        test_labels,
+        None,
+    ) {
         Ok(run) => run,
         // Without a checkpoint policy the loop performs no I/O.
         Err(e) => unreachable!("checkpoint-free run cannot fail: {e}"),
@@ -222,7 +236,7 @@ pub fn run_with_checkpoints(
     strategy: Strategy,
     config: &ActiveConfig,
     pool: Pool,
-    test_features: &[Vec<f64>],
+    test_features: &FeatureMatrix,
     test_labels: &[f64],
     seed: u64,
     policy: &CheckpointPolicy,
@@ -256,7 +270,7 @@ pub fn resume(
     strategy: Strategy,
     config: &ActiveConfig,
     checkpoint: &ActiveCheckpoint,
-    test_features: &[Vec<f64>],
+    test_features: &FeatureMatrix,
     test_labels: &[f64],
     policy: Option<&CheckpointPolicy>,
 ) -> Result<ActiveRun, CheckpointError> {
@@ -272,7 +286,7 @@ pub fn resume(
         return Err(CheckpointError::Mismatch(
             "resume requires RefitMode::FromScratch (partial-refit forests \
              are not reconstructible from a checkpoint)"
-            .into(),
+                .into(),
         ));
     }
     let same_counts = checkpoint.n_init == config.n_init
@@ -304,7 +318,7 @@ pub fn resume(
         levels.iter().cloned().map(Configuration::new).collect()
     };
     let train_cfgs = to_cfgs(&checkpoint.train_configs);
-    let train_features = schema.encode_all(space, &train_cfgs);
+    let train_features = schema.encode_matrix(space, &train_cfgs);
     let train = LabeledSet::from_parts(train_cfgs, train_features, checkpoint.train_labels.clone());
     let pool = Pool::new(space, &schema, to_cfgs(&checkpoint.pool_configs));
     let mut annotator = Annotator::new(target, config.repeats, 0)
@@ -338,8 +352,17 @@ pub fn resume(
         quarantined: to_cfgs(&checkpoint.quarantined),
         iteration: checkpoint.iteration,
         lint: checkpoint.lint,
+        scores: None,
     };
-    drive(target, strategy, config, state, test_features, test_labels, policy)
+    drive(
+        target,
+        strategy,
+        config,
+        state,
+        test_features,
+        test_labels,
+        policy,
+    )
 }
 
 /// Validates inputs, removes illegal pool points, runs the cold start and
@@ -348,7 +371,7 @@ fn init_state<'a>(
     target: &'a dyn TuningTarget,
     config: &ActiveConfig,
     mut pool: Pool,
-    test_features: &[Vec<f64>],
+    test_features: &FeatureMatrix,
     test_labels: &[f64],
     seed: u64,
 ) -> LoopState<'a> {
@@ -363,7 +386,7 @@ fn init_state<'a>(
         removed,
         config.n_max
     );
-    assert_eq!(test_features.len(), test_labels.len());
+    assert_eq!(test_features.n_rows(), test_labels.len());
 
     let schema = FeatureSchema::for_space(target.space());
     let mut annotator = Annotator::new(target, config.repeats, derive_seed(seed, 1))
@@ -382,7 +405,7 @@ fn init_state<'a>(
         let need = config.n_init - train.len();
         for (cfg, row) in pool.take_random(need, &mut pool_rng) {
             match annotator.try_evaluate(&cfg) {
-                Ok(y) => train.push(cfg, row, y),
+                Ok(y) => train.push(cfg, &row, y),
                 Err(_) => quarantined.push(cfg),
             }
         }
@@ -423,6 +446,7 @@ fn init_state<'a>(
         quarantined,
         iteration: 0,
         lint,
+        scores: None,
     }
 }
 
@@ -433,7 +457,7 @@ fn drive(
     strategy: Strategy,
     config: &ActiveConfig,
     mut state: LoopState<'_>,
-    test_features: &[Vec<f64>],
+    test_features: &FeatureMatrix,
     test_labels: &[f64],
     policy: Option<&CheckpointPolicy>,
 ) -> Result<ActiveRun, CheckpointError> {
@@ -445,7 +469,18 @@ fn drive(
         let goal = state.train.len() + config.n_batch.min(config.n_max - state.train.len());
         while state.train.len() < goal && !state.pool.is_empty() {
             let need = goal - state.train.len();
-            let preds = state.model.predict_batch(state.pool.features());
+            // Under partial refit, score the pool from the per-tree cache:
+            // only the refitted trees were re-walked after the last batch,
+            // and the fold is bit-identical to `predict_batch`.
+            let preds = match config.refit {
+                RefitMode::Partial(_) => state
+                    .scores
+                    .get_or_insert_with(|| {
+                        PoolScoreCache::build(&state.model, state.pool.features())
+                    })
+                    .predictions(),
+                RefitMode::FromScratch => state.model.predict_batch(state.pool.features()),
+            };
             let picked = strategy.select(&preds, need, &mut state.select_rng);
             if picked.is_empty() {
                 break;
@@ -454,7 +489,13 @@ fn drive(
                 .iter()
                 .map(|&i| (preds[i].mean, preds[i].std))
                 .collect();
-            for ((cfg, row), (mu, sigma)) in state.pool.take(&picked).into_iter().zip(traces) {
+            let taken = state.pool.take(&picked);
+            // Mirror the removals (training picks *and* quarantines leave
+            // the pool alike) so cache rows stay pool-aligned.
+            if let Some(cache) = &mut state.scores {
+                cache.remove(&picked);
+            }
+            for ((cfg, row), (mu, sigma)) in taken.into_iter().zip(traces) {
                 match state.annotator.try_evaluate(&cfg) {
                     Ok(y) => {
                         state.selections.push(SelectionTrace {
@@ -462,7 +503,7 @@ fn drive(
                             std: sigma,
                             observed: y,
                         });
-                        state.train.push(cfg, row, y);
+                        state.train.push(cfg, &row, y);
                     }
                     Err(_) => state.quarantined.push(cfg),
                 }
@@ -479,13 +520,18 @@ fn drive(
                 );
             }
             RefitMode::Partial(n) => {
-                state.model.update(
+                let refitted = state.model.update(
                     state.schema.kinds(),
                     state.train.features(),
                     state.train.labels(),
                     n,
                     derive_seed(state.forest_seed, state.iteration),
                 );
+                // Refresh only the regrown trees' pool scores: O(pool · n)
+                // instead of O(pool · n_trees).
+                if let Some(cache) = &mut state.scores {
+                    cache.refresh(&state.model, state.pool.features(), &refitted);
+                }
             }
         }
         let done = state.train.len() >= config.n_max || state.pool.is_empty();
@@ -557,7 +603,7 @@ fn record(
     model: &RandomForest,
     train: &LabeledSet,
     wasted_cost: f64,
-    test_features: &[Vec<f64>],
+    test_features: &FeatureMatrix,
     test_labels: &[f64],
     alphas: &[f64],
 ) {
@@ -622,15 +668,13 @@ mod tests {
         pool_n: usize,
         test_n: usize,
         seed: u64,
-    ) -> (Pool, Vec<Vec<f64>>, Vec<f64>) {
+    ) -> (Pool, FeatureMatrix, Vec<f64>) {
         let schema = FeatureSchema::for_space(target.space());
         let mut rng = Xoshiro256PlusPlus::new(seed);
-        let all = target
-            .space()
-            .sample_distinct(pool_n + test_n, &mut rng);
+        let all = target.space().sample_distinct(pool_n + test_n, &mut rng);
         let (pool_cfgs, test_cfgs) = all.split_at(pool_n);
         let pool = Pool::new(target.space(), &schema, pool_cfgs.to_vec());
-        let test_features = schema.encode_all(target.space(), test_cfgs);
+        let test_features = schema.encode_matrix(target.space(), test_cfgs);
         let test_labels: Vec<f64> = test_cfgs.iter().map(|c| target.ideal_time(c)).collect();
         (pool, test_features, test_labels)
     }
@@ -710,7 +754,10 @@ mod tests {
             let a = run(&target, strategy, &quick_config(30), pool1, &tf, &tl, 11);
             let b = run(&target, strategy, &quick_config(30), pool2, &tf, &tl, 11);
             assert_eq!(a.train.labels(), b.train.labels());
-            assert_eq!(a.history.last().unwrap().rmse, b.history.last().unwrap().rmse);
+            assert_eq!(
+                a.history.last().unwrap().rmse,
+                b.history.last().unwrap().rmse
+            );
         }
     }
 
@@ -728,7 +775,15 @@ mod tests {
             &tl,
             12,
         );
-        let b = run(&target, Strategy::MaxU, &quick_config(30), pool2, &tf, &tl, 12);
+        let b = run(
+            &target,
+            Strategy::MaxU,
+            &quick_config(30),
+            pool2,
+            &tf,
+            &tl,
+            12,
+        );
         assert_ne!(a.train.labels(), b.train.labels());
         // BestPerf collects cheap samples: its cumulative cost must be lower.
         assert!(a.train.cumulative_cost() < b.train.cumulative_cost());

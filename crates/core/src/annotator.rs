@@ -409,7 +409,10 @@ mod tests {
     fn space() -> ParamSpace {
         ParamSpace::new(
             "l",
-            vec![Param::ordinal("x", (0..4).map(f64::from).collect::<Vec<_>>())],
+            vec![Param::ordinal(
+                "x",
+                (0..4).map(f64::from).collect::<Vec<_>>(),
+            )],
         )
     }
 
@@ -556,7 +559,11 @@ mod tests {
         assert_eq!(s.readings, 3);
         assert_eq!(s.failed_annotations, 0);
         // 2 failed runs at 0.5s each + backoff 0.25 + 0.5.
-        assert!((s.wasted_cost - (1.0 + 0.75)).abs() < 1e-12, "{}", s.wasted_cost);
+        assert!(
+            (s.wasted_cost - (1.0 + 0.75)).abs() < 1e-12,
+            "{}",
+            s.wasted_cost
+        );
     }
 
     #[test]

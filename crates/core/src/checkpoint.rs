@@ -251,9 +251,11 @@ impl ActiveCheckpoint {
         let mut lines = Lines::new(text);
         lines.expect_exact(MAGIC)?;
         let target_name = lines.tagged_rest("target")?.to_string();
-        let iteration = lines.tagged_rest("iteration")?.trim().parse().map_err(
-            |e: std::num::ParseIntError| lines.err(format!("bad iteration: {e}")),
-        )?;
+        let iteration = lines
+            .tagged_rest("iteration")?
+            .trim()
+            .parse()
+            .map_err(|e: std::num::ParseIntError| lines.err(format!("bad iteration: {e}")))?;
         let forest_seed = lines
             .tagged_rest("forest-seed")?
             .trim()
@@ -443,12 +445,10 @@ impl<'a> Lines<'a> {
 
     fn next_line(&mut self) -> Result<&'a str, CheckpointError> {
         self.line_no += 1;
-        self.iter
-            .next()
-            .ok_or(CheckpointError::Parse {
-                line: self.line_no,
-                message: "unexpected end of file".into(),
-            })
+        self.iter.next().ok_or(CheckpointError::Parse {
+            line: self.line_no,
+            message: "unexpected end of file".into(),
+        })
     }
 
     fn expect_exact(&mut self, expected: &str) -> Result<(), CheckpointError> {
@@ -464,7 +464,10 @@ impl<'a> Lines<'a> {
     fn tagged_rest(&mut self, tag: &str) -> Result<&'a str, CheckpointError> {
         let line = self.next_line()?;
         line.strip_prefix(tag)
-            .and_then(|rest| rest.strip_prefix(' ').or(Some(rest).filter(|r| r.is_empty())))
+            .and_then(|rest| {
+                rest.strip_prefix(' ')
+                    .or(Some(rest).filter(|r| r.is_empty()))
+            })
             .ok_or_else(|| self.err(format!("expected '{tag} ...', found '{line}'")))
     }
 
@@ -580,10 +583,7 @@ mod tests {
         let back = ActiveCheckpoint::from_text(&text).unwrap();
         assert_eq!(back, cp);
         // Exact bits, including the subnormal label.
-        assert_eq!(
-            back.train_labels[1].to_bits(),
-            cp.train_labels[1].to_bits()
-        );
+        assert_eq!(back.train_labels[1].to_bits(), cp.train_labels[1].to_bits());
     }
 
     #[test]

@@ -7,7 +7,7 @@
 
 use rayon::prelude::*;
 
-use pwu_space::{FeatureSchema, Pool, PoolLintCounts, TuningTarget};
+use pwu_space::{FeatureMatrix, FeatureSchema, Pool, PoolLintCounts, TuningTarget};
 use pwu_stats::{derive_seed, Xoshiro256PlusPlus};
 
 use crate::active::{self, ActiveConfig, SelectionTrace};
@@ -155,7 +155,7 @@ pub fn run_experiment(
     /// One repetition's outputs.
     struct Rep {
         runs: Vec<active::ActiveRun>,
-        test_features: Vec<Vec<f64>>,
+        test_features: FeatureMatrix,
         pool_lint: PoolLintCounts,
         test_measurement: MeasurementStats,
         dropped_test: usize,
@@ -170,11 +170,8 @@ pub fn run_experiment(
                 .space()
                 .sample_distinct(protocol.surrogate_size, &mut rng);
             let (pool_cfgs, test_cfgs) = all.split_at(protocol.pool_size);
-            let mut test_annotator = Annotator::new(
-                target,
-                protocol.active.repeats,
-                derive_seed(rep_seed, 101),
-            );
+            let mut test_annotator =
+                Annotator::new(target, protocol.active.repeats, derive_seed(rep_seed, 101));
             // Label the test set up front; configurations whose measurement
             // fails permanently are dropped from the held-out evaluation
             // (with faults disabled every label succeeds and the features
@@ -188,7 +185,7 @@ pub fn run_experiment(
                 }
             }
             let dropped_test = test_cfgs.len() - kept_cfgs.len();
-            let test_features = schema.encode_all(target.space(), &kept_cfgs);
+            let test_features = schema.encode_matrix(target.space(), &kept_cfgs);
             let pool_lint = PoolLintCounts::tally(target, pool_cfgs);
 
             let runs = strategies

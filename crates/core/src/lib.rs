@@ -23,6 +23,7 @@
 //!   per-iteration trace
 //! - [`metrics`] — RMSE@α (Eq. 2), cumulative cost (Eq. 3), cost-to-reach
 //! - [`experiment`] — the 10-repetition protocol over pool 7000 / test 3000
+//! - [`score`] — incremental per-tree pool scoring for partial-refit runs
 //! - [`tuning`] — model-based tuning with true vs surrogate annotators (Fig 8)
 
 pub mod active;
@@ -30,6 +31,7 @@ pub mod annotator;
 pub mod checkpoint;
 pub mod experiment;
 pub mod metrics;
+pub mod score;
 pub mod strategy;
 pub mod tuning;
 
@@ -38,4 +40,5 @@ pub use annotator::{Aggregator, AnnotationFailure, Annotator, MeasurementStats, 
 pub use checkpoint::{ActiveCheckpoint, CheckpointError, CheckpointPolicy};
 pub use experiment::{ExperimentResult, Protocol, StrategyCurve};
 pub use metrics::{cost_to_reach, rmse_at_alpha};
+pub use score::PoolScoreCache;
 pub use strategy::Strategy;

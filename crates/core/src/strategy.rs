@@ -157,10 +157,7 @@ impl Strategy {
 /// ```
 #[must_use]
 pub fn pwu_scores(preds: &[Prediction], alpha: f64) -> Vec<f64> {
-    assert!(
-        (0.0..=1.0).contains(&alpha),
-        "alpha {alpha} outside [0, 1]"
-    );
+    assert!((0.0..=1.0).contains(&alpha), "alpha {alpha} outside [0, 1]");
     preds
         .iter()
         .map(|p| p.std / p.mean.max(1e-12).powf(1.0 - alpha))
@@ -327,7 +324,10 @@ mod tests {
             let set: std::collections::HashSet<_> = batch.iter().collect();
             assert_eq!(set.len(), 2, "{} produced duplicates", s.name());
         }
-        assert_eq!(Strategy::BestPerf.select(&preds, 3, &mut rng), vec![0, 2, 3]);
+        assert_eq!(
+            Strategy::BestPerf.select(&preds, 3, &mut rng),
+            vec![0, 2, 3]
+        );
         let maxu = Strategy::MaxU.select(&preds, 4, &mut rng);
         assert_eq!(*maxu.last().unwrap(), 1, "NaN σ must rank last");
         let pwu = Strategy::Pwu { alpha: 0.05 }.select(&preds, 4, &mut rng);
@@ -338,7 +338,13 @@ mod tests {
 
     #[test]
     fn paper_set_has_six_distinctly_named_strategies() {
-        let names: Vec<&str> = Strategy::paper_set(0.01).iter().map(Strategy::name).collect();
-        assert_eq!(names, vec!["PWU", "PBUS", "BRS", "BestPerf", "MaxU", "Uniform"]);
+        let names: Vec<&str> = Strategy::paper_set(0.01)
+            .iter()
+            .map(Strategy::name)
+            .collect();
+        assert_eq!(
+            names,
+            vec!["PWU", "PBUS", "BRS", "BestPerf", "MaxU", "Uniform"]
+        );
     }
 }

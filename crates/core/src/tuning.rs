@@ -14,7 +14,7 @@
 //! configuration selected so far, so the curves are directly comparable.
 
 use pwu_forest::{ForestConfig, RandomForest};
-use pwu_space::{ConfigLegality, Configuration, FeatureSchema, TuningTarget};
+use pwu_space::{ConfigLegality, Configuration, FeatureMatrix, FeatureSchema, TuningTarget};
 use pwu_stats::{derive_seed, Xoshiro256PlusPlus};
 
 use crate::annotator::{AnnotationFailure, Annotator, MeasurementStats};
@@ -104,6 +104,9 @@ pub fn model_based_tuning(
     );
     let schema = FeatureSchema::for_space(target.space());
     let kinds = schema.kinds();
+    // Encode every candidate once; the greedy rescans below then read rows
+    // straight out of the flat matrix instead of re-encoding per step.
+    let cand_features = schema.encode_matrix(target.space(), candidates);
     let mut rng = Xoshiro256PlusPlus::new(derive_seed(seed, 0));
     let mut true_annotator = Annotator::new(
         target,
@@ -115,7 +118,7 @@ pub fn model_based_tuning(
     );
 
     let mut remaining: Vec<usize> = legal;
-    let mut features: Vec<Vec<f64>> = Vec::new();
+    let mut features = FeatureMatrix::new(cand_features.n_cols());
     let mut labels: Vec<f64> = Vec::new();
     let mut chosen = Vec::new();
     let mut best_true = Vec::new();
@@ -123,12 +126,12 @@ pub fn model_based_tuning(
     let mut incumbent = f64::INFINITY;
 
     let label_of = |cfg: &Configuration,
-                        row: &[f64],
-                        true_annotator: &mut Annotator<'_>|
+                    idx: usize,
+                    true_annotator: &mut Annotator<'_>|
      -> Result<f64, AnnotationFailure> {
         match annotator {
             TuningAnnotator::True { .. } => true_annotator.try_evaluate(cfg),
-            TuningAnnotator::Surrogate(model) => Ok(model.predict(row)),
+            TuningAnnotator::Surrogate(model) => Ok(model.predict_one_at(&cand_features, idx).mean),
         }
     };
 
@@ -139,12 +142,11 @@ pub fn model_based_tuning(
         let pick = (rng.next() % remaining.len() as u64) as usize;
         let idx = remaining.swap_remove(pick);
         let cfg = &candidates[idx];
-        let row = schema.encode(target.space(), cfg);
-        match label_of(cfg, &row, &mut true_annotator) {
+        match label_of(cfg, idx, &mut true_annotator) {
             Ok(y) => {
                 incumbent = incumbent.min(target.ideal_time(cfg));
                 best_true.push(incumbent);
-                features.push(row);
+                features.push_row(&cand_features.row(idx));
                 labels.push(y);
                 chosen.push(cfg.clone());
                 cold += 1;
@@ -176,20 +178,16 @@ pub fn model_based_tuning(
             let (pos, _) = remaining
                 .iter()
                 .enumerate()
-                .map(|(pos, &idx)| {
-                    let row = schema.encode(target.space(), &candidates[idx]);
-                    (pos, model.predict(&row))
-                })
+                .map(|(pos, &idx)| (pos, model.predict_one_at(&cand_features, idx).mean))
                 .min_by(|a, b| a.1.total_cmp(&b.1))
                 .expect("candidates remain");
             let idx = remaining.swap_remove(pos);
             let cfg = &candidates[idx];
-            let row = schema.encode(target.space(), cfg);
-            match label_of(cfg, &row, &mut true_annotator) {
+            match label_of(cfg, idx, &mut true_annotator) {
                 Ok(y) => {
                     incumbent = incumbent.min(target.ideal_time(cfg));
                     best_true.push(incumbent);
-                    features.push(row);
+                    features.push_row(&cand_features.row(idx));
                     labels.push(y);
                     chosen.push(cfg.clone());
                     it += 1;
@@ -285,7 +283,7 @@ mod tests {
         // Build a surrogate from a random sample.
         let schema = FeatureSchema::for_space(target.space());
         let train = target.space().sample_distinct(150, &mut rng);
-        let x = schema.encode_all(target.space(), &train);
+        let x = schema.encode_matrix(target.space(), &train);
         let y: Vec<f64> = train.iter().map(|c| target.ideal_time(c)).collect();
         let surrogate = RandomForest::fit(&forest16(), schema.kinds(), &x, &y, 3);
 

@@ -1,7 +1,7 @@
 //! End-to-end active learning on the real simulated benchmarks.
 
-use pwu_core::{ActiveConfig, Protocol, Strategy};
 use pwu_core::experiment::run_experiment;
+use pwu_core::{ActiveConfig, Protocol, Strategy};
 use pwu_forest::ForestConfig;
 use pwu_space::TuningTarget;
 use pwu_spapt::kernel_by_name;
@@ -69,7 +69,10 @@ fn full_loop_on_the_applications() {
         };
         let result = run_experiment(
             target.as_ref(),
-            &[Strategy::Pwu { alpha: 0.05 }, Strategy::Brs { fraction: 0.1 }],
+            &[
+                Strategy::Pwu { alpha: 0.05 },
+                Strategy::Brs { fraction: 0.1 },
+            ],
             &protocol,
             7,
         );

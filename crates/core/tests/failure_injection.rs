@@ -149,11 +149,19 @@ fn survives_nine_orders_of_magnitude() {
     );
     for curve in &result.curves {
         assert!(curve.rmse[0].iter().all(|r| r.is_finite()));
-        assert!(curve.cumulative_cost.iter().all(|c| c.is_finite() && *c > 0.0));
+        assert!(curve
+            .cumulative_cost
+            .iter()
+            .all(|c| c.is_finite() && *c > 0.0));
     }
     // PWU spends far less than MaxU, which chases the expensive tail.
     let pwu_cost = result.curve("PWU").unwrap().cumulative_cost.last().unwrap();
-    let maxu_cost = result.curve("MaxU").unwrap().cumulative_cost.last().unwrap();
+    let maxu_cost = result
+        .curve("MaxU")
+        .unwrap()
+        .cumulative_cost
+        .last()
+        .unwrap();
     assert!(
         pwu_cost < maxu_cost,
         "PWU cost {pwu_cost} should undercut MaxU {maxu_cost}"

@@ -19,7 +19,8 @@ use pwu_core::tuning::{model_based_tuning, TuningAnnotator};
 use pwu_core::{active, ActiveCheckpoint, ActiveConfig, ActiveRun, CheckpointPolicy, Strategy};
 use pwu_forest::ForestConfig;
 use pwu_space::{
-    ConfigLegality, Configuration, FeatureSchema, MeasureOutcome, ParamSpace, Pool, TuningTarget,
+    ConfigLegality, Configuration, FeatureMatrix, FeatureSchema, MeasureOutcome, ParamSpace, Pool,
+    TuningTarget,
 };
 use pwu_spapt::{kernel_by_name, FaultModel, Kernel};
 use pwu_stats::Xoshiro256PlusPlus;
@@ -46,7 +47,7 @@ fn small_config() -> ActiveConfig {
 fn pool_and_test(
     target: &dyn TuningTarget,
     seed: u64,
-) -> (Vec<Configuration>, Vec<Vec<f64>>, Vec<f64>) {
+) -> (Vec<Configuration>, FeatureMatrix, Vec<f64>) {
     let mut rng = Xoshiro256PlusPlus::new(seed);
     let all = target.space().sample_distinct(340, &mut rng);
     let (pool_cfgs, test_cfgs) = all.split_at(280);
@@ -56,7 +57,7 @@ fn pool_and_test(
         .count();
     assert!(legal >= N_MAX, "pool too small for the test: {legal} legal");
     let schema = FeatureSchema::for_space(target.space());
-    let test_features = schema.encode_all(target.space(), test_cfgs);
+    let test_features = schema.encode_matrix(target.space(), test_cfgs);
     let test_labels = test_cfgs.iter().map(|c| target.ideal_time(c)).collect();
     (pool_cfgs.to_vec(), test_features, test_labels)
 }
@@ -186,7 +187,15 @@ fn killed_run_resumes_bit_identically_from_its_checkpoint() {
             budget: AtomicUsize::new(usize::MAX),
         };
         let pool = Pool::new(target.space(), &schema, pool_cfgs.clone());
-        active::run(&target, strategy, &config, pool, &test_features, &test_labels, seed)
+        active::run(
+            &target,
+            strategy,
+            &config,
+            pool,
+            &test_features,
+            &test_labels,
+            seed,
+        )
     };
 
     let path = std::env::temp_dir().join(format!("pwu-ft-resume-{}.ckpt", std::process::id()));

@@ -46,7 +46,7 @@ mod tests {
             mtry: Mtry::All,
             ..ForestConfig::default()
         };
-        let forest = RandomForest::fit(&cfg, &[FeatureKind::Numeric; 3], &x, &y, 13);
+        let forest = RandomForest::fit_rows(&cfg, &[FeatureKind::Numeric; 3], &x, &y, 13);
         let imp = feature_importances(&forest);
         assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         assert!(imp[1] > 0.95, "importances {imp:?}");
@@ -56,13 +56,8 @@ mod tests {
     fn constant_target_yields_zero_importances() {
         let x: Vec<Vec<f64>> = (0..16).map(|i| vec![f64::from(i)]).collect();
         let y = vec![1.0; 16];
-        let forest = RandomForest::fit(
-            &ForestConfig::default(),
-            &[FeatureKind::Numeric],
-            &x,
-            &y,
-            0,
-        );
+        let forest =
+            RandomForest::fit_rows(&ForestConfig::default(), &[FeatureKind::Numeric], &x, &y, 0);
         assert_eq!(feature_importances(&forest), vec![0.0]);
     }
 }

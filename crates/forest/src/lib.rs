@@ -16,18 +16,27 @@
 //! being forced through one-hot encodings — this is the "effectiveness on
 //! categorical features" property the paper relies on for *hypre*.
 //!
+//! The fit hot path works on the flat column-major
+//! [`FeatureMatrix`](pwu_space::FeatureMatrix): per-feature row orders are
+//! sorted once per tree and partitioned down the nest, so no node ever
+//! sorts or allocates. The pre-overhaul implementation is preserved in
+//! [`reference`] as a bit-identity oracle and performance baseline (see
+//! DESIGN.md §9).
+//!
 //! Modules:
 //! - [`hyper`] — hyper-parameters ([`ForestConfig`], [`Mtry`])
 //! - [`split`] — exact best-split search for numeric and categorical columns
-//! - [`tree`] — a single CART regression tree
+//! - [`tree`] — a single CART regression tree (iterative, presorted growth)
 //! - [`forest`] — the bagged ensemble with parallel fit/predict
 //! - [`importance`] — impurity-based feature importances
 //! - [`oob`] — out-of-bag error estimation
+//! - [`reference`] — the historical row-major implementation (tests/benches)
 
 pub mod forest;
 pub mod hyper;
 pub mod importance;
 pub mod oob;
+pub mod reference;
 pub mod split;
 pub mod tree;
 

@@ -5,27 +5,32 @@
 //! unbiased generalization estimate without a held-out set. Active-learning
 //! callers use this as a cheap convergence signal.
 
+use pwu_space::FeatureMatrix;
+
 use crate::forest::RandomForest;
 
 /// OOB root-mean-squared error of a fitted forest on its training data.
 ///
 /// Returns `None` when no row has any OOB tree (tiny data or `bootstrap`
 /// disabled).
+///
+/// # Panics
+/// Panics if `x` and `y` disagree in length.
 #[must_use]
-pub fn oob_rmse(forest: &RandomForest, x: &[Vec<f64>], y: &[f64]) -> Option<f64> {
-    assert_eq!(x.len(), y.len(), "feature/target length mismatch");
-    let mut sums = vec![0.0f64; x.len()];
-    let mut counts = vec![0u32; x.len()];
+pub fn oob_rmse(forest: &RandomForest, x: &FeatureMatrix, y: &[f64]) -> Option<f64> {
+    assert_eq!(x.n_rows(), y.len(), "feature/target length mismatch");
+    let mut sums = vec![0.0f64; x.n_rows()];
+    let mut counts = vec![0u32; x.n_rows()];
     for (tree, oob) in forest.trees().iter().zip(forest.oob_rows()) {
         for &r in oob {
             let r = r as usize;
-            sums[r] += tree.predict(&x[r]);
+            sums[r] += tree.predict_at(x, r);
             counts[r] += 1;
         }
     }
     let mut sse = 0.0;
     let mut n = 0usize;
-    for i in 0..x.len() {
+    for i in 0..x.n_rows() {
         if counts[i] > 0 {
             let pred = sums[i] / f64::from(counts[i]);
             sse += (pred - y[i]) * (pred - y[i]);
@@ -45,10 +50,10 @@ mod tests {
     use crate::hyper::ForestConfig;
     use pwu_space::FeatureKind;
 
-    fn data(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
-        let x: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64, (i * 3 % 7) as f64]).collect();
-        let y: Vec<f64> = x.iter().map(|r| r[0] * 2.0 + r[1]).collect();
-        (x, y)
+    fn data(n: usize) -> (FeatureMatrix, Vec<f64>) {
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64, (i * 3 % 7) as f64]).collect();
+        let y: Vec<f64> = rows.iter().map(|r| r[0] * 2.0 + r[1]).collect();
+        (FeatureMatrix::from_rows(2, &rows), y)
     }
 
     #[test]

@@ -12,8 +12,17 @@
 //! sorted order; categorical columns use Fisher's reduction — order the
 //! categories by their mean target and scan that ordering, which provably
 //! contains the SSE-optimal binary partition.
-
-use pwu_space::FeatureKind;
+//!
+//! Numeric columns are *not* sorted here. The tree packs each node row as
+//! `(rank << 32) | row` — `rank` a precomputed dense order-preserving rank
+//! of the column value (see `tree::fit`) — sorts the packed words by their
+//! rank bits in a reusable scratch buffer, and hands the sorted slice in,
+//! so [`best_numeric_split_ranked`] is a single linear scan over one
+//! contiguous array with no allocation per node per feature: row ids and
+//! value-equality boundaries both come from the packed word, and the
+//! original `f64`s are only touched to compute the threshold of a new best
+//! split. The caller also hoists the node's target total, which is shared
+//! by every numeric candidate.
 
 /// The decision rule of an internal node.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -54,105 +63,163 @@ pub struct Split {
     pub gain: f64,
 }
 
-/// Finds the best split of `rows` on a single feature column.
-///
-/// `rows` are indices into `x`/`y`; `kind` selects the scan. Returns `None`
-/// when no split satisfies `min_leaf` on both sides or no gain is positive
-/// (e.g. the column is constant within the node).
-#[must_use]
-pub fn best_split_on_feature(
-    x: &[Vec<f64>],
-    y: &[f64],
-    rows: &[u32],
-    feature: usize,
-    kind: FeatureKind,
-    min_leaf: usize,
-    scratch: &mut SplitScratch,
-) -> Option<Split> {
-    match kind {
-        FeatureKind::Numeric => best_numeric_split(x, y, rows, feature, min_leaf, scratch),
-        FeatureKind::Categorical { n_categories } => {
-            assert!(
-                n_categories <= 64,
-                "categorical features are limited to 64 categories, got {n_categories}"
-            );
-            best_categorical_split(x, y, rows, feature, n_categories, min_leaf, scratch)
-        }
-    }
-}
-
-/// Reusable scratch buffers for split search (avoids per-node allocation).
+/// Reusable scratch buffers for categorical split search (avoids per-node
+/// allocation).
 #[derive(Debug, Default)]
 pub struct SplitScratch {
-    order: Vec<u32>,
     cat_sum: Vec<f64>,
     cat_count: Vec<u32>,
     cat_order: Vec<usize>,
 }
 
-fn best_numeric_split(
-    x: &[Vec<f64>],
+/// A `(rank, row)` pair packed into one integer word for the per-node
+/// numeric sort: rank in the high bits, row id in the low bits, so sorting
+/// by the rank bits alone is one shift and an integer compare with no
+/// memory access. The `u32` layout (16-bit halves) is used whenever the
+/// training set has at most 2¹⁶ rows — half the sort bandwidth of the
+/// general `u64` layout.
+pub trait RankRow: Copy {
+    /// Packs a rank/row pair. Both must fit the layout's half-width.
+    fn pack(rank: u32, row: u32) -> Self;
+    /// The rank bits (sole sort key).
+    fn rank(self) -> u32;
+    /// The row id bits.
+    fn row(self) -> u32;
+}
+
+impl RankRow for u32 {
+    #[inline]
+    fn pack(rank: u32, row: u32) -> Self {
+        debug_assert!(rank <= 0xFFFF && row <= 0xFFFF);
+        (rank << 16) | row
+    }
+    #[inline]
+    fn rank(self) -> u32 {
+        self >> 16
+    }
+    #[inline]
+    fn row(self) -> u32 {
+        self & 0xFFFF
+    }
+}
+
+impl RankRow for u64 {
+    #[inline]
+    fn pack(rank: u32, row: u32) -> Self {
+        (u64::from(rank) << 32) | u64::from(row)
+    }
+    #[inline]
+    fn rank(self) -> u32 {
+        (self >> 32) as u32
+    }
+    #[inline]
+    fn row(self) -> u32 {
+        self as u32
+    }
+}
+
+/// Finds the best threshold split of a node on one numeric column.
+///
+/// `col` is the full feature column (indexed by row id); `sorted` holds the
+/// node's rows as packed [`RankRow`] words in ascending rank order. Ranks
+/// are dense order-preserving integer ranks of the column values (equal
+/// ranks ⇔ equal values, `-0.0` collapsed onto `+0.0`), so the
+/// value-equality boundary test is an integer compare of the rank bits and
+/// the whole scan walks a single contiguous array; the original `f64`s are
+/// only loaded when a new best split's threshold is computed. `total` is
+/// the target sum over the node, accumulated in node order (the caller
+/// hoists it across features). The sequence of floating-point operations —
+/// `left_sum` accumulation order, gain evaluation points, midpoint
+/// thresholds — is exactly that of the historical sort-per-node
+/// implementation, so results are bit-identical to it.
+///
+/// Returns the split plus the greatest rank routed left (`col[r] <=
+/// threshold` ⇔ `rank(r) <= boundary`, exactly — the midpoint may round
+/// onto either neighbour, which the boundary accounts for), so the caller
+/// can partition the node by integer rank instead of re-loading the column.
+/// `None` when no split satisfies `min_leaf` on both sides or no gain is
+/// positive (e.g. the column is constant within the node).
+#[must_use]
+pub fn best_numeric_split_ranked<P: RankRow>(
+    col: &[f64],
     y: &[f64],
-    rows: &[u32],
+    total: f64,
+    sorted: &[P],
     feature: usize,
     min_leaf: usize,
-    scratch: &mut SplitScratch,
-) -> Option<Split> {
-    let n = rows.len();
+) -> Option<(Split, u32)> {
+    let n = sorted.len();
     if n < 2 * min_leaf {
         return None;
     }
-    // Invariant: feature encodings are produced by FeatureSchema::encode,
-    // which never emits NaN — the expect below cannot fire on valid input.
+    // Invariants: the packed words are rank-sorted, and rank order agrees
+    // with value order (feature encodings come from FeatureSchema::encode,
+    // which never emits NaN, so value order is total).
     debug_assert!(
-        rows.iter().all(|&r| !x[r as usize][feature].is_nan()),
-        "NaN feature value reached the splitter"
+        sorted.windows(2).all(|w| {
+            let (a, b) = (col[w[0].row() as usize], col[w[1].row() as usize]);
+            w[0].rank() <= w[1].rank() && a <= b && (a == b) == (w[0].rank() == w[1].rank())
+        }),
+        "packed rows are not rank-sorted consistently with the column"
     );
-    let order = &mut scratch.order;
-    order.clear();
-    order.extend_from_slice(rows);
-    order.sort_unstable_by(|&a, &b| {
-        x[a as usize][feature]
-            .partial_cmp(&x[b as usize][feature])
-            .expect("NaN feature value")
-    });
-
-    let total: f64 = rows.iter().map(|&r| y[r as usize]).sum();
     let n_f = n as f64;
     let base = total * total / n_f;
 
     let mut left_sum = 0.0;
-    let mut best: Option<(f64, f64)> = None; // (gain, threshold)
-    for i in 0..n - 1 {
-        let r = order[i] as usize;
-        left_sum += y[r];
-        let xl = x[r][feature];
-        let xr = x[order[i + 1] as usize][feature];
-        if xl == xr {
-            continue; // cannot separate equal values
+    let mut best: Option<(f64, f64, u32)> = None; // (gain, threshold, boundary)
+    let mut prev = sorted[0];
+    let mut i = 0usize;
+    for &next in &sorted[1..] {
+        left_sum += y[prev.row() as usize];
+        i += 1;
+        // Equal feature values cannot be separated; gains are evaluated at
+        // rank boundaries only, exactly where the historical scan did.
+        if prev.rank() != next.rank() && i >= min_leaf && (n - i) >= min_leaf {
+            let n_l = i as f64;
+            let n_r = n_f - n_l;
+            let right_sum = total - left_sum;
+            let gain = left_sum * left_sum / n_l + right_sum * right_sum / n_r - base;
+            if gain > best.map_or(0.0, |b| b.0) {
+                // Split at the midpoint, like CART; robust to new values
+                // between the two observed levels. The midpoint can round
+                // onto `xr` itself, in which case `xr`'s whole rank block
+                // routes left under `<=`; the boundary rank records that.
+                let xl = col[prev.row() as usize];
+                let xr = col[next.row() as usize];
+                let threshold = 0.5 * (xl + xr);
+                let boundary = if xr <= threshold {
+                    next.rank()
+                } else {
+                    prev.rank()
+                };
+                best = Some((gain, threshold, boundary));
+            }
         }
-        let n_l = (i + 1) as f64;
-        let n_r = n_f - n_l;
-        if (i + 1) < min_leaf || (n - i - 1) < min_leaf {
-            continue;
-        }
-        let right_sum = total - left_sum;
-        let gain = left_sum * left_sum / n_l + right_sum * right_sum / n_r - base;
-        if gain > best.map_or(0.0, |b| b.0) {
-            // Split at the midpoint, like CART; robust to new values between
-            // the two observed levels.
-            best = Some((gain, 0.5 * (xl + xr)));
-        }
+        prev = next;
     }
-    best.map(|(gain, threshold)| Split {
-        feature,
-        rule: SplitRule::Threshold(threshold),
-        gain,
+    best.map(|(gain, threshold, boundary)| {
+        (
+            Split {
+                feature,
+                rule: SplitRule::Threshold(threshold),
+                gain,
+            },
+            boundary,
+        )
     })
 }
 
-fn best_categorical_split(
-    x: &[Vec<f64>],
+/// Finds the best subset split of a node on one categorical column.
+///
+/// `col` is the full feature column (category codes as `f64`); `rows` holds
+/// the node's rows in node order. Per-category sums accumulate in node
+/// order, matching the historical implementation bit for bit.
+///
+/// # Panics
+/// Panics if `n_categories` exceeds the 64-bit mask capacity.
+#[must_use]
+pub fn best_categorical_split(
+    col: &[f64],
     y: &[f64],
     rows: &[u32],
     feature: usize,
@@ -160,6 +227,10 @@ fn best_categorical_split(
     min_leaf: usize,
     scratch: &mut SplitScratch,
 ) -> Option<Split> {
+    assert!(
+        n_categories <= 64,
+        "categorical features are limited to 64 categories, got {n_categories}"
+    );
     let n = rows.len();
     if n < 2 * min_leaf {
         return None;
@@ -171,7 +242,7 @@ fn best_categorical_split(
     counts.clear();
     counts.resize(n_categories, 0);
     for &r in rows {
-        let c = x[r as usize][feature] as usize;
+        let c = col[r as usize] as usize;
         debug_assert!(c < n_categories, "category {c} out of range");
         sums[c] += y[r as usize];
         counts[c] += 1;
@@ -228,22 +299,44 @@ mod tests {
         (0..n as u32).collect()
     }
 
+    /// Dense ranks of `col` (test-local mirror of `tree::numeric_ranks`).
+    fn ranks_of(col: &[f64]) -> Vec<u32> {
+        let mut idx: Vec<u32> = (0..col.len() as u32).collect();
+        idx.sort_unstable_by(|&a, &b| col[a as usize].partial_cmp(&col[b as usize]).expect("NaN"));
+        let mut ranks = vec![0u32; col.len()];
+        let mut rank = 0u32;
+        for w in 1..idx.len() {
+            if col[idx[w] as usize] != col[idx[w - 1] as usize] {
+                rank += 1;
+            }
+            ranks[idx[w] as usize] = rank;
+        }
+        ranks
+    }
+
+    fn packed_sorted(col: &[f64], rows: &[u32]) -> Vec<u64> {
+        let ranks = ranks_of(col);
+        let mut p: Vec<u64> = rows
+            .iter()
+            .map(|&r| (u64::from(ranks[r as usize]) << 32) | u64::from(r))
+            .collect();
+        p.sort_unstable_by_key(|&a| a >> 32);
+        p
+    }
+
+    fn numeric(col: &[f64], y: &[f64], min_leaf: usize) -> Option<Split> {
+        let r = rows(col.len());
+        let s = packed_sorted(col, &r);
+        let total: f64 = y.iter().sum();
+        best_numeric_split_ranked(col, y, total, &s, 0, min_leaf).map(|(s, _)| s)
+    }
+
     #[test]
     fn numeric_split_finds_exact_boundary() {
         // y jumps at x = 2.5: perfect split.
-        let x: Vec<Vec<f64>> = [1.0, 2.0, 3.0, 4.0].iter().map(|&v| vec![v]).collect();
+        let col = [1.0, 2.0, 3.0, 4.0];
         let y = [0.0, 0.0, 10.0, 10.0];
-        let mut scratch = SplitScratch::default();
-        let s = best_split_on_feature(
-            &x,
-            &y,
-            &rows(4),
-            0,
-            FeatureKind::Numeric,
-            1,
-            &mut scratch,
-        )
-        .expect("split exists");
+        let s = numeric(&col, &y, 1).expect("split exists");
         assert_eq!(s.rule, SplitRule::Threshold(2.5));
         // gain = SSE(all) − 0 = 100.
         assert!((s.gain - 100.0).abs() < 1e-9);
@@ -251,59 +344,106 @@ mod tests {
 
     #[test]
     fn numeric_split_none_on_constant_column() {
-        let x: Vec<Vec<f64>> = (0..4).map(|_| vec![7.0]).collect();
+        let col = [7.0; 4];
         let y = [0.0, 1.0, 2.0, 3.0];
-        let mut scratch = SplitScratch::default();
-        assert!(best_split_on_feature(
-            &x,
-            &y,
-            &rows(4),
-            0,
-            FeatureKind::Numeric,
-            1,
-            &mut scratch
-        )
-        .is_none());
+        assert!(numeric(&col, &y, 1).is_none());
     }
 
     #[test]
     fn numeric_split_respects_min_leaf() {
-        let x: Vec<Vec<f64>> = [1.0, 2.0, 3.0, 4.0].iter().map(|&v| vec![v]).collect();
+        let col = [1.0, 2.0, 3.0, 4.0];
         // Best unrestricted split is 1 | 3 at x<=1.5, but min_leaf=2 forces 2|2.
         let y = [0.0, 5.0, 5.0, 5.0];
-        let mut scratch = SplitScratch::default();
-        let s = best_split_on_feature(
-            &x,
-            &y,
-            &rows(4),
-            0,
-            FeatureKind::Numeric,
-            2,
-            &mut scratch,
-        )
-        .expect("split exists");
+        let s = numeric(&col, &y, 2).expect("split exists");
         assert_eq!(s.rule, SplitRule::Threshold(2.5));
+    }
+
+    #[test]
+    fn numeric_scan_handles_unsorted_node_order() {
+        // Node order deliberately scrambled; only the packed words are
+        // rank-ordered.
+        let col = [4.0, 1.0, 3.0, 2.0];
+        let y = [10.0, 0.0, 10.0, 0.0];
+        let node: Vec<u32> = vec![2, 0, 3, 1];
+        let s = packed_sorted(&col, &node);
+        let sorted_rows: Vec<u32> = s.iter().map(|&p| (p & 0xFFFF_FFFF) as u32).collect();
+        assert_eq!(sorted_rows, vec![1, 3, 2, 0]);
+        let total: f64 = node.iter().map(|&r| y[r as usize]).sum();
+        let (split, _) =
+            best_numeric_split_ranked(&col, &y, total, &s, 0, 1).expect("split exists");
+        assert_eq!(split.rule, SplitRule::Threshold(2.5));
+        assert!((split.gain - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn boundary_rank_agrees_with_threshold_routing() {
+        // The boundary must reproduce `col[r] <= threshold` exactly, even
+        // when the midpoint of two adjacent values rounds onto one of them.
+        let cases: &[&[f64]] = &[
+            &[1.0, 2.0, 3.0, 4.0, 5.0],
+            &[0.0, f64::MIN_POSITIVE, 1.0, 1.0 + f64::EPSILON, 2.0],
+            &[-3.0, -1.0, -1.0, 0.5, 0.5, 2.0],
+        ];
+        for col in cases {
+            let y: Vec<f64> = col.iter().map(|v| v * v + 1.0).collect();
+            let r = rows(col.len());
+            let s = packed_sorted(col, &r);
+            let ranks = ranks_of(col);
+            let total: f64 = y.iter().sum();
+            let Some((split, boundary)) = best_numeric_split_ranked(col, &y, total, &s, 0, 1)
+            else {
+                continue;
+            };
+            let SplitRule::Threshold(t) = split.rule else {
+                panic!("expected threshold rule")
+            };
+            for (i, &v) in col.iter().enumerate() {
+                assert_eq!(v <= t, ranks[i] <= boundary, "value {v} vs threshold {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn u32_and_u64_packings_agree() {
+        let col = [2.0, 1.0, 2.0, 0.0, 1.0, 2.0, 0.0, 3.0];
+        let y = [4.0, 1.5, 3.9, 0.2, 1.4, 4.1, 0.3, 9.0];
+        let r = rows(col.len());
+        let wide = packed_sorted(&col, &r);
+        let ranks = ranks_of(&col);
+        let mut narrow: Vec<u32> = r
+            .iter()
+            .map(|&i| RankRow::pack(ranks[i as usize], i))
+            .collect();
+        narrow.sort_unstable_by_key(|&a| RankRow::rank(a));
+        let total: f64 = y.iter().sum();
+        let a = best_numeric_split_ranked(&col, &y, total, &wide, 0, 1).expect("split");
+        let b = best_numeric_split_ranked(&col, &y, total, &narrow, 0, 1).expect("split");
+        assert_eq!(a.0.gain.to_bits(), b.0.gain.to_bits());
+        assert_eq!(a.0.rule, b.0.rule);
+        assert_eq!(a.1, b.1);
+    }
+
+    #[test]
+    fn tied_values_are_never_proposed_as_boundaries() {
+        // Runs of equal values: the only admissible boundaries are between
+        // distinct ranks, regardless of which rows carry the ties.
+        let col = [2.0, 1.0, 2.0, 1.0, 3.0, 3.0];
+        let y = [5.0, 0.0, 5.0, 0.0, 9.0, 9.0];
+        let s = numeric(&col, &y, 1).expect("split exists");
+        match s.rule {
+            SplitRule::Threshold(t) => assert!(t == 1.5 || t == 2.5, "threshold {t}"),
+            SplitRule::Categories(_) => panic!("expected threshold rule"),
+        }
     }
 
     #[test]
     fn categorical_split_partitions_by_mean() {
         // Categories 0,2 have low y; 1,3 high.
-        let x: Vec<Vec<f64>> = [0.0, 1.0, 2.0, 3.0, 0.0, 1.0, 2.0, 3.0]
-            .iter()
-            .map(|&v| vec![v])
-            .collect();
+        let col = [0.0, 1.0, 2.0, 3.0, 0.0, 1.0, 2.0, 3.0];
         let y = [0.0, 10.0, 1.0, 11.0, 0.5, 10.5, 0.7, 11.2];
         let mut scratch = SplitScratch::default();
-        let s = best_split_on_feature(
-            &x,
-            &y,
-            &rows(8),
-            0,
-            FeatureKind::Categorical { n_categories: 4 },
-            1,
-            &mut scratch,
-        )
-        .expect("split exists");
+        let s = best_categorical_split(&col, &y, &rows(8), 0, 4, 1, &mut scratch)
+            .expect("split exists");
         match s.rule {
             SplitRule::Categories(mask) => {
                 // Low-mean side must be exactly {0, 2} (or complement {1,3}).
@@ -316,19 +456,10 @@ mod tests {
 
     #[test]
     fn categorical_single_present_category_is_unsplittable() {
-        let x: Vec<Vec<f64>> = (0..4).map(|_| vec![2.0]).collect();
+        let col = [2.0; 4];
         let y = [0.0, 1.0, 2.0, 3.0];
         let mut scratch = SplitScratch::default();
-        assert!(best_split_on_feature(
-            &x,
-            &y,
-            &rows(4),
-            0,
-            FeatureKind::Categorical { n_categories: 5 },
-            1,
-            &mut scratch
-        )
-        .is_none());
+        assert!(best_categorical_split(&col, &y, &rows(4), 0, 5, 1, &mut scratch).is_none());
     }
 
     #[test]
@@ -343,22 +474,11 @@ mod tests {
 
     #[test]
     fn gain_matches_manual_sse_reduction() {
-        let x: Vec<Vec<f64>> = [1.0, 2.0, 3.0, 4.0, 5.0].iter().map(|&v| vec![v]).collect();
+        let col = [1.0, 2.0, 3.0, 4.0, 5.0];
         let y = [1.0, 2.0, 3.0, 10.0, 11.0];
-        let mut scratch = SplitScratch::default();
-        let s = best_split_on_feature(
-            &x,
-            &y,
-            &rows(5),
-            0,
-            FeatureKind::Numeric,
-            1,
-            &mut scratch,
-        )
-        .expect("split exists");
+        let s = numeric(&col, &y, 1).expect("split exists");
         // Manual: split {1,2,3} | {10,11}. SSE parent = sum(y²)−(Σy)²/5.
-        let sse_parent = y.iter().map(|v| v * v).sum::<f64>()
-            - y.iter().sum::<f64>().powi(2) / 5.0;
+        let sse_parent = y.iter().map(|v| v * v).sum::<f64>() - y.iter().sum::<f64>().powi(2) / 5.0;
         let sse_left = 2.0; // mean 2, (1,2,3)
         let sse_right = 0.5; // mean 10.5
         assert_eq!(s.rule, SplitRule::Threshold(3.5));

@@ -1,12 +1,42 @@
 //! A single CART regression tree.
+//!
+//! Growth is iterative (an explicit work stack, no recursion) and operates
+//! on the flat column-major [`FeatureMatrix`]. The node's rows live as one
+//! contiguous segment of a shared buffer that is partitioned *in place* at
+//! every split (no per-node allocation), and the numeric split search sorts
+//! packed `(rank, row)` words — a precomputed dense **rank** per column in
+//! the high bits, the row id in the low bits — so the sort comparator is
+//! two shifts and an integer compare with no memory access at all, and the
+//! boundary scan walks one contiguous array instead of chasing `f64`s
+//! through two levels of pointer indirection.
+//!
+//! Why a per-node sort at all, rather than presorting each feature once and
+//! partitioning the orders down the nest (the scikit-learn scheme)? Bit
+//! identity. `sort_unstable_by`'s permutation of *tied* values depends on
+//! its internal algorithm state, and exact real-arithmetic gain ties
+//! between different candidate splits are common in small nodes (few rows,
+//! ordinal features), so the winning split is decided by the last-ulp
+//! rounding of sums accumulated in tie order. Any scheme that changes tie
+//! order changes predictions (measured: ~1 tree in 32 on the golden
+//! workloads). For the same reason the comparator looks only at the rank
+//! bits: ranks preserve the exact equalities and order of the original
+//! values (−0.0 collapsed onto +0.0, NaN rejected upstream), so it returns
+//! exactly the same `Ordering` as the historical `partial_cmp` for every
+//! pair, and `sort_unstable_by` — a deterministic function of the input
+//! array and the comparator's answers — reproduces the historical
+//! permutation bit for bit, ties included. Comparing the full packed word
+//! instead would order ties by row id and change trees. See DESIGN.md §9
+//! and `crate::reference`.
 
 use rand::Rng;
 
-use pwu_space::FeatureKind;
+use pwu_space::{FeatureKind, FeatureMatrix};
 use pwu_stats::Xoshiro256PlusPlus;
 
 use crate::hyper::ForestConfig;
-use crate::split::{best_split_on_feature, Split, SplitScratch, SplitRule};
+use crate::split::{
+    best_categorical_split, best_numeric_split_ranked, RankRow, Split, SplitRule, SplitScratch,
+};
 
 /// Statistics of a leaf node.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -21,7 +51,7 @@ pub struct LeafStats {
 
 /// Node storage: a flat arena indexed by `u32`.
 #[derive(Debug, Clone)]
-enum Node {
+pub(crate) enum Node {
     Internal {
         feature: u32,
         rule: SplitRule,
@@ -39,6 +69,20 @@ pub struct RegressionTree {
     split_gains: Vec<(u32, f64)>,
 }
 
+/// Sentinel parent index for the root task.
+const NO_PARENT: u32 = u32::MAX;
+
+/// One pending node of the growth stack: the half-open segment
+/// `[start, end)` of the shared row buffer, plus where to record the
+/// resulting arena index.
+struct Task {
+    start: usize,
+    end: usize,
+    depth: u32,
+    parent: u32,
+    is_left: bool,
+}
+
 impl RegressionTree {
     /// Grows a tree on the rows `rows` of `(x, y)`.
     ///
@@ -49,127 +93,52 @@ impl RegressionTree {
     /// Panics if `rows` is empty or any referenced target is non-finite.
     #[must_use]
     pub fn fit(
-        x: &[Vec<f64>],
+        x: &FeatureMatrix,
         y: &[f64],
         rows: &[u32],
         kinds: &[FeatureKind],
         config: &ForestConfig,
         rng: &mut Xoshiro256PlusPlus,
     ) -> Self {
+        let ranks = numeric_ranks(x, kinds);
+        Self::fit_ranked(x, y, rows, kinds, config, rng, &ranks)
+    }
+
+    /// Grows a tree with the per-column rank tables precomputed by
+    /// [`numeric_ranks`]. The forest computes the tables once and shares
+    /// them across all trees (they depend only on `x`, not on the bootstrap
+    /// sample); [`RegressionTree::fit`] computes them on the fly.
+    ///
+    /// # Panics
+    /// As [`RegressionTree::fit`].
+    #[must_use]
+    pub(crate) fn fit_ranked(
+        x: &FeatureMatrix,
+        y: &[f64],
+        rows: &[u32],
+        kinds: &[FeatureKind],
+        config: &ForestConfig,
+        rng: &mut Xoshiro256PlusPlus,
+        ranks: &[Vec<u32>],
+    ) -> Self {
         assert!(!rows.is_empty(), "cannot fit a tree on zero rows");
         debug_assert!(rows.iter().all(|&r| y[r as usize].is_finite()));
-        let mtry = config.mtry.resolve(kinds.len());
-        let mut tree = Self {
-            nodes: Vec::new(),
-            split_gains: Vec::new(),
-        };
-        let mut scratch = SplitScratch::default();
-        let mut feature_ids: Vec<usize> = (0..kinds.len()).collect();
-        // Explicit work stack of (rows, depth, parent slot).
-        tree.grow(
-            x,
-            y,
-            rows,
-            kinds,
-            config,
-            mtry,
-            rng,
-            &mut scratch,
-            &mut feature_ids,
-            0,
-        );
-        tree
-    }
-
-    /// Recursive growth; returns the arena index of the subtree root.
-    #[allow(clippy::too_many_arguments)]
-    fn grow(
-        &mut self,
-        x: &[Vec<f64>],
-        y: &[f64],
-        rows: &[u32],
-        kinds: &[FeatureKind],
-        config: &ForestConfig,
-        mtry: usize,
-        rng: &mut Xoshiro256PlusPlus,
-        scratch: &mut SplitScratch,
-        feature_ids: &mut [usize],
-        depth: u32,
-    ) -> u32 {
-        let stop = rows.len() < config.min_split
-            || config.max_depth.is_some_and(|d| depth >= d)
-            || constant_targets(y, rows);
-        let split = if stop {
-            None
+        // Row ids and ranks are both < n_rows, so they fit 16-bit halves
+        // whenever the training set does — the common case by far, and
+        // worth half the per-node sort bandwidth. Both layouts produce the
+        // same permutation (the comparator answers are identical and the
+        // sort is deterministic in them), so path selection cannot affect
+        // results.
+        if x.n_rows() <= 1 << 16 {
+            grow::<u32>(x, y, rows, kinds, config, rng, ranks)
         } else {
-            self.pick_split(x, y, rows, kinds, mtry, rng, scratch, feature_ids, config)
-        };
-
-        match split {
-            None => {
-                let idx = self.nodes.len() as u32;
-                self.nodes.push(Node::Leaf(leaf_stats(y, rows)));
-                idx
-            }
-            Some(split) => {
-                let (left_rows, right_rows) = partition(x, rows, &split);
-                debug_assert!(!left_rows.is_empty() && !right_rows.is_empty());
-                self.split_gains.push((split.feature as u32, split.gain));
-                let idx = self.nodes.len() as u32;
-                // Reserve the slot, then grow children.
-                self.nodes.push(Node::Leaf(LeafStats {
-                    mean: 0.0,
-                    variance: 0.0,
-                    count: 0,
-                }));
-                let left = self.grow(
-                    x, y, &left_rows, kinds, config, mtry, rng, scratch, feature_ids, depth + 1,
-                );
-                let right = self.grow(
-                    x, y, &right_rows, kinds, config, mtry, rng, scratch, feature_ids, depth + 1,
-                );
-                self.nodes[idx as usize] = Node::Internal {
-                    feature: split.feature as u32,
-                    rule: split.rule,
-                    left,
-                    right,
-                };
-                idx
-            }
+            grow::<u64>(x, y, rows, kinds, config, rng, ranks)
         }
     }
 
-    /// Chooses the best split among a random `mtry`-subset of features.
-    #[allow(clippy::too_many_arguments)]
-    fn pick_split(
-        &mut self,
-        x: &[Vec<f64>],
-        y: &[f64],
-        rows: &[u32],
-        kinds: &[FeatureKind],
-        mtry: usize,
-        rng: &mut Xoshiro256PlusPlus,
-        scratch: &mut SplitScratch,
-        feature_ids: &mut [usize],
-        config: &ForestConfig,
-    ) -> Option<Split> {
-        // Partial Fisher–Yates: the first `mtry` entries become the subset.
-        let d = feature_ids.len();
-        for i in 0..mtry.min(d) {
-            let j = rng.gen_range(i..d);
-            feature_ids.swap(i, j);
-        }
-        let mut best: Option<Split> = None;
-        for &f in &feature_ids[..mtry.min(d)] {
-            if let Some(s) =
-                best_split_on_feature(x, y, rows, f, kinds[f], config.min_leaf, scratch)
-            {
-                if best.as_ref().is_none_or(|b| s.gain > b.gain) {
-                    best = Some(s);
-                }
-            }
-        }
-        best
+    /// Assembles a tree from raw parts (used by [`crate::reference`]).
+    pub(crate) fn from_raw(nodes: Vec<Node>, split_gains: Vec<(u32, f64)>) -> Self {
+        Self { nodes, split_gains }
     }
 
     /// Returns the leaf statistics for a feature row.
@@ -198,10 +167,44 @@ impl RegressionTree {
         }
     }
 
+    /// Returns the leaf statistics for row `row` of a feature matrix,
+    /// without materializing the row.
+    ///
+    /// # Panics
+    /// Panics if `row` is out of range or the matrix is narrower than the
+    /// features the tree splits on.
+    #[must_use]
+    pub fn predict_leaf_at(&self, x: &FeatureMatrix, row: usize) -> LeafStats {
+        let mut idx = 0usize;
+        loop {
+            match &self.nodes[idx] {
+                Node::Leaf(stats) => return *stats,
+                Node::Internal {
+                    feature,
+                    rule,
+                    left,
+                    right,
+                } => {
+                    idx = if rule.goes_left(x.get(row, *feature as usize)) {
+                        *left as usize
+                    } else {
+                        *right as usize
+                    };
+                }
+            }
+        }
+    }
+
     /// Point prediction (leaf mean).
     #[must_use]
     pub fn predict(&self, row: &[f64]) -> f64 {
         self.predict_leaf(row).mean
+    }
+
+    /// Point prediction for row `row` of a feature matrix.
+    #[must_use]
+    pub fn predict_at(&self, x: &FeatureMatrix, row: usize) -> f64 {
+        self.predict_leaf_at(x, row).mean
     }
 
     /// Number of nodes in the tree.
@@ -226,41 +229,364 @@ impl RegressionTree {
     }
 }
 
-fn constant_targets(y: &[f64], rows: &[u32]) -> bool {
-    let first = y[rows[0] as usize];
-    rows.iter().all(|&r| y[r as usize] == first)
-}
+/// The iterative growth loop, monomorphized over the packed-word layout.
+fn grow<P: RankRow>(
+    x: &FeatureMatrix,
+    y: &[f64],
+    rows: &[u32],
+    kinds: &[FeatureKind],
+    config: &ForestConfig,
+    rng: &mut Xoshiro256PlusPlus,
+    ranks: &[Vec<u32>],
+) -> RegressionTree {
+    let d = kinds.len();
+    let mtry = config.mtry.resolve(d).min(d);
+    let m = rows.len();
 
-fn leaf_stats(y: &[f64], rows: &[u32]) -> LeafStats {
-    let n = rows.len() as f64;
-    let sum: f64 = rows.iter().map(|&r| y[r as usize]).sum();
-    let mean = sum / n;
-    let var = rows
-        .iter()
-        .map(|&r| {
-            let d = y[r as usize] - mean;
-            d * d
-        })
-        .sum::<f64>()
-        / n;
-    LeafStats {
-        mean,
-        variance: var,
-        count: rows.len() as u32,
-    }
-}
+    // Shared node-order row buffer: every node is a contiguous segment.
+    let mut rows_buf: Vec<u32> = rows.to_vec();
+    // Scratch for the per-node packed `(rank, row)` sort.
+    let mut order: Vec<P> = Vec::with_capacity(m);
+    let mut tmp: Vec<u32> = Vec::with_capacity(m);
+    let mut scratch = SplitScratch::default();
+    let mut feature_ids: Vec<usize> = (0..d).collect();
 
-fn partition(x: &[Vec<f64>], rows: &[u32], split: &Split) -> (Vec<u32>, Vec<u32>) {
-    let mut left = Vec::new();
-    let mut right = Vec::new();
-    for &r in rows {
-        if split.rule.goes_left(x[r as usize][split.feature]) {
-            left.push(r);
+    let mut nodes: Vec<Node> = Vec::new();
+    let mut split_gains: Vec<(u32, f64)> = Vec::new();
+
+    // Explicit work stack; pushing the right child before the left keeps
+    // the visit order (and therefore RNG consumption and arena layout)
+    // identical to the historical preorder recursion.
+    let mut stack = vec![Task {
+        start: 0,
+        end: m,
+        depth: 0,
+        parent: NO_PARENT,
+        is_left: false,
+    }];
+    while let Some(task) = stack.pop() {
+        let n_seg = task.end - task.start;
+        // One fused pass computes the constant-target stop test AND the
+        // node's target total (accumulated in node order, exactly as the
+        // historical per-feature computation did — hoisting it here is
+        // bit-neutral, and fusing saves a second walk over the segment).
+        let (stop, node_total) =
+            if n_seg < config.min_split || config.max_depth.is_some_and(|dd| task.depth >= dd) {
+                (true, 0.0)
+            } else {
+                let (konst, total) = node_stats(y, &rows_buf[task.start..task.end]);
+                (konst, total)
+            };
+        let split = if stop {
+            None
         } else {
-            right.push(r);
+            // Partial Fisher–Yates: the first `mtry` entries of
+            // `feature_ids` become the node's feature subset.
+            for i in 0..mtry {
+                let j = rng.gen_range(i..d);
+                feature_ids.swap(i, j);
+            }
+            let seg = &rows_buf[task.start..task.end];
+            let mut best: Option<Split> = None;
+            // Boundary rank of the best split when it is numeric, so the
+            // partition below can route rows by integer rank.
+            let mut best_boundary: Option<u32> = None;
+            for &f in &feature_ids[..mtry] {
+                let s = match kinds[f] {
+                    FeatureKind::Numeric => {
+                        let ranks_f = &ranks[f];
+                        if n_seg < 2 * config.min_leaf {
+                            None
+                        } else {
+                            // Packing doubles as the constant-feature test
+                            // (one gather pass instead of two): a constant
+                            // column would sort trivially and scan to no
+                            // admissible boundary, so skipping both changes
+                            // nothing observable.
+                            order.clear();
+                            let first_rank = ranks_f[seg[0] as usize];
+                            let mut constant = true;
+                            order.extend(seg.iter().map(|&r| {
+                                let rank = ranks_f[r as usize];
+                                constant &= rank == first_rank;
+                                P::pack(rank, r)
+                            }));
+                            if constant {
+                                None
+                            } else {
+                                // Compare ONLY the rank bits: the comparator
+                                // then answers exactly like the historical
+                                // float comparator (ranks preserve value
+                                // order and ties), so the sort reproduces
+                                // the historical permutation. Comparing the
+                                // full word would break ties by row id — a
+                                // different permutation, different trees.
+                                order.sort_unstable_by_key(|&a| a.rank());
+                                best_numeric_split_ranked(
+                                    x.column(f),
+                                    y,
+                                    node_total,
+                                    &order,
+                                    f,
+                                    config.min_leaf,
+                                )
+                            }
+                        }
+                    }
+                    FeatureKind::Categorical { n_categories } => best_categorical_split(
+                        x.column(f),
+                        y,
+                        seg,
+                        f,
+                        n_categories,
+                        config.min_leaf,
+                        &mut scratch,
+                    )
+                    .map(|s| (s, 0)),
+                };
+                if let Some((s, boundary)) = s {
+                    if best.as_ref().is_none_or(|b| s.gain > b.gain) {
+                        best_boundary = match s.rule {
+                            SplitRule::Threshold(_) => Some(boundary),
+                            SplitRule::Categories(_) => None,
+                        };
+                        best = Some(s);
+                    }
+                }
+            }
+            best.map(|b| (b, best_boundary))
+        };
+
+        let idx = nodes.len() as u32;
+        if task.parent != NO_PARENT {
+            if let Node::Internal { left, right, .. } = &mut nodes[task.parent as usize] {
+                if task.is_left {
+                    *left = idx;
+                } else {
+                    *right = idx;
+                }
+            }
+        }
+        match split {
+            None => {
+                nodes.push(Node::Leaf(leaf_stats(y, &rows_buf[task.start..task.end])));
+            }
+            Some((split, boundary)) => {
+                split_gains.push((split.feature as u32, split.gain));
+                nodes.push(Node::Internal {
+                    feature: split.feature as u32,
+                    rule: split.rule,
+                    left: 0,
+                    right: 0,
+                });
+                // Route rows by integer rank when the winner is numeric
+                // (`rank <= boundary` ⇔ `value <= threshold`, exactly);
+                // fall back to the rule itself for categorical winners.
+                let seg = &mut rows_buf[task.start..task.end];
+                let n_left = if let Some(b) = boundary {
+                    let ranks_f = &ranks[split.feature];
+                    stable_partition(seg, &mut tmp, |r| ranks_f[r as usize] <= b)
+                } else {
+                    let col = x.column(split.feature);
+                    stable_partition(seg, &mut tmp, |r| split.rule.goes_left(col[r as usize]))
+                };
+                debug_assert!(n_left > 0 && n_left < n_seg);
+                debug_assert!({
+                    let col = x.column(split.feature);
+                    let seg = &rows_buf[task.start..task.end];
+                    seg[..n_left]
+                        .iter()
+                        .all(|&r| split.rule.goes_left(col[r as usize]))
+                        && seg[n_left..]
+                            .iter()
+                            .all(|&r| !split.rule.goes_left(col[r as usize]))
+                });
+                let mid = task.start + n_left;
+                stack.push(Task {
+                    start: mid,
+                    end: task.end,
+                    depth: task.depth + 1,
+                    parent: idx,
+                    is_left: false,
+                });
+                stack.push(Task {
+                    start: task.start,
+                    end: mid,
+                    depth: task.depth + 1,
+                    parent: idx,
+                    is_left: true,
+                });
+            }
         }
     }
-    (left, right)
+
+    RegressionTree { nodes, split_gains }
+}
+
+/// One fused pass over a node's segment: whether every target equals the
+/// first (the historical `constant_targets` stop test) and the node-order
+/// target sum (the historical per-feature `total`, hoisted).
+fn node_stats(y: &[f64], rows: &[u32]) -> (bool, f64) {
+    let first = y[rows[0] as usize];
+    let mut all_eq = true;
+    let mut sum = 0.0;
+    for &r in rows {
+        let v = y[r as usize];
+        all_eq &= v == first;
+        sum += v;
+    }
+    (all_eq, sum)
+}
+
+/// Maps a finite `f64` to a `u64` whose `cmp` answers exactly like the
+/// float's `partial_cmp`: negative values have their bits flipped, positive
+/// values get the sign bit set, and `-0.0` is collapsed onto `+0.0` first so
+/// the two compare `Equal` as IEEE requires. Used to build the dense rank
+/// tables below.
+#[inline]
+fn sort_key(v: f64) -> u64 {
+    debug_assert!(!v.is_nan(), "NaN feature value");
+    let v = if v == 0.0 { 0.0 } else { v };
+    let b = v.to_bits();
+    if b >> 63 == 1 {
+        !b
+    } else {
+        b | (1 << 63)
+    }
+}
+
+/// Dense order-preserving ranks for every numeric column of `x`:
+/// `ranks[f][r]` is the number of distinct values of column `f` strictly
+/// below `x[r][f]`. Ranks compare exactly like the original values
+/// (`-0.0` collapsed onto `+0.0`), so the per-node packed sort and the
+/// boundary scan can work purely on integers. Computed once per forest fit
+/// and shared across all trees. Categorical columns get an empty table.
+pub(crate) fn numeric_ranks(x: &FeatureMatrix, kinds: &[FeatureKind]) -> Vec<Vec<u32>> {
+    kinds
+        .iter()
+        .enumerate()
+        .map(|(f, kind)| match kind {
+            FeatureKind::Numeric => column_ranks(x.column(f)),
+            FeatureKind::Categorical { .. } => Vec::new(),
+        })
+        .collect()
+}
+
+/// Dense ranks of one column (any correct dense ranking is deterministic in
+/// the multiset of values, so the sort here carries no bit-identity risk).
+fn column_ranks(col: &[f64]) -> Vec<u32> {
+    let mut keyed: Vec<(u64, u32)> = col
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (sort_key(v), i as u32))
+        .collect();
+    keyed.sort_unstable_by_key(|&(k, _)| k);
+    let mut ranks = vec![0u32; col.len()];
+    let mut rank = 0u32;
+    for w in 1..keyed.len() {
+        if keyed[w].0 != keyed[w - 1].0 {
+            rank += 1;
+        }
+        ranks[keyed[w].1 as usize] = rank;
+    }
+    ranks
+}
+
+/// Stably partitions `seg` so rows accepted by `goes_left` come first,
+/// preserving relative order on both sides; returns the left count.
+fn stable_partition(seg: &mut [u32], tmp: &mut Vec<u32>, goes_left: impl Fn(u32) -> bool) -> usize {
+    if tmp.len() < seg.len() {
+        tmp.resize(seg.len(), 0);
+    }
+    // Branchless two-stream write: every element is stored to both the next
+    // left slot (in place) and the next right slot (scratch), and exactly
+    // one cursor advances. The in-place store is safe because the left
+    // cursor never passes the read index, and any slot it scribbles on is
+    // either overwritten by a later left element or by the scratch
+    // copy-back. Same output as the branchy loop, no data-dependent branch.
+    let mut w = 0usize;
+    let mut t = 0usize;
+    for i in 0..seg.len() {
+        let r = seg[i];
+        let left = goes_left(r);
+        seg[w] = r;
+        tmp[t] = r;
+        w += usize::from(left);
+        t += usize::from(!left);
+    }
+    seg[w..].copy_from_slice(&tmp[..t]);
+    w
+}
+
+/// Descends `row` through four trees in lock step, returning the four
+/// leaf means in tree order.
+///
+/// Functionally identical to four [`RegressionTree::predict`] calls; the
+/// interleaving exists purely so the four serial node-load chains overlap
+/// in the memory pipeline (batch prediction is latency-bound, not
+/// compute-bound).
+pub(crate) fn predict4(trees: [&RegressionTree; 4], row: &[f64]) -> [f64; 4] {
+    let mut idx = [0usize; 4];
+    let mut out = [0.0f64; 4];
+    let mut pending = [true; 4];
+    loop {
+        let mut any = false;
+        for k in 0..4 {
+            if pending[k] {
+                match &trees[k].nodes[idx[k]] {
+                    Node::Leaf(stats) => {
+                        out[k] = stats.mean;
+                        pending[k] = false;
+                    }
+                    Node::Internal {
+                        feature,
+                        rule,
+                        left,
+                        right,
+                    } => {
+                        idx[k] = if rule.goes_left(row[*feature as usize]) {
+                            *left as usize
+                        } else {
+                            *right as usize
+                        };
+                        any = true;
+                    }
+                }
+            }
+        }
+        if !any {
+            return out;
+        }
+    }
+}
+
+/// Single-pass leaf statistics (Youngs–Cramer update).
+///
+/// The running `sum` accumulates in exactly the historical order, so the
+/// leaf *mean* is bit-identical to the old two-pass computation; the
+/// variance accumulator `m2 += (k·v − sum_k)² / (k(k−1))` is exactly zero
+/// for constant targets with exactly-representable partial sums (single-row
+/// and integer-valued leaves in particular) and agrees with the two-pass
+/// value to rounding error otherwise (verified against
+/// `reference::leaf_stats` in tests).
+pub(crate) fn leaf_stats(y: &[f64], rows: &[u32]) -> LeafStats {
+    let mut sum = 0.0f64;
+    let mut m2 = 0.0f64;
+    for (i, &r) in rows.iter().enumerate() {
+        let v = y[r as usize];
+        sum += v;
+        if i > 0 {
+            let k = (i + 1) as f64;
+            let d = k * v - sum;
+            m2 += d * d / (k * (k - 1.0));
+        }
+    }
+    let n = rows.len() as f64;
+    LeafStats {
+        mean: sum / n,
+        variance: m2 / n,
+        count: rows.len() as u32,
+    }
 }
 
 #[cfg(test)]
@@ -270,9 +596,10 @@ mod tests {
 
     fn fit_simple(x: &[Vec<f64>], y: &[f64], config: &ForestConfig) -> RegressionTree {
         let kinds = vec![FeatureKind::Numeric; x[0].len()];
+        let m = FeatureMatrix::from_rows(x[0].len(), x);
         let rows: Vec<u32> = (0..x.len() as u32).collect();
         let mut rng = Xoshiro256PlusPlus::new(0);
-        RegressionTree::fit(x, y, &rows, &kinds, config, &mut rng)
+        RegressionTree::fit(&m, y, &rows, &kinds, config, &mut rng)
     }
 
     #[test]
@@ -342,9 +669,10 @@ mod tests {
             .collect();
         let y = [1.0, 9.0, 1.2, 0.9, 9.1, 1.1, 1.05, 8.9];
         let kinds = vec![FeatureKind::Categorical { n_categories: 3 }];
+        let m = FeatureMatrix::from_rows(1, &x);
         let rows: Vec<u32> = (0..8).collect();
         let mut rng = Xoshiro256PlusPlus::new(1);
-        let tree = RegressionTree::fit(&x, &y, &rows, &kinds, &ForestConfig::default(), &mut rng);
+        let tree = RegressionTree::fit(&m, &y, &rows, &kinds, &ForestConfig::default(), &mut rng);
         // Category 1 rows predict ~9, others ~1.
         assert!(tree.predict(&[1.0]) > 8.0);
         assert!(tree.predict(&[0.0]) < 2.0);
@@ -373,19 +701,61 @@ mod tests {
             .collect();
         let y: Vec<f64> = (0..64).map(|i| f64::from(i % 5)).collect();
         let kinds = vec![FeatureKind::Numeric; 2];
+        let m = FeatureMatrix::from_rows(2, &x);
         let rows: Vec<u32> = (0..64).collect();
         let cfg = ForestConfig::default();
-        let t1 = RegressionTree::fit(
-            &x,
-            &y,
-            &rows,
-            &kinds,
-            &cfg,
-            &mut Xoshiro256PlusPlus::new(7),
-        );
-        let t2 = RegressionTree::fit(&x, &y, &rows, &kinds, &cfg, &mut Xoshiro256PlusPlus::new(7));
+        let t1 = RegressionTree::fit(&m, &y, &rows, &kinds, &cfg, &mut Xoshiro256PlusPlus::new(7));
+        let t2 = RegressionTree::fit(&m, &y, &rows, &kinds, &cfg, &mut Xoshiro256PlusPlus::new(7));
         for xi in &x {
             assert_eq!(t1.predict(xi), t2.predict(xi));
         }
+    }
+
+    #[test]
+    fn predict_at_matches_row_predict() {
+        let x: Vec<Vec<f64>> = (0..32)
+            .map(|i| vec![f64::from(i % 4), f64::from(i / 4)])
+            .collect();
+        let y: Vec<f64> = (0..32).map(|i| f64::from(i % 6)).collect();
+        let tree = fit_simple(&x, &y, &ForestConfig::default());
+        let m = FeatureMatrix::from_rows(2, &x);
+        for (i, xi) in x.iter().enumerate() {
+            assert_eq!(tree.predict_at(&m, i), tree.predict(xi));
+            assert_eq!(tree.predict_leaf_at(&m, i), tree.predict_leaf(xi));
+        }
+    }
+
+    #[test]
+    fn single_pass_leaf_stats_match_two_pass_reference() {
+        // Mean must be bit-identical on any data (same accumulation order);
+        // variance must be bit-identical on exactly-representable data and
+        // within rounding error on noisy data.
+        let exact: Vec<f64> = (0..64).map(|i| f64::from(i % 9) * 0.25).collect();
+        let rows: Vec<u32> = (0..64).collect();
+        let a = leaf_stats(&exact, &rows);
+        let b = crate::reference::leaf_stats(&exact, &rows);
+        assert_eq!(a.mean.to_bits(), b.mean.to_bits());
+        assert_eq!(a.count, b.count);
+        assert!((a.variance - b.variance).abs() <= 1e-12 * b.variance.max(1.0));
+
+        let mut rng = Xoshiro256PlusPlus::new(99);
+        let noisy: Vec<f64> = (0..257).map(|_| rng.next_f64() * 3.0 + 0.1).collect();
+        let rows: Vec<u32> = (0..257).collect();
+        let a = leaf_stats(&noisy, &rows);
+        let b = crate::reference::leaf_stats(&noisy, &rows);
+        assert_eq!(a.mean.to_bits(), b.mean.to_bits());
+        assert!((a.variance - b.variance).abs() <= 1e-12 * b.variance.max(1.0));
+
+        // Constant targets with exact partial sums: exactly zero variance.
+        let konst = vec![5.25; 33];
+        let rows: Vec<u32> = (0..33).collect();
+        assert_eq!(leaf_stats(&konst, &rows).variance, 0.0);
+        // Inexact constants still agree with the two-pass reference's tiny
+        // cancellation residue to within rounding error.
+        let inexact = vec![0.1 + 0.2; 33];
+        let a = leaf_stats(&inexact, &rows);
+        let b = crate::reference::leaf_stats(&inexact, &rows);
+        assert_eq!(a.mean.to_bits(), b.mean.to_bits());
+        assert!((a.variance - b.variance).abs() < 1e-30);
     }
 }

@@ -7,8 +7,7 @@
 //! all 2^(k−1) partitions on small random problems.
 
 use proptest::prelude::*;
-use pwu_forest::split::{best_split_on_feature, SplitRule, SplitScratch};
-use pwu_space::FeatureKind;
+use pwu_forest::split::{best_categorical_split, SplitRule, SplitScratch};
 
 /// SSE reduction of a given category partition (mask = left side).
 fn gain_of_mask(x: &[Vec<f64>], y: &[f64], mask: u64) -> Option<f64> {
@@ -60,17 +59,10 @@ proptest! {
             .map(|&a| vec![(a % n_categories) as f64])
             .collect();
         let y = &targets[..n];
+        let col: Vec<f64> = x.iter().map(|r| r[0]).collect();
         let rows: Vec<u32> = (0..n as u32).collect();
         let mut scratch = SplitScratch::default();
-        let split = best_split_on_feature(
-            &x,
-            y,
-            &rows,
-            0,
-            FeatureKind::Categorical { n_categories },
-            1,
-            &mut scratch,
-        );
+        let split = best_categorical_split(&col, y, &rows, 0, n_categories, 1, &mut scratch);
         let brute = brute_force_best(&x, y, n_categories);
         match (split, brute) {
             (Some(s), Some(b)) => {

@@ -1,0 +1,102 @@
+//! Golden-snapshot predictions: pins forest predictions captured from the
+//! implementation *before* the hot-path overhaul (flat feature matrix,
+//! integer-key splitter, iterative growth, single-pass leaf statistics).
+//!
+//! The constants below were printed by `examples/golden_gen.rs` at the
+//! pre-refactor commit. Every (kernel, seed, probe) entry is the exact bit
+//! pattern of `predict_one`'s mean and std; any change to split decisions,
+//! RNG consumption, bootstrap draws, or the prediction fold order fails this
+//! test. Regenerate with `cargo run --release --example golden_gen` only
+//! when a prediction change is intended, and say so loudly in the PR.
+
+use pwu_forest::{ForestConfig, RandomForest};
+use pwu_space::{FeatureSchema, TuningTarget};
+use pwu_spapt::kernel_by_name;
+use pwu_stats::{derive_seed, Xoshiro256PlusPlus};
+
+/// (kernel, seed, probe index, mean bits, std bits) — captured pre-refactor.
+const GOLDEN: &[(&str, u64, usize, u64, u64)] = &[
+    ("gesummv", 11, 0, 0x3fe12601ef8394ae, 0x3fdb0e7d62e8695e),
+    ("gesummv", 11, 1, 0x3fd6501d5eb95176, 0x3fb990bcd31fc237),
+    ("gesummv", 11, 2, 0x3fdb3510f4b34ed0, 0x3fc3ccc8b1079515),
+    ("gesummv", 11, 3, 0x3fe4ecae60c4eb76, 0x3fdac71fb91bd36f),
+    ("gesummv", 11, 4, 0x3febf0a1b83221a4, 0x3febc0b0af074a88),
+    ("gesummv", 11, 5, 0x3fea6014afb1b8af, 0x3fea1ee5a320f636),
+    ("gesummv", 22, 0, 0x3fdc7a4ed213e695, 0x3fd5f9ac216237d9),
+    ("gesummv", 22, 1, 0x3fddd7049c60e0a5, 0x3fd47ef12d8ad308),
+    ("gesummv", 22, 2, 0x3fe4524e8a950a88, 0x3fe0f59b6823b97c),
+    ("gesummv", 22, 3, 0x3fe02d37e5ad8ad0, 0x3fe42e89ea15040c),
+    ("gesummv", 22, 4, 0x3fe9b58ed75fecc7, 0x3fe1ee9bf431c3c7),
+    ("gesummv", 22, 5, 0x3feaee38e5c6b239, 0x3fe6fe570bf23f5f),
+    ("gesummv", 33, 0, 0x3feeb0a32a7b97ab, 0x3fed700bd166f4df),
+    ("gesummv", 33, 1, 0x3fe628155a92669a, 0x3fdb058383e401a2),
+    ("gesummv", 33, 2, 0x3fe3c0c9114c9f2b, 0x3fe6b4116e6c4bee),
+    ("gesummv", 33, 3, 0x3fdf2b8d6ac36296, 0x3fc7ecd2e6a4124a),
+    ("gesummv", 33, 4, 0x3fe7980f4b8ac120, 0x3fe84321f78e928b),
+    ("gesummv", 33, 5, 0x3ff7a25d6e710b21, 0x3ff31a248a770afe),
+    ("mm", 11, 0, 0x40130299d9285383, 0x40068e6468586d77),
+    ("mm", 11, 1, 0x4025c6f6e3b5cb77, 0x40188f2d23200755),
+    ("mm", 11, 2, 0x402466e705162d9a, 0x4019b673a4da2fc7),
+    ("mm", 11, 3, 0x402281a27966c4b8, 0x40216ca657f14960),
+    ("mm", 11, 4, 0x4026be5490b889f1, 0x4019b971144681e6),
+    ("mm", 11, 5, 0x4020753ee24445a6, 0x401424cfb7bdff8e),
+    ("mm", 22, 0, 0x40204391e415adb4, 0x401d76a8494343e3),
+    ("mm", 22, 1, 0x402494979efca309, 0x401d4d50b7b1da2c),
+    ("mm", 22, 2, 0x4026e8a8d562bf51, 0x4028e38cdb2fdd5c),
+    ("mm", 22, 3, 0x4025829e1ce90153, 0x401cc1ae89e3b35b),
+    ("mm", 22, 4, 0x4028026469400a1e, 0x4021871961aa0d2a),
+    ("mm", 22, 5, 0x402f022c250b17cb, 0x4020ee7b701068b8),
+    ("mm", 33, 0, 0x4020bdac6fa600b9, 0x401fee4ba6a4d695),
+    ("mm", 33, 1, 0x40276316d5beedfb, 0x40221d8c47509368),
+    ("mm", 33, 2, 0x4019d4bc9dcf94ee, 0x401eb20018178305),
+    ("mm", 33, 3, 0x402d2374e9cbd8b6, 0x401e6556af4cc791),
+    ("mm", 33, 4, 0x4021f94a6e6c5495, 0x401851cf44071b35),
+    ("mm", 33, 5, 0x402159b832dd97bb, 0x401d41b4fa324652),
+];
+
+#[test]
+fn predictions_bit_match_pre_refactor_snapshot() {
+    for kernel_name in ["gesummv", "mm"] {
+        let kernel = kernel_by_name(kernel_name).expect("kernel registered");
+        let space = kernel.space();
+        let schema = FeatureSchema::for_space(space);
+        for seed in [11u64, 22, 33] {
+            let mut rng = Xoshiro256PlusPlus::new(seed);
+            let cfgs = space.sample_distinct(260, &mut rng);
+            let (train_cfgs, probe_cfgs) = cfgs.split_at(200);
+            let x = schema.encode_matrix(space, train_cfgs);
+            let mut label_rng = Xoshiro256PlusPlus::new(derive_seed(seed, 7));
+            let y: Vec<f64> = train_cfgs
+                .iter()
+                .map(|c| kernel.measure(c, &mut label_rng))
+                .collect();
+            let config = ForestConfig {
+                n_trees: 32,
+                ..ForestConfig::default()
+            };
+            let forest = RandomForest::fit(&config, schema.kinds(), &x, &y, derive_seed(seed, 5));
+            let probes = schema.encode_matrix(space, &probe_cfgs[..6]);
+            for i in 0..probes.n_rows() {
+                let p = forest.predict_one_at(&probes, i);
+                let expected = GOLDEN
+                    .iter()
+                    .find(|g| g.0 == kernel_name && g.1 == seed && g.2 == i)
+                    .expect("golden entry exists");
+                assert_eq!(
+                    p.mean.to_bits(),
+                    expected.3,
+                    "{kernel_name} seed {seed} probe {i}: mean {} != golden {}",
+                    p.mean,
+                    f64::from_bits(expected.3)
+                );
+                assert_eq!(
+                    p.std.to_bits(),
+                    expected.4,
+                    "{kernel_name} seed {seed} probe {i}: std {} != golden {}",
+                    p.std,
+                    f64::from_bits(expected.4)
+                );
+            }
+        }
+    }
+}

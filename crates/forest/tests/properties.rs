@@ -21,7 +21,7 @@ proptest! {
     #[test]
     fn predictions_bounded_by_training_targets((x, y) in arb_problem(), seed in 0u64..100) {
         let kinds = vec![FeatureKind::Numeric; x[0].len()];
-        let forest = RandomForest::fit(&ForestConfig::default(), &kinds, &x, &y, seed);
+        let forest = RandomForest::fit_rows(&ForestConfig::default(), &kinds, &x, &y, seed);
         let lo = y.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         for xi in &x {
@@ -35,7 +35,7 @@ proptest! {
     #[test]
     fn uncertainty_bounded_by_target_spread((x, y) in arb_problem(), seed in 0u64..100) {
         let kinds = vec![FeatureKind::Numeric; x[0].len()];
-        let forest = RandomForest::fit(&ForestConfig::default(), &kinds, &x, &y, seed);
+        let forest = RandomForest::fit_rows(&ForestConfig::default(), &kinds, &x, &y, seed);
         let lo = y.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let spread = hi - lo;
@@ -49,8 +49,8 @@ proptest! {
     #[test]
     fn determinism_across_refits((x, y) in arb_problem(), seed in 0u64..100) {
         let kinds = vec![FeatureKind::Numeric; x[0].len()];
-        let f1 = RandomForest::fit(&ForestConfig::default(), &kinds, &x, &y, seed);
-        let f2 = RandomForest::fit(&ForestConfig::default(), &kinds, &x, &y, seed);
+        let f1 = RandomForest::fit_rows(&ForestConfig::default(), &kinds, &x, &y, seed);
+        let f2 = RandomForest::fit_rows(&ForestConfig::default(), &kinds, &x, &y, seed);
         for xi in x.iter().take(8) {
             prop_assert_eq!(f1.predict_one(xi).mean, f2.predict_one(xi).mean);
             prop_assert_eq!(f1.predict_one(xi).std, f2.predict_one(xi).std);
@@ -61,7 +61,7 @@ proptest! {
     fn total_variance_dominates_across_tree_variance((x, y) in arb_problem(), seed in 0u64..100) {
         let kinds = vec![FeatureKind::Numeric; x[0].len()];
         let cfg = ForestConfig { min_leaf: 3, ..ForestConfig::default() };
-        let forest = RandomForest::fit(&cfg, &kinds, &x, &y, seed);
+        let forest = RandomForest::fit_rows(&cfg, &kinds, &x, &y, seed);
         for xi in x.iter().take(8) {
             let a = forest.predict_one(xi);
             let t = forest.predict_total_variance(xi);
@@ -73,7 +73,7 @@ proptest! {
     #[test]
     fn unseen_rows_get_finite_predictions((x, y) in arb_problem(), seed in 0u64..100) {
         let kinds = vec![FeatureKind::Numeric; x[0].len()];
-        let forest = RandomForest::fit(&ForestConfig::default(), &kinds, &x, &y, seed);
+        let forest = RandomForest::fit_rows(&ForestConfig::default(), &kinds, &x, &y, seed);
         // Probe far outside the training box.
         let probe: Vec<f64> = vec![1e9; x[0].len()];
         let p = forest.predict_one(&probe);
@@ -96,7 +96,7 @@ proptest! {
             FeatureKind::Numeric,
         ];
         let cfg = ForestConfig { mtry: Mtry::All, ..ForestConfig::default() };
-        let forest = RandomForest::fit(&cfg, &kinds, &x, &y, seed);
+        let forest = RandomForest::fit_rows(&cfg, &kinds, &x, &y, seed);
         for c in 0..n_cat {
             let p = forest.predict(&[c as f64, 0.0]);
             prop_assert!(p.is_finite());

@@ -21,7 +21,15 @@ where
         fs::create_dir_all(parent)?;
     }
     let mut out = io::BufWriter::new(fs::File::create(path)?);
-    writeln!(out, "{}", header.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","))?;
+    writeln!(
+        out,
+        "{}",
+        header
+            .iter()
+            .map(|c| escape(c))
+            .collect::<Vec<_>>()
+            .join(",")
+    )?;
     for row in rows {
         let line = row
             .iter()

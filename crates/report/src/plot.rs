@@ -20,7 +20,11 @@ pub struct LinePlot {
 impl LinePlot {
     /// Creates an empty chart.
     #[must_use]
-    pub fn new(title: impl Into<String>, x_label: impl Into<String>, y_label: impl Into<String>) -> Self {
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
         Self {
             title: title.into(),
             x_label: x_label.into(),
@@ -112,12 +116,7 @@ impl LinePlot {
             };
             let _ = writeln!(out, "{label} |{}", row.iter().collect::<String>());
         }
-        let _ = writeln!(
-            out,
-            "{} +{}",
-            " ".repeat(9),
-            "-".repeat(self.width)
-        );
+        let _ = writeln!(out, "{} +{}", " ".repeat(9), "-".repeat(self.width));
         let _ = writeln!(
             out,
             "{} {:<.1$}  →  {2} = {3:.3} .. {4:.3}",

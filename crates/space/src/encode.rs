@@ -10,6 +10,7 @@
 //!   performs subset splits instead of threshold splits.
 
 use crate::config::Configuration;
+use crate::matrix::FeatureMatrix;
 use crate::param::Domain;
 use crate::space::ParamSpace;
 
@@ -99,6 +100,20 @@ impl FeatureSchema {
     pub fn encode_all(&self, space: &ParamSpace, cfgs: &[Configuration]) -> Vec<Vec<f64>> {
         cfgs.iter().map(|c| self.encode(space, c)).collect()
     }
+
+    /// Encodes many configurations into a flat column-major
+    /// [`FeatureMatrix`] — the layout the forest's hot paths consume.
+    ///
+    /// Entry-for-entry identical to [`FeatureSchema::encode_all`]; only the
+    /// storage layout differs.
+    #[must_use]
+    pub fn encode_matrix(&self, space: &ParamSpace, cfgs: &[Configuration]) -> FeatureMatrix {
+        let mut m = FeatureMatrix::new(self.dim());
+        for cfg in cfgs {
+            m.push_row(&self.encode(space, cfg));
+        }
+        m
+    }
 }
 
 #[cfg(test)]
@@ -159,5 +174,17 @@ mod tests {
         let m = schema.encode_all(&s, &cfgs);
         assert_eq!(m.len(), cfgs.len());
         assert!(m.iter().all(|r| r.len() == 3));
+    }
+
+    #[test]
+    fn encode_matrix_matches_encode_all_entry_for_entry() {
+        let s = space();
+        let schema = FeatureSchema::for_space(&s);
+        let cfgs: Vec<Configuration> = s.enumerate().collect();
+        let rows = schema.encode_all(&s, &cfgs);
+        let m = schema.encode_matrix(&s, &cfgs);
+        assert_eq!(m.n_rows(), rows.len());
+        assert_eq!(m.n_cols(), schema.dim());
+        assert_eq!(m.to_rows(), rows);
     }
 }

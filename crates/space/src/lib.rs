@@ -12,10 +12,12 @@
 //! - [`config`] — a [`Configuration`] (one point of the space) as level indices
 //! - [`space`] — [`ParamSpace`]: cardinality, indexing, uniform sampling
 //! - [`encode`] — feature encoding of configurations for learning
+//! - [`matrix`] — flat column-major feature storage ([`FeatureMatrix`])
 //! - [`pool`] — labeled/unlabeled sample pools used by active learning
 
 pub mod config;
 pub mod encode;
+pub mod matrix;
 pub mod param;
 pub mod pool;
 pub mod space;
@@ -23,6 +25,7 @@ pub mod target;
 
 pub use config::Configuration;
 pub use encode::{FeatureKind, FeatureSchema};
+pub use matrix::FeatureMatrix;
 pub use param::{Domain, Param, Value};
 pub use pool::{LabeledSet, Pool};
 pub use space::ParamSpace;

@@ -235,8 +235,8 @@ mod tests {
         assert!(err.message.contains("empty domain"));
         let err = Param::try_new("t", Domain::Ordinal(vec![1.0, f64::NAN])).unwrap_err();
         assert!(err.message.contains("non-finite"));
-        let err = Param::try_new("c", Domain::Categorical(vec!["x".into(), "x".into()]))
-            .unwrap_err();
+        let err =
+            Param::try_new("c", Domain::Categorical(vec!["x".into(), "x".into()])).unwrap_err();
         assert!(err.message.contains("duplicate category"));
     }
 }

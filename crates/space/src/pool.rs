@@ -5,11 +5,16 @@
 //! into the held-out *test set*. [`Pool`] keeps configurations and their
 //! encoded feature rows aligned, and supports the two operations Algorithm 1
 //! needs: scoring every remaining candidate and removing a selected batch.
+//!
+//! Both [`Pool`] and [`LabeledSet`] back their features with the flat
+//! column-major [`FeatureMatrix`], so the forest's fit and batch-predict hot
+//! paths run over contiguous columns with no per-row indirection.
 
 use rand::Rng;
 
 use crate::config::Configuration;
 use crate::encode::FeatureSchema;
+use crate::matrix::FeatureMatrix;
 use crate::space::ParamSpace;
 
 use pwu_stats::Xoshiro256PlusPlus;
@@ -18,14 +23,14 @@ use pwu_stats::Xoshiro256PlusPlus;
 #[derive(Debug, Clone)]
 pub struct Pool {
     configs: Vec<Configuration>,
-    features: Vec<Vec<f64>>,
+    features: FeatureMatrix,
 }
 
 impl Pool {
     /// Builds a pool by encoding `configs` with `schema`.
     #[must_use]
     pub fn new(space: &ParamSpace, schema: &FeatureSchema, configs: Vec<Configuration>) -> Self {
-        let features = schema.encode_all(space, &configs);
+        let features = schema.encode_matrix(space, &configs);
         Self { configs, features }
     }
 
@@ -47,9 +52,9 @@ impl Pool {
         &self.configs
     }
 
-    /// The feature rows, aligned with [`Pool::configs`].
+    /// The feature matrix, row-aligned with [`Pool::configs`].
     #[must_use]
-    pub fn features(&self) -> &[Vec<f64>] {
+    pub fn features(&self) -> &FeatureMatrix {
         &self.features
     }
 
@@ -73,7 +78,7 @@ impl Pool {
         for &i in sorted.iter().rev() {
             assert!(i < self.configs.len(), "index {i} out of range");
             let cfg = self.configs.swap_remove(i);
-            let row = self.features.swap_remove(i);
+            let row = self.features.swap_remove_row(i);
             out.push((cfg, row));
         }
         out.reverse();
@@ -86,19 +91,16 @@ impl Pool {
     /// Used by the active-learning loop to drop candidates a legality
     /// analysis has marked [`Illegal`](crate::ConfigLegality::Illegal)
     /// before any measurement budget is spent on them.
-    pub fn retain(&mut self, mut keep: impl FnMut(&Configuration) -> bool) -> usize {
-        let before = self.configs.len();
-        let mut kept = Vec::with_capacity(before);
-        let mut kept_rows = Vec::with_capacity(before);
-        for (cfg, row) in self.configs.drain(..).zip(self.features.drain(..)) {
-            if keep(&cfg) {
-                kept.push(cfg);
-                kept_rows.push(row);
-            }
-        }
-        self.configs = kept;
-        self.features = kept_rows;
-        before - self.configs.len()
+    pub fn retain(&mut self, keep: impl FnMut(&Configuration) -> bool) -> usize {
+        let kept: Vec<bool> = self.configs.iter().map(keep).collect();
+        let removed = self.features.retain_rows(&kept);
+        let mut i = 0;
+        self.configs.retain(|_| {
+            let k = kept[i];
+            i += 1;
+            k
+        });
+        removed
     }
 
     /// Removes and returns `n` uniformly random candidates.
@@ -112,7 +114,7 @@ impl Pool {
         for _ in 0..n {
             let i = rng.gen_range(0..self.configs.len());
             let cfg = self.configs.swap_remove(i);
-            let row = self.features.swap_remove(i);
+            let row = self.features.swap_remove_row(i);
             out.push((cfg, row));
         }
         out
@@ -123,28 +125,30 @@ impl Pool {
 #[derive(Debug, Clone, Default)]
 pub struct LabeledSet {
     configs: Vec<Configuration>,
-    features: Vec<Vec<f64>>,
+    features: FeatureMatrix,
     labels: Vec<f64>,
 }
 
 impl LabeledSet {
     /// Creates an empty set.
+    ///
+    /// The feature width is fixed by the first [`LabeledSet::push`].
     #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Creates a labeled set from parallel vectors.
+    /// Creates a labeled set from aligned parts.
     ///
     /// # Panics
-    /// Panics if the vectors disagree in length.
+    /// Panics if the parts disagree in length.
     #[must_use]
     pub fn from_parts(
         configs: Vec<Configuration>,
-        features: Vec<Vec<f64>>,
+        features: FeatureMatrix,
         labels: Vec<f64>,
     ) -> Self {
-        assert_eq!(configs.len(), features.len());
+        assert_eq!(configs.len(), features.n_rows());
         assert_eq!(configs.len(), labels.len());
         Self {
             configs,
@@ -154,9 +158,15 @@ impl LabeledSet {
     }
 
     /// Appends one labeled observation.
-    pub fn push(&mut self, config: Configuration, features: Vec<f64>, label: f64) {
+    ///
+    /// # Panics
+    /// Panics if `features` has a different width than earlier rows.
+    pub fn push(&mut self, config: Configuration, features: &[f64], label: f64) {
+        if self.labels.is_empty() && self.features.n_cols() != features.len() {
+            self.features = FeatureMatrix::new(features.len());
+        }
+        self.features.push_row(features);
         self.configs.push(config);
-        self.features.push(features);
         self.labels.push(label);
     }
 
@@ -178,9 +188,9 @@ impl LabeledSet {
         &self.configs
     }
 
-    /// Feature rows aligned with the labels.
+    /// The feature matrix, row-aligned with the labels.
     #[must_use]
-    pub fn features(&self) -> &[Vec<f64>] {
+    pub fn features(&self) -> &FeatureMatrix {
         &self.features
     }
 
@@ -256,8 +266,9 @@ mod tests {
         let removed = pool.retain(|cfg| cfg.level(0) != 2);
         assert_eq!(removed, 4);
         assert_eq!(pool.len(), 12);
-        for (cfg, row) in pool.configs().iter().zip(pool.features()) {
+        for (i, cfg) in pool.configs().iter().enumerate() {
             assert_ne!(cfg.level(0), 2);
+            let row = pool.features().row(i);
             assert_eq!(row[0], f64::from(cfg.level(0)));
             assert_eq!(row[1], f64::from(cfg.level(1)));
         }
@@ -273,21 +284,36 @@ mod tests {
     }
 
     #[test]
+    fn features_stay_aligned_after_mixed_removals() {
+        let (_, _, mut pool) = setup();
+        let mut rng = Xoshiro256PlusPlus::new(3);
+        let _ = pool.take_random(4, &mut rng);
+        let _ = pool.take(&[1, 6]);
+        assert_eq!(pool.features().n_rows(), pool.len());
+        for (i, cfg) in pool.configs().iter().enumerate() {
+            assert_eq!(pool.features().get(i, 0), f64::from(cfg.level(0)));
+            assert_eq!(pool.features().get(i, 1), f64::from(cfg.level(1)));
+        }
+    }
+
+    #[test]
     fn labeled_set_accumulates_and_costs() {
         let (space, schema, mut pool) = setup();
         let mut set = LabeledSet::new();
         let mut rng = Xoshiro256PlusPlus::new(2);
         for (cfg, row) in pool.take_random(3, &mut rng) {
             let y = row[0] + row[1];
-            set.push(cfg, row, y);
+            set.push(cfg, &row, y);
         }
         assert_eq!(set.len(), 3);
+        assert_eq!(set.features().n_rows(), 3);
+        assert_eq!(set.features().n_cols(), 2);
         let expected: f64 = set.labels().iter().sum();
         assert_eq!(set.cumulative_cost(), expected);
         // from_parts round-trips
         let rebuilt = LabeledSet::from_parts(
             set.configs().to_vec(),
-            set.features().to_vec(),
+            set.features().clone(),
             set.labels().to_vec(),
         );
         assert_eq!(rebuilt.len(), 3);

@@ -40,10 +40,7 @@ impl ParamSpace {
     /// # Errors
     /// Returns [`InvalidInput`] if `params` is empty or contains duplicate
     /// names.
-    pub fn try_new(
-        name: impl Into<String>,
-        params: Vec<Param>,
-    ) -> Result<Self, InvalidInput> {
+    pub fn try_new(name: impl Into<String>, params: Vec<Param>) -> Result<Self, InvalidInput> {
         let name = name.into();
         if params.is_empty() {
             return Err(InvalidInput::new(
@@ -240,8 +237,7 @@ impl ParamSpace {
         );
         if card <= 2 * n as u128 {
             // Enumerate + Fisher–Yates shuffle, take the first n.
-            let mut all: Vec<Configuration> =
-                (0..card).map(|i| self.decode_index(i)).collect();
+            let mut all: Vec<Configuration> = (0..card).map(|i| self.decode_index(i)).collect();
             for i in (1..all.len()).rev() {
                 let j = rng.gen_range(0..=i);
                 all.swap(i, j);
@@ -363,18 +359,15 @@ mod tests {
     #[test]
     #[should_panic(expected = "duplicate parameter")]
     fn duplicate_param_names_rejected() {
-        let _ = ParamSpace::new(
-            "dup",
-            vec![Param::boolean("x"), Param::boolean("x")],
-        );
+        let _ = ParamSpace::new("dup", vec![Param::boolean("x"), Param::boolean("x")]);
     }
 
     #[test]
     fn try_constructors_reject_without_panicking() {
         let err = ParamSpace::try_new("empty", vec![]).unwrap_err();
         assert_eq!(err.context, "param space");
-        let err = ParamSpace::try_new("dup", vec![Param::boolean("x"), Param::boolean("x")])
-            .unwrap_err();
+        let err =
+            ParamSpace::try_new("dup", vec![Param::boolean("x"), Param::boolean("x")]).unwrap_err();
         assert!(err.message.contains("duplicate parameter"));
 
         let s = tiny();

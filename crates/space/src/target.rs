@@ -265,7 +265,10 @@ mod tests {
         let t = Quadratic {
             space: ParamSpace::new(
                 "q",
-                vec![Param::ordinal("x", (0..8).map(f64::from).collect::<Vec<_>>())],
+                vec![Param::ordinal(
+                    "x",
+                    (0..8).map(f64::from).collect::<Vec<_>>(),
+                )],
             ),
         };
         let mut rng = Xoshiro256PlusPlus::new(0);
@@ -280,7 +283,10 @@ mod tests {
         let t = Quadratic {
             space: ParamSpace::new(
                 "q",
-                vec![Param::ordinal("x", (0..8).map(f64::from).collect::<Vec<_>>())],
+                vec![Param::ordinal(
+                    "x",
+                    (0..8).map(f64::from).collect::<Vec<_>>(),
+                )],
             ),
         };
         let mut rng = Xoshiro256PlusPlus::new(0);
@@ -292,7 +298,10 @@ mod tests {
         let t = Quadratic {
             space: ParamSpace::new(
                 "q",
-                vec![Param::ordinal("x", (0..8).map(f64::from).collect::<Vec<_>>())],
+                vec![Param::ordinal(
+                    "x",
+                    (0..8).map(f64::from).collect::<Vec<_>>(),
+                )],
             ),
         };
         let mut rng = Xoshiro256PlusPlus::new(0);
@@ -338,7 +347,10 @@ mod tests {
         let t = Quadratic {
             space: ParamSpace::new(
                 "q",
-                vec![Param::ordinal("x", (0..8).map(f64::from).collect::<Vec<_>>())],
+                vec![Param::ordinal(
+                    "x",
+                    (0..8).map(f64::from).collect::<Vec<_>>(),
+                )],
             ),
         };
         let cfgs: Vec<Configuration> = (0..4).map(|i| Configuration::new(vec![i])).collect();

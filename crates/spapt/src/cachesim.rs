@@ -185,10 +185,7 @@ pub fn simulate(nest: &LoopNest, t: &TransformedNest, machine: &MachineModel) ->
             vals[l.orig] += pos[p] * scale;
         }
         // Clamp partial tiles: skip iterations beyond the original extents.
-        let in_bounds = vals
-            .iter()
-            .zip(&nest.loops)
-            .all(|(&v, l)| v < l.extent);
+        let in_bounds = vals.iter().zip(&nest.loops).all(|(&v, l)| v < l.extent);
         if in_bounds {
             for stmt in &nest.stmts {
                 for r in stmt.reads.iter().chain(&stmt.writes) {

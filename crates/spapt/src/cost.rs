@@ -57,11 +57,7 @@ pub fn breakdown(
     let iters = t.iterations();
 
     // --- Floating-point work ---------------------------------------------
-    let adds_muls: f64 = nest
-        .stmts
-        .iter()
-        .map(|s| f64::from(s.adds + s.muls))
-        .sum();
+    let adds_muls: f64 = nest.stmts.iter().map(|s| f64::from(s.adds + s.muls)).sum();
     let divs: f64 = nest.stmts.iter().map(|s| f64::from(s.divs)).sum();
     let mut flop_per_iter = adds_muls / machine.flops_per_cycle;
     // Divisions are unpipelined; partial overlap between consecutive ones.
@@ -92,8 +88,7 @@ pub fn breakdown(
     for (p, l) in t.loops.iter().enumerate() {
         let body_entries = t.executions(p) * l.trip as f64;
         if p == t.loops.len() - 1 {
-            overhead_cycles +=
-                body_entries * machine.loop_overhead / t.innermost_unroll() as f64;
+            overhead_cycles += body_entries * machine.loop_overhead / t.innermost_unroll() as f64;
         } else {
             overhead_cycles += body_entries * machine.loop_overhead;
         }

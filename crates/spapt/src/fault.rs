@@ -139,7 +139,8 @@ impl FaultModel {
         }
         let mut acc = SplitMix64::new(self.seed ^ 0xC0F1_13FA_17D0_0D5E).next();
         for &level in cfg.levels() {
-            acc = SplitMix64::new(acc ^ u64::from(level).wrapping_mul(0x9E37_79B9_7F4A_7C15)).next();
+            acc =
+                SplitMix64::new(acc ^ u64::from(level).wrapping_mul(0x9E37_79B9_7F4A_7C15)).next();
         }
         let u = (acc >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
         u < p
@@ -230,9 +231,10 @@ mod tests {
             seed: 43,
             ..fm.clone()
         };
-        let differs = (0..400u32)
-            .any(|i| other.compile_fails(&cfg(&[i, i / 7, i % 5]), false)
-                != fm.compile_fails(&cfg(&[i, i / 7, i % 5]), false));
+        let differs = (0..400u32).any(|i| {
+            other.compile_fails(&cfg(&[i, i / 7, i % 5]), false)
+                != fm.compile_fails(&cfg(&[i, i / 7, i % 5]), false)
+        });
         assert!(differs, "seed must matter");
     }
 

@@ -106,9 +106,7 @@ impl ArrayRef {
     /// loop walks the array contiguously (unit stride).
     #[must_use]
     pub fn innermost_coeff(&self, loop_idx: usize) -> i64 {
-        self.index
-            .last()
-            .map_or(0, |e| e.coeffs[loop_idx])
+        self.index.last().map_or(0, |e| e.coeffs[loop_idx])
     }
 
     /// True when iterating `loop_idx` moves through the array with unit
@@ -283,7 +281,7 @@ mod tests {
         let nest = mm_nest(8);
         let a_ref = &nest.stmts[0].reads[0]; // A[i][k]
         let b_ref = &nest.stmts[0].reads[1]; // B[k][j]
-        // A[i][k]: unit stride in k (last dim coeff 1), invariant in j.
+                                             // A[i][k]: unit stride in k (last dim coeff 1), invariant in j.
         assert!(a_ref.unit_stride_in(2));
         assert!(a_ref.invariant_in(1));
         assert!(!a_ref.unit_stride_in(0));

@@ -475,7 +475,12 @@ mod tests {
     #[test]
     fn adi_matches_table_one_parameter_counts() {
         let adi = kernel_by_name("adi").expect("adi exists");
-        let names: Vec<&str> = adi.space().params().iter().map(pwu_space::Param::name).collect();
+        let names: Vec<&str> = adi
+            .space()
+            .params()
+            .iter()
+            .map(pwu_space::Param::name)
+            .collect();
         let count = |prefix: &str| names.iter().filter(|n| n.starts_with(prefix)).count();
         assert_eq!(count("T1_") + count("T2_"), 8, "tile params");
         assert_eq!(count("U_"), 4, "unroll-jam params");
@@ -545,13 +550,21 @@ mod tests {
         let identity_cfg = Configuration::new(vec![0; dim]);
 
         // Without masks nothing is restricted.
-        assert_eq!(base.lint_config(&tiled_cfg), pwu_space::ConfigLegality::Legal);
+        assert_eq!(
+            base.lint_config(&tiled_cfg),
+            pwu_space::ConfigLegality::Legal
+        );
 
         let mut mask = BlockLegality::permissive(3);
         mask.tile_ok[0] = false;
-        let k = kernel_by_name("mm").expect("mm exists").with_legality(vec![mask]);
+        let k = kernel_by_name("mm")
+            .expect("mm exists")
+            .with_legality(vec![mask]);
         assert!(k.legality().is_some());
-        assert_eq!(k.lint_config(&tiled_cfg), pwu_space::ConfigLegality::Illegal);
+        assert_eq!(
+            k.lint_config(&tiled_cfg),
+            pwu_space::ConfigLegality::Illegal
+        );
         assert_eq!(
             k.lint_config(&identity_cfg),
             pwu_space::ConfigLegality::Legal

@@ -150,16 +150,18 @@ mod tests {
         for _ in 0..50 {
             let reps: Vec<f64> = (0..35).map(|_| spiky.perturb(ideal, &mut rng)).collect();
             mean_err_worst = mean_err_worst.max((pwu_stats::mean(&reps) / ideal - 1.0).abs());
-            median_err_worst =
-                median_err_worst.max((pwu_stats::median(&reps) / ideal - 1.0).abs());
-            trimmed_err_worst = trimmed_err_worst
-                .max((pwu_stats::trimmed_mean(&reps, 0.2) / ideal - 1.0).abs());
+            median_err_worst = median_err_worst.max((pwu_stats::median(&reps) / ideal - 1.0).abs());
+            trimmed_err_worst =
+                trimmed_err_worst.max((pwu_stats::trimmed_mean(&reps, 0.2) / ideal - 1.0).abs());
         }
         assert!(
             mean_err_worst > 0.10,
             "the plain mean should be visibly biased at least once, worst {mean_err_worst}"
         );
-        assert!(median_err_worst < 0.03, "median worst error {median_err_worst}");
+        assert!(
+            median_err_worst < 0.03,
+            "median worst error {median_err_worst}"
+        );
         assert!(
             trimmed_err_worst < 0.03,
             "trimmed-mean worst error {trimmed_err_worst}"

@@ -493,7 +493,7 @@ mod tests {
             .collect();
         assert_eq!(outers.len(), 2);
         assert!(outers.iter().all(|l| l.trip == 2)); // 64/32
-        // Point band trips: 8, 8, 64.
+                                                     // Point band trips: 8, 8, 64.
         let points: Vec<u64> = t
             .loops
             .iter()

@@ -262,7 +262,6 @@ mod tests {
         assert_eq!(s.mean, 3.0);
     }
 
-
     #[test]
     fn median_and_trimmed_mean_resist_spikes() {
         // 10 honest readings around 1.0 plus two 100× daemon spikes.

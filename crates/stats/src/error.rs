@@ -71,7 +71,11 @@ pub fn mae(obs: &[f64], pred: &[f64]) -> f64 {
     if obs.is_empty() {
         return f64::NAN;
     }
-    obs.iter().zip(pred).map(|(&y, &yh)| (y - yh).abs()).sum::<f64>() / obs.len() as f64
+    obs.iter()
+        .zip(pred)
+        .map(|(&y, &yh)| (y - yh).abs())
+        .sum::<f64>()
+        / obs.len() as f64
 }
 
 /// Coefficient of determination R².

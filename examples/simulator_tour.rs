@@ -19,9 +19,18 @@ fn mm_nest(n: u64) -> LoopNest {
     let v = |l| LinIndex::var(nl, l);
     LoopNest {
         loops: vec![
-            LoopDim { name: "i".into(), extent: n },
-            LoopDim { name: "j".into(), extent: n },
-            LoopDim { name: "k".into(), extent: n },
+            LoopDim {
+                name: "i".into(),
+                extent: n,
+            },
+            LoopDim {
+                name: "j".into(),
+                extent: n,
+            },
+            LoopDim {
+                name: "k".into(),
+                extent: n,
+            },
         ],
         stmts: vec![Statement {
             reads: vec![

@@ -33,9 +33,7 @@ fn main() {
     times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
     println!(
         "time spread over 200 random configs: best {:.2} s, median {:.2} s, worst {:.2} s",
-        times[0],
-        times[100],
-        times[199]
+        times[0], times[100], times[199]
     );
 
     // Model the space with PWU vs Uniform and compare where the annotation
@@ -56,7 +54,10 @@ fn main() {
         },
         n_reps: 3,
     };
-    println!("\nmodeling with PWU vs Uniform ({} reps) …", protocol.n_reps);
+    println!(
+        "\nmodeling with PWU vs Uniform ({} reps) …",
+        protocol.n_reps
+    );
     let result = run_experiment(
         &hypre,
         &[Strategy::Pwu { alpha }, Strategy::Uniform],

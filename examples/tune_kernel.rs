@@ -24,7 +24,7 @@ fn main() {
     let sample = space.sample_distinct(1200, &mut rng);
     let (pool_cfgs, rest) = sample.split_at(600);
     let (test_cfgs, candidates) = rest.split_at(200);
-    let test_features = schema.encode_all(space, test_cfgs);
+    let test_features = schema.encode_matrix(space, test_cfgs);
     let test_labels: Vec<f64> = test_cfgs.iter().map(|c| kernel.ideal_time(c)).collect();
 
     let config = ActiveConfig {

@@ -2,11 +2,18 @@
 //!
 //! Mirrors the harness API this workspace's benches use — benchmark groups,
 //! `bench_function` / `bench_with_input`, `BenchmarkId`, `Bencher::iter`,
-//! and the `criterion_group!` / `criterion_main!` macros. Measurement is a
-//! simple wall-clock mean over `sample_size` iterations (after one warm-up
-//! run), printed to stdout; there is no statistical analysis or HTML report.
+//! and the `criterion_group!` / `criterion_main!` macros. Each of the
+//! `sample_size` iterations is timed individually and the **median**
+//! per-call time is reported — far more robust to scheduler noise than the
+//! mean the shim originally printed. Warm-up is configurable per group
+//! ([`BenchmarkGroup::warm_up_iters`], default 1), recorded results are
+//! readable via [`Criterion::results`], and [`Criterion::write_json`] dumps
+//! them as a small machine-readable report (used by `cargo xtask perf`).
+//! There is no statistical analysis or HTML report.
 
 use std::fmt::Display;
+use std::io::Write;
+use std::path::Path;
 use std::time::Instant;
 
 /// Identifier for one benchmark within a group.
@@ -42,19 +49,40 @@ impl From<String> for BenchmarkId {
 #[derive(Debug)]
 pub struct Bencher {
     iters: u64,
-    mean_ns: f64,
+    warm_up_iters: u64,
+    median_ns: f64,
 }
 
 impl Bencher {
-    /// Times `routine`, storing the mean wall-clock nanoseconds per call.
+    /// Times `routine` once per sample, storing the **median** wall-clock
+    /// nanoseconds per call.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
-        // Warm-up run, also prevents the optimizer from seeing a dead body.
-        std::hint::black_box(routine());
-        let start = Instant::now();
-        for _ in 0..self.iters {
+        // Warm-up runs, also prevent the optimizer from seeing a dead body.
+        for _ in 0..self.warm_up_iters {
             std::hint::black_box(routine());
         }
-        self.mean_ns = start.elapsed().as_nanos() as f64 / self.iters as f64;
+        let mut samples = Vec::with_capacity(self.iters as usize);
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            samples.push(start.elapsed().as_nanos() as f64);
+        }
+        self.median_ns = median(&mut samples);
+    }
+}
+
+/// Median of `samples` (mean of the middle pair for even lengths); 0 when
+/// empty.
+fn median(samples: &mut [f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_unstable_by(f64::total_cmp);
+    let mid = samples.len() / 2;
+    if samples.len() % 2 == 1 {
+        samples[mid]
+    } else {
+        (samples[mid - 1] + samples[mid]) / 2.0
     }
 }
 
@@ -64,6 +92,7 @@ pub struct BenchmarkGroup<'a> {
     harness: &'a mut Criterion,
     name: String,
     sample_size: u64,
+    warm_up_iters: u64,
 }
 
 impl BenchmarkGroup<'_> {
@@ -73,19 +102,31 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Sets the number of untimed warm-up iterations per benchmark
+    /// (default 1; 0 disables warm-up entirely).
+    pub fn warm_up_iters(&mut self, n: usize) -> &mut Self {
+        self.warm_up_iters = n as u64;
+        self
+    }
+
+    fn bencher(&self) -> Bencher {
+        Bencher {
+            iters: self.sample_size,
+            warm_up_iters: self.warm_up_iters,
+            median_ns: 0.0,
+        }
+    }
+
     /// Runs one benchmark.
     pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
-        let mut b = Bencher {
-            iters: self.sample_size,
-            mean_ns: 0.0,
-        };
+        let mut b = self.bencher();
         f(&mut b);
         self.harness
-            .report(&format!("{}/{}", self.name, id.name), b.mean_ns);
+            .report(&format!("{}/{}", self.name, id.name), b.median_ns);
         self
     }
 
@@ -101,13 +142,10 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let id = id.into();
-        let mut b = Bencher {
-            iters: self.sample_size,
-            mean_ns: 0.0,
-        };
+        let mut b = self.bencher();
         f(&mut b, input);
         self.harness
-            .report(&format!("{}/{}", self.name, id.name), b.mean_ns);
+            .report(&format!("{}/{}", self.name, id.name), b.median_ns);
         self
     }
 
@@ -119,15 +157,27 @@ impl BenchmarkGroup<'_> {
 #[derive(Debug, Default)]
 pub struct Criterion {
     results: Vec<(String, f64)>,
+    quiet: bool,
 }
 
 impl Criterion {
+    /// A harness that records results without printing per-benchmark lines
+    /// (for embedding the shim in other tools, e.g. the perf harness).
+    #[must_use]
+    pub fn quiet() -> Self {
+        Self {
+            results: Vec::new(),
+            quiet: true,
+        }
+    }
+
     /// Opens a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         BenchmarkGroup {
             harness: self,
             name: name.into(),
             sample_size: 10,
+            warm_up_iters: 1,
         }
     }
 
@@ -139,16 +189,46 @@ impl Criterion {
         let id = id.into();
         let mut b = Bencher {
             iters: 10,
-            mean_ns: 0.0,
+            warm_up_iters: 1,
+            median_ns: 0.0,
         };
         f(&mut b);
-        self.report(&id.name.clone(), b.mean_ns);
+        self.report(&id.name.clone(), b.median_ns);
         self
     }
 
-    fn report(&mut self, label: &str, mean_ns: f64) {
-        println!("{label:<60} {mean_ns:>12.1} ns/iter");
-        self.results.push((label.to_string(), mean_ns));
+    /// All recorded `(label, median_ns)` pairs, in run order.
+    #[must_use]
+    pub fn results(&self) -> &[(String, f64)] {
+        &self.results
+    }
+
+    /// Writes the recorded results as JSON:
+    /// `{"results":[{"name":"...","median_ns":...},...]}`.
+    ///
+    /// # Errors
+    /// Propagates any I/O error from creating or writing the file.
+    pub fn write_json(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let mut out = String::from("{\"results\":[");
+        for (i, (name, median_ns)) in self.results.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"median_ns\":{median_ns:.1}}}",
+                name.replace('\\', "\\\\").replace('"', "\\\"")
+            ));
+        }
+        out.push_str("]}\n");
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(out.as_bytes())
+    }
+
+    fn report(&mut self, label: &str, median_ns: f64) {
+        if !self.quiet {
+            println!("{label:<60} {median_ns:>12.1} ns/iter");
+        }
+        self.results.push((label.to_string(), median_ns));
     }
 }
 
@@ -197,5 +277,41 @@ mod tests {
         assert_eq!(calls, 4);
         assert_eq!(c.results.len(), 2);
         assert!(c.results[1].0.contains("param/7"));
+    }
+
+    #[test]
+    fn warm_up_is_configurable() {
+        let mut c = Criterion::quiet();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2).warm_up_iters(3);
+        let mut calls = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| calls += 1);
+        });
+        group.finish();
+        // 3 warm-ups + 2 timed iterations.
+        assert_eq!(calls, 5);
+    }
+
+    #[test]
+    fn median_is_robust_to_one_outlier() {
+        let mut odd = vec![5.0, 1.0, 1000.0];
+        assert_eq!(median(&mut odd), 5.0);
+        let mut even = vec![4.0, 2.0, 8.0, 1000.0];
+        assert_eq!(median(&mut even), 6.0);
+        assert_eq!(median(&mut []), 0.0);
+    }
+
+    #[test]
+    fn json_sink_round_trips_labels() {
+        let mut c = Criterion::quiet();
+        c.bench_function("fit/n10", |b| b.iter(|| std::hint::black_box(1 + 1)));
+        let path = std::env::temp_dir().join(format!("crit-shim-{}.json", std::process::id()));
+        c.write_json(&path).expect("write succeeds");
+        let text = std::fs::read_to_string(&path).expect("file exists");
+        let _ = std::fs::remove_file(&path);
+        assert!(text.starts_with("{\"results\":["));
+        assert!(text.contains("\"name\":\"fit/n10\""));
+        assert!(text.contains("\"median_ns\":"));
     }
 }

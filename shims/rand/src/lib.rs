@@ -100,6 +100,48 @@ pub trait SeedableRng: Sized {
     }
 }
 
+/// Reduces one 64-bit draw modulo `span`.
+///
+/// Bit-identical to `u128::from(x) % span` for every input; tiny spans are
+/// dispatched to constant-divisor arms so the compiler strength-reduces the
+/// division to a multiply-high — `gen_range` with a small span (feature
+/// subsampling, per-node candidate draws) is on the tree-growth hot path.
+#[inline]
+fn mod_span(x: u64, span: u128) -> u128 {
+    let Ok(s) = u64::try_from(span) else {
+        // A span wider than 64 bits always exceeds the draw.
+        return u128::from(x);
+    };
+    let r = match s {
+        1 => 0,
+        2 => x % 2,
+        3 => x % 3,
+        4 => x % 4,
+        5 => x % 5,
+        6 => x % 6,
+        7 => x % 7,
+        8 => x % 8,
+        9 => x % 9,
+        10 => x % 10,
+        11 => x % 11,
+        12 => x % 12,
+        13 => x % 13,
+        14 => x % 14,
+        15 => x % 15,
+        16 => x % 16,
+        17 => x % 17,
+        18 => x % 18,
+        19 => x % 19,
+        20 => x % 20,
+        21 => x % 21,
+        22 => x % 22,
+        23 => x % 23,
+        24 => x % 24,
+        _ => x % s,
+    };
+    u128::from(r)
+}
+
 /// A range that [`Rng::gen_range`] can sample from.
 pub trait SampleRange<T> {
     /// Draws one uniform value from the range.
@@ -112,7 +154,7 @@ macro_rules! impl_sample_range_uint {
             fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
                 assert!(self.start < self.end, "cannot sample from empty range");
                 let span = (self.end as u128) - (self.start as u128);
-                self.start + (rng.next_u64() as u128 % span) as $t
+                self.start + mod_span(rng.next_u64(), span) as $t
             }
         }
 
@@ -121,7 +163,7 @@ macro_rules! impl_sample_range_uint {
                 let (lo, hi) = (*self.start(), *self.end());
                 assert!(lo <= hi, "cannot sample from empty range");
                 let span = (hi as u128) - (lo as u128) + 1;
-                lo + (rng.next_u64() as u128 % span) as $t
+                lo + mod_span(rng.next_u64(), span) as $t
             }
         }
     )*};
@@ -135,7 +177,7 @@ macro_rules! impl_sample_range_int {
             fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
                 assert!(self.start < self.end, "cannot sample from empty range");
                 let span = (self.end as i128 - self.start as i128) as u128;
-                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                (self.start as i128 + mod_span(rng.next_u64(), span) as i128) as $t
             }
         }
 
@@ -144,7 +186,7 @@ macro_rules! impl_sample_range_int {
                 let (lo, hi) = (*self.start(), *self.end());
                 assert!(lo <= hi, "cannot sample from empty range");
                 let span = (hi as i128 - lo as i128 + 1) as u128;
-                (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                (lo as i128 + mod_span(rng.next_u64(), span) as i128) as $t
             }
         }
     )*};

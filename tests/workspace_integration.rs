@@ -44,7 +44,7 @@ fn forest_rankings_transfer_to_true_times() {
     let schema = FeatureSchema::for_space(kernel.space());
     let mut rng = Xoshiro256PlusPlus::new(3);
     let train_cfgs = kernel.space().sample_distinct(400, &mut rng);
-    let x = schema.encode_all(kernel.space(), &train_cfgs);
+    let x = schema.encode_matrix(kernel.space(), &train_cfgs);
     let y: Vec<f64> = train_cfgs.iter().map(|c| kernel.ideal_time(c)).collect();
     let forest = RandomForest::fit(&ForestConfig::default(), schema.kinds(), &x, &y, 9);
 

@@ -7,6 +7,11 @@
 //! - `faults` — the fault-injection gate: runs the deterministic fault-model
 //!   unit tests and the end-to-end fault-tolerance suite, which drive the
 //!   active-learning loop under ~20 % injected measurement failures.
+//! - `perf` — regenerates `BENCH_forest.json` with the before/after forest
+//!   hot-path harness (`pwu-bench --bin perf`, full mode). With `--check`,
+//!   runs the harness in smoke mode to a scratch file, validates the report
+//!   schema, and fails if any benchmark's speedup regressed below 75 % of
+//!   the committed baseline.
 
 use std::process::{exit, Command};
 
@@ -15,8 +20,9 @@ fn main() {
     match command.as_str() {
         "lint" => lint(),
         "faults" => faults(),
+        "perf" => perf(std::env::args().any(|a| a == "--check")),
         other => {
-            eprintln!("unknown xtask command {other:?}\n\nusage: cargo xtask <lint|faults>");
+            eprintln!("unknown xtask command {other:?}\n\nusage: cargo xtask <lint|faults|perf [--check]>");
             exit(2);
         }
     }
@@ -53,6 +59,123 @@ fn lint() {
         Command::new(&cargo).args(["run", "--release", "-p", "pwu-analyze", "--bin", "pwu-lint"]),
     );
     println!("xtask: lint gate passed");
+}
+
+/// The benchmark names `BENCH_forest.json` must cover to be a valid report.
+const PERF_BENCHMARKS: [&str; 4] = [
+    "fit/n200_d8",
+    "fit/n500_d20",
+    "predict_batch/pool4000_d12",
+    "tuning_iteration/partial8",
+];
+
+fn perf(check: bool) {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    if !check {
+        run_step(
+            "forest perf harness (full mode) -> BENCH_forest.json",
+            Command::new(&cargo).args(["run", "--release", "-p", "pwu-bench", "--bin", "perf"]),
+        );
+        let report = read_report("BENCH_forest.json");
+        println!("xtask: perf report valid ({} benchmarks)", report.len());
+        return;
+    }
+
+    let scratch = "target/BENCH_forest_check.json";
+    run_step(
+        "forest perf harness (smoke mode)",
+        Command::new(&cargo).args([
+            "run",
+            "--release",
+            "-p",
+            "pwu-bench",
+            "--bin",
+            "perf",
+            "--",
+            "--smoke",
+            "--out",
+            scratch,
+        ]),
+    );
+    let fresh = read_report(scratch);
+    let Ok(committed_text) = std::fs::read_to_string("BENCH_forest.json") else {
+        println!("xtask: no committed BENCH_forest.json yet; smoke report is valid, skipping the regression comparison");
+        return;
+    };
+    let committed = parse_report(&committed_text).unwrap_or_else(|| {
+        eprintln!(
+            "xtask: committed BENCH_forest.json does not match the pwu-bench-forest-v1 schema"
+        );
+        exit(1);
+    });
+    let mut failed = false;
+    for (name, committed_speedup) in &committed {
+        let Some((_, fresh_speedup)) = fresh.iter().find(|(n, _)| n == name) else {
+            eprintln!("xtask: benchmark {name} missing from the fresh report");
+            failed = true;
+            continue;
+        };
+        let floor = 0.75 * committed_speedup;
+        if *fresh_speedup < floor {
+            eprintln!(
+                "xtask: perf regression in {name}: speedup {fresh_speedup:.2}x < 75% of committed {committed_speedup:.2}x"
+            );
+            failed = true;
+        } else {
+            println!("xtask: {name}: {fresh_speedup:.2}x (committed {committed_speedup:.2}x) ok");
+        }
+    }
+    if failed {
+        exit(1);
+    }
+    println!("xtask: perf check passed");
+}
+
+/// Reads and schema-validates a perf report, exiting on any problem.
+fn read_report(path: &str) -> Vec<(String, f64)> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("xtask: cannot read {path}: {e}");
+        exit(1);
+    });
+    let report = parse_report(&text).unwrap_or_else(|| {
+        eprintln!("xtask: {path} does not match the pwu-bench-forest-v1 schema");
+        exit(1);
+    });
+    for required in PERF_BENCHMARKS {
+        if !report.iter().any(|(n, _)| n == required) {
+            eprintln!("xtask: {path} is missing benchmark {required}");
+            exit(1);
+        }
+    }
+    report
+}
+
+/// Extracts `(name, speedup)` pairs from a `pwu-bench-forest-v1` report.
+/// Returns `None` on a schema mismatch or malformed entry.
+fn parse_report(text: &str) -> Option<Vec<(String, f64)>> {
+    if !text.contains("\"schema\":\"pwu-bench-forest-v1\"") {
+        return None;
+    }
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(i) = rest.find("{\"name\":\"") {
+        rest = &rest[i + 9..];
+        let name_end = rest.find('"')?;
+        let name = rest[..name_end].to_string();
+        let entry_end = rest.find('}')?;
+        let entry = &rest[..entry_end];
+        let speedup_at = entry.find("\"speedup\":")?;
+        let speedup: f64 = entry[speedup_at + 10..].trim().parse().ok()?;
+        if !speedup.is_finite() || speedup <= 0.0 {
+            return None;
+        }
+        out.push((name, speedup));
+        rest = &rest[entry_end..];
+    }
+    if out.is_empty() {
+        return None;
+    }
+    Some(out)
 }
 
 fn faults() {
