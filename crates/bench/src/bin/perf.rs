@@ -1,33 +1,40 @@
-//! Before/after perf harness for the forest hot-path overhaul.
+//! Before/after perf harness for the forest hot-path overhaul (PR 4) and
+//! the measurement-engine overhaul (memoized kernel evaluation).
 //!
-//! Times the historical row-major implementation
-//! ([`pwu_forest::reference`]) against the optimized flat-matrix path **in
-//! the same process on the same data**, so the recorded speedups are
+//! Times the historical implementation against the optimized path **in the
+//! same process on the same data**, so the recorded speedups are
 //! reproducible on any machine rather than being a snapshot of one
-//! historical host. Four benchmarks cover the costs that dominate an
-//! active-learning run: two forest fits, one pool-sized batch prediction,
-//! and one end-to-end partial-refit tuning iteration (refit + pool
-//! rescoring, the per-iteration model work of Algorithm 1).
+//! historical host. The forest benchmarks pit [`pwu_forest::reference`]
+//! against the flat-matrix path; the measurement benchmarks pit
+//! [`pwu_spapt::Uncached`] (re-derive the base cost on every repetition,
+//! the pre-cache implementation) against the memoizing kernel: one
+//! 35-repeat annotation pass, the pool-lint pass every strategy pays when
+//! an experiment builds its pools, and one end-to-end experiment cell.
 //!
 //! Run via `cargo xtask perf`, or directly:
 //!
 //! ```text
-//! cargo run --release -p pwu-bench --bin perf -- [--smoke] [--out PATH]
+//! cargo run --release -p pwu-bench --bin perf -- \
+//!     [--smoke] [--out PATH] [--measure-out PATH]
 //! ```
 //!
 //! `--smoke` keeps the workload sizes but drops the sample count, for quick
-//! regression checks (`cargo xtask perf --check`). Results go to `PATH`
-//! (default `BENCH_forest.json`) as
-//! `{"schema":"pwu-bench-forest-v1","mode":...,"results":[{name,
-//! baseline_ns, optimized_ns, speedup}, ...]}`; each number is the median
-//! of the timed samples, with baseline and optimized calls interleaved so
-//! machine-speed drift cancels out of the ratio.
+//! regression checks (`cargo xtask perf --check`). The forest results go to
+//! `--out` (default `BENCH_forest.json`) under the `pwu-bench-forest-v1`
+//! schema; the measurement results go to `--measure-out` (default
+//! `BENCH_measure.json`) under `pwu-bench-measure-v1`. Both reports are
+//! `{"schema":...,"mode":...,"results":[{name, baseline_ns, optimized_ns,
+//! speedup}, ...]}`; each number is the median of the timed samples, with
+//! baseline and optimized calls interleaved so machine-speed drift cancels
+//! out of the ratio.
 
 use std::time::Instant;
 
-use pwu_core::PoolScoreCache;
+use pwu_core::experiment::run_experiment;
+use pwu_core::{Annotator, PoolScoreCache, Protocol, Strategy};
 use pwu_forest::{reference, ForestConfig, RandomForest};
-use pwu_space::{FeatureKind, FeatureMatrix};
+use pwu_space::{FeatureKind, FeatureMatrix, PoolLintCounts, TuningTarget};
+use pwu_spapt::{kernel_by_name, FaultModel, Uncached};
 use pwu_stats::Xoshiro256PlusPlus;
 
 /// Synthetic tuning-like data, in both layouts (bitwise-equal contents).
@@ -171,8 +178,118 @@ fn bench_tuning_iteration(samples: usize) -> Row {
     }
 }
 
-fn write_json(path: &str, mode: &str, results: &[Row]) -> std::io::Result<()> {
-    let mut out = format!("{{\"schema\":\"pwu-bench-forest-v1\",\"mode\":\"{mode}\",\"results\":[");
+/// One full annotation pass — 8 configurations × 35 repeats on gesummv with
+/// light fault injection, the paper's measurement protocol for one batch.
+/// The baseline re-derives the base cost on all 35 repeats; the memoizing
+/// kernel pays for one model evaluation per configuration plus 35 noise
+/// draws. Both sides start from a cold cache every sample (fresh clone), so
+/// the reported ratio is the *first-annotation* speedup, not a warm-cache
+/// replay.
+fn bench_annotate(samples: usize) -> Row {
+    let kernel = kernel_by_name("gesummv")
+        .expect("gesummv exists")
+        .with_faults(FaultModel::light(0xBE_7C4));
+    let direct = Uncached(kernel.clone());
+    let mut rng = Xoshiro256PlusPlus::new(41);
+    let cfgs = kernel.space().sample_distinct(8, &mut rng);
+    let (baseline_ns, optimized_ns) = time_pair(
+        samples,
+        || {
+            let target = direct.clone();
+            let mut annotator = Annotator::new(&target, 35, 9);
+            for cfg in &cfgs {
+                std::hint::black_box(annotator.try_evaluate(cfg).ok());
+            }
+        },
+        || {
+            let target = kernel.clone();
+            let mut annotator = Annotator::new(&target, 35, 9);
+            for cfg in &cfgs {
+                std::hint::black_box(annotator.try_evaluate(cfg).ok());
+            }
+        },
+    );
+    Row {
+        name: "annotate/repeats35x8",
+        baseline_ns,
+        optimized_ns,
+    }
+}
+
+/// The pool-classification pass an experiment repetition pays once per
+/// strategy: lint 2000 pool configurations six times (the six strategies of
+/// the paper's comparison all tally the shared pool). The memo computes
+/// each configuration's decode exactly once across all six passes.
+fn bench_pool_lint(samples: usize) -> Row {
+    let kernel = kernel_by_name("atax").expect("atax exists");
+    let direct = Uncached(kernel.clone());
+    let mut rng = Xoshiro256PlusPlus::new(43);
+    let cfgs = kernel.space().sample_distinct(2000, &mut rng);
+    let (baseline_ns, optimized_ns) = time_pair(
+        samples,
+        || {
+            let target = direct.clone();
+            for _ in 0..6 {
+                std::hint::black_box(PoolLintCounts::tally(&target, &cfgs));
+            }
+        },
+        || {
+            let target = kernel.clone();
+            for _ in 0..6 {
+                std::hint::black_box(PoolLintCounts::tally(&target, &cfgs));
+            }
+        },
+    );
+    Row {
+        name: "pool_lint/2000x6",
+        baseline_ns,
+        optimized_ns,
+    }
+}
+
+/// One cell of the experiment grid — `run_experiment` on one kernel with a
+/// miniature protocol (two strategies, one repetition, 35-repeat
+/// annotations). End-to-end: sampling, test labeling, pool linting, the
+/// active-learning loops, forest fits and all; the memo removes the
+/// repeated base-cost evaluations that dominate its measurement half.
+fn bench_experiment_cell(samples: usize) -> Row {
+    let kernel = kernel_by_name("mvt")
+        .expect("mvt exists")
+        .with_faults(FaultModel::light(0xCE_11));
+    let direct = Uncached(kernel.clone());
+    let strategies = [Strategy::Pwu { alpha: 0.05 }, Strategy::Uniform];
+    let mut protocol = Protocol::quick(0.05);
+    protocol.surrogate_size = 80;
+    protocol.pool_size = 56;
+    protocol.n_reps = 1;
+    protocol.active.n_init = 6;
+    protocol.active.n_batch = 2;
+    protocol.active.n_max = 16;
+    protocol.active.repeats = 35;
+    protocol.active.forest = ForestConfig {
+        n_trees: 16,
+        ..ForestConfig::default()
+    };
+    let (baseline_ns, optimized_ns) = time_pair(
+        samples,
+        || {
+            let target = direct.clone();
+            std::hint::black_box(run_experiment(&target, &strategies, &protocol, 7));
+        },
+        || {
+            let target = kernel.clone();
+            std::hint::black_box(run_experiment(&target, &strategies, &protocol, 7));
+        },
+    );
+    Row {
+        name: "experiment_cell/mini",
+        baseline_ns,
+        optimized_ns,
+    }
+}
+
+fn write_json(path: &str, schema: &str, mode: &str, results: &[Row]) -> std::io::Result<()> {
+    let mut out = format!("{{\"schema\":\"{schema}\",\"mode\":\"{mode}\",\"results\":[");
     for (i, r) in results.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -189,29 +306,12 @@ fn write_json(path: &str, mode: &str, results: &[Row]) -> std::io::Result<()> {
     std::fs::write(path, out)
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .map_or("BENCH_forest.json", String::as_str);
-    let (mode, samples) = if smoke { ("smoke", 5) } else { ("full", 15) };
-
-    eprintln!("[perf] mode {mode}: {samples} samples per benchmark, median reported");
-    let results = [
-        bench_fit("fit/n200_d8", 200, 8, samples),
-        bench_fit("fit/n500_d20", 500, 20, samples),
-        bench_predict_batch(samples),
-        bench_tuning_iteration(samples),
-    ];
-
+fn print_table(results: &[Row]) {
     println!(
         "{:<28} {:>14} {:>14} {:>9}",
         "benchmark", "baseline", "optimized", "speedup"
     );
-    for r in &results {
+    for r in results {
         println!(
             "{:<28} {:>11.2} ms {:>11.2} ms {:>8.2}x",
             r.name,
@@ -220,6 +320,44 @@ fn main() {
             r.baseline_ns / r.optimized_ns
         );
     }
-    write_json(out_path, mode, &results).expect("write benchmark report");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let arg_value = |flag: &str, default: &'static str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .map_or(default, String::as_str)
+            .to_string()
+    };
+    let out_path = arg_value("--out", "BENCH_forest.json");
+    let measure_path = arg_value("--measure-out", "BENCH_measure.json");
+    let (mode, samples) = if smoke { ("smoke", 5) } else { ("full", 15) };
+
+    eprintln!("[perf] mode {mode}: {samples} samples per benchmark, median reported");
+    let forest_results = [
+        bench_fit("fit/n200_d8", 200, 8, samples),
+        bench_fit("fit/n500_d20", 500, 20, samples),
+        bench_predict_batch(samples),
+        bench_tuning_iteration(samples),
+    ];
+    print_table(&forest_results);
+    write_json(&out_path, "pwu-bench-forest-v1", mode, &forest_results)
+        .expect("write forest benchmark report");
     eprintln!("[perf] wrote {out_path}");
+
+    // The measurement engine: smoke mode halves the already-bounded sample
+    // count the same way, keeping `cargo xtask perf --check` inside a CI
+    // budget (the experiment cell is the expensive one).
+    let measure_results = [
+        bench_annotate(samples),
+        bench_pool_lint(samples),
+        bench_experiment_cell(samples),
+    ];
+    print_table(&measure_results);
+    write_json(&measure_path, "pwu-bench-measure-v1", mode, &measure_results)
+        .expect("write measurement benchmark report");
+    eprintln!("[perf] wrote {measure_path}");
 }

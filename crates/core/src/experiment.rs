@@ -141,7 +141,8 @@ impl ExperimentResult {
 ///
 /// Every repetition draws a fresh surrogate sample and test labels; within a
 /// repetition all strategies see identical pools and test sets. Repetitions
-/// run in parallel (rayon).
+/// fan out over the `PWU_THREADS` work pool (see the `rayon` shim); each
+/// repetition derives its own seeds, so results are identical at any width.
 #[must_use]
 pub fn run_experiment(
     target: &dyn TuningTarget,
@@ -170,6 +171,15 @@ pub fn run_experiment(
                 .space()
                 .sample_distinct(protocol.surrogate_size, &mut rng);
             let (pool_cfgs, test_cfgs) = all.split_at(protocol.pool_size);
+            // Pre-warm the target's evaluation cache for the test set: every
+            // test configuration is measured `repeats` times here and again
+            // by every strategy's final evaluation, so batching the base
+            // costs up front lets a memoizing target (the SPAPT kernels)
+            // compute each exactly once. Pool configurations are deliberately
+            // not pre-warmed — most are never measured, so eager base costs
+            // would be wasted work. Targets without a cache just evaluate
+            // sequentially; either way the labels below are bit-identical.
+            let _ = target.ideal_times(test_cfgs);
             let mut test_annotator =
                 Annotator::new(target, protocol.active.repeats, derive_seed(rep_seed, 101));
             // Label the test set up front; configurations whose measurement

@@ -11,9 +11,12 @@ use crate::tree::RegressionTree;
 
 /// A random-forest regressor with uncertainty estimates.
 ///
-/// Trees are grown in parallel (rayon); every tree gets an independent RNG
-/// stream derived from the fit seed, so results are identical regardless of
-/// thread count or scheduling. Training data lives in a flat column-major
+/// Trees are grown in parallel on the `PWU_THREADS` work pool (the `rayon`
+/// shim's scoped-thread pool with ordered reduction); every tree gets an
+/// independent RNG stream derived from the fit seed, so results are
+/// bit-identical regardless of thread count or scheduling — see the
+/// `fit_is_deterministic_per_seed_and_parallelism_invariant` test, which
+/// compares fits across pool widths. Training data lives in a flat column-major
 /// [`FeatureMatrix`], which the presorted split search scans contiguously.
 ///
 /// ```
@@ -548,12 +551,42 @@ mod tests {
     #[test]
     fn fit_is_deterministic_per_seed_and_parallelism_invariant() {
         let (x, y) = grid_xy();
+        // Same seed → identical forest; different seed → different forest.
         let f1 = RandomForest::fit_rows(&ForestConfig::default(), &kinds2(), &x, &y, 77);
         let f2 = RandomForest::fit_rows(&ForestConfig::default(), &kinds2(), &x, &y, 77);
         let f3 = RandomForest::fit_rows(&ForestConfig::default(), &kinds2(), &x, &y, 78);
         let probe = [3.5, 2.5];
         assert_eq!(f1.predict(&probe), f2.predict(&probe));
         assert_ne!(f1.predict(&probe), f3.predict(&probe));
+
+        // Thread-count invariance: the same fit at pool widths 1, 2 and 8
+        // must produce bitwise-identical predictions everywhere, because
+        // per-tree RNG streams come from the seed (not the schedule) and the
+        // shim's reduction is ordered. Restore the width afterwards so
+        // concurrently running tests only ever observe a valid setting
+        // (results are width-invariant by construction, so the transient
+        // widths cannot affect them).
+        let before = rayon::current_num_threads();
+        let baseline: Vec<(u64, u64)> = {
+            rayon::set_threads(1);
+            let f = RandomForest::fit_rows(&ForestConfig::default(), &kinds2(), &x, &y, 77);
+            x.iter()
+                .map(|xi| {
+                    let p = f.predict_one(xi);
+                    (p.mean.to_bits(), p.std.to_bits())
+                })
+                .collect()
+        };
+        for width in [2, 8] {
+            rayon::set_threads(width);
+            let f = RandomForest::fit_rows(&ForestConfig::default(), &kinds2(), &x, &y, 77);
+            for (xi, &(mean_bits, std_bits)) in x.iter().zip(&baseline) {
+                let p = f.predict_one(xi);
+                assert_eq!(p.mean.to_bits(), mean_bits, "mean drift at width {width}");
+                assert_eq!(p.std.to_bits(), std_bits, "std drift at width {width}");
+            }
+        }
+        rayon::set_threads(before);
     }
 
     #[test]

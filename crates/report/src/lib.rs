@@ -4,6 +4,12 @@
 //! terminal line/scatter plots. The fig binaries in `pwu-bench` print every
 //! reproduced table/figure through this crate and mirror the series to CSV
 //! under `target/paper/` for external plotting.
+//!
+//! File-I/O policy: every writer goes through a [`std::io::BufWriter`]
+//! (see [`csv::write_csv`], the crate's only file writer — plots and tables
+//! render to in-memory `String`s), so per-row `write!` calls never become
+//! per-row syscalls. The `report_output` integration test pins the emitted
+//! bytes so buffering changes can never silently alter the output.
 
 pub mod csv;
 pub mod plot;

@@ -192,6 +192,17 @@ pub trait TuningTarget: Send + Sync {
     /// measurements scatter around it.
     fn ideal_time(&self, cfg: &Configuration) -> f64;
 
+    /// Noise-free execution times for a batch of configurations.
+    ///
+    /// Element `i` is exactly `self.ideal_time(&cfgs[i])` — implementations
+    /// may parallelize or memoize, but the returned bits must match the
+    /// one-at-a-time path. Experiment drivers use this to pre-warm a
+    /// target's evaluation cache for configurations that will be measured
+    /// many times across strategies and seeds.
+    fn ideal_times(&self, cfgs: &[Configuration]) -> Vec<f64> {
+        cfgs.iter().map(|cfg| self.ideal_time(cfg)).collect()
+    }
+
     /// One noisy wall-clock measurement, in seconds.
     ///
     /// The default adds no noise; simulators override this with their

@@ -37,8 +37,10 @@ mod trmm;
 
 use pwu_space::{ConfigLegality, Configuration, MeasureOutcome, Param, ParamSpace, TuningTarget};
 use pwu_stats::Xoshiro256PlusPlus;
+use rayon::prelude::IntoParallelRefIterator;
 
 use crate::cost::estimate_time;
+use crate::evalcache::{CachedEval, EvalCache};
 use crate::fault::FaultModel;
 use crate::ir::LoopNest;
 use crate::machine::MachineModel;
@@ -97,6 +99,10 @@ pub struct Kernel {
     /// Fault-injection model; `None` keeps measurement infallible (and
     /// bit-identical to the pre-fault-model behaviour).
     faults: Option<FaultModel>,
+    /// Memo for the pure, RNG-free half of measurement (base cost, legality,
+    /// aggressiveness), keyed by encoded levels. Cloning a kernel yields a
+    /// cold cache; builders that change the evaluation surface clear it.
+    cache: EvalCache,
 }
 
 impl Kernel {
@@ -175,6 +181,7 @@ impl Kernel {
             repeats: 35,
             legality: None,
             faults: None,
+            cache: EvalCache::new(),
         }
     }
 
@@ -199,6 +206,9 @@ impl Kernel {
             );
         }
         self.legality = Some(legality);
+        // Masks change legality verdicts and clamped costs; memoized
+        // evaluations are stale.
+        self.cache.clear();
         self
     }
 
@@ -240,6 +250,13 @@ impl Kernel {
     /// probability.
     #[must_use]
     pub fn is_aggressive(&self, cfg: &Configuration) -> bool {
+        self.cached_decoded(cfg).aggressive
+    }
+
+    /// [`Kernel::is_aggressive`] bypassing the evaluation cache — the
+    /// reference path the memoized verdict must agree with bit-for-bit.
+    #[must_use]
+    pub fn is_aggressive_uncached(&self, cfg: &Configuration) -> bool {
         self.decode(cfg)
             .iter()
             .any(|t| t.unroll.iter().any(|&u| u >= 16))
@@ -254,6 +271,10 @@ impl Kernel {
     #[must_use]
     pub fn with_machine(mut self, machine: MachineModel) -> Self {
         self.machine = machine;
+        // The base cost is a function of the machine; memoized times are
+        // stale (legality/aggressiveness would survive, but a mixed cache
+        // is not worth the bookkeeping).
+        self.cache.clear();
         self
     }
 
@@ -327,9 +348,19 @@ impl Kernel {
     /// the blocks.
     #[must_use]
     pub fn decode_legal(&self, cfg: &Configuration) -> (Vec<BlockTransform>, ConfigLegality) {
+        let (transforms, legality, _) = self.eval_parts(cfg);
+        (transforms, legality)
+    }
+
+    /// One decode pass producing everything the evaluation cache stores
+    /// alongside the clamped transformations: the legality verdict (worst
+    /// classification over the blocks, in block order — the historical
+    /// `decode_legal` fold) and the raw-decode aggressiveness flag.
+    fn eval_parts(&self, cfg: &Configuration) -> (Vec<BlockTransform>, ConfigLegality, bool) {
         let raw = self.decode(cfg);
+        let aggressive = raw.iter().any(|t| t.unroll.iter().any(|&u| u >= 16));
         let Some(masks) = &self.legality else {
-            return (raw, ConfigLegality::Legal);
+            return (raw, ConfigLegality::Legal, aggressive);
         };
         let mut worst = ConfigLegality::Legal;
         let clamped = raw
@@ -340,7 +371,47 @@ impl Kernel {
                 mask.clamp(t).0
             })
             .collect();
-        (clamped, worst)
+        (clamped, worst, aggressive)
+    }
+
+    /// The decode-derived cache entry (legality + aggressiveness) for `cfg`,
+    /// computed via the cheap decode+clamp pass on a miss. Pool linting
+    /// classifies thousands of never-measured configurations, so this stage
+    /// must not touch the cost model.
+    fn cached_decoded(&self, cfg: &Configuration) -> CachedEval {
+        self.cache.decoded(cfg, || {
+            let (_, legality, aggressive) = self.eval_parts(cfg);
+            CachedEval {
+                legality,
+                aggressive,
+                ideal_time: None,
+            }
+        })
+    }
+
+    /// [`TuningTarget::ideal_time`] bypassing the evaluation cache — the
+    /// exact pre-memoization computation, kept public as the reference path
+    /// for the bit-identity property suite and the perf-harness baseline.
+    #[must_use]
+    pub fn ideal_time_uncached(&self, cfg: &Configuration) -> f64 {
+        let (transforms, _) = self.decode_legal(cfg);
+        transforms
+            .iter()
+            .zip(&self.blocks)
+            .map(|(t, b)| estimate_time(&b.nest, t, &self.machine))
+            .sum()
+    }
+
+    /// The kernel's measurement-noise model.
+    #[must_use]
+    pub fn noise(&self) -> &NoiseModel {
+        &self.noise
+    }
+
+    /// The evaluation cache (monitoring and tests).
+    #[must_use]
+    pub fn eval_cache(&self) -> &EvalCache {
+        &self.cache
     }
 }
 
@@ -354,16 +425,30 @@ impl TuningTarget for Kernel {
     }
 
     fn ideal_time(&self, cfg: &Configuration) -> f64 {
-        let (transforms, _) = self.decode_legal(cfg);
-        transforms
-            .iter()
-            .zip(&self.blocks)
-            .map(|(t, b)| estimate_time(&b.nest, t, &self.machine))
-            .sum()
+        self.cache.ideal_time(cfg, || {
+            let (transforms, legality, aggressive) = self.eval_parts(cfg);
+            let t = transforms
+                .iter()
+                .zip(&self.blocks)
+                .map(|(t, b)| estimate_time(&b.nest, t, &self.machine))
+                .sum();
+            CachedEval {
+                legality,
+                aggressive,
+                ideal_time: Some(t),
+            }
+        })
+    }
+
+    fn ideal_times(&self, cfgs: &[Configuration]) -> Vec<f64> {
+        // Memoization makes each evaluation independent and pure, so the
+        // batch fans out over the thread pool; the ordered reduction keeps
+        // element i equal to the sequential ideal_time(&cfgs[i]).
+        cfgs.par_iter().map(|cfg| self.ideal_time(cfg)).collect()
     }
 
     fn lint_config(&self, cfg: &Configuration) -> ConfigLegality {
-        self.decode_legal(cfg).1
+        self.cached_decoded(cfg).legality
     }
 
     fn measure(&self, cfg: &Configuration, rng: &mut Xoshiro256PlusPlus) -> f64 {

@@ -31,11 +31,15 @@
 //! - [`noise`] — wall-clock measurement-noise model
 //! - [`fault`] — compile-failure / crash / timeout / garbage-reading
 //!   injection layered on the noise model
+//! - [`evalcache`] — memoization of the pure, RNG-free half of measurement
+//!   (base cost, legality, aggressiveness), so repeated measurements pay
+//!   for one model evaluation plus cheap noise draws
 //! - [`kernels`] — the 12 kernel definitions and their parameter spaces
 
 pub mod cache;
 pub mod cachesim;
 pub mod cost;
+pub mod evalcache;
 pub mod fault;
 pub mod ir;
 pub mod kernels;
@@ -43,6 +47,7 @@ pub mod machine;
 pub mod noise;
 pub mod transform;
 
+pub use evalcache::{CachedEval, EvalCache, Uncached};
 pub use fault::FaultModel;
 pub use kernels::{all_kernels, extended_kernels, kernel_by_name, Kernel};
 pub use machine::MachineModel;

@@ -1,54 +1,238 @@
-//! Offline stand-in for `rayon`: sequential execution behind the
-//! parallel-iterator entry points this workspace uses.
+//! Offline stand-in for `rayon`: a real `std::thread`-based chunked work
+//! pool behind the parallel-iterator entry points this workspace uses.
 //!
-//! The container this repository builds in exposes a single CPU core, so a
-//! sequential fallback is not just correct but loses no throughput. The
-//! `par_iter`/`into_par_iter` calls return ordinary [`Iterator`]s, and the
-//! downstream `.map(...).collect()` chains compile unchanged.
+//! `par_iter`/`into_par_iter` return a [`ParIter`] whose `map(...).collect()`
+//! chain fans the mapped items out over scoped worker threads and reduces the
+//! results **in input order**, so the collected output is identical for any
+//! thread count — bit-for-bit, because each item is mapped by a pure closure
+//! and the reduction never reorders or re-associates anything.
+//!
+//! Determinism contract:
+//!
+//! - **Ordered reduction.** Every item keeps its input index; workers return
+//!   `(index, result)` pairs and the results are scattered back into an
+//!   index-addressed output vector. Scheduling can interleave arbitrarily
+//!   without affecting what ends up where.
+//! - **One thread is the sequential path.** With an effective thread count
+//!   of 1 (or a single item) the pool is bypassed entirely and the items are
+//!   mapped by a plain sequential `Iterator` chain on the calling thread —
+//!   the exact pre-thread-pool code path.
+//! - **No nested pools.** A `map`/`collect` issued from inside a worker
+//!   (e.g. a forest fit inside a parallel experiment repetition) runs
+//!   sequentially on that worker; the outermost parallel level already owns
+//!   the cores, so nesting would only oversubscribe them.
+//!
+//! The pool width comes from the `PWU_THREADS` environment variable, read
+//! once; unset (or unparsable) it falls back to
+//! [`std::thread::available_parallelism`]. `PWU_THREADS=1` forces the
+//! sequential path. [`set_threads`] overrides the width at runtime for
+//! thread-count-invariance tests.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Global pool width; 0 means "not yet initialized from the environment".
+static THREADS: AtomicUsize = AtomicUsize::new(0);
+
+std::thread_local! {
+    /// True on pool worker threads, where nested parallelism must degrade
+    /// to sequential execution instead of spawning a second tier of threads.
+    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Reads `PWU_THREADS`, falling back to the machine's available parallelism.
+/// A value of `0` or garbage is treated as 1 (sequential — the safe floor).
+fn threads_from_env() -> usize {
+    match std::env::var("PWU_THREADS") {
+        Ok(v) => v.trim().parse::<usize>().unwrap_or(1).max(1),
+        Err(_) => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+    }
+}
+
+/// The number of worker threads `map(...).collect()` chains may use.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    match THREADS.load(Ordering::Relaxed) {
+        0 => {
+            let n = threads_from_env();
+            // A racing initializer stores the same value; last write wins
+            // harmlessly.
+            THREADS.store(n, Ordering::Relaxed);
+            n
+        }
+        n => n,
+    }
+}
+
+/// Overrides the pool width at runtime (clamped to at least 1).
+///
+/// Exists for the thread-count-invariance test suites, which compare runs at
+/// several widths inside one process; `PWU_THREADS` is only read once, so an
+/// environment round-trip cannot vary the width mid-process. Safe to call at
+/// any time: results are deterministic at every width, so racing callers can
+/// only affect scheduling, never output.
+pub fn set_threads(n: usize) {
+    THREADS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// Maps `items` through `f` on the pool, returning results in input order.
+///
+/// Sequential when the effective width is 1, the batch is trivial, or the
+/// caller is itself a pool worker (no nested pools).
+fn map_collect_vec<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    let width = current_num_threads().min(n);
+    if width <= 1 || IN_WORKER.with(std::cell::Cell::get) {
+        // The exact sequential path: a plain iterator chain, no indexing,
+        // no threads.
+        return items.into_iter().map(f).collect();
+    }
+    // Deal items round-robin so monotone per-item costs still balance, and
+    // tag each with its input index for the ordered reduction.
+    let mut buckets: Vec<Vec<(usize, T)>> = (0..width)
+        .map(|_| Vec::with_capacity(n.div_ceil(width)))
+        .collect();
+    for (i, item) in items.into_iter().enumerate() {
+        buckets[i % width].push((i, item));
+    }
+    let mut slots: Vec<Option<U>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = buckets
+            .into_iter()
+            .map(|bucket| {
+                scope.spawn(move || {
+                    IN_WORKER.with(|w| w.set(true));
+                    bucket
+                        .into_iter()
+                        .map(|(i, item)| (i, f(item)))
+                        .collect::<Vec<(usize, U)>>()
+                })
+            })
+            .collect();
+        // Join every worker before re-raising any panic: unwinding out of
+        // the scope with other panicked workers still unjoined would
+        // double-panic and abort.
+        let mut first_panic = None;
+        for handle in handles {
+            match handle.join() {
+                Ok(pairs) => {
+                    for (i, u) in pairs {
+                        slots[i] = Some(u);
+                    }
+                }
+                Err(payload) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(payload);
+                    }
+                }
+            }
+        }
+        if let Some(payload) = first_panic {
+            // Re-raise with the original payload, as the sequential path
+            // would have.
+            std::panic::resume_unwind(payload);
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every index is produced by exactly one worker"))
+        .collect()
+}
+
+/// A batch of items awaiting a parallel `map(...).collect()`.
+///
+/// The batch is materialized eagerly (the workspace only ever parallelizes
+/// index ranges, slices and small vectors, so this is cheap) because the
+/// items must be dealt to worker threads by value.
+#[derive(Debug)]
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Attaches the mapping closure; the work happens in `collect`.
+    pub fn map<U, F>(self, f: F) -> ParMap<T, F>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// A mapped batch; [`ParMap::collect`] runs it on the pool.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, F> ParMap<T, F> {
+    /// Maps every item on the pool and collects the results in input order.
+    pub fn collect<C, U>(self) -> C
+    where
+        T: Send,
+        U: Send,
+        F: Fn(T) -> U + Sync,
+        C: FromIterator<U>,
+    {
+        map_collect_vec(self.items, self.f).into_iter().collect()
+    }
+}
 
 /// Traits mirroring `rayon::prelude`.
 pub mod prelude {
+    use super::ParIter;
+
     /// Mirror of `rayon`'s by-value parallel iterator entry point.
     pub trait IntoParallelIterator {
         /// Element type.
-        type Item;
-        /// The (sequential) iterator standing in for a parallel one.
-        type Iter: Iterator<Item = Self::Item>;
+        type Item: Send;
 
-        /// Converts `self` into a "parallel" (here: sequential) iterator.
-        fn into_par_iter(self) -> Self::Iter;
+        /// Converts `self` into a parallel iterator over the pool.
+        fn into_par_iter(self) -> ParIter<Self::Item>;
     }
 
-    impl<I: IntoIterator> IntoParallelIterator for I {
+    impl<I: IntoIterator> IntoParallelIterator for I
+    where
+        I::Item: Send,
+    {
         type Item = I::Item;
-        type Iter = I::IntoIter;
 
-        fn into_par_iter(self) -> Self::Iter {
-            self.into_iter()
+        fn into_par_iter(self) -> ParIter<I::Item> {
+            ParIter {
+                items: self.into_iter().collect(),
+            }
         }
     }
 
     /// Mirror of `rayon`'s by-reference parallel iterator entry point.
     pub trait IntoParallelRefIterator<'data> {
         /// Element type (a reference with lifetime `'data`).
-        type Item: 'data;
-        /// The (sequential) iterator standing in for a parallel one.
-        type Iter: Iterator<Item = Self::Item>;
+        type Item: Send + 'data;
 
-        /// Iterates `&self` "in parallel" (here: sequentially).
-        fn par_iter(&'data self) -> Self::Iter;
+        /// Iterates `&self` in parallel over the pool.
+        fn par_iter(&'data self) -> ParIter<Self::Item>;
     }
 
     impl<'data, C: ?Sized + 'data> IntoParallelRefIterator<'data> for C
     where
         &'data C: IntoIterator,
-        <&'data C as IntoIterator>::Item: 'data,
+        <&'data C as IntoIterator>::Item: Send + 'data,
     {
         type Item = <&'data C as IntoIterator>::Item;
-        type Iter = <&'data C as IntoIterator>::IntoIter;
 
-        fn par_iter(&'data self) -> Self::Iter {
-            self.into_iter()
+        fn par_iter(&'data self) -> ParIter<Self::Item> {
+            ParIter {
+                items: self.into_iter().collect(),
+            }
         }
     }
 }
@@ -56,6 +240,15 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::{current_num_threads, set_threads};
+    use std::sync::{Mutex, MutexGuard};
+
+    /// Serializes tests that mutate the global pool width. Results are
+    /// width-invariant, but assertions *about* the width would race.
+    fn width_guard() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
 
     #[test]
     fn ranges_and_slices_iterate() {
@@ -69,5 +262,58 @@ mod tests {
         let slice: &[i32] = &[5, 6, 7];
         let doubled: Vec<i32> = slice.par_iter().map(|x| x * 2).collect();
         assert_eq!(doubled, vec![10, 12, 14]);
+    }
+
+    #[test]
+    fn output_order_is_input_order_at_every_width() {
+        let _guard = width_guard();
+        let expected: Vec<usize> = (0..257).map(|i| i * 3).collect();
+        for width in [1, 2, 3, 8, 64] {
+            set_threads(width);
+            assert_eq!(current_num_threads(), width);
+            let got: Vec<usize> = (0..257usize).into_par_iter().map(|i| i * 3).collect();
+            assert_eq!(got, expected, "order broke at width {width}");
+        }
+        set_threads(1);
+    }
+
+    #[test]
+    fn nested_calls_degrade_to_sequential_and_stay_correct() {
+        let _guard = width_guard();
+        set_threads(4);
+        let table: Vec<Vec<usize>> = (0..6usize)
+            .into_par_iter()
+            .map(|i| (0..5usize).into_par_iter().map(move |j| i * 10 + j).collect())
+            .collect();
+        for (i, row) in table.iter().enumerate() {
+            let expected: Vec<usize> = (0..5).map(|j| i * 10 + j).collect();
+            assert_eq!(*row, expected);
+        }
+        set_threads(1);
+    }
+
+    #[test]
+    fn worker_panics_propagate_to_the_caller() {
+        let _guard = width_guard();
+        set_threads(4);
+        let caught = std::panic::catch_unwind(|| {
+            let _: Vec<usize> = (0..64usize)
+                .into_par_iter()
+                .map(|i| {
+                    assert!(i != 33, "boom at {i}");
+                    i
+                })
+                .collect();
+        });
+        assert!(caught.is_err(), "the worker panic must surface");
+        set_threads(1);
+    }
+
+    #[test]
+    fn empty_and_single_item_batches_work() {
+        let none: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|b| b + 1).collect();
+        assert!(none.is_empty());
+        let one: Vec<u8> = vec![41u8].into_par_iter().map(|b| b + 1).collect();
+        assert_eq!(one, vec![42]);
     }
 }

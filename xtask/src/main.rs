@@ -7,11 +7,12 @@
 //! - `faults` — the fault-injection gate: runs the deterministic fault-model
 //!   unit tests and the end-to-end fault-tolerance suite, which drive the
 //!   active-learning loop under ~20 % injected measurement failures.
-//! - `perf` — regenerates `BENCH_forest.json` with the before/after forest
-//!   hot-path harness (`pwu-bench --bin perf`, full mode). With `--check`,
-//!   runs the harness in smoke mode to a scratch file, validates the report
-//!   schema, and fails if any benchmark's speedup regressed below 75 % of
-//!   the committed baseline.
+//! - `perf` — regenerates `BENCH_forest.json` (forest hot-path) and
+//!   `BENCH_measure.json` (measurement engine) with the before/after harness
+//!   (`pwu-bench --bin perf`, full mode). With `--check`, runs the harness
+//!   in smoke mode (bounded sample counts, CI-budget runtime) to scratch
+//!   files, validates both report schemas, and fails if any benchmark's
+//!   speedup regressed below 75 % of its committed baseline.
 
 use std::process::{exit, Command};
 
@@ -69,21 +70,42 @@ const PERF_BENCHMARKS: [&str; 4] = [
     "tuning_iteration/partial8",
 ];
 
+/// The benchmark names `BENCH_measure.json` must cover to be a valid report.
+const MEASURE_BENCHMARKS: [&str; 3] = [
+    "annotate/repeats35x8",
+    "pool_lint/2000x6",
+    "experiment_cell/mini",
+];
+
+/// The two reports the perf harness writes in one run:
+/// `(committed path, schema marker, required benchmarks)`.
+const PERF_REPORTS: [(&str, &str, &[&str]); 2] = [
+    ("BENCH_forest.json", "pwu-bench-forest-v1", &PERF_BENCHMARKS),
+    (
+        "BENCH_measure.json",
+        "pwu-bench-measure-v1",
+        &MEASURE_BENCHMARKS,
+    ),
+];
+
 fn perf(check: bool) {
     let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
     if !check {
         run_step(
-            "forest perf harness (full mode) -> BENCH_forest.json",
+            "perf harness (full mode) -> BENCH_forest.json + BENCH_measure.json",
             Command::new(&cargo).args(["run", "--release", "-p", "pwu-bench", "--bin", "perf"]),
         );
-        let report = read_report("BENCH_forest.json");
-        println!("xtask: perf report valid ({} benchmarks)", report.len());
+        for (path, schema, required) in PERF_REPORTS {
+            let report = read_report(path, schema, required);
+            println!("xtask: {path} valid ({} benchmarks)", report.len());
+        }
         return;
     }
 
-    let scratch = "target/BENCH_forest_check.json";
+    let forest_scratch = "target/BENCH_forest_check.json";
+    let measure_scratch = "target/BENCH_measure_check.json";
     run_step(
-        "forest perf harness (smoke mode)",
+        "perf harness (smoke mode, bounded runtime)",
         Command::new(&cargo).args([
             "run",
             "--release",
@@ -94,35 +116,41 @@ fn perf(check: bool) {
             "--",
             "--smoke",
             "--out",
-            scratch,
+            forest_scratch,
+            "--measure-out",
+            measure_scratch,
         ]),
     );
-    let fresh = read_report(scratch);
-    let Ok(committed_text) = std::fs::read_to_string("BENCH_forest.json") else {
-        println!("xtask: no committed BENCH_forest.json yet; smoke report is valid, skipping the regression comparison");
-        return;
-    };
-    let committed = parse_report(&committed_text).unwrap_or_else(|| {
-        eprintln!(
-            "xtask: committed BENCH_forest.json does not match the pwu-bench-forest-v1 schema"
-        );
-        exit(1);
-    });
     let mut failed = false;
-    for (name, committed_speedup) in &committed {
-        let Some((_, fresh_speedup)) = fresh.iter().find(|(n, _)| n == name) else {
-            eprintln!("xtask: benchmark {name} missing from the fresh report");
-            failed = true;
+    for ((committed_path, schema, required), scratch) in
+        PERF_REPORTS.into_iter().zip([forest_scratch, measure_scratch])
+    {
+        let fresh = read_report(scratch, schema, required);
+        let Ok(committed_text) = std::fs::read_to_string(committed_path) else {
+            println!("xtask: no committed {committed_path} yet; smoke report is valid, skipping the regression comparison");
             continue;
         };
-        let floor = 0.75 * committed_speedup;
-        if *fresh_speedup < floor {
-            eprintln!(
-                "xtask: perf regression in {name}: speedup {fresh_speedup:.2}x < 75% of committed {committed_speedup:.2}x"
-            );
-            failed = true;
-        } else {
-            println!("xtask: {name}: {fresh_speedup:.2}x (committed {committed_speedup:.2}x) ok");
+        let committed = parse_report(&committed_text, schema).unwrap_or_else(|| {
+            eprintln!("xtask: committed {committed_path} does not match the {schema} schema");
+            exit(1);
+        });
+        for (name, committed_speedup) in &committed {
+            let Some((_, fresh_speedup)) = fresh.iter().find(|(n, _)| n == name) else {
+                eprintln!("xtask: benchmark {name} missing from the fresh report");
+                failed = true;
+                continue;
+            };
+            let floor = 0.75 * committed_speedup;
+            if *fresh_speedup < floor {
+                eprintln!(
+                    "xtask: perf regression in {name}: speedup {fresh_speedup:.2}x < 75% of committed {committed_speedup:.2}x"
+                );
+                failed = true;
+            } else {
+                println!(
+                    "xtask: {name}: {fresh_speedup:.2}x (committed {committed_speedup:.2}x) ok"
+                );
+            }
         }
     }
     if failed {
@@ -132,16 +160,16 @@ fn perf(check: bool) {
 }
 
 /// Reads and schema-validates a perf report, exiting on any problem.
-fn read_report(path: &str) -> Vec<(String, f64)> {
+fn read_report(path: &str, schema: &str, required: &[&str]) -> Vec<(String, f64)> {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("xtask: cannot read {path}: {e}");
         exit(1);
     });
-    let report = parse_report(&text).unwrap_or_else(|| {
-        eprintln!("xtask: {path} does not match the pwu-bench-forest-v1 schema");
+    let report = parse_report(&text, schema).unwrap_or_else(|| {
+        eprintln!("xtask: {path} does not match the {schema} schema");
         exit(1);
     });
-    for required in PERF_BENCHMARKS {
+    for &required in required {
         if !report.iter().any(|(n, _)| n == required) {
             eprintln!("xtask: {path} is missing benchmark {required}");
             exit(1);
@@ -150,10 +178,10 @@ fn read_report(path: &str) -> Vec<(String, f64)> {
     report
 }
 
-/// Extracts `(name, speedup)` pairs from a `pwu-bench-forest-v1` report.
-/// Returns `None` on a schema mismatch or malformed entry.
-fn parse_report(text: &str) -> Option<Vec<(String, f64)>> {
-    if !text.contains("\"schema\":\"pwu-bench-forest-v1\"") {
+/// Extracts `(name, speedup)` pairs from a perf report with the given
+/// schema marker. Returns `None` on a schema mismatch or malformed entry.
+fn parse_report(text: &str, schema: &str) -> Option<Vec<(String, f64)>> {
+    if !text.contains(&format!("\"schema\":\"{schema}\"")) {
         return None;
     }
     let mut out = Vec::new();
