@@ -1,0 +1,87 @@
+//! The `pwu-audit` CLI: scans a source tree for determinism hazards and
+//! gates on the allowlist.
+//!
+//! ```text
+//! pwu-audit [--root <dir>] [--allow <file>]
+//! ```
+//!
+//! `--root` defaults to the current directory (workspace root under
+//! `cargo run`/`cargo xtask audit`); `--allow` defaults to
+//! `<root>/audit.allow.toml` and an absent file means an empty allowlist.
+//! Exit status: 0 when clean (every finding allowlisted, no stale
+//! entries), 1 on any unallowed finding or stale entry, 2 on usage or
+//! allowlist-parse errors.
+
+use std::path::PathBuf;
+use std::process::exit;
+
+use pwu_audit::{allow, scan};
+
+fn main() {
+    let mut root: Option<PathBuf> = None;
+    let mut allow_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--allow" => allow_path = args.next().map(PathBuf::from),
+            other => {
+                eprintln!("pwu-audit: unknown argument {other:?}\nusage: pwu-audit [--root <dir>] [--allow <file>]");
+                exit(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(|| {
+        std::env::current_dir().unwrap_or_else(|e| {
+            eprintln!("pwu-audit: cannot resolve current dir: {e}");
+            exit(2);
+        })
+    });
+    let allow_path = allow_path.unwrap_or_else(|| root.join("audit.allow.toml"));
+
+    let entries = if allow_path.exists() {
+        let text = std::fs::read_to_string(&allow_path).unwrap_or_else(|e| {
+            eprintln!("pwu-audit: cannot read {}: {e}", allow_path.display());
+            exit(2);
+        });
+        allow::parse(&text).unwrap_or_else(|e| {
+            eprintln!("pwu-audit: {}: {e}", allow_path.display());
+            exit(2);
+        })
+    } else {
+        Vec::new()
+    };
+
+    let findings = scan::scan_workspace(&root);
+    let total = findings.len();
+    let audit = allow::apply(findings, &entries);
+
+    for f in &audit.unallowed {
+        println!("{f}");
+        println!("    hint: {}", f.rule.hint());
+    }
+    for e in &audit.stale {
+        println!(
+            "stale allowlist entry: file={:?} rule={:?}{} — covered no finding; remove it or fix the path",
+            e.file,
+            e.rule,
+            e.contains
+                .as_deref()
+                .map(|c| format!(" contains={c:?}"))
+                .unwrap_or_default(),
+        );
+    }
+    println!(
+        "pwu-audit: {} finding(s) — {} allowlisted, {} unallowed, {} stale allowlist entr{}",
+        total,
+        audit.allowed.len(),
+        audit.unallowed.len(),
+        audit.stale.len(),
+        if audit.stale.len() == 1 { "y" } else { "ies" },
+    );
+    if audit.is_clean() {
+        println!("pwu-audit: clean");
+        exit(0);
+    }
+    exit(1);
+}

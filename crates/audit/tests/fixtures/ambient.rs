@@ -1,0 +1,20 @@
+// Known-bad fixture for the `ambient` rule: reading ambient process state
+// (clocks, undocumented environment variables). Exactly ONE line fires.
+
+fn stamp() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+
+fn documented_knob() -> usize {
+    // PWU_-prefixed variables are the documented configuration surface and
+    // must not be flagged.
+    std::env::var("PWU_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
+fn cli_input() -> Vec<String> {
+    // Explicit program input, exempt by design.
+    std::env::args().collect()
+}

@@ -1,0 +1,16 @@
+// Known-bad fixture for the `atomic-tally` rule: shared atomic
+// accumulation whose observed value depends on thread interleaving.
+// Exactly ONE line fires.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static EVENTS: AtomicU64 = AtomicU64::new(0);
+
+fn bump() {
+    EVENTS.fetch_add(1, Ordering::Relaxed);
+}
+
+fn read_only_is_fine() -> u64 {
+    // Plain loads/stores of configuration values are not tallies.
+    EVENTS.load(Ordering::Relaxed)
+}

@@ -1,0 +1,11 @@
+// Known-bad fixture for the `float-cmp` rule: ordering floats through
+// partial_cmp + unwrap instead of total_cmp. Exactly ONE line fires.
+
+fn sort_times(times: &mut Vec<f64>) {
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+fn sorted_right(times: &mut Vec<f64>) {
+    // The deterministic comparator must not be flagged.
+    times.sort_by(f64::total_cmp);
+}

@@ -1,0 +1,14 @@
+// Known-bad fixture for the `float-reduce` rule: a float reduction over an
+// iteration order that is not index-stable (here: a parallel iterator).
+// Exactly ONE line fires.
+
+use rayon::prelude::*;
+
+fn unstable_total(xs: &[f64]) -> f64 {
+    xs.par_iter().map(|x| x * 2.0).sum()
+}
+
+fn ordered_total(xs: &[f64]) -> f64 {
+    // Index-order reduction over a slice: stable, not flagged.
+    xs.iter().map(|x| x * 2.0).sum()
+}

@@ -1,0 +1,23 @@
+// Known-bad fixture for the `hash-iter` rule: iterating a hash container
+// in result-affecting code. The scanner must flag exactly ONE line here.
+// (Fixture files are scanned as text, never compiled.)
+
+use std::collections::HashMap;
+
+fn total_weight(weights: &HashMap<String, f64>) -> f64 {
+    let mut total = 0.0;
+    for (_, w) in weights.iter() {
+        total += w;
+    }
+    total
+}
+
+fn keyed_lookups_are_fine(weights: &HashMap<String, f64>) -> f64 {
+    // None of these observe iteration order and none may be flagged.
+    let mut out = 0.0;
+    if weights.contains_key("x") {
+        out += weights.get("x").copied().unwrap_or_default();
+    }
+    out += weights.len() as f64;
+    out
+}

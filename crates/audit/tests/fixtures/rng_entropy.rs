@@ -1,0 +1,14 @@
+// Known-bad fixture for the `rng-entropy` rule: RNG construction from
+// ambient entropy instead of the seeded Xoshiro shim. Exactly ONE line
+// fires.
+
+fn draw() -> f64 {
+    let mut rng = rand::thread_rng();
+    rng.gen_range(0.0..1.0)
+}
+
+fn seeded_is_fine(seed: u64) -> u64 {
+    // Seeded construction through the workspace generator: not flagged.
+    let mut rng = pwu_stats::Xoshiro256PlusPlus::new(seed);
+    rng.next_u64()
+}

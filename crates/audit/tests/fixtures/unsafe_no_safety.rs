@@ -1,0 +1,12 @@
+// Known-bad fixture for the `unsafe-no-safety` rule: an unsafe block with
+// no adjacent SAFETY justification. Exactly ONE line fires.
+
+fn naked(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+fn justified(p: *const u8) -> u8 {
+    // SAFETY: the caller guarantees `p` points at a live, aligned byte for
+    // the duration of this call.
+    unsafe { *p }
+}

@@ -258,7 +258,10 @@ pub fn best_categorical_split(
     order.sort_unstable_by(|&a, &b| {
         let ma = sums[a] / f64::from(counts[a]);
         let mb = sums[b] / f64::from(counts[b]);
-        ma.partial_cmp(&mb).expect("NaN category mean")
+        // Means here are finite (targets are asserted finite at fit time),
+        // so the total order agrees with the historical partial_cmp on
+        // every reachable input while staying deterministic on all of them.
+        ma.total_cmp(&mb)
     });
 
     let total: f64 = sums.iter().sum();

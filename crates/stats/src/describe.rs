@@ -57,10 +57,13 @@ pub fn sample_variance(xs: &[f64]) -> f64 {
 
 /// Linear-interpolation quantile (type 7, the numpy/R default).
 ///
-/// `q` must lie in `[0, 1]`. Returns `NaN` for an empty slice.
+/// `q` must lie in `[0, 1]`. Returns `NaN` for an empty slice. Values are
+/// ordered by `f64::total_cmp`, so `NaN`s sort deterministically to the
+/// high end instead of panicking; callers that must reject `NaN` readings
+/// do so upstream (the annotator treats them as bad readings).
 ///
 /// # Panics
-/// Panics if `q` is outside `[0, 1]` or any value is `NaN`.
+/// Panics if `q` is outside `[0, 1]`.
 #[must_use]
 pub fn quantile(xs: &[f64], q: f64) -> f64 {
     assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0,1]");
@@ -68,7 +71,7 @@ pub fn quantile(xs: &[f64], q: f64) -> f64 {
         return f64::NAN;
     }
     let mut sorted: Vec<f64> = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    sorted.sort_by(f64::total_cmp);
     quantile_sorted(&sorted, q)
 }
 
@@ -106,8 +109,11 @@ pub fn median(xs: &[f64]) -> f64 {
 /// wall-clock timings: a few daemon-wakeup spikes land in the trimmed tail
 /// and never touch the estimate.
 ///
+/// Values are ordered by `f64::total_cmp` (`NaN`s sort high,
+/// deterministically).
+///
 /// # Panics
-/// Panics if `trim` is outside `[0, 0.5)` or any value is `NaN`.
+/// Panics if `trim` is outside `[0, 0.5)`.
 #[must_use]
 pub fn trimmed_mean(xs: &[f64], trim: f64) -> f64 {
     assert!(
@@ -118,7 +124,7 @@ pub fn trimmed_mean(xs: &[f64], trim: f64) -> f64 {
         return f64::NAN;
     }
     let mut sorted: Vec<f64> = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in trimmed_mean input"));
+    sorted.sort_by(f64::total_cmp);
     let cut = (xs.len() as f64 * trim).floor() as usize;
     mean(&sorted[cut..sorted.len() - cut])
 }
@@ -195,7 +201,7 @@ impl Summary {
             return None;
         }
         let mut sorted: Vec<f64> = xs.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in summary input"));
+        sorted.sort_by(f64::total_cmp);
         Some(Self {
             n: xs.len(),
             min: sorted[0],

@@ -27,6 +27,14 @@
 //! [`std::thread::available_parallelism`]. `PWU_THREADS=1` forces the
 //! sequential path. [`set_threads`] overrides the width at runtime for
 //! thread-count-invariance tests.
+//!
+//! With the `sanitize` feature the pool additionally exposes the
+//! [`sanitize`] hooks used by the `pwu-audit` schedule-perturbation
+//! harness: per-batch access-footprint capture (which worker was dealt
+//! which item indices, and the order results were scattered back) and
+//! perturbed deal orders ([`sanitize::DealMode`]). All hooks are
+//! runtime-dormant by default and the default deal mode is bit-for-bit the
+//! production round-robin, so merely compiling the feature changes nothing.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -74,6 +82,148 @@ pub fn set_threads(n: usize) {
     THREADS.store(n.max(1), Ordering::Relaxed);
 }
 
+/// Concurrency-sanitizer hooks for the `pwu-audit` harness (feature
+/// `sanitize`): schedule perturbation and access-footprint capture.
+///
+/// The pool's determinism claim is that scheduling can never move a
+/// result. This module makes the claim *testable*: [`set_deal_mode`]
+/// perturbs which worker receives which items (the only scheduling degree
+/// of freedom the pool controls), and capture records each batch's exact
+/// deal plus the order results were scattered back — so a harness can
+/// prove both that outputs survived a genuinely different schedule and
+/// that every item was produced exactly once.
+#[cfg(feature = "sanitize")]
+pub mod sanitize {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Mutex;
+
+    /// How a batch's item indices are dealt to workers.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum DealMode {
+        /// Production order: index `i` goes to worker `i % width`.
+        RoundRobin,
+        /// Contiguous blocks: worker `w` gets one `ceil(n/width)` chunk.
+        Blocked,
+        /// Round-robin over the reversed index sequence.
+        Reversed,
+        /// Round-robin over a seeded Fisher–Yates permutation.
+        Shuffled(u64),
+    }
+
+    /// One recorded `map(...).collect()` batch that ran on the pool.
+    #[derive(Debug, Clone)]
+    pub struct BatchRecord {
+        /// Number of items in the batch.
+        pub n_items: usize,
+        /// Worker count actually used.
+        pub width: usize,
+        /// Per-worker item indices, in each worker's execution order.
+        pub deal: Vec<Vec<usize>>,
+        /// Item indices in the order their results were scattered into the
+        /// output (worker join order) — the observed reduction order.
+        pub fill_order: Vec<usize>,
+    }
+
+    static MODE: Mutex<DealMode> = Mutex::new(DealMode::RoundRobin);
+    static CAPTURE: AtomicBool = AtomicBool::new(false);
+    static LOG: Mutex<Vec<BatchRecord>> = Mutex::new(Vec::new());
+    static NESTED_DEGRADES: AtomicU64 = AtomicU64::new(0);
+
+    /// Sets the deal order for subsequent pool batches.
+    pub fn set_deal_mode(mode: DealMode) {
+        *MODE.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = mode;
+    }
+
+    /// The deal order currently in force.
+    #[must_use]
+    pub fn deal_mode() -> DealMode {
+        *MODE.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Starts recording batch footprints (clears any previous log).
+    pub fn start_capture() {
+        LOG.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clear();
+        CAPTURE.store(true, Ordering::SeqCst);
+    }
+
+    /// Stops recording and returns everything captured since
+    /// [`start_capture`].
+    #[must_use]
+    pub fn take_captures() -> Vec<BatchRecord> {
+        CAPTURE.store(false, Ordering::SeqCst);
+        std::mem::take(&mut LOG.lock().unwrap_or_else(std::sync::PoisonError::into_inner))
+    }
+
+    /// Times a nested parallel call degraded to sequential on a worker
+    /// since process start (diagnostic counter for the audit tests).
+    #[must_use]
+    pub fn nested_degrades() -> u64 {
+        NESTED_DEGRADES.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn note_nested_degrade() {
+        NESTED_DEGRADES.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn capturing() -> bool {
+        CAPTURE.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn record(batch: BatchRecord) {
+        LOG.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(batch);
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Deals `0..n` to `width` workers under the current mode. The
+    /// round-robin arm is definitionally identical to the production deal.
+    pub(crate) fn assignment(n: usize, width: usize) -> Vec<Vec<usize>> {
+        let mut buckets: Vec<Vec<usize>> = (0..width)
+            .map(|_| Vec::with_capacity(n.div_ceil(width)))
+            .collect();
+        match deal_mode() {
+            DealMode::RoundRobin => {
+                for i in 0..n {
+                    buckets[i % width].push(i);
+                }
+            }
+            DealMode::Blocked => {
+                let chunk = n.div_ceil(width);
+                for i in 0..n {
+                    buckets[i / chunk].push(i);
+                }
+            }
+            DealMode::Reversed => {
+                for (k, i) in (0..n).rev().enumerate() {
+                    buckets[k % width].push(i);
+                }
+            }
+            DealMode::Shuffled(seed) => {
+                let mut order: Vec<usize> = (0..n).collect();
+                let mut state = seed;
+                for i in (1..n).rev() {
+                    let j = (splitmix64(&mut state) % (i as u64 + 1)) as usize;
+                    order.swap(i, j);
+                }
+                for (k, i) in order.into_iter().enumerate() {
+                    buckets[k % width].push(i);
+                }
+            }
+        }
+        buckets
+    }
+}
+
 /// Maps `items` through `f` on the pool, returning results in input order.
 ///
 /// Sequential when the effective width is 1, the batch is trivial, or the
@@ -87,18 +237,52 @@ where
     let n = items.len();
     let width = current_num_threads().min(n);
     if width <= 1 || IN_WORKER.with(std::cell::Cell::get) {
+        #[cfg(feature = "sanitize")]
+        if n > 1 && IN_WORKER.with(std::cell::Cell::get) {
+            sanitize::note_nested_degrade();
+        }
         // The exact sequential path: a plain iterator chain, no indexing,
         // no threads.
         return items.into_iter().map(f).collect();
     }
-    // Deal items round-robin so monotone per-item costs still balance, and
-    // tag each with its input index for the ordered reduction.
-    let mut buckets: Vec<Vec<(usize, T)>> = (0..width)
-        .map(|_| Vec::with_capacity(n.div_ceil(width)))
-        .collect();
-    for (i, item) in items.into_iter().enumerate() {
-        buckets[i % width].push((i, item));
-    }
+    // Deal items to workers tagged with their input index for the ordered
+    // reduction. Production deal is round-robin so monotone per-item costs
+    // still balance; under `sanitize` the assignment can be perturbed to
+    // prove scheduling never moves a result.
+    #[cfg(feature = "sanitize")]
+    let buckets: Vec<Vec<(usize, T)>> = {
+        let assignment = sanitize::assignment(n, width);
+        let mut slots_in: Vec<Option<T>> = items.into_iter().map(Some).collect();
+        assignment
+            .iter()
+            .map(|ixs| {
+                ixs.iter()
+                    .map(|&i| (i, slots_in[i].take().expect("each index dealt exactly once")))
+                    .collect()
+            })
+            .collect()
+    };
+    #[cfg(not(feature = "sanitize"))]
+    let buckets: Vec<Vec<(usize, T)>> = {
+        let mut buckets: Vec<Vec<(usize, T)>> = (0..width)
+            .map(|_| Vec::with_capacity(n.div_ceil(width)))
+            .collect();
+        for (i, item) in items.into_iter().enumerate() {
+            buckets[i % width].push((i, item));
+        }
+        buckets
+    };
+    #[cfg(feature = "sanitize")]
+    let deal: Vec<Vec<usize>> = if sanitize::capturing() {
+        buckets
+            .iter()
+            .map(|b| b.iter().map(|(i, _)| *i).collect())
+            .collect()
+    } else {
+        Vec::new()
+    };
+    #[cfg(feature = "sanitize")]
+    let mut fill_order: Vec<usize> = Vec::new();
     let mut slots: Vec<Option<U>> = (0..n).map(|_| None).collect();
     std::thread::scope(|scope| {
         let f = &f;
@@ -122,6 +306,16 @@ where
             match handle.join() {
                 Ok(pairs) => {
                     for (i, u) in pairs {
+                        #[cfg(feature = "sanitize")]
+                        {
+                            assert!(
+                                slots[i].is_none(),
+                                "sanitizer: item {i} produced twice — the reduction is not index-unique"
+                            );
+                            if sanitize::capturing() {
+                                fill_order.push(i);
+                            }
+                        }
                         slots[i] = Some(u);
                     }
                 }
@@ -138,6 +332,15 @@ where
             std::panic::resume_unwind(payload);
         }
     });
+    #[cfg(feature = "sanitize")]
+    if sanitize::capturing() {
+        sanitize::record(sanitize::BatchRecord {
+            n_items: n,
+            width,
+            deal,
+            fill_order,
+        });
+    }
     slots
         .into_iter()
         .map(|slot| slot.expect("every index is produced by exactly one worker"))
@@ -307,6 +510,190 @@ mod tests {
         });
         assert!(caught.is_err(), "the worker panic must surface");
         set_threads(1);
+    }
+
+    /// The join-all re-raise must surface the *original* panic payload, not
+    /// a pool-internal wrapper — callers downcast payloads to decide what
+    /// failed (the fault-tolerance suites do exactly this).
+    #[test]
+    fn panic_payload_is_preserved_verbatim() {
+        let _guard = width_guard();
+        set_threads(4);
+        let payload = std::panic::catch_unwind(|| {
+            let _: Vec<usize> = (0..64usize)
+                .into_par_iter()
+                .map(|i| {
+                    assert!(i != 33, "boom at {i}");
+                    i
+                })
+                .collect();
+        })
+        .expect_err("must panic");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .expect("payload must be the original assert message");
+        assert!(
+            message.contains("boom at 33"),
+            "payload was rewritten: {message:?}"
+        );
+        set_threads(1);
+    }
+
+    /// With several panicking workers, every worker is still joined (no
+    /// abort-on-double-panic) and one of the original payloads surfaces.
+    #[test]
+    fn multiple_worker_panics_join_all_and_surface_one_payload() {
+        let _guard = width_guard();
+        set_threads(4);
+        let payload = std::panic::catch_unwind(|| {
+            let _: Vec<usize> = (0..64usize)
+                .into_par_iter()
+                .map(|i| {
+                    assert!(i % 7 != 3, "boom at {i}");
+                    i
+                })
+                .collect();
+        })
+        .expect_err("must panic");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("assert payload is a String");
+        assert!(message.contains("boom at "), "unexpected payload {message:?}");
+        set_threads(1);
+    }
+
+    /// A panic raised inside a *nested* (worker-degraded-to-sequential)
+    /// parallel call unwinds through the outer pool without deadlocking and
+    /// keeps its payload.
+    #[test]
+    fn nested_panic_unwinds_without_deadlock() {
+        let _guard = width_guard();
+        set_threads(4);
+        let payload = std::panic::catch_unwind(|| {
+            let _: Vec<Vec<usize>> = (0..8usize)
+                .into_par_iter()
+                .map(|i| {
+                    (0..8usize)
+                        .into_par_iter()
+                        .map(move |j| {
+                            assert!((i, j) != (5, 2), "inner boom at {i},{j}");
+                            i * 10 + j
+                        })
+                        .collect()
+                })
+                .collect();
+        })
+        .expect_err("must panic");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("assert payload is a String");
+        assert!(message.contains("inner boom at 5,2"), "payload {message:?}");
+        set_threads(1);
+    }
+
+    /// Three levels of nesting stay correct: only the outermost level may
+    /// own pool workers, everything below runs sequentially on them.
+    #[test]
+    fn triple_nested_calls_stay_sequential_and_correct() {
+        let _guard = width_guard();
+        set_threads(8);
+        let cube: Vec<Vec<Vec<usize>>> = (0..4usize)
+            .into_par_iter()
+            .map(|i| {
+                (0..3usize)
+                    .into_par_iter()
+                    .map(move |j| {
+                        (0..2usize)
+                            .into_par_iter()
+                            .map(move |k| i * 100 + j * 10 + k)
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        for (i, plane) in cube.iter().enumerate() {
+            for (j, row) in plane.iter().enumerate() {
+                for (k, v) in row.iter().enumerate() {
+                    assert_eq!(*v, i * 100 + j * 10 + k);
+                }
+            }
+        }
+        set_threads(1);
+    }
+
+    #[cfg(feature = "sanitize")]
+    mod sanitize_hooks {
+        use super::super::sanitize::{self, DealMode};
+        use super::super::set_threads;
+        use super::width_guard;
+        use crate::prelude::*;
+
+        /// Every deal mode yields the same collected output, the captured
+        /// footprints prove the deals actually differed, and each records
+        /// every index exactly once.
+        #[test]
+        fn deal_modes_perturb_the_schedule_but_never_the_result() {
+            let _guard = width_guard();
+            set_threads(4);
+            let expected: Vec<u64> = (0..97u64).map(|i| i * i + 1).collect();
+            let mut seen_deals: Vec<Vec<Vec<usize>>> = Vec::new();
+            for mode in [
+                DealMode::RoundRobin,
+                DealMode::Blocked,
+                DealMode::Reversed,
+                DealMode::Shuffled(0xFEED),
+            ] {
+                sanitize::set_deal_mode(mode);
+                sanitize::start_capture();
+                let got: Vec<u64> = (0..97u64).into_par_iter().map(|i| i * i + 1).collect();
+                let captures = sanitize::take_captures();
+                assert_eq!(got, expected, "result moved under {mode:?}");
+                // Other tests in this binary may run unguarded batches while
+                // capture is on; ours is the only 97-item one.
+                let ours: Vec<_> = captures.iter().filter(|b| b.n_items == 97).collect();
+                assert_eq!(ours.len(), 1, "one 97-item batch expected under {mode:?}");
+                let batch = ours[0];
+                assert_eq!(batch.width, 4);
+                let mut all: Vec<usize> = batch.deal.iter().flatten().copied().collect();
+                all.sort_unstable();
+                assert_eq!(all, (0..97).collect::<Vec<_>>(), "deal must cover each index once");
+                let mut filled = batch.fill_order.clone();
+                filled.sort_unstable();
+                assert_eq!(filled, (0..97).collect::<Vec<_>>(), "every index reduced exactly once");
+                seen_deals.push(batch.deal.clone());
+            }
+            sanitize::set_deal_mode(DealMode::RoundRobin);
+            set_threads(1);
+            // The perturbations must be real: at least the reversed and
+            // shuffled deals differ from round-robin.
+            assert!(
+                seen_deals[1..].iter().any(|d| *d != seen_deals[0]),
+                "no deal mode actually changed the schedule"
+            );
+        }
+
+        /// Nested calls on workers are visible to the sanitizer as degrade
+        /// events — the instrumented proof that no second thread tier runs.
+        #[test]
+        fn nested_degrades_are_counted() {
+            let _guard = width_guard();
+            set_threads(4);
+            let before = sanitize::nested_degrades();
+            let _: Vec<Vec<usize>> = (0..6usize)
+                .into_par_iter()
+                .map(|i| (0..5usize).into_par_iter().map(move |j| i + j).collect())
+                .collect();
+            let after = sanitize::nested_degrades();
+            assert!(
+                after >= before + 6,
+                "each inner batch on a worker must count as a degrade ({before} -> {after})"
+            );
+            set_threads(1);
+        }
     }
 
     #[test]

@@ -13,8 +13,28 @@
 //!   in smoke mode (bounded sample counts, CI-budget runtime) to scratch
 //!   files, validates both report schemas, and fails if any benchmark's
 //!   speedup regressed below 75 % of its committed baseline.
+//! - `audit` — the determinism gate: runs the `pwu-audit` static scanner
+//!   against the workspace and `audit.allow.toml` (non-zero on any
+//!   unallowed finding *or* stale allowlist entry), then the scanner's own
+//!   test suite and the schedule-perturbation harness, which re-runs the
+//!   forest fit and a miniature experiment cell under pool widths 1/2/4/8 ×
+//!   permuted deal orders and asserts byte-identical results, checkpoint
+//!   files included. See DESIGN.md §11 for the contract this enforces.
+//!
+//! With no command, prints the full CI gate list and exits 0.
 
 use std::process::{exit, Command};
+
+/// Every CI gate, in the order a full run should execute them:
+/// `(invocation, what it enforces)`.
+const GATES: [(&str, &str); 6] = [
+    ("cargo build --release", "the workspace compiles"),
+    ("cargo test -q", "the full test suite (tier-1)"),
+    ("cargo xtask lint", "clippy -D warnings + pwu-lint kernel legality"),
+    ("cargo xtask faults", "fault-injection & retry/quarantine suites"),
+    ("cargo xtask perf --check", "perf smoke run vs committed baselines"),
+    ("cargo xtask audit", "determinism scan + schedule-perturbation harness"),
+];
 
 fn main() {
     let command = std::env::args().nth(1).unwrap_or_default();
@@ -22,8 +42,15 @@ fn main() {
         "lint" => lint(),
         "faults" => faults(),
         "perf" => perf(std::env::args().any(|a| a == "--check")),
+        "audit" => audit(),
+        "" => {
+            println!("xtask: workspace CI gates, in order:");
+            for (invocation, enforces) in GATES {
+                println!("  {invocation:<28} {enforces}");
+            }
+        }
         other => {
-            eprintln!("unknown xtask command {other:?}\n\nusage: cargo xtask <lint|faults|perf [--check]>");
+            eprintln!("unknown xtask command {other:?}\n\nusage: cargo xtask <lint|faults|perf [--check]|audit>");
             exit(2);
         }
     }
@@ -204,6 +231,23 @@ fn parse_report(text: &str, schema: &str) -> Option<Vec<(String, f64)>> {
         return None;
     }
     Some(out)
+}
+
+fn audit() {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    run_step(
+        "pwu-audit static determinism scan (workspace vs audit.allow.toml)",
+        Command::new(&cargo).args(["run", "--release", "-p", "pwu-audit", "--bin", "pwu-audit"]),
+    );
+    run_step(
+        "scanner + schedule-perturbation suites (pwu-audit tests)",
+        Command::new(&cargo).args(["test", "-q", "-p", "pwu-audit"]),
+    );
+    run_step(
+        "thread-pool sanitizer hooks (rayon shim, --features sanitize)",
+        Command::new(&cargo).args(["test", "-q", "-p", "rayon", "--features", "sanitize"]),
+    );
+    println!("xtask: determinism audit gate passed");
 }
 
 fn faults() {
