@@ -13,6 +13,15 @@
 //! Long runs can be checkpointed every few iterations
 //! ([`run_with_checkpoints`]) and resumed after a crash ([`resume`]) with
 //! bit-identical results; see [`crate::checkpoint`].
+//!
+//! The loop is also exposed one iteration at a time: [`bootstrap`] runs the
+//! cold start and returns the iteration-0 checkpoint, and [`step_once`]
+//! advances any checkpoint by exactly one iteration, returning the next
+//! checkpoint in a [`StepOutcome`]. Because the from-scratch model is a pure
+//! function of (training set, iteration-derived seed), a chain of
+//! `step_once` calls is bit-identical to the continuous loop — this is the
+//! substrate `pwu-serve` hosts sessions on, and what makes killing a session
+//! between steps free of state loss.
 
 use pwu_forest::{ForestConfig, RandomForest};
 use pwu_space::{
@@ -274,6 +283,29 @@ pub fn resume(
     test_labels: &[f64],
     policy: Option<&CheckpointPolicy>,
 ) -> Result<ActiveRun, CheckpointError> {
+    check_resume_compat(target, config, checkpoint)?;
+    let state = state_from_checkpoint(target, config, checkpoint);
+    drive(
+        target,
+        strategy,
+        config,
+        state,
+        test_features,
+        test_labels,
+        policy,
+    )
+}
+
+/// Verifies that `checkpoint` belongs to this target/configuration and that
+/// the configuration is resumable at all.
+///
+/// # Errors
+/// Returns [`CheckpointError::Mismatch`] describing the first disagreement.
+fn check_resume_compat(
+    target: &dyn TuningTarget,
+    config: &ActiveConfig,
+    checkpoint: &ActiveCheckpoint,
+) -> Result<(), CheckpointError> {
     config.validate();
     if checkpoint.target_name != target.name() {
         return Err(CheckpointError::Mismatch(format!(
@@ -311,7 +343,18 @@ pub fn resume(
             "checkpoint alphas do not match the config".into(),
         ));
     }
+    Ok(())
+}
 
+/// Rebuilds the in-flight loop state a checkpoint captured: re-encode the
+/// training set, restore all three RNG streams and refit the model exactly
+/// as the checkpointing run last did. Callers must have passed
+/// `check_resume_compat` first.
+fn state_from_checkpoint<'a>(
+    target: &'a dyn TuningTarget,
+    config: &ActiveConfig,
+    checkpoint: &ActiveCheckpoint,
+) -> LoopState<'a> {
     let space = target.space();
     let schema = FeatureSchema::for_space(space);
     let to_cfgs = |levels: &[Vec<u32>]| -> Vec<Configuration> {
@@ -338,7 +381,7 @@ pub fn resume(
         train.labels(),
         derive_seed(checkpoint.forest_seed, checkpoint.iteration),
     );
-    let state = LoopState {
+    LoopState {
         schema,
         annotator,
         select_rng: Xoshiro256PlusPlus::from_state(checkpoint.select_rng),
@@ -353,16 +396,91 @@ pub fn resume(
         iteration: checkpoint.iteration,
         lint: checkpoint.lint,
         scores: None,
+    }
+}
+
+/// The result of advancing a checkpointed run by one iteration.
+#[derive(Debug, Clone)]
+pub struct StepOutcome {
+    /// The checkpoint after the iteration (equal to the input checkpoint
+    /// when the run was already finished).
+    pub checkpoint: ActiveCheckpoint,
+    /// Whether the run has reached `n_max` (or drained its pool).
+    pub done: bool,
+    /// Annotation cost incurred by this step, in cost units (seconds of
+    /// simulated measurement time): labeled measurement time plus wall-clock
+    /// wasted on failed attempts. Zero for a step on a finished run.
+    pub step_cost: f64,
+}
+
+/// Runs Algorithm 1's cold start (lines 1–4) and returns the iteration-0
+/// checkpoint, ready to be advanced with [`step_once`].
+///
+/// A chain of `bootstrap` + `step_once` calls produces bit-identical
+/// training sets, history and RNG streams to [`run`] with the same inputs
+/// (for [`RefitMode::FromScratch`] configs — the only resumable kind).
+///
+/// # Panics
+/// As [`run`].
+#[must_use]
+pub fn bootstrap(
+    target: &dyn TuningTarget,
+    config: &ActiveConfig,
+    pool: Pool,
+    test_features: &FeatureMatrix,
+    test_labels: &[f64],
+    seed: u64,
+) -> ActiveCheckpoint {
+    let state = init_state(target, config, pool, test_features, test_labels, seed);
+    make_checkpoint(&state, target, config)
+}
+
+/// Advances a checkpointed run by exactly one iteration (one batch with
+/// quarantine top-up, one refit, one test-set evaluation if due) and
+/// returns the next checkpoint.
+///
+/// The step is *pure with respect to the checkpoint*: the input is not
+/// mutated, so a caller that aborts (watchdog, crash, load shedding) simply
+/// keeps the old checkpoint and loses nothing. Stepping a finished run is a
+/// no-op that echoes the checkpoint back with `done = true`.
+///
+/// # Errors
+/// Returns [`CheckpointError::Mismatch`] if the checkpoint belongs to a
+/// different target or configuration, or if `config.refit` is not
+/// [`RefitMode::FromScratch`].
+///
+/// # Panics
+/// Panics only where annotation itself panics (e.g. a NaN reading from a
+/// broken target) — in-memory state is the caller's checkpoint, which
+/// stays valid.
+pub fn step_once(
+    target: &dyn TuningTarget,
+    strategy: Strategy,
+    config: &ActiveConfig,
+    checkpoint: &ActiveCheckpoint,
+    test_features: &FeatureMatrix,
+    test_labels: &[f64],
+) -> Result<StepOutcome, CheckpointError> {
+    check_resume_compat(target, config, checkpoint)?;
+    let mut state = state_from_checkpoint(target, config, checkpoint);
+    if state.train.len() >= config.n_max || state.pool.is_empty() {
+        return Ok(StepOutcome {
+            checkpoint: checkpoint.clone(),
+            done: true,
+            step_cost: 0.0,
+        });
+    }
+    let cost = |state: &LoopState<'_>| {
+        state.train.cumulative_cost() + state.annotator.stats().wasted_cost
     };
-    drive(
-        target,
-        strategy,
-        config,
-        state,
-        test_features,
-        test_labels,
-        policy,
-    )
+    let before = cost(&state);
+    let done = one_iteration(strategy, config, &mut state, test_features, test_labels);
+    let step_cost = cost(&state) - before;
+    Ok(StepOutcome {
+        checkpoint: make_checkpoint(&state, target, config),
+        done,
+        step_cost,
+    })
 }
 
 /// Validates inputs, removes illegal pool points, runs the cold start and
@@ -462,90 +580,7 @@ fn drive(
     policy: Option<&CheckpointPolicy>,
 ) -> Result<ActiveRun, CheckpointError> {
     while state.train.len() < config.n_max && !state.pool.is_empty() {
-        state.iteration += 1;
-        // Top the batch back up after quarantines: keep selecting until the
-        // batch's worth of labels has landed or the pool drains. Fault-free
-        // runs execute this inner loop exactly once.
-        let goal = state.train.len() + config.n_batch.min(config.n_max - state.train.len());
-        while state.train.len() < goal && !state.pool.is_empty() {
-            let need = goal - state.train.len();
-            // Under partial refit, score the pool from the per-tree cache:
-            // only the refitted trees were re-walked after the last batch,
-            // and the fold is bit-identical to `predict_batch`.
-            let preds = match config.refit {
-                RefitMode::Partial(_) => state
-                    .scores
-                    .get_or_insert_with(|| {
-                        PoolScoreCache::build(&state.model, state.pool.features())
-                    })
-                    .predictions(),
-                RefitMode::FromScratch => state.model.predict_batch(state.pool.features()),
-            };
-            let picked = strategy.select(&preds, need, &mut state.select_rng);
-            if picked.is_empty() {
-                break;
-            }
-            let traces: Vec<(f64, f64)> = picked
-                .iter()
-                .map(|&i| (preds[i].mean, preds[i].std))
-                .collect();
-            let taken = state.pool.take(&picked);
-            // Mirror the removals (training picks *and* quarantines leave
-            // the pool alike) so cache rows stay pool-aligned.
-            if let Some(cache) = &mut state.scores {
-                cache.remove(&picked);
-            }
-            for ((cfg, row), (mu, sigma)) in taken.into_iter().zip(traces) {
-                match state.annotator.try_evaluate(&cfg) {
-                    Ok(y) => {
-                        state.selections.push(SelectionTrace {
-                            mean: mu,
-                            std: sigma,
-                            observed: y,
-                        });
-                        state.train.push(cfg, &row, y);
-                    }
-                    Err(_) => state.quarantined.push(cfg),
-                }
-            }
-        }
-        match config.refit {
-            RefitMode::FromScratch => {
-                state.model = RandomForest::fit(
-                    &config.forest,
-                    state.schema.kinds(),
-                    state.train.features(),
-                    state.train.labels(),
-                    derive_seed(state.forest_seed, state.iteration),
-                );
-            }
-            RefitMode::Partial(n) => {
-                let refitted = state.model.update(
-                    state.schema.kinds(),
-                    state.train.features(),
-                    state.train.labels(),
-                    n,
-                    derive_seed(state.forest_seed, state.iteration),
-                );
-                // Refresh only the regrown trees' pool scores: O(pool · n)
-                // instead of O(pool · n_trees).
-                if let Some(cache) = &mut state.scores {
-                    cache.refresh(&state.model, state.pool.features(), &refitted);
-                }
-            }
-        }
-        let done = state.train.len() >= config.n_max || state.pool.is_empty();
-        if state.iteration.is_multiple_of(config.eval_every as u64) || done {
-            record(
-                &mut state.history,
-                &state.model,
-                &state.train,
-                state.annotator.stats().wasted_cost,
-                test_features,
-                test_labels,
-                &config.alphas,
-            );
-        }
+        let done = one_iteration(strategy, config, &mut state, test_features, test_labels);
         if let Some(policy) = policy {
             if state.iteration.is_multiple_of(policy.every) || done {
                 make_checkpoint(&state, target, config).save_atomic(&policy.path)?;
@@ -563,6 +598,102 @@ fn drive(
         measurement,
         quarantined: state.quarantined,
     })
+}
+
+/// One pass of Algorithm 1's iteration body (lines 6–9): select and
+/// annotate a batch (topping back up past quarantines), refit, and record a
+/// test-set evaluation when due. Returns whether the run is finished.
+/// Callers must not invoke this on a finished run.
+fn one_iteration(
+    strategy: Strategy,
+    config: &ActiveConfig,
+    state: &mut LoopState<'_>,
+    test_features: &FeatureMatrix,
+    test_labels: &[f64],
+) -> bool {
+    state.iteration += 1;
+    // Top the batch back up after quarantines: keep selecting until the
+    // batch's worth of labels has landed or the pool drains. Fault-free
+    // runs execute this inner loop exactly once.
+    let goal = state.train.len() + config.n_batch.min(config.n_max - state.train.len());
+    while state.train.len() < goal && !state.pool.is_empty() {
+        let need = goal - state.train.len();
+        // Under partial refit, score the pool from the per-tree cache:
+        // only the refitted trees were re-walked after the last batch,
+        // and the fold is bit-identical to `predict_batch`.
+        let preds = match config.refit {
+            RefitMode::Partial(_) => state
+                .scores
+                .get_or_insert_with(|| PoolScoreCache::build(&state.model, state.pool.features()))
+                .predictions(),
+            RefitMode::FromScratch => state.model.predict_batch(state.pool.features()),
+        };
+        let picked = strategy.select(&preds, need, &mut state.select_rng);
+        if picked.is_empty() {
+            break;
+        }
+        let traces: Vec<(f64, f64)> = picked
+            .iter()
+            .map(|&i| (preds[i].mean, preds[i].std))
+            .collect();
+        let taken = state.pool.take(&picked);
+        // Mirror the removals (training picks *and* quarantines leave
+        // the pool alike) so cache rows stay pool-aligned.
+        if let Some(cache) = &mut state.scores {
+            cache.remove(&picked);
+        }
+        for ((cfg, row), (mu, sigma)) in taken.into_iter().zip(traces) {
+            match state.annotator.try_evaluate(&cfg) {
+                Ok(y) => {
+                    state.selections.push(SelectionTrace {
+                        mean: mu,
+                        std: sigma,
+                        observed: y,
+                    });
+                    state.train.push(cfg, &row, y);
+                }
+                Err(_) => state.quarantined.push(cfg),
+            }
+        }
+    }
+    match config.refit {
+        RefitMode::FromScratch => {
+            state.model = RandomForest::fit(
+                &config.forest,
+                state.schema.kinds(),
+                state.train.features(),
+                state.train.labels(),
+                derive_seed(state.forest_seed, state.iteration),
+            );
+        }
+        RefitMode::Partial(n) => {
+            let refitted = state.model.update(
+                state.schema.kinds(),
+                state.train.features(),
+                state.train.labels(),
+                n,
+                derive_seed(state.forest_seed, state.iteration),
+            );
+            // Refresh only the regrown trees' pool scores: O(pool · n)
+            // instead of O(pool · n_trees).
+            if let Some(cache) = &mut state.scores {
+                cache.refresh(&state.model, state.pool.features(), &refitted);
+            }
+        }
+    }
+    let done = state.train.len() >= config.n_max || state.pool.is_empty();
+    if state.iteration.is_multiple_of(config.eval_every as u64) || done {
+        record(
+            &mut state.history,
+            &state.model,
+            &state.train,
+            state.annotator.stats().wasted_cost,
+            test_features,
+            test_labels,
+            &config.alphas,
+        );
+    }
+    done
 }
 
 /// Captures the loop state as a serializable checkpoint.
@@ -899,6 +1030,62 @@ mod tests {
                 .all(|c| target.lint_config(c) != pwu_space::ConfigLegality::Illegal),
             "training set must never contain an illegal configuration"
         );
+    }
+
+    #[test]
+    fn step_chain_matches_continuous_run_bit_for_bit() {
+        let target = Synthetic::new();
+        let (pool1, tf, tl) = setup(&target, 150, 60, 41);
+        let (pool2, _, _) = setup(&target, 150, 60, 41);
+        let cfg = quick_config(30);
+        let strategy = Strategy::Pwu { alpha: 0.05 };
+        let continuous = run(&target, strategy, &cfg, pool1, &tf, &tl, 23);
+
+        let mut cp = bootstrap(&target, &cfg, pool2, &tf, &tl, 23);
+        let mut steps = 0u32;
+        loop {
+            let out = step_once(&target, strategy, &cfg, &cp, &tf, &tl).unwrap();
+            assert!(out.step_cost >= 0.0);
+            cp = out.checkpoint;
+            steps += 1;
+            assert!(steps < 1000, "step chain failed to terminate");
+            if out.done {
+                break;
+            }
+        }
+        // The stepped run saw the same bits the continuous run saw.
+        assert_eq!(cp.train_labels, continuous.train.labels());
+        assert_eq!(cp.history, continuous.history);
+        assert_eq!(cp.selections, continuous.selections);
+
+        // Stepping a finished run is a no-op echo.
+        let again = step_once(&target, strategy, &cfg, &cp, &tf, &tl).unwrap();
+        assert!(again.done);
+        assert_eq!(again.step_cost, 0.0);
+        assert_eq!(again.checkpoint, cp);
+    }
+
+    #[test]
+    fn step_once_rejects_partial_refit_and_foreign_checkpoints() {
+        let target = Synthetic::new();
+        let (pool, tf, tl) = setup(&target, 150, 60, 42);
+        let cfg = quick_config(30);
+        let cp = bootstrap(&target, &cfg, pool, &tf, &tl, 9);
+        let strategy = Strategy::Uniform;
+
+        let mut partial = cfg.clone();
+        partial.refit = RefitMode::Partial(4);
+        assert!(matches!(
+            step_once(&target, strategy, &partial, &cp, &tf, &tl),
+            Err(CheckpointError::Mismatch(_))
+        ));
+
+        let mut wrong = cfg.clone();
+        wrong.n_batch = 3;
+        assert!(matches!(
+            step_once(&target, strategy, &wrong, &cp, &tf, &tl),
+            Err(CheckpointError::Mismatch(_))
+        ));
     }
 
     #[test]

@@ -98,14 +98,23 @@ impl RetryPolicy {
     }
 
     /// Backoff seconds charged after the `failure`-th failed attempt
-    /// (1-based): `backoff_cost · 2^(failure−1)`, capped to avoid overflow.
+    /// (1-based): `backoff_cost · 2^(failure−1)`, with the exponent capped
+    /// at 16 and the product *saturated* to [`f64::MAX`]. A pathological
+    /// `backoff_cost` (a watchdog deadline of `f64::MAX` cost units feeds
+    /// one in here) must wedge the budget, not overflow to infinity and
+    /// poison every downstream cost sum.
     #[must_use]
     pub fn backoff(&self, failure: usize) -> f64 {
         if self.backoff_cost <= 0.0 || failure == 0 {
             return 0.0;
         }
         let exp = (failure - 1).min(16) as u32;
-        self.backoff_cost * f64::from(1u32 << exp)
+        let raw = self.backoff_cost * f64::from(1u32 << exp);
+        if raw.is_finite() {
+            raw
+        } else {
+            f64::MAX
+        }
     }
 }
 
@@ -685,6 +694,29 @@ mod tests {
         assert_eq!(p.backoff(1000), 65536.0); // capped exponent
         assert_eq!(RetryPolicy::none().max_retries, 0);
         assert_eq!(RetryPolicy::default().backoff(3), 0.0);
+    }
+
+    #[test]
+    fn retry_policy_backoff_saturates_instead_of_overflowing() {
+        // Pathological cost units right at the saturation boundary: one
+        // doubling is still finite, the second would overflow to infinity.
+        let p = RetryPolicy {
+            max_retries: 3,
+            backoff_cost: f64::MAX / 2.0,
+        };
+        assert_eq!(p.backoff(1), f64::MAX / 2.0);
+        assert_eq!(p.backoff(2), f64::MAX);
+        assert_eq!(p.backoff(3), f64::MAX); // saturated, not +inf
+        assert!(p.backoff(1000).is_finite());
+
+        // Even f64::MAX itself stays finite at every failure count.
+        let p = RetryPolicy {
+            max_retries: 3,
+            backoff_cost: f64::MAX,
+        };
+        for failure in 1..=20 {
+            assert_eq!(p.backoff(failure), f64::MAX);
+        }
     }
 
     #[test]

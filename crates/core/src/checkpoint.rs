@@ -16,6 +16,17 @@
 //! sees the same bits the killed run saw. Writes go through a temp file in
 //! the same directory followed by an atomic rename, so a crash mid-write
 //! leaves the previous checkpoint intact rather than a torn file.
+//!
+//! Two integrity layers sit on top of the text format:
+//!
+//! - every file [`ActiveCheckpoint::save_atomic`] writes ends with a
+//!   `footer <body-bytes> <fnv1a64>` line; [`ActiveCheckpoint::load_verified`]
+//!   demands it and returns a typed [`CheckpointError::Corrupt`] — never a
+//!   panic, never a silent misparse — when the file is truncated, bit-flipped
+//!   or otherwise damaged;
+//! - [`GenerationStore`] keeps the last few checkpoints as numbered
+//!   generations (`gen-NNNN.ckpt`), so a corrupt newest generation rolls
+//!   back to the previous durable one instead of losing the session.
 
 use std::fmt;
 use std::fs;
@@ -67,6 +78,9 @@ pub enum CheckpointError {
     },
     /// The checkpoint does not belong to the given target/configuration.
     Mismatch(String),
+    /// The checkpoint file is damaged: truncated, bit-flipped, missing its
+    /// integrity footer, or failing the footer's length/checksum test.
+    Corrupt(String),
 }
 
 impl fmt::Display for CheckpointError {
@@ -77,6 +91,7 @@ impl fmt::Display for CheckpointError {
                 write!(f, "checkpoint parse error at line {line}: {message}")
             }
             CheckpointError::Mismatch(msg) => write!(f, "checkpoint mismatch: {msg}"),
+            CheckpointError::Corrupt(msg) => write!(f, "checkpoint corrupt: {msg}"),
         }
     }
 }
@@ -146,6 +161,64 @@ pub struct ActiveCheckpoint {
 }
 
 const MAGIC: &str = "pwu-active-checkpoint v1";
+
+/// FNV-1a 64-bit hash — the checksum in the checkpoint integrity footer.
+///
+/// Public so sibling crates (`pwu-serve` session metadata) can stamp their
+/// own durable files with the same footer convention.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Appends the `footer <body-bytes> <fnv1a64>` integrity line to a durable
+/// text body. The companion [`split_verified_body`] checks and strips it.
+#[must_use]
+pub fn with_integrity_footer(body: &str) -> String {
+    format!(
+        "{body}footer {} {:016x}\n",
+        body.len(),
+        fnv1a64(body.as_bytes())
+    )
+}
+
+/// Verifies the integrity footer on raw file bytes and returns the body.
+///
+/// # Errors
+/// Returns [`CheckpointError::Corrupt`] when the bytes are not UTF-8, the
+/// footer is missing or malformed, the recorded length does not match the
+/// body, or the checksum disagrees — i.e. on any truncation or bit flip.
+pub fn split_verified_body(bytes: &[u8]) -> Result<&str, CheckpointError> {
+    let corrupt = |msg: &str| CheckpointError::Corrupt(msg.to_string());
+    let text =
+        std::str::from_utf8(bytes).map_err(|_| corrupt("file is not valid UTF-8"))?;
+    let at = text
+        .rfind("footer ")
+        .filter(|&i| i == 0 || text.as_bytes()[i - 1] == b'\n')
+        .ok_or_else(|| corrupt("missing integrity footer"))?;
+    let (body, footer) = text.split_at(at);
+    let mut it = footer.split_whitespace();
+    let (Some("footer"), Some(len), Some(sum), None) = (it.next(), it.next(), it.next(), it.next())
+    else {
+        return Err(corrupt("malformed integrity footer"));
+    };
+    let len: usize = len
+        .parse()
+        .map_err(|_| corrupt("malformed footer length"))?;
+    let sum = u64::from_str_radix(sum, 16).map_err(|_| corrupt("malformed footer checksum"))?;
+    if body.len() != len {
+        return Err(corrupt("body length does not match the footer"));
+    }
+    if fnv1a64(body.as_bytes()) != sum {
+        return Err(corrupt("body checksum does not match the footer"));
+    }
+    Ok(body)
+}
 
 fn hex(v: f64) -> String {
     format!("{:016x}", v.to_bits())
@@ -392,9 +465,9 @@ impl ActiveCheckpoint {
         })
     }
 
-    /// Writes the checkpoint atomically: serialize to a temp file in the
-    /// same directory, flush, then rename over `path`. A crash mid-write
-    /// cannot corrupt an existing checkpoint.
+    /// Writes the checkpoint atomically: serialize (with the integrity
+    /// footer) to a temp file in the same directory, flush, then rename over
+    /// `path`. A crash mid-write cannot corrupt an existing checkpoint.
     ///
     /// # Errors
     /// Returns [`CheckpointError::Io`] on any filesystem failure.
@@ -404,14 +477,17 @@ impl ActiveCheckpoint {
         let tmp = PathBuf::from(tmp);
         {
             let mut f = fs::File::create(&tmp)?;
-            f.write_all(self.to_text().as_bytes())?;
+            f.write_all(with_integrity_footer(&self.to_text()).as_bytes())?;
             f.sync_all()?;
         }
         fs::rename(&tmp, path)?;
         Ok(())
     }
 
-    /// Loads a checkpoint from disk.
+    /// Loads a checkpoint from disk without demanding the integrity footer
+    /// (the parser ignores trailing lines, so footered and legacy files both
+    /// load). Prefer [`ActiveCheckpoint::load_verified`] for anything that
+    /// must distinguish damage from absence.
     ///
     /// # Errors
     /// Returns [`CheckpointError::Io`] if the file cannot be read and
@@ -419,6 +495,147 @@ impl ActiveCheckpoint {
     pub fn load(path: &Path) -> Result<Self, CheckpointError> {
         let text = fs::read_to_string(path)?;
         Self::from_text(&text)
+    }
+
+    /// Loads a checkpoint, verifying the integrity footer first.
+    ///
+    /// # Errors
+    /// Returns [`CheckpointError::Io`] if the file cannot be read,
+    /// [`CheckpointError::Corrupt`] if it is truncated, bit-flipped or
+    /// missing its footer, and [`CheckpointError::Parse`] if a body that
+    /// passed the checksum still fails to parse (i.e. a valid footer was
+    /// stamped onto a malformed body — possible only for hand-built files).
+    pub fn load_verified(path: &Path) -> Result<Self, CheckpointError> {
+        let bytes = fs::read(path)?;
+        Self::from_text(split_verified_body(&bytes)?)
+    }
+}
+
+/// A directory of generation-numbered checkpoints (`gen-NNNNNNNNNN.ckpt`).
+///
+/// Each save lands in a fresh, higher-numbered file (atomically, footer
+/// included) and then prunes all but the newest `keep` generations. Loading
+/// walks generations newest-first, *rolling back* past any corrupt file, so
+/// a crash — even one that damages the newest checkpoint — costs at most
+/// the work since the previous durable generation.
+#[derive(Debug, Clone)]
+pub struct GenerationStore {
+    dir: PathBuf,
+    keep: usize,
+}
+
+/// What [`GenerationStore::load_latest`] recovered.
+#[derive(Debug, Clone)]
+pub struct Recovered {
+    /// The generation number that loaded cleanly.
+    pub generation: u64,
+    /// Newer generations that were corrupt and rolled past.
+    pub rolled_back: usize,
+    /// The recovered checkpoint.
+    pub checkpoint: ActiveCheckpoint,
+}
+
+impl GenerationStore {
+    /// A store rooted at `dir`, keeping the newest 2 generations.
+    #[must_use]
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            keep: 2,
+        }
+    }
+
+    /// Overrides how many generations are retained.
+    ///
+    /// # Panics
+    /// Panics if `keep` is zero.
+    #[must_use]
+    pub fn with_keep(mut self, keep: usize) -> Self {
+        assert!(keep > 0, "must keep at least one generation");
+        self.keep = keep;
+        self
+    }
+
+    /// The directory this store writes into.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The on-disk path of generation `generation`.
+    #[must_use]
+    pub fn path_for(&self, generation: u64) -> PathBuf {
+        self.dir.join(format!("gen-{generation:010}.ckpt"))
+    }
+
+    /// Existing generation numbers, ascending. A missing directory is an
+    /// empty store; unrelated files are ignored.
+    #[must_use]
+    pub fn generations(&self) -> Vec<u64> {
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        let mut gens: Vec<u64> = entries
+            .filter_map(Result::ok)
+            .filter_map(|e| {
+                let name = e.file_name();
+                let name = name.to_str()?;
+                name.strip_prefix("gen-")?
+                    .strip_suffix(".ckpt")?
+                    .parse()
+                    .ok()
+            })
+            .collect();
+        gens.sort_unstable();
+        gens
+    }
+
+    /// Saves `checkpoint` as the next generation and prunes old ones.
+    /// Returns the new generation number.
+    ///
+    /// # Errors
+    /// Returns [`CheckpointError::Io`] on any filesystem failure. Pruning
+    /// failures are ignored — a stale extra generation is harmless.
+    pub fn save(&self, checkpoint: &ActiveCheckpoint) -> Result<u64, CheckpointError> {
+        fs::create_dir_all(&self.dir)?;
+        let gens = self.generations();
+        let next = gens.last().map_or(0, |g| g + 1);
+        checkpoint.save_atomic(&self.path_for(next))?;
+        for &old in gens.iter().rev().skip(self.keep - 1) {
+            let _ = fs::remove_file(self.path_for(old));
+        }
+        Ok(next)
+    }
+
+    /// Loads the newest generation that passes integrity verification,
+    /// rolling back past corrupt ones. `Ok(None)` means the store holds no
+    /// generations at all (nothing was ever saved).
+    ///
+    /// # Errors
+    /// Returns [`CheckpointError::Corrupt`] when generations exist but every
+    /// one of them is damaged.
+    pub fn load_latest(&self) -> Result<Option<Recovered>, CheckpointError> {
+        let gens = self.generations();
+        if gens.is_empty() {
+            return Ok(None);
+        }
+        let mut rolled_back = 0usize;
+        for &generation in gens.iter().rev() {
+            match ActiveCheckpoint::load_verified(&self.path_for(generation)) {
+                Ok(checkpoint) => {
+                    return Ok(Some(Recovered {
+                        generation,
+                        rolled_back,
+                        checkpoint,
+                    }))
+                }
+                Err(_) => rolled_back += 1,
+            }
+        }
+        Err(CheckpointError::Corrupt(format!(
+            "all {rolled_back} generation(s) under {} are damaged",
+            self.dir.display()
+        )))
     }
 }
 
@@ -644,6 +861,97 @@ mod tests {
         assert!(matches!(
             ActiveCheckpoint::from_text(&bad),
             Err(CheckpointError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn verified_load_round_trips_and_rejects_damage() {
+        let dir = std::env::temp_dir().join("pwu-checkpoint-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("verified.ckpt");
+        let cp = sample();
+        cp.save_atomic(&path).unwrap();
+        assert_eq!(ActiveCheckpoint::load_verified(&path).unwrap(), cp);
+
+        // A single flipped byte in the body fails the checksum.
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[40] ^= 0x20;
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            ActiveCheckpoint::load_verified(&path),
+            Err(CheckpointError::Corrupt(_))
+        ));
+
+        // Truncation (losing the footer, or part of it) is Corrupt too.
+        let full = with_integrity_footer(&cp.to_text()).into_bytes();
+        fs::write(&path, &full[..full.len() - 9]).unwrap();
+        assert!(matches!(
+            ActiveCheckpoint::load_verified(&path),
+            Err(CheckpointError::Corrupt(_))
+        ));
+
+        // A footer-less (legacy) file is Corrupt under verification but
+        // still loads through the lenient path.
+        fs::write(&path, cp.to_text()).unwrap();
+        assert!(matches!(
+            ActiveCheckpoint::load_verified(&path),
+            Err(CheckpointError::Corrupt(_))
+        ));
+        assert_eq!(ActiveCheckpoint::load(&path).unwrap(), cp);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn generation_store_numbers_prunes_and_rolls_back() {
+        let dir = std::env::temp_dir().join("pwu-genstore-test");
+        let _ = fs::remove_dir_all(&dir);
+        let store = GenerationStore::new(&dir).with_keep(2);
+        assert!(store.load_latest().unwrap().is_none());
+
+        let mut cp = sample();
+        for i in 0..4 {
+            cp.iteration = 20 + i;
+            assert_eq!(store.save(&cp).unwrap(), i);
+        }
+        // keep = 2 → only the two newest generations survive.
+        assert_eq!(store.generations(), vec![2, 3]);
+        let got = store.load_latest().unwrap().unwrap();
+        assert_eq!(got.generation, 3);
+        assert_eq!(got.rolled_back, 0);
+        assert_eq!(got.checkpoint.iteration, 23);
+
+        // Corrupt the newest generation: recovery rolls back to gen 2.
+        let newest = store.path_for(3);
+        let mut bytes = fs::read(&newest).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(&newest, &bytes).unwrap();
+        let got = store.load_latest().unwrap().unwrap();
+        assert_eq!(got.generation, 2);
+        assert_eq!(got.rolled_back, 1);
+        assert_eq!(got.checkpoint.iteration, 22);
+
+        // Corrupt every generation: typed Corrupt, not a panic.
+        let older = store.path_for(2);
+        fs::write(&older, b"not a checkpoint").unwrap();
+        assert!(matches!(
+            store.load_latest(),
+            Err(CheckpointError::Corrupt(_))
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn footer_helpers_pin_format() {
+        let body = "hello\n";
+        let footered = with_integrity_footer(body);
+        assert!(footered.starts_with(body));
+        assert!(footered.contains("footer 6 "));
+        assert_eq!(split_verified_body(footered.as_bytes()).unwrap(), body);
+        // Non-UTF8 bytes are Corrupt, not a panic.
+        assert!(matches!(
+            split_verified_body(&[0xFF, 0xFE, b'f']),
+            Err(CheckpointError::Corrupt(_))
         ));
     }
 

@@ -35,9 +35,12 @@ pub mod score;
 pub mod strategy;
 pub mod tuning;
 
-pub use active::{ActiveConfig, ActiveRun, RefitMode, Snapshot};
+pub use active::{bootstrap, step_once, ActiveConfig, ActiveRun, RefitMode, Snapshot, StepOutcome};
 pub use annotator::{Aggregator, AnnotationFailure, Annotator, MeasurementStats, RetryPolicy};
-pub use checkpoint::{ActiveCheckpoint, CheckpointError, CheckpointPolicy};
+pub use checkpoint::{
+    fnv1a64, with_integrity_footer, ActiveCheckpoint, CheckpointError, CheckpointPolicy,
+    GenerationStore, Recovered,
+};
 pub use experiment::{ExperimentResult, Protocol, StrategyCurve};
 pub use metrics::{cost_to_reach, rmse_at_alpha};
 pub use score::PoolScoreCache;

@@ -1,0 +1,145 @@
+//! Corruption property test: any truncation or bit flip of a footered
+//! checkpoint file must surface as [`CheckpointError::Corrupt`] — never a
+//! panic, and never a silently different checkpoint.
+//!
+//! Fifty seeds each pick an independent mutation (single-bit flip, byte
+//! overwrite, truncation, or tail garbage) at a pseudo-random offset, so
+//! the damage lands everywhere: the body, the hex-encoded labels, the
+//! footer line, the final newline.
+
+use std::fs;
+
+use pwu_core::active::{SelectionTrace, Snapshot};
+use pwu_core::checkpoint::split_verified_body;
+use pwu_core::{ActiveCheckpoint, CheckpointError, MeasurementStats};
+use pwu_space::PoolLintCounts;
+use pwu_stats::Xoshiro256PlusPlus;
+
+/// A representative checkpoint with awkward payloads: subnormal bits,
+/// multi-row configs, non-empty quarantine and history.
+fn sample() -> ActiveCheckpoint {
+    ActiveCheckpoint {
+        target_name: "corruption-property".into(),
+        iteration: 9,
+        forest_seed: 0x5EED_CAFE,
+        n_init: 6,
+        n_batch: 2,
+        n_max: 40,
+        repeats: 3,
+        alphas: vec![0.05],
+        annotator_rng: [11, 12, 13, 14],
+        annotator_evaluations: 31,
+        stats: MeasurementStats {
+            annotations: 31,
+            readings: 93,
+            compile_failures: 1,
+            crashes: 2,
+            bad_readings: 0,
+            timeouts: 1,
+            retries: 4,
+            failed_annotations: 2,
+            wasted_cost: 7.5,
+        },
+        select_rng: [21, 22, 23, 24],
+        pool_rng: [31, 32, 33, 34],
+        lint: PoolLintCounts {
+            legal: 50,
+            flagged: 3,
+            illegal: 2,
+        },
+        train_configs: vec![vec![0, 1, 2], vec![3, 4, 5], vec![6, 7, 8]],
+        train_labels: vec![0.125, f64::from_bits(0x0000_0000_0000_0001), 3.75],
+        pool_configs: vec![vec![1, 1, 1], vec![2, 2, 2]],
+        quarantined: vec![vec![9, 9, 9]],
+        history: vec![Snapshot {
+            n_train: 6,
+            cumulative_cost: 2.25,
+            rmse: vec![0.4],
+        }],
+        selections: vec![SelectionTrace {
+            mean: 0.5,
+            std: 0.02,
+            observed: 0.48,
+        }],
+    }
+}
+
+/// Applies the seed's mutation; returns `None` when the mutation is a
+/// no-op (e.g. truncating zero bytes), so the caller can skip it.
+fn mutate(file: &[u8], rng: &mut Xoshiro256PlusPlus) -> Option<Vec<u8>> {
+    let mut bytes = file.to_vec();
+    let len = bytes.len();
+    #[allow(clippy::cast_possible_truncation)]
+    let offset = (rng.next() % len as u64) as usize;
+    match rng.next() % 4 {
+        0 => {
+            // Single-bit flip.
+            bytes[offset] ^= 1 << (rng.next() % 8);
+        }
+        1 => {
+            // Byte overwrite with an arbitrary value.
+            #[allow(clippy::cast_possible_truncation)]
+            let v = (rng.next() & 0xFF) as u8;
+            if bytes[offset] == v {
+                return None;
+            }
+            bytes[offset] = v;
+        }
+        2 => {
+            // Truncation (a torn write).
+            if offset == 0 {
+                return None; // empty file is a different error class
+            }
+            bytes.truncate(offset);
+        }
+        _ => {
+            // Garbage appended after the footer.
+            bytes.extend_from_slice(b"garbage tail\n");
+        }
+    }
+    Some(bytes)
+}
+
+#[test]
+fn fifty_seeds_of_damage_all_surface_as_corrupt() {
+    let checkpoint = sample();
+    let dir = std::env::temp_dir().join(format!("pwu-corrupt-prop-{}", std::process::id()));
+    fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("victim.ckpt");
+    checkpoint.save_atomic(&path).unwrap();
+    let pristine = fs::read(&path).unwrap();
+
+    // The unmutated file verifies and round-trips exactly.
+    assert_eq!(ActiveCheckpoint::load_verified(&path).unwrap(), checkpoint);
+
+    let mut exercised = 0;
+    for seed in 0..50u64 {
+        let mut rng = Xoshiro256PlusPlus::new(0xBAD5_EED0 + seed);
+        let Some(damaged) = mutate(&pristine, &mut rng) else {
+            continue;
+        };
+        exercised += 1;
+
+        // In-memory verification: typed Corrupt, never a panic.
+        match split_verified_body(&damaged) {
+            Err(CheckpointError::Corrupt(_)) => {}
+            Ok(body) => {
+                // The only mutation the footer cannot see is one past it
+                // (appended garbage) — and then the body must be untouched.
+                let parsed = ActiveCheckpoint::from_text(body).unwrap();
+                assert_eq!(parsed, checkpoint, "seed {seed}: silent corruption");
+            }
+            Err(other) => panic!("seed {seed}: wrong error class {other}"),
+        }
+
+        // File-based verification through the load path.
+        fs::write(&path, &damaged).unwrap();
+        match ActiveCheckpoint::load_verified(&path) {
+            Err(CheckpointError::Corrupt(_)) => {}
+            Ok(parsed) => assert_eq!(parsed, checkpoint, "seed {seed}: silent corruption"),
+            Err(other) => panic!("seed {seed}: wrong error class {other}"),
+        }
+    }
+    assert!(exercised >= 40, "only {exercised} seeds produced damage");
+    let _ = fs::remove_dir_all(&dir);
+}

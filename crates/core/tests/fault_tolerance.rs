@@ -287,6 +287,73 @@ fn nan_readings_are_quarantined_not_fed_to_the_forest() {
 }
 
 #[test]
+fn session_suspended_mid_quarantine_resumes_with_identical_tallies() {
+    // A steppable "session" (bootstrap + step_once) under 20 % injected
+    // faults, suspended to disk and resumed after *every* step — i.e. while
+    // quarantine tallies are actively accumulating — must finish with
+    // measurement stats bit-identical to a never-suspended chain.
+    let kernel = kernel_by_name("adi")
+        .expect("adi registered")
+        .with_faults(FaultModel::stress(0xFA17));
+    let (pool_cfgs, test_features, test_labels) = pool_and_test(&kernel, 7);
+    let schema = FeatureSchema::for_space(kernel.space());
+    let config = small_config();
+    let strategy = Strategy::Pwu { alpha: 0.05 };
+    let seed = 41;
+
+    let chain = |suspend_each_step: bool| -> ActiveCheckpoint {
+        let path = std::env::temp_dir().join(format!(
+            "pwu-ft-quarantine-{}-{suspend_each_step}.ckpt",
+            std::process::id()
+        ));
+        let pool = Pool::new(kernel.space(), &schema, pool_cfgs.clone());
+        let mut checkpoint =
+            active::bootstrap(&kernel, &config, pool, &test_features, &test_labels, seed);
+        let mut saw_mid_quarantine = false;
+        loop {
+            if suspend_each_step {
+                // Suspend: persist and drop the in-memory state. Resume:
+                // reload from the verified file.
+                checkpoint.save_atomic(&path).unwrap();
+                checkpoint = ActiveCheckpoint::load_verified(&path).unwrap();
+            }
+            let midway = checkpoint.train_configs.len() < config.n_max;
+            if midway && !checkpoint.quarantined.is_empty() && checkpoint.stats.retries > 0 {
+                saw_mid_quarantine = true;
+            }
+            let out = active::step_once(
+                &kernel,
+                strategy,
+                &config,
+                &checkpoint,
+                &test_features,
+                &test_labels,
+            )
+            .unwrap();
+            checkpoint = out.checkpoint;
+            if out.done {
+                break;
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+        assert!(
+            saw_mid_quarantine,
+            "the stress model must quarantine something mid-run for this test to bite"
+        );
+        checkpoint
+    };
+
+    let continuous = chain(false);
+    let suspended = chain(true);
+    assert_eq!(
+        suspended.stats, continuous.stats,
+        "quarantine/retry tallies diverged across suspend/resume"
+    );
+    assert_eq!(suspended.quarantined, continuous.quarantined);
+    assert_eq!(suspended, continuous, "full checkpoint diverged");
+}
+
+#[test]
 fn model_based_tuning_completes_under_twenty_percent_faults() {
     let kernel = kernel_by_name("mm")
         .expect("mm registered")

@@ -1,0 +1,561 @@
+//! The multi-session server: registry, dispatch, sharded ticks.
+//!
+//! One [`Server`] owns a state directory, a `BTreeMap` session registry
+//! (sorted — serialization and parallel ticks iterate it in a
+//! deterministic order), an admission policy, a watchdog policy and the
+//! eval-cache LRU. [`Server::serve`] runs the framed line loop;
+//! [`Server::handle`] is the same dispatch exposed for in-process use
+//! (tests, the chaos harness and the load generator drive it directly).
+//!
+//! Crash safety is inherited, not bolted on: every committed step persisted
+//! a generation before the response went out, so killing the process at
+//! *any* point loses at most the uncommitted step in flight.
+//! [`Server::open`] re-attaches every session directory it finds.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::{BufRead, Write};
+use std::path::{Path, PathBuf};
+
+use rayon::prelude::*;
+
+use crate::admission::AdmissionPolicy;
+use crate::lru::CacheLru;
+use crate::protocol::{
+    parse_request, ErrorKind, Fields, ObjectWriter, ProtocolError, Request,
+};
+use crate::session::{
+    parse_strategy, session_dir, Session, SessionSpec, SessionState, StepReport,
+};
+use crate::watchdog::WatchdogPolicy;
+
+/// Monotonic counters the `stats` command reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Sessions created.
+    pub created: usize,
+    /// Steps committed (durable generations written by steps).
+    pub steps_committed: usize,
+    /// Step attempts discarded by the watchdog (strikes).
+    pub steps_shed: usize,
+    /// Sessions that entered the degraded state.
+    pub degraded: usize,
+    /// Requests refused by admission control.
+    pub overloaded: usize,
+    /// Warm eval-cache memos cleared by the LRU.
+    pub cache_evictions: usize,
+    /// Successful resumes.
+    pub resumes: usize,
+    /// Damaged generations rolled back across all resumes.
+    pub rolled_back: usize,
+    /// Session directories skipped at open because their spec was corrupt.
+    pub skipped_corrupt: usize,
+}
+
+/// A multi-session tuning server rooted at a state directory.
+#[derive(Debug)]
+pub struct Server {
+    state_dir: PathBuf,
+    admission: AdmissionPolicy,
+    watchdog: WatchdogPolicy,
+    sessions: BTreeMap<String, Session>,
+    lru: CacheLru,
+    stats: ServerStats,
+}
+
+impl Server {
+    /// Opens a server over `state_dir`, re-attaching every session
+    /// directory found there (each comes up suspended; `resume` loads it).
+    /// Directories whose spec fails integrity verification are skipped and
+    /// counted in [`ServerStats::skipped_corrupt`] — one damaged session
+    /// must not block the rest of the fleet.
+    ///
+    /// # Errors
+    /// Returns an I/O error when the state directory cannot be created or
+    /// scanned.
+    pub fn open(
+        state_dir: impl Into<PathBuf>,
+        admission: AdmissionPolicy,
+        watchdog: WatchdogPolicy,
+    ) -> std::io::Result<Self> {
+        let state_dir = state_dir.into();
+        fs::create_dir_all(&state_dir)?;
+        let mut names: Vec<String> = fs::read_dir(&state_dir)?
+            .filter_map(Result::ok)
+            .filter(|e| e.path().join("meta.pwu").is_file())
+            .filter_map(|e| e.file_name().to_str().map(str::to_string))
+            .collect();
+        names.sort_unstable();
+        let mut sessions = BTreeMap::new();
+        let mut skipped_corrupt = 0;
+        for name in names {
+            match Session::attach(&session_dir(&state_dir, &name)) {
+                Ok(session) => {
+                    sessions.insert(name, session);
+                }
+                Err(_) => skipped_corrupt += 1,
+            }
+        }
+        Ok(Self {
+            state_dir,
+            admission,
+            watchdog,
+            sessions,
+            lru: CacheLru::new(),
+            stats: ServerStats {
+                skipped_corrupt,
+                ..ServerStats::default()
+            },
+        })
+    }
+
+    /// The state directory this server persists into.
+    #[must_use]
+    pub fn state_dir(&self) -> &Path {
+        &self.state_dir
+    }
+
+    /// The monotonic counters so far.
+    #[must_use]
+    pub fn stats(&self) -> ServerStats {
+        self.stats
+    }
+
+    /// Registered session count (any state).
+    #[must_use]
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Read-only view of a session.
+    #[must_use]
+    pub fn session(&self, id: &str) -> Option<&Session> {
+        self.sessions.get(id)
+    }
+
+    /// Registered session ids, sorted.
+    #[must_use]
+    pub fn session_ids(&self) -> Vec<String> {
+        self.sessions.keys().cloned().collect()
+    }
+
+    fn resident_count(&self) -> usize {
+        self.sessions.values().filter(|s| s.is_resident()).count()
+    }
+
+    /// Runs the framed line loop until EOF or a `shutdown` request: one
+    /// request per line in, one response per line out.
+    ///
+    /// # Errors
+    /// Returns an I/O error when the transport fails; protocol errors are
+    /// answered in-band and never abort the loop.
+    pub fn serve(&mut self, reader: impl BufRead, mut writer: impl Write) -> std::io::Result<()> {
+        for line in reader.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let (response, shutdown) = self.handle_line(&line);
+            writer.write_all(response.as_bytes())?;
+            writer.write_all(b"\n")?;
+            writer.flush()?;
+            if shutdown {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Parses and dispatches one request line. Returns the response line
+    /// and whether the serve loop should stop.
+    pub fn handle_line(&mut self, line: &str) -> (String, bool) {
+        match parse_request(line) {
+            Ok(request) => self.handle(request),
+            Err(e) => (e.to_line(), false),
+        }
+    }
+
+    /// Dispatches one parsed request. Returns the response line and whether
+    /// the serve loop should stop.
+    pub fn handle(&mut self, request: Request) -> (String, bool) {
+        let result = match request {
+            Request::Create { session, fields } => self.create(&session, &fields),
+            Request::Step { session, n } => self.step(&session, n),
+            Request::Query { session } => self.query(&session),
+            Request::Suspend { session } => self.suspend(&session),
+            Request::Resume { session } => self.resume(&session),
+            Request::Kill { session } => self.kill(&session),
+            Request::Tick => Ok(self.tick()),
+            Request::Stats => Ok(self.stats_line()),
+            Request::Shutdown => {
+                let mut w = ObjectWriter::new();
+                w.bool("ok", true);
+                w.str("bye", "shutting down");
+                return (w.finish(), true);
+            }
+        };
+        match result {
+            Ok(line) => (line, false),
+            Err(e) => {
+                if e.kind == ErrorKind::Overloaded {
+                    self.stats.overloaded += 1;
+                }
+                if e.kind == ErrorKind::Degraded {
+                    self.stats.degraded += 1;
+                }
+                (e.to_line(), false)
+            }
+        }
+    }
+
+    fn get_mut(&mut self, id: &str) -> Result<&mut Session, ProtocolError> {
+        self.sessions.get_mut(id).ok_or_else(|| {
+            ProtocolError::new(ErrorKind::UnknownSession, format!("no session '{id}'"))
+        })
+    }
+
+    fn create(&mut self, id: &str, fields: &Fields) -> Result<String, ProtocolError> {
+        if self.sessions.contains_key(id) {
+            return Err(ProtocolError::new(
+                ErrorKind::SessionExists,
+                format!("session '{id}' already exists"),
+            ));
+        }
+        self.admission.admit_create(self.sessions.len())?;
+        self.admission.admit_resident(self.resident_count())?;
+        let spec = spec_from_fields(fields)?;
+        let session = Session::create(&session_dir(&self.state_dir, id), spec)?;
+        let line = session_line(id, &session, &[]);
+        self.sessions.insert(id.to_string(), session);
+        self.lru.touch(id);
+        self.stats.created += 1;
+        self.enforce_cache_budget();
+        Ok(line)
+    }
+
+    fn step(&mut self, id: &str, n: usize) -> Result<String, ProtocolError> {
+        self.admission.admit_steps(n)?;
+        let watchdog = self.watchdog;
+        let session = self.get_mut(id)?;
+        let mut committed = 0u64;
+        let mut shed = 0u64;
+        let mut last = StepReport {
+            committed: false,
+            done: false,
+            step_cost: 0.0,
+            state: session.state(),
+        };
+        let mut error = None;
+        for _ in 0..n {
+            match session.step(&watchdog) {
+                Ok(report) => {
+                    if report.committed {
+                        committed += 1;
+                    } else if !report.done {
+                        shed += 1;
+                    }
+                    last = report;
+                    if report.done {
+                        break;
+                    }
+                }
+                Err(e) => {
+                    error = Some(e);
+                    break;
+                }
+            }
+        }
+        #[allow(clippy::cast_possible_truncation)]
+        {
+            self.stats.steps_committed += committed as usize;
+            self.stats.steps_shed += shed as usize;
+        }
+        self.lru.touch(id);
+        self.enforce_cache_budget();
+        if let Some(e) = error {
+            if committed == 0 {
+                // handle() tallies the degraded/overloaded stats on the Err
+                // path; no double count here.
+                return Err(e);
+            }
+            // Partial progress: report what landed plus the error token.
+            if e.kind == ErrorKind::Degraded {
+                self.stats.degraded += 1;
+            }
+            let session = self.get_mut(id)?;
+            let extras = [
+                ("steps", Value::U(committed)),
+                ("shed", Value::U(shed)),
+                ("error", Value::S(e.kind.token().to_string())),
+            ];
+            return Ok(session_line(id, session, &extras));
+        }
+        let session = self.get_mut(id)?;
+        let extras = [
+            ("steps", Value::U(committed)),
+            ("shed", Value::U(shed)),
+            ("step_cost", Value::F(last.step_cost)),
+        ];
+        Ok(session_line(id, session, &extras))
+    }
+
+    fn query(&mut self, id: &str) -> Result<String, ProtocolError> {
+        let session = self.get_mut(id)?;
+        let extras = [(
+            "cache_bytes",
+            Value::U(session.target().cache().map_or(0, pwu_spapt::EvalCache::approx_bytes) as u64),
+        )];
+        Ok(session_line(id, session, &extras))
+    }
+
+    fn suspend(&mut self, id: &str) -> Result<String, ProtocolError> {
+        let session = self.get_mut(id)?;
+        session.suspend();
+        self.lru.remove(id);
+        let session = self.get_mut(id)?;
+        Ok(session_line(id, session, &[]))
+    }
+
+    fn resume(&mut self, id: &str) -> Result<String, ProtocolError> {
+        let resident = self.resident_count();
+        let session = self.get_mut(id)?;
+        if !session.is_resident() {
+            self.admission.admit_resident(resident)?;
+        }
+        let session = self.get_mut(id)?;
+        let rolled_back = session.resume()?;
+        self.stats.resumes += 1;
+        self.stats.rolled_back += rolled_back;
+        self.lru.touch(id);
+        self.enforce_cache_budget();
+        let session = self.get_mut(id)?;
+        let extras = [("rolled_back", Value::U(rolled_back as u64))];
+        Ok(session_line(id, session, &extras))
+    }
+
+    fn kill(&mut self, id: &str) -> Result<String, ProtocolError> {
+        let session = self.sessions.remove(id).ok_or_else(|| {
+            ProtocolError::new(ErrorKind::UnknownSession, format!("no session '{id}'"))
+        })?;
+        self.lru.remove(id);
+        session.destroy(&session_dir(&self.state_dir, id))?;
+        let mut w = ObjectWriter::new();
+        w.bool("ok", true);
+        w.str("session", id);
+        w.str("state", "killed");
+        Ok(w.finish())
+    }
+
+    /// Advances every active session by one iteration, sharded across the
+    /// `PWU_THREADS` pool. Sessions are fully independent (each owns its
+    /// RNG streams inside its checkpoint), so the parallel tick is
+    /// deterministic at any thread width.
+    fn tick(&mut self) -> String {
+        let watchdog = self.watchdog;
+        let entries: Vec<(String, Session)> = std::mem::take(&mut self.sessions).into_iter().collect();
+        let processed: Vec<TickedSession> = entries
+            .into_par_iter()
+            .map(|(id, mut session)| {
+                let report = if session.state() == SessionState::Active {
+                    Some(session.step(&watchdog))
+                } else {
+                    None
+                };
+                (id, session, report)
+            })
+            .collect();
+        let mut stepped = 0u64;
+        let mut done = 0u64;
+        let mut shed = 0u64;
+        let mut degraded = 0u64;
+        for (id, session, report) in processed {
+            match report {
+                Some(Ok(r)) => {
+                    if r.committed {
+                        stepped += 1;
+                        self.stats.steps_committed += 1;
+                        self.lru.touch(&id);
+                    } else if !r.done {
+                        shed += 1;
+                        self.stats.steps_shed += 1;
+                    }
+                    if r.done {
+                        done += 1;
+                    }
+                }
+                Some(Err(e)) if e.kind == ErrorKind::Degraded => {
+                    degraded += 1;
+                    self.stats.degraded += 1;
+                }
+                Some(Err(_)) | None => {}
+            }
+            self.sessions.insert(id, session);
+        }
+        self.enforce_cache_budget();
+        let mut w = ObjectWriter::new();
+        w.bool("ok", true);
+        w.u64("stepped", stepped);
+        w.u64("done", done);
+        w.u64("shed", shed);
+        w.u64("degraded", degraded);
+        w.u64("sessions", self.sessions.len() as u64);
+        w.finish()
+    }
+
+    fn stats_line(&self) -> String {
+        let s = self.stats;
+        let mut w = ObjectWriter::new();
+        w.bool("ok", true);
+        w.u64("sessions", self.sessions.len() as u64);
+        w.u64("resident", self.resident_count() as u64);
+        w.u64("created", s.created as u64);
+        w.u64("steps_committed", s.steps_committed as u64);
+        w.u64("steps_shed", s.steps_shed as u64);
+        w.u64("degraded", s.degraded as u64);
+        w.u64("overloaded", s.overloaded as u64);
+        w.u64("cache_evictions", s.cache_evictions as u64);
+        w.u64("resumes", s.resumes as u64);
+        w.u64("rolled_back", s.rolled_back as u64);
+        w.u64("skipped_corrupt", s.skipped_corrupt as u64);
+        w.finish()
+    }
+
+    /// Clears the coldest warm eval-cache memos until the cache count and
+    /// byte bounds hold. Returns how many memos were cleared.
+    fn enforce_cache_budget(&mut self) -> usize {
+        let warm = |s: &Session| s.target().cache().is_some_and(|c| c.approx_bytes() > 0);
+        let mut warm_count = self.sessions.values().filter(|s| warm(s)).count();
+        let mut total_bytes: usize = self
+            .sessions
+            .values()
+            .filter_map(|s| s.target().cache())
+            .map(pwu_spapt::EvalCache::approx_bytes)
+            .sum();
+        if warm_count <= self.admission.max_warm_caches
+            && total_bytes <= self.admission.max_cache_bytes
+        {
+            return 0;
+        }
+        let order: Vec<String> = self.lru.coldest_first().map(str::to_string).collect();
+        let mut evicted = 0;
+        // Coldest first; ids the LRU never saw (e.g. attached but never
+        // stepped) cannot be warm, so the tracked order covers everything.
+        for id in order {
+            if warm_count <= self.admission.max_warm_caches
+                && total_bytes <= self.admission.max_cache_bytes
+            {
+                break;
+            }
+            let Some(session) = self.sessions.get(&id) else {
+                continue;
+            };
+            let Some(cache) = session.target().cache() else {
+                continue;
+            };
+            let bytes = cache.approx_bytes();
+            if bytes == 0 {
+                continue;
+            }
+            cache.clear();
+            total_bytes -= bytes;
+            warm_count -= 1;
+            evicted += 1;
+            self.stats.cache_evictions += 1;
+            self.lru.remove(&id);
+        }
+        evicted
+    }
+}
+
+/// One session after a tick shard: id, the session, and the step outcome
+/// (`None` for sessions that were not active).
+type TickedSession = (String, Session, Option<Result<StepReport, ProtocolError>>);
+
+/// Scalar used by the response extras slice.
+enum Value {
+    U(u64),
+    F(f64),
+    S(String),
+}
+
+/// Builds the standard per-session response line.
+fn session_line(id: &str, session: &Session, extras: &[(&str, Value)]) -> String {
+    let mut w = ObjectWriter::new();
+    w.bool("ok", true);
+    w.str("session", id);
+    w.str("state", session.state().token());
+    w.bool("resident", session.is_resident());
+    w.u64("iteration", session.iteration());
+    w.u64("generation", session.generation());
+    w.u64("n_train", session.checkpoint().map_or(0, |c| c.train_configs.len() as u64));
+    if let Some(digest) = session.digest() {
+        w.str("digest", &digest);
+    }
+    for (key, value) in extras {
+        match value {
+            Value::U(v) => w.u64(key, *v),
+            Value::F(v) => w.f64(key, *v),
+            Value::S(v) => w.str(key, v),
+        };
+    }
+    w.finish()
+}
+
+/// Builds a [`SessionSpec`] from a `create` request's fields.
+fn spec_from_fields(fields: &Fields) -> Result<SessionSpec, ProtocolError> {
+    let mut spec = SessionSpec {
+        target: fields
+            .str("target")
+            .ok_or_else(|| {
+                ProtocolError::new(ErrorKind::BadRequest, "missing string field 'target'")
+            })?
+            .to_string(),
+        ..SessionSpec::default()
+    };
+    let set = |key: &str, slot: &mut usize| -> Result<(), ProtocolError> {
+        if fields.get(key).is_some() {
+            *slot = fields.usize(key).ok_or_else(|| {
+                ProtocolError::new(
+                    ErrorKind::BadRequest,
+                    format!("field '{key}' must be a non-negative integer"),
+                )
+            })?;
+        }
+        Ok(())
+    };
+    let mut n_init = spec.n_init;
+    let mut n_batch = spec.n_batch;
+    let mut n_max = spec.n_max;
+    let mut repeats = spec.repeats;
+    let mut n_trees = spec.n_trees;
+    let mut eval_every = spec.eval_every;
+    let mut pool_n = spec.pool_n;
+    let mut test_n = spec.test_n;
+    set("n_init", &mut n_init)?;
+    set("n_batch", &mut n_batch)?;
+    set("n_max", &mut n_max)?;
+    set("repeats", &mut repeats)?;
+    set("n_trees", &mut n_trees)?;
+    set("eval_every", &mut eval_every)?;
+    set("pool_n", &mut pool_n)?;
+    set("test_n", &mut test_n)?;
+    spec.n_init = n_init;
+    spec.n_batch = n_batch;
+    spec.n_max = n_max;
+    spec.repeats = repeats;
+    spec.n_trees = n_trees;
+    spec.eval_every = eval_every;
+    spec.pool_n = pool_n;
+    spec.test_n = test_n;
+    if let Some(alpha) = fields.f64("alpha") {
+        spec.alpha = alpha;
+    }
+    if let Some(seed) = fields.u64("seed") {
+        spec.seed = seed;
+    }
+    spec.strategy = match fields.str("strategy") {
+        Some(token) => parse_strategy(token)?,
+        None => pwu_core::Strategy::Pwu { alpha: spec.alpha },
+    };
+    Ok(spec)
+}

@@ -28,7 +28,7 @@
 //! same pure values, so whichever insert wins stores the same bits.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::RwLock;
 
 use pwu_space::{ConfigLegality, Configuration, MeasureOutcome, ParamSpace, TuningTarget};
@@ -65,6 +65,20 @@ pub struct EvalCache {
     map: RwLock<HashMap<Vec<u32>, CachedEval>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Approximate heap bytes held by the memo, maintained as a counter on
+    /// insert/clear so memory governors (the `pwu-serve` cache LRU) can read
+    /// it without iterating the map.
+    approx_bytes: AtomicUsize,
+}
+
+/// Estimated heap bytes one cache entry costs: the boxed key levels plus
+/// the hash-map slot (key header + value + bucket overhead). A bookkeeping
+/// estimate for admission decisions, not an allocator measurement.
+const fn entry_bytes(n_levels: usize) -> usize {
+    n_levels * std::mem::size_of::<u32>()
+        + std::mem::size_of::<Vec<u32>>()
+        + std::mem::size_of::<CachedEval>()
+        + 16
 }
 
 impl Clone for EvalCache {
@@ -103,7 +117,10 @@ impl EvalCache {
         if guard.len() >= MAX_ENTRIES && !guard.contains_key(levels) {
             return;
         }
-        guard.insert(levels.to_vec(), entry);
+        if guard.insert(levels.to_vec(), entry).is_none() {
+            self.approx_bytes
+                .fetch_add(entry_bytes(levels.len()), Ordering::Relaxed);
+        }
     }
 
     /// Number of memoized configurations.
@@ -130,12 +147,22 @@ impl EvalCache {
         )
     }
 
-    /// Drops every entry (builders call this when the surface changes).
+    /// Approximate heap bytes held by the memo (see [`EvalCache::store`]'s
+    /// per-entry estimate). O(1) — read from a counter, not by iteration.
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        self.approx_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Drops every entry (builders call this when the surface changes; the
+    /// serve-layer cache LRU calls it to evict a cold session's memo).
     pub fn clear(&self) {
-        self.map
+        let mut guard = self
+            .map
             .write()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .clear();
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        guard.clear();
+        self.approx_bytes.store(0, Ordering::Relaxed);
     }
 
     /// The decode-derived half of the entry for `cfg`, memoized.
@@ -245,5 +272,40 @@ impl TuningTarget for Uncached {
             })
             .sum::<f64>()
             / repeats as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_bytes_tracks_inserts_and_clear() {
+        let cache = EvalCache::new();
+        assert_eq!(cache.approx_bytes(), 0);
+        let entry = CachedEval {
+            legality: ConfigLegality::Legal,
+            aggressive: false,
+            ideal_time: None,
+        };
+        cache.store(&[1, 2, 3], entry);
+        let one = cache.approx_bytes();
+        assert_eq!(one, entry_bytes(3));
+        // Upgrading an existing key does not double-count.
+        cache.store(
+            &[1, 2, 3],
+            CachedEval {
+                ideal_time: Some(1.0),
+                ..entry
+            },
+        );
+        assert_eq!(cache.approx_bytes(), one);
+        cache.store(&[4, 5, 6], entry);
+        assert_eq!(cache.approx_bytes(), 2 * one);
+        // Clones are cold; clear resets the counter with the map.
+        assert_eq!(cache.clone().approx_bytes(), 0);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.approx_bytes(), 0);
     }
 }

@@ -7,12 +7,19 @@
 //! - `faults` — the fault-injection gate: runs the deterministic fault-model
 //!   unit tests and the end-to-end fault-tolerance suite, which drive the
 //!   active-learning loop under ~20 % injected measurement failures.
-//! - `perf` — regenerates `BENCH_forest.json` (forest hot-path) and
-//!   `BENCH_measure.json` (measurement engine) with the before/after harness
-//!   (`pwu-bench --bin perf`, full mode). With `--check`, runs the harness
-//!   in smoke mode (bounded sample counts, CI-budget runtime) to scratch
-//!   files, validates both report schemas, and fails if any benchmark's
-//!   speedup regressed below 75 % of its committed baseline.
+//! - `perf` — regenerates `BENCH_forest.json` (forest hot-path),
+//!   `BENCH_measure.json` (measurement engine), and `BENCH_serve.json`
+//!   (service load generator) with the before/after harnesses
+//!   (`pwu-bench --bin perf` and `--bin serve_load`, full mode). With
+//!   `--check`, runs both harnesses in smoke mode (bounded sample counts,
+//!   CI-budget runtime) to scratch files, validates every report schema,
+//!   and fails if any benchmark's speedup regressed below 75 % of its
+//!   committed baseline.
+//! - `chaos` — the crash-safety gate: runs the `pwu-serve` chaos harness in
+//!   release mode at full scale (a 50-session mixed SPAPT + kripke/hypre
+//!   fleet, 20 seeded kills at randomized step boundaries, plus a
+//!   corrupted-generation rollback scenario), asserting bit-identical
+//!   resume against uninterrupted reference runs. See DESIGN.md §12.
 //! - `audit` — the determinism gate: runs the `pwu-audit` static scanner
 //!   against the workspace and `audit.allow.toml` (non-zero on any
 //!   unallowed finding *or* stale allowlist entry), then the scanner's own
@@ -27,13 +34,14 @@ use std::process::{exit, Command};
 
 /// Every CI gate, in the order a full run should execute them:
 /// `(invocation, what it enforces)`.
-const GATES: [(&str, &str); 6] = [
+const GATES: [(&str, &str); 7] = [
     ("cargo build --release", "the workspace compiles"),
     ("cargo test -q", "the full test suite (tier-1)"),
     ("cargo xtask lint", "clippy -D warnings + pwu-lint kernel legality"),
     ("cargo xtask faults", "fault-injection & retry/quarantine suites"),
     ("cargo xtask perf --check", "perf smoke run vs committed baselines"),
     ("cargo xtask audit", "determinism scan + schedule-perturbation harness"),
+    ("cargo xtask chaos", "seeded kill/resume chaos harness (full scale)"),
 ];
 
 fn main() {
@@ -43,6 +51,7 @@ fn main() {
         "faults" => faults(),
         "perf" => perf(std::env::args().any(|a| a == "--check")),
         "audit" => audit(),
+        "chaos" => chaos(),
         "" => {
             println!("xtask: workspace CI gates, in order:");
             for (invocation, enforces) in GATES {
@@ -50,7 +59,7 @@ fn main() {
             }
         }
         other => {
-            eprintln!("unknown xtask command {other:?}\n\nusage: cargo xtask <lint|faults|perf [--check]|audit>");
+            eprintln!("unknown xtask command {other:?}\n\nusage: cargo xtask <lint|faults|perf [--check]|audit|chaos>");
             exit(2);
         }
     }
@@ -104,15 +113,19 @@ const MEASURE_BENCHMARKS: [&str; 3] = [
     "experiment_cell/mini",
 ];
 
-/// The two reports the perf harness writes in one run:
+/// The benchmark names `BENCH_serve.json` must cover to be a valid report.
+const SERVE_BENCHMARKS: [&str; 2] = ["serve/step/mixed_fleet", "serve/recovery/resume_vs_replay"];
+
+/// The reports the perf harnesses write in one run:
 /// `(committed path, schema marker, required benchmarks)`.
-const PERF_REPORTS: [(&str, &str, &[&str]); 2] = [
+const PERF_REPORTS: [(&str, &str, &[&str]); 3] = [
     ("BENCH_forest.json", "pwu-bench-forest-v1", &PERF_BENCHMARKS),
     (
         "BENCH_measure.json",
         "pwu-bench-measure-v1",
         &MEASURE_BENCHMARKS,
     ),
+    ("BENCH_serve.json", "pwu-bench-serve-v1", &SERVE_BENCHMARKS),
 ];
 
 fn perf(check: bool) {
@@ -121,6 +134,17 @@ fn perf(check: bool) {
         run_step(
             "perf harness (full mode) -> BENCH_forest.json + BENCH_measure.json",
             Command::new(&cargo).args(["run", "--release", "-p", "pwu-bench", "--bin", "perf"]),
+        );
+        run_step(
+            "service load generator (full mode) -> BENCH_serve.json",
+            Command::new(&cargo).args([
+                "run",
+                "--release",
+                "-p",
+                "pwu-bench",
+                "--bin",
+                "serve_load",
+            ]),
         );
         for (path, schema, required) in PERF_REPORTS {
             let report = read_report(path, schema, required);
@@ -131,6 +155,7 @@ fn perf(check: bool) {
 
     let forest_scratch = "target/BENCH_forest_check.json";
     let measure_scratch = "target/BENCH_measure_check.json";
+    let serve_scratch = "target/BENCH_serve_check.json";
     run_step(
         "perf harness (smoke mode, bounded runtime)",
         Command::new(&cargo).args([
@@ -148,9 +173,25 @@ fn perf(check: bool) {
             measure_scratch,
         ]),
     );
+    run_step(
+        "service load generator (smoke mode)",
+        Command::new(&cargo).args([
+            "run",
+            "--release",
+            "-p",
+            "pwu-bench",
+            "--bin",
+            "serve_load",
+            "--",
+            "--smoke",
+            "--out",
+            serve_scratch,
+        ]),
+    );
     let mut failed = false;
-    for ((committed_path, schema, required), scratch) in
-        PERF_REPORTS.into_iter().zip([forest_scratch, measure_scratch])
+    for ((committed_path, schema, required), scratch) in PERF_REPORTS
+        .into_iter()
+        .zip([forest_scratch, measure_scratch, serve_scratch])
     {
         let fresh = read_report(scratch, schema, required);
         let Ok(committed_text) = std::fs::read_to_string(committed_path) else {
@@ -248,6 +289,15 @@ fn audit() {
         Command::new(&cargo).args(["test", "-q", "-p", "rayon", "--features", "sanitize"]),
     );
     println!("xtask: determinism audit gate passed");
+}
+
+fn chaos() {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    run_step(
+        "chaos harness (pwu-serve, release, 50 sessions / 20 seeded kills)",
+        Command::new(&cargo).args(["test", "-q", "--release", "-p", "pwu-serve", "--test", "chaos"]),
+    );
+    println!("xtask: chaos gate passed");
 }
 
 fn faults() {
