@@ -23,10 +23,15 @@
 //! - **`rng-entropy`** — RNG construction from ambient entropy
 //!   (`thread_rng`, `from_entropy`, `OsRng`, …) instead of the seeded
 //!   Xoshiro generators in `pwu-stats`.
-//! - **`ambient`** — reads of ambient process state: wall/monotonic clocks
-//!   (`SystemTime::now`, `Instant::now`) and environment variables outside
-//!   the documented `PWU_*` set. CLI arguments (`env::args`) are exempt —
-//!   they are explicit program input, not ambient state.
+//! - **`ambient`** — reads of ambient process state: environment variables
+//!   outside the documented `PWU_*` set. CLI arguments (`env::args`) are
+//!   exempt — they are explicit program input, not ambient state.
+//! - **`wallclock`** — wall/monotonic clock reads (`SystemTime::now`,
+//!   `Instant::now`, `.elapsed(`, `UNIX_EPOCH`). The only sanctioned home
+//!   for timing in result-adjacent code is the `pwu-obs` wall-clock
+//!   sidecar, which is compiled out by default and write-only when armed
+//!   (DESIGN.md §13); that sidecar and the benchmark harnesses are
+//!   allowlisted with reasons, everything else fails the gate.
 //! - **`float-reduce`** — float reductions (`sum`/`product`/`fold`/
 //!   `reduce`) over an iteration order that is not index-stable: hash-map
 //!   `values()`/`keys()` chains or parallel iterators. Float addition does
@@ -57,8 +62,10 @@ pub enum Rule {
     FloatCmp,
     /// RNG constructed from ambient entropy.
     RngEntropy,
-    /// Ambient clock/environment read outside the `PWU_*` contract.
+    /// Ambient environment read outside the `PWU_*` contract.
     Ambient,
+    /// Wall/monotonic clock read outside the `pwu-obs` wallclock sidecar.
+    Wallclock,
     /// Float reduction over a non-index-stable iteration order.
     FloatReduce,
     /// `unsafe` without an adjacent `// SAFETY:` justification.
@@ -70,12 +77,13 @@ pub enum Rule {
 impl Rule {
     /// Every rule, in reporting order.
     #[must_use]
-    pub fn all() -> [Rule; 7] {
+    pub fn all() -> [Rule; 8] {
         [
             Rule::HashIter,
             Rule::FloatCmp,
             Rule::RngEntropy,
             Rule::Ambient,
+            Rule::Wallclock,
             Rule::FloatReduce,
             Rule::UnsafeNoSafety,
             Rule::AtomicTally,
@@ -90,6 +98,7 @@ impl Rule {
             Rule::FloatCmp => "float-cmp",
             Rule::RngEntropy => "rng-entropy",
             Rule::Ambient => "ambient",
+            Rule::Wallclock => "wallclock",
             Rule::FloatReduce => "float-reduce",
             Rule::UnsafeNoSafety => "unsafe-no-safety",
             Rule::AtomicTally => "atomic-tally",
@@ -109,7 +118,8 @@ impl Rule {
             Rule::HashIter => "iterate a sorted view (BTreeMap/BTreeSet or a sorted Vec) in result-affecting code",
             Rule::FloatCmp => "use f64::total_cmp: total, panic-free, and identical on every platform",
             Rule::RngEntropy => "route randomness through the seeded pwu_stats::Xoshiro256PlusPlus",
-            Rule::Ambient => "thread explicit inputs through instead of reading clocks/env (PWU_* vars are the documented exception)",
+            Rule::Ambient => "thread explicit inputs through instead of reading env (PWU_* vars are the documented exception)",
+            Rule::Wallclock => "route timing through the pwu-obs wallclock sidecar (feature-gated, write-only) or allowlist the harness with a reason",
             Rule::FloatReduce => "reduce in index order (collect ordered, then sum) — float addition does not associate",
             Rule::UnsafeNoSafety => "precede the unsafe block with a // SAFETY: comment stating the invariant",
             Rule::AtomicTally => "keep atomic tallies diagnostic-only and allowlist them with a justification",
@@ -226,20 +236,22 @@ pub fn scan_file(rel: &str, text: &str) -> Vec<Finding> {
         if ENTROPY.iter().any(|p| s.contains(p)) {
             push(i, Rule::RngEntropy);
         }
-        const AMBIENT: [&str; 6] = [
-            "SystemTime::now",
-            "Instant::now",
-            "env::var",
-            "env::vars(",
-            "env::var_os",
-            "env::temp_dir",
-        ];
+        const AMBIENT: [&str; 4] = ["env::var", "env::vars(", "env::var_os", "env::temp_dir"];
         // The PWU_ exemption matches the *original* line: the variable name
         // lives in a string literal, which stripping blanks.
         if AMBIENT.iter().any(|p| s.contains(p))
             && !original.get(i).is_some_and(|l| l.contains("PWU_"))
         {
             push(i, Rule::Ambient);
+        }
+        const WALLCLOCK: [&str; 4] = [
+            "SystemTime::now",
+            "Instant::now",
+            ".elapsed(",
+            "UNIX_EPOCH",
+        ];
+        if WALLCLOCK.iter().any(|p| s.contains(p)) {
+            push(i, Rule::Wallclock);
         }
         const UNORDERED_SOURCES: [&str; 4] = ["par_iter", "into_par_iter", ".values()", ".keys()"];
         const REDUCERS: [&str; 5] = [".sum()", ".sum::<", ".product()", ".fold(", ".reduce("];

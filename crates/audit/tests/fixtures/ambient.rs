@@ -1,8 +1,8 @@
-// Known-bad fixture for the `ambient` rule: reading ambient process state
-// (clocks, undocumented environment variables). Exactly ONE line fires.
+// Known-bad fixture for the `ambient` rule: reading undocumented
+// environment variables. Exactly ONE line fires.
 
-fn stamp() -> std::time::SystemTime {
-    std::time::SystemTime::now()
+fn undocumented_knob() -> Option<String> {
+    std::env::var("HOME").ok()
 }
 
 fn documented_knob() -> usize {

@@ -1,0 +1,6 @@
+// Known-bad fixture for the `wallclock` rule: wall/monotonic clock reads
+// outside the pwu-obs wallclock sidecar. Exactly ONE line fires.
+
+fn tick_ns() -> u128 {
+    std::time::Instant::now().elapsed().as_nanos()
+}

@@ -23,11 +23,12 @@ fn workspace_root() -> PathBuf {
 #[test]
 fn each_fixture_fires_its_rule_exactly_once() {
     let findings = scan_workspace(&fixtures_dir());
-    let expected: [(Rule, &str, usize); 7] = [
+    let expected: [(Rule, &str, usize); 8] = [
         (Rule::HashIter, "hash_iter.rs", 9),
         (Rule::FloatCmp, "float_cmp.rs", 5),
         (Rule::RngEntropy, "rng_entropy.rs", 6),
         (Rule::Ambient, "ambient.rs", 5),
+        (Rule::Wallclock, "wallclock.rs", 5),
         (Rule::FloatReduce, "float_reduce.rs", 8),
         (Rule::UnsafeNoSafety, "unsafe_no_safety.rs", 5),
         (Rule::AtomicTally, "atomic_tally.rs", 10),

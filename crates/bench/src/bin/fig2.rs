@@ -1,7 +1,7 @@
 //! Figure 2: RMSE@α (α = 0.01) vs number of training samples, for the 12
 //! SPAPT kernels under all six sampling strategies.
 //!
-//! Usage: `cargo run --release -p pwu-bench --bin fig2 [-- --quick|--full] [kernel …]`
+//! Usage: `cargo run --release -p pwu-bench --bin fig2 [-- --quick|--full] [--trace PATH] [kernel …]`
 //!
 //! Prints one chart per kernel and writes
 //! `target/paper/fig2_<kernel>_rmse.csv` (and the matching Fig 3 cost series,
@@ -12,6 +12,10 @@ use pwu_report::LinePlot;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let (args, trace) = pwu_bench::take_trace_flag(args);
+    if trace.is_some() {
+        pwu_bench::start_tracing();
+    }
     let scale = Scale::from_args(&args);
     let alpha = 0.01;
     let kernels: Vec<String> = {
@@ -63,4 +67,7 @@ fn main() {
         "CSV series written to {} (fig2_*_rmse.csv, fig3_*_cc.csv)",
         output_dir().display()
     );
+    if let Some(path) = trace {
+        pwu_bench::export_trace(&path);
+    }
 }

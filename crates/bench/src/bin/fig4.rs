@@ -1,13 +1,17 @@
 //! Figure 4: RMSE@α and cumulative cost vs number of samples for the two
 //! parallel applications, *kripke* and *hypre* (α = 0.01).
 //!
-//! Usage: `cargo run --release -p pwu-bench --bin fig4 [-- --quick|--full]`
+//! Usage: `cargo run --release -p pwu-bench --bin fig4 [-- --quick|--full] [--trace PATH]`
 
 use pwu_bench::{output_dir, run_benchmark_curves, Scale};
 use pwu_report::LinePlot;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let (args, trace) = pwu_bench::take_trace_flag(args);
+    if trace.is_some() {
+        pwu_bench::start_tracing();
+    }
     let scale = Scale::from_args(&args);
     let alpha = 0.01;
 
@@ -62,4 +66,7 @@ fn main() {
         );
     }
     println!("CSV series written to {}", output_dir().display());
+    if let Some(path) = trace {
+        pwu_bench::export_trace(&path);
+    }
 }

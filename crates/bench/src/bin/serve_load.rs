@@ -21,7 +21,7 @@
 //! count. Run via `cargo xtask perf`, or directly:
 //!
 //! ```text
-//! cargo run --release -p pwu-bench --bin serve_load -- [--smoke] [--out PATH]
+//! cargo run --release -p pwu-bench --bin serve_load -- [--smoke] [--out PATH] [--trace PATH]
 //! ```
 
 use std::fs;
@@ -144,6 +144,10 @@ fn median(v: &mut [f64]) -> f64 {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let (args, trace) = pwu_bench::take_trace_flag(args);
+    if trace.is_some() {
+        pwu_bench::start_tracing();
+    }
     let smoke = args.iter().any(|a| a == "--smoke");
     let out = args
         .iter()
@@ -242,4 +246,7 @@ fn main() {
     );
     fs::write(out, report).expect("report must be writable");
     println!("wrote {out}");
+    if let Some(path) = trace {
+        pwu_bench::export_trace(&path);
+    }
 }

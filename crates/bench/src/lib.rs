@@ -17,6 +17,54 @@ pub fn output_dir() -> PathBuf {
     PathBuf::from("target/paper")
 }
 
+/// Splits `--trace <path>` out of CLI args: returns the remaining args and
+/// the requested export path. Callers pass the rest to their own parsing
+/// (so the path is never mistaken for a kernel name), call
+/// [`start_tracing`] before the run and [`export_trace`] after it.
+#[must_use]
+pub fn take_trace_flag(mut args: Vec<String>) -> (Vec<String>, Option<PathBuf>) {
+    let Some(i) = args.iter().position(|a| a == "--trace") else {
+        return (args, None);
+    };
+    if i + 1 >= args.len() {
+        eprintln!("--trace needs a path; ignoring");
+        args.remove(i);
+        return (args, None);
+    }
+    let path = args.remove(i + 1);
+    args.remove(i);
+    (args, Some(PathBuf::from(path)))
+}
+
+/// Arms the tracer for a `--trace` run. The bench harness compiles the
+/// `wallclock` sidecar in and arms it here: these binaries exist to report
+/// real timings, and the sidecar is write-only by contract.
+pub fn start_tracing() {
+    pwu_obs::clear();
+    pwu_obs::set_wallclock(true);
+    pwu_obs::enable();
+}
+
+/// Drains the tracer and writes the export to `path`: Chrome trace-event
+/// JSON when the extension is `.json` (Perfetto-loadable), full-plane
+/// JSONL otherwise (feed to `pwu-trace summarize`).
+pub fn export_trace(path: &std::path::Path) {
+    pwu_obs::disable();
+    let trace = pwu_obs::drain();
+    let text = if path.extension().is_some_and(|e| e == "json") {
+        trace.chrome_json()
+    } else {
+        trace.full_jsonl()
+    };
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    match std::fs::write(path, text) {
+        Ok(()) => eprintln!("trace: {} events -> {}", trace.len(), path.display()),
+        Err(e) => eprintln!("trace: cannot write {}: {e}", path.display()),
+    }
+}
+
 /// Experiment scale selected on the command line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {

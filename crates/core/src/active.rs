@@ -506,6 +506,22 @@ fn init_state<'a>(
     );
     assert_eq!(test_features.n_rows(), test_labels.len());
 
+    // Observability: the whole cold start (lint + sampling + initial fit)
+    // is one span; args carry only deterministic quantities.
+    let _bootstrap_span = pwu_obs::span(
+        "core.bootstrap",
+        [
+            ("n_init", pwu_obs::Arg::u(config.n_init as u64)),
+            ("pool", pwu_obs::Arg::u(pool.len() as u64)),
+        ],
+    );
+    // Mirror the pool-lint tally into the unified registry (satellite of
+    // the single-snapshot contract: serve `stats` and `pwu-trace summarize`
+    // see the same numbers).
+    pwu_obs::counter("pool.lint.legal").add(lint.legal as u64);
+    pwu_obs::counter("pool.lint.flagged").add(lint.flagged as u64);
+    pwu_obs::counter("pool.lint.illegal").add(lint.illegal as u64);
+
     let schema = FeatureSchema::for_space(target.space());
     let mut annotator = Annotator::new(target, config.repeats, derive_seed(seed, 1))
         .with_aggregator(config.aggregator)
@@ -612,6 +628,13 @@ fn one_iteration(
     test_labels: &[f64],
 ) -> bool {
     state.iteration += 1;
+    // Observability: one span per iteration, one per loop stage
+    // (rescore/select/measure/refit/eval). Every arg is a deterministic
+    // quantity; the spans change nothing about what the loop computes.
+    let _iter_span = pwu_obs::span(
+        "core.iteration",
+        [("iter", pwu_obs::Arg::u(state.iteration))],
+    );
     // Top the batch back up after quarantines: keep selecting until the
     // batch's worth of labels has landed or the pool drains. Fault-free
     // runs execute this inner loop exactly once.
@@ -621,14 +644,25 @@ fn one_iteration(
         // Under partial refit, score the pool from the per-tree cache:
         // only the refitted trees were re-walked after the last batch,
         // and the fold is bit-identical to `predict_batch`.
-        let preds = match config.refit {
-            RefitMode::Partial(_) => state
-                .scores
-                .get_or_insert_with(|| PoolScoreCache::build(&state.model, state.pool.features()))
-                .predictions(),
-            RefitMode::FromScratch => state.model.predict_batch(state.pool.features()),
+        let preds = {
+            let _s = pwu_obs::span(
+                "core.rescore",
+                [("pool", pwu_obs::Arg::u(state.pool.len() as u64))],
+            );
+            match config.refit {
+                RefitMode::Partial(_) => state
+                    .scores
+                    .get_or_insert_with(|| {
+                        PoolScoreCache::build(&state.model, state.pool.features())
+                    })
+                    .predictions(),
+                RefitMode::FromScratch => state.model.predict_batch(state.pool.features()),
+            }
         };
-        let picked = strategy.select(&preds, need, &mut state.select_rng);
+        let picked = {
+            let _s = pwu_obs::span("core.select", [("need", pwu_obs::Arg::u(need as u64))]);
+            strategy.select(&preds, need, &mut state.select_rng)
+        };
         if picked.is_empty() {
             break;
         }
@@ -642,6 +676,10 @@ fn one_iteration(
         if let Some(cache) = &mut state.scores {
             cache.remove(&picked);
         }
+        let _measure_span = pwu_obs::span(
+            "core.measure",
+            [("batch", pwu_obs::Arg::u(taken.len() as u64))],
+        );
         for ((cfg, row), (mu, sigma)) in taken.into_iter().zip(traces) {
             match state.annotator.try_evaluate(&cfg) {
                 Ok(y) => {
@@ -652,32 +690,48 @@ fn one_iteration(
                     });
                     state.train.push(cfg, &row, y);
                 }
-                Err(_) => state.quarantined.push(cfg),
+                Err(_) => {
+                    pwu_obs::event(
+                        "core.quarantine",
+                        [(
+                            "quarantined",
+                            pwu_obs::Arg::u(state.quarantined.len() as u64 + 1),
+                        )],
+                    );
+                    state.quarantined.push(cfg);
+                }
             }
         }
+        drop(_measure_span);
     }
-    match config.refit {
-        RefitMode::FromScratch => {
-            state.model = RandomForest::fit(
-                &config.forest,
-                state.schema.kinds(),
-                state.train.features(),
-                state.train.labels(),
-                derive_seed(state.forest_seed, state.iteration),
-            );
-        }
-        RefitMode::Partial(n) => {
-            let refitted = state.model.update(
-                state.schema.kinds(),
-                state.train.features(),
-                state.train.labels(),
-                n,
-                derive_seed(state.forest_seed, state.iteration),
-            );
-            // Refresh only the regrown trees' pool scores: O(pool · n)
-            // instead of O(pool · n_trees).
-            if let Some(cache) = &mut state.scores {
-                cache.refresh(&state.model, state.pool.features(), &refitted);
+    {
+        let _s = pwu_obs::span(
+            "core.refit",
+            [("train", pwu_obs::Arg::u(state.train.len() as u64))],
+        );
+        match config.refit {
+            RefitMode::FromScratch => {
+                state.model = RandomForest::fit(
+                    &config.forest,
+                    state.schema.kinds(),
+                    state.train.features(),
+                    state.train.labels(),
+                    derive_seed(state.forest_seed, state.iteration),
+                );
+            }
+            RefitMode::Partial(n) => {
+                let refitted = state.model.update(
+                    state.schema.kinds(),
+                    state.train.features(),
+                    state.train.labels(),
+                    n,
+                    derive_seed(state.forest_seed, state.iteration),
+                );
+                // Refresh only the regrown trees' pool scores: O(pool · n)
+                // instead of O(pool · n_trees).
+                if let Some(cache) = &mut state.scores {
+                    cache.refresh(&state.model, state.pool.features(), &refitted);
+                }
             }
         }
     }
@@ -705,6 +759,10 @@ fn make_checkpoint(
     let levels_of = |cfgs: &[Configuration]| -> Vec<Vec<u32>> {
         cfgs.iter().map(|c| c.levels().to_vec()).collect()
     };
+    pwu_obs::event(
+        "core.checkpoint",
+        [("iter", pwu_obs::Arg::u(state.iteration))],
+    );
     ActiveCheckpoint {
         target_name: target.name().to_string(),
         iteration: state.iteration,
@@ -738,17 +796,29 @@ fn record(
     test_labels: &[f64],
     alphas: &[f64],
 ) {
+    let _s = pwu_obs::span(
+        "core.eval",
+        [("n_test", pwu_obs::Arg::u(test_labels.len() as u64))],
+    );
     let preds = model.predict_batch_mean(test_features);
     let rmse = alphas
         .iter()
         .map(|&a| rmse_at_alpha(test_labels, &preds, a))
         .collect();
+    // Wasted wall-clock (failed runs, backoff) is real annotation cost:
+    // charge it alongside the labeled measurement time. Zero — and
+    // bit-neutral — when no faults fire.
+    let cumulative_cost = train.cumulative_cost() + wasted_cost;
+    pwu_obs::event(
+        "core.snapshot",
+        [
+            ("n_train", pwu_obs::Arg::u(train.len() as u64)),
+            ("cost", pwu_obs::Arg::f(cumulative_cost)),
+        ],
+    );
     history.push(Snapshot {
         n_train: train.len(),
-        // Wasted wall-clock (failed runs, backoff) is real annotation cost:
-        // charge it alongside the labeled measurement time. Zero — and
-        // bit-neutral — when no faults fire.
-        cumulative_cost: train.cumulative_cost() + wasted_cost,
+        cumulative_cost,
         rmse,
     });
 }

@@ -118,6 +118,47 @@ impl RetryPolicy {
     }
 }
 
+/// Process-global registry mirrors of [`MeasurementStats`], cached so the
+/// measurement hot path pays one atomic add per tally instead of a map
+/// lookup. Totals are on the deterministic plane: every annotation
+/// contributes a seed-deterministic amount, so the sums are identical at
+/// any pool width or deal order.
+struct MeasureCounters {
+    annotations: pwu_obs::Counter,
+    readings: pwu_obs::Counter,
+    retries: pwu_obs::Counter,
+    failed_annotations: pwu_obs::Counter,
+    compile_failures: pwu_obs::Counter,
+    crashes: pwu_obs::Counter,
+    bad_readings: pwu_obs::Counter,
+    timeouts: pwu_obs::Counter,
+}
+
+impl MeasureCounters {
+    fn failure_for(&self, kind: FailureKind) -> &pwu_obs::Counter {
+        match kind {
+            FailureKind::Compile => &self.compile_failures,
+            FailureKind::Crash => &self.crashes,
+            FailureKind::BadReading => &self.bad_readings,
+            FailureKind::Timeout => &self.timeouts,
+        }
+    }
+}
+
+fn obs_counters() -> &'static MeasureCounters {
+    static COUNTERS: std::sync::OnceLock<MeasureCounters> = std::sync::OnceLock::new();
+    COUNTERS.get_or_init(|| MeasureCounters {
+        annotations: pwu_obs::counter("measure.annotations"),
+        readings: pwu_obs::counter("measure.readings"),
+        retries: pwu_obs::counter("measure.retries"),
+        failed_annotations: pwu_obs::counter("measure.failed_annotations"),
+        compile_failures: pwu_obs::counter("measure.failures.compile"),
+        crashes: pwu_obs::counter("measure.failures.crash"),
+        bad_readings: pwu_obs::counter("measure.failures.bad_reading"),
+        timeouts: pwu_obs::counter("measure.failures.timeout"),
+    })
+}
+
 /// Tally of measurement activity: readings, failures by class, retries, and
 /// wall-clock seconds wasted on attempts that produced no usable reading.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -296,6 +337,7 @@ impl<'a> Annotator<'a> {
     pub fn try_evaluate(&mut self, cfg: &Configuration) -> Result<f64, AnnotationFailure> {
         self.evaluations += 1;
         self.stats.annotations += 1;
+        obs_counters().annotations.incr();
         let mut readings = Vec::with_capacity(self.repeats);
         let mut wasted = 0.0;
         let mut attempts = 0usize;
@@ -315,10 +357,20 @@ impl<'a> Annotator<'a> {
                     let kind = fail.classify().expect("non-Ok outcome has a kind");
                     wasted += fail.wasted_cost();
                     self.stats.record_failure(kind);
+                    obs_counters().failure_for(kind).incr();
                     let exhausted = failures >= self.retry.max_retries;
                     if kind.is_permanent() || exhausted {
                         self.stats.failed_annotations += 1;
                         self.stats.wasted_cost += wasted;
+                        obs_counters().failed_annotations.incr();
+                        pwu_obs::event(
+                            "measure.fail",
+                            [
+                                ("kind", pwu_obs::Arg::s(kind.label())),
+                                ("attempts", pwu_obs::Arg::u(attempts as u64)),
+                                ("cost", pwu_obs::Arg::f(wasted)),
+                            ],
+                        );
                         return Err(AnnotationFailure {
                             kind,
                             attempts,
@@ -327,12 +379,21 @@ impl<'a> Annotator<'a> {
                     }
                     failures += 1;
                     self.stats.retries += 1;
+                    obs_counters().retries.incr();
                     wasted += self.retry.backoff(failures);
                 }
             }
         }
         self.stats.readings += readings.len();
         self.stats.wasted_cost += wasted;
+        obs_counters().readings.add(readings.len() as u64);
+        pwu_obs::event(
+            "measure.annotate",
+            [
+                ("readings", pwu_obs::Arg::u(readings.len() as u64)),
+                ("attempts", pwu_obs::Arg::u(attempts as u64)),
+            ],
+        );
         Ok(self.aggregator.aggregate(&readings))
     }
 

@@ -1,0 +1,202 @@
+//! The observability contract, enforced end-to-end (DESIGN.md §13).
+//!
+//! Three claims are tested against a full checkpointed tuning run:
+//!
+//! 1. The **deterministic trace export is byte-identical** across pool
+//!    widths 1/2/4/8 and across perturbed deal orders — the fork/splice
+//!    protocol makes the recorded event stream schedule-invariant, and the
+//!    deterministic-plane metric totals are commutative sums.
+//! 2. **Tracing is observation only**: a run with the tracer enabled
+//!    produces bit-identical trajectories and byte-identical checkpoint
+//!    files to the same run with the tracer disabled.
+//! 3. The **wall-clock sidecar never leaks into persisted state**: with
+//!    the sidecar armed (compile with `--features obs-wallclock` to make
+//!    it real), checkpoint bytes are still identical and carry no trace
+//!    artifacts, and the checkpoint text round-trips exactly.
+//!
+//! Tracer, registry and pool width are process globals, so every test in
+//! this binary serializes on one lock.
+
+use std::sync::{Mutex, MutexGuard};
+
+use pwu_core::{active, ActiveConfig, ActiveRun, CheckpointPolicy, RefitMode, Strategy};
+use pwu_forest::ForestConfig;
+use pwu_space::{Configuration, FeatureMatrix, FeatureSchema, Pool, TuningTarget};
+use pwu_spapt::{kernel_by_name, FaultModel, Kernel};
+use pwu_stats::Xoshiro256PlusPlus;
+
+/// Serializes tests against each other: they all mutate the global tracer,
+/// the metrics registry and the pool width.
+fn obs_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn fnv1a(words: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+fn fingerprint(run: &ActiveRun) -> [u64; 2] {
+    [
+        fnv1a(run.train.labels().iter().map(|y| y.to_bits())),
+        fnv1a(
+            run.history
+                .iter()
+                .flat_map(|s| s.rmse.iter().map(|r| r.to_bits())),
+        ),
+    ]
+}
+
+fn setup() -> (Kernel, Vec<Configuration>, FeatureMatrix, Vec<f64>) {
+    let kernel = kernel_by_name("gesummv")
+        .expect("kernel registered")
+        .with_faults(FaultModel::light(0x0B5));
+    let space = kernel.space();
+    let schema = FeatureSchema::for_space(space);
+    let mut rng = Xoshiro256PlusPlus::new(977);
+    let all = space.sample_distinct(80, &mut rng);
+    let (pool_cfgs, test_cfgs) = all.split_at(60);
+    let test_features = schema.encode_matrix(space, test_cfgs);
+    let test_labels = test_cfgs.iter().map(|c| kernel.ideal_time(c)).collect();
+    (kernel, pool_cfgs.to_vec(), test_features, test_labels)
+}
+
+fn config() -> ActiveConfig {
+    ActiveConfig {
+        n_init: 6,
+        n_batch: 2,
+        n_max: 14,
+        forest: ForestConfig {
+            n_trees: 8,
+            ..ForestConfig::default()
+        },
+        refit: RefitMode::FromScratch,
+        eval_every: 4,
+        alphas: vec![0.05],
+        repeats: 2,
+        ..ActiveConfig::default()
+    }
+}
+
+/// One checkpointed tuning run; returns `(trajectory fingerprint,
+/// checkpoint file bytes)`. A fresh kernel clone per run keeps the eval
+/// cache cold so memo warmth cannot mask a difference.
+fn one_run(tag: &str) -> ([u64; 2], Vec<u8>) {
+    let (kernel, pool_cfgs, test_features, test_labels) = setup();
+    let schema = FeatureSchema::for_space(kernel.space());
+    let path = std::env::temp_dir().join(format!(
+        "pwu-obs-det-{}-{tag}.ckpt",
+        std::process::id()
+    ));
+    let policy = CheckpointPolicy::new(&path, 2);
+    let target = kernel.clone();
+    let pool = Pool::new(target.space(), &schema, pool_cfgs.clone());
+    let run = active::run_with_checkpoints(
+        &target,
+        Strategy::Pwu { alpha: 0.05 },
+        &config(),
+        pool,
+        &test_features,
+        &test_labels,
+        4242,
+        &policy,
+    )
+    .expect("checkpointed run must succeed");
+    let bytes = std::fs::read(&path).expect("a checkpoint must have been written");
+    let _ = std::fs::remove_file(&path);
+    (fingerprint(&run), bytes)
+}
+
+/// Claim 1: identical deterministic-plane export bytes at every width and
+/// under every deal-order perturbation the sanitizer can apply.
+#[test]
+fn deterministic_trace_is_byte_identical_across_widths_and_deal_orders() {
+    let _guard = obs_lock();
+    use rayon::sanitize::{self, DealMode};
+    let width_before = rayon::current_num_threads();
+
+    // Widths under the production deal, then deal perturbations at width 4.
+    let schedules: [(usize, DealMode); 7] = [
+        (1, DealMode::RoundRobin),
+        (2, DealMode::RoundRobin),
+        (4, DealMode::RoundRobin),
+        (8, DealMode::RoundRobin),
+        (4, DealMode::Blocked),
+        (4, DealMode::Reversed),
+        (4, DealMode::Shuffled(0xDEA1)),
+    ];
+    let mut reference: Option<String> = None;
+    for (width, deal) in schedules {
+        rayon::set_threads(width);
+        sanitize::set_deal_mode(deal);
+        pwu_obs::reset_metrics();
+        pwu_obs::clear();
+        pwu_obs::enable();
+        let _ = one_run("trace");
+        pwu_obs::disable();
+        let export = pwu_obs::drain().deterministic_jsonl();
+        assert!(
+            export.contains("core.iteration") && export.contains("pool.batch"),
+            "trace must actually cover the run"
+        );
+        match &reference {
+            None => reference = Some(export),
+            Some(expected) => assert_eq!(
+                *expected, export,
+                "deterministic export drifted at width {width}, deal {deal:?}"
+            ),
+        }
+    }
+    sanitize::set_deal_mode(DealMode::RoundRobin);
+    rayon::set_threads(width_before);
+}
+
+/// Claims 2 and 3: tracing on (sidecar armed) changes nothing the run
+/// persists or returns, and no sidecar field reaches the checkpoint.
+#[test]
+fn tracing_and_sidecar_never_touch_trajectories_or_checkpoints() {
+    let _guard = obs_lock();
+    pwu_obs::disable();
+    pwu_obs::clear();
+    let (fp_off, bytes_off) = one_run("off");
+
+    // Tracing on, sidecar armed. Without the `obs-wallclock` feature the
+    // arm flag is inert by construction; with it, real `Instant` readings
+    // ride every event — and must still be invisible here.
+    pwu_obs::reset_metrics();
+    pwu_obs::clear();
+    pwu_obs::set_wallclock(true);
+    pwu_obs::enable();
+    let (fp_on, bytes_on) = one_run("on");
+    pwu_obs::disable();
+    pwu_obs::set_wallclock(false);
+    let trace = pwu_obs::drain();
+    assert!(!trace.is_empty(), "the traced run must record events");
+
+    assert_eq!(fp_off, fp_on, "tracing changed the trajectory");
+    assert_eq!(bytes_off, bytes_on, "tracing changed checkpoint bytes");
+
+    // The sidecar lives only in trace exports: the persisted checkpoint
+    // has no wall-clock artifacts, and its text round-trips exactly.
+    let text = String::from_utf8(bytes_on).expect("checkpoints are text");
+    assert!(!text.contains("wall_ns"), "sidecar leaked into a checkpoint");
+    let checkpoint = pwu_core::ActiveCheckpoint::from_text(&text).expect("checkpoint parses");
+    assert_eq!(
+        pwu_core::with_integrity_footer(&checkpoint.to_text()),
+        text,
+        "checkpoint must round-trip"
+    );
+
+    // And with the sidecar compiled in + armed, the full export carries
+    // timestamps while the deterministic export stays clean of them.
+    #[cfg(feature = "obs-wallclock")]
+    assert!(trace.full_jsonl().contains("wall_ns"));
+    assert!(!trace.deterministic_jsonl().contains("wall_ns"));
+}

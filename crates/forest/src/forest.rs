@@ -70,6 +70,13 @@ impl RandomForest {
         y: &[f64],
         seed: u64,
     ) -> Self {
+        let _s = pwu_obs::span(
+            "forest.fit",
+            [
+                ("rows", pwu_obs::Arg::u(x.n_rows() as u64)),
+                ("trees", pwu_obs::Arg::u(config.n_trees as u64)),
+            ],
+        );
         config.validate();
         assert!(!x.is_empty(), "cannot fit a forest on zero rows");
         assert_eq!(x.n_rows(), y.len(), "feature/target length mismatch");
@@ -206,6 +213,10 @@ impl RandomForest {
     /// result is bit-identical to [`RandomForest::predict_one_at`].
     #[must_use]
     pub fn predict_batch(&self, x: &FeatureMatrix) -> Vec<Prediction> {
+        let _s = pwu_obs::span(
+            "forest.predict_batch",
+            [("rows", pwu_obs::Arg::u(x.n_rows() as u64))],
+        );
         self.batch_chunks(x, |sum, sum_sq, n| {
             let mean = sum / n;
             let var = (sum_sq / n - mean * mean).max(0.0);
@@ -373,6 +384,13 @@ impl RandomForest {
         n_refit: usize,
         seed: u64,
     ) -> Vec<usize> {
+        let _s = pwu_obs::span(
+            "forest.update",
+            [
+                ("rows", pwu_obs::Arg::u(x.n_rows() as u64)),
+                ("refit", pwu_obs::Arg::u(n_refit as u64)),
+            ],
+        );
         assert!(!x.is_empty(), "cannot update on zero rows");
         assert_eq!(x.n_rows(), y.len(), "feature/target length mismatch");
         assert!(n_refit > 0, "must refit at least one tree");

@@ -1,0 +1,203 @@
+//! The unified metrics registry: named counters and gauges shared by every
+//! crate in the workspace, snapshotted into trace exports and the serve
+//! `stats` verb.
+//!
+//! Counters are plain `u64` atomic adds — commutative and associative, so
+//! their *totals* are schedule-invariant whenever each unit of work
+//! contributes a deterministic amount. Metrics registered on the
+//! **deterministic** plane assert exactly that and are included in the
+//! deterministic trace export (and thus byte-compared by the determinism
+//! gate); **diagnostic** metrics (e.g. cache hit/miss tallies, whose
+//! increment counts depend on scheduling) are excluded from it but still
+//! appear in full exports and `stats`.
+//!
+//! Gauges hold an `f64` and are set-only (last write wins): float adds do
+//! not associate, so an accumulating float metric would not be
+//! schedule-invariant. Set gauges from sequential code.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Which export plane a metric belongs to (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Plane {
+    /// Schedule-invariant totals: safe to byte-compare across widths.
+    Deterministic,
+    /// Scheduling-dependent tallies: monitoring only.
+    Diagnostic,
+}
+
+impl Plane {
+    /// Stable lowercase token used in exports.
+    #[must_use]
+    pub fn token(self) -> &'static str {
+        match self {
+            Plane::Deterministic => "deterministic",
+            Plane::Diagnostic => "diagnostic",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct MetricInner {
+    /// Counter value, or an `f64` bit pattern for gauges.
+    bits: AtomicU64,
+    plane: Plane,
+    is_gauge: bool,
+}
+
+/// A monotonically increasing `u64` metric. Clone-cheap handle; cache it
+/// in hot structs so the hot path never touches the registry map.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<MetricInner>);
+
+impl Counter {
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.0.bits.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current total.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.bits.load(Ordering::Relaxed)
+    }
+}
+
+/// A set-only `f64` metric (last write wins).
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<MetricInner>);
+
+impl Gauge {
+    /// Sets the gauge value.
+    pub fn set(&self, v: f64) {
+        self.0.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A metric's value in a snapshot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MetricValue {
+    /// Counter total.
+    Count(u64),
+    /// Gauge value.
+    Value(f64),
+}
+
+/// One registered metric at snapshot time.
+#[derive(Debug, Clone)]
+pub struct Metric {
+    /// Registered name (dotted, e.g. `measure.retries`).
+    pub name: &'static str,
+    /// Export plane.
+    pub plane: Plane,
+    /// Value at snapshot time.
+    pub value: MetricValue,
+}
+
+static REGISTRY: Mutex<BTreeMap<&'static str, Arc<MetricInner>>> = Mutex::new(BTreeMap::new());
+
+fn register(name: &'static str, plane: Plane, is_gauge: bool) -> Arc<MetricInner> {
+    let mut map = REGISTRY.lock().unwrap_or_else(PoisonError::into_inner);
+    Arc::clone(map.entry(name).or_insert_with(|| {
+        Arc::new(MetricInner {
+            bits: AtomicU64::new(if is_gauge { 0f64.to_bits() } else { 0 }),
+            plane,
+            is_gauge,
+        })
+    }))
+}
+
+/// Registers (or fetches) a deterministic-plane counter.
+///
+/// Only use this plane when each unit of work adds a schedule-invariant
+/// amount, so the total is identical at every width and deal order.
+#[must_use]
+pub fn counter(name: &'static str) -> Counter {
+    Counter(register(name, Plane::Deterministic, false))
+}
+
+/// Registers (or fetches) a diagnostic-plane counter (scheduling-dependent
+/// tallies such as cache hit/miss counts).
+#[must_use]
+pub fn counter_diag(name: &'static str) -> Counter {
+    Counter(register(name, Plane::Diagnostic, false))
+}
+
+/// Registers (or fetches) a deterministic-plane gauge.
+#[must_use]
+pub fn gauge(name: &'static str) -> Gauge {
+    Gauge(register(name, Plane::Deterministic, true))
+}
+
+/// Snapshot of every registered metric, sorted by name.
+#[must_use]
+pub fn snapshot() -> Vec<Metric> {
+    let map = REGISTRY.lock().unwrap_or_else(PoisonError::into_inner);
+    map.iter()
+        .map(|(name, inner)| Metric {
+            name,
+            plane: inner.plane,
+            value: if inner.is_gauge {
+                MetricValue::Value(f64::from_bits(inner.bits.load(Ordering::Relaxed)))
+            } else {
+                MetricValue::Count(inner.bits.load(Ordering::Relaxed))
+            },
+        })
+        .collect()
+}
+
+/// Zeroes every registered metric (registrations and cached handles stay
+/// valid). Test/gate helper for comparing runs from a clean slate.
+pub fn reset_metrics() {
+    let map = REGISTRY.lock().unwrap_or_else(PoisonError::into_inner);
+    for inner in map.values() {
+        let zero = if inner.is_gauge { 0f64.to_bits() } else { 0 };
+        inner.bits.store(zero, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared_and_reset_preserves_registration() {
+        let _g = crate::tests::obs_guard();
+        let a = counter("registry.test.shared");
+        let b = counter("registry.test.shared");
+        a.add(2);
+        b.add(3);
+        assert_eq!(a.get(), 5);
+        reset_metrics();
+        assert_eq!(b.get(), 0, "reset zeroes but keeps the handle live");
+        a.incr();
+        assert_eq!(b.get(), 1);
+    }
+
+    #[test]
+    fn snapshot_is_name_sorted_and_typed() {
+        let _g = crate::tests::obs_guard();
+        counter("registry.test.zz").add(1);
+        gauge("registry.test.aa").set(1.25);
+        let snap = snapshot();
+        let names: Vec<&str> = snap.iter().map(|m| m.name).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted, "snapshot must be name-sorted");
+        let aa = snap.iter().find(|m| m.name == "registry.test.aa").unwrap();
+        assert!(matches!(aa.value, MetricValue::Value(v) if (v - 1.25).abs() < 1e-12));
+    }
+}

@@ -70,7 +70,9 @@ fn usage(problem: &str) -> ExitCode {
          \x20 {{\"cmd\":\"create\",\"session\":\"s1\",\"target\":\"adi\",\"seed\":42}}\n\
          \x20 {{\"cmd\":\"step\",\"session\":\"s1\",\"n\":4}}\n\
          \x20 {{\"cmd\":\"query\"|\"suspend\"|\"resume\"|\"kill\",\"session\":\"s1\"}}\n\
-         \x20 {{\"cmd\":\"tick\"}}  {{\"cmd\":\"stats\"}}  {{\"cmd\":\"shutdown\"}}"
+         \x20 {{\"cmd\":\"tick\"}}  {{\"cmd\":\"stats\"}}  {{\"cmd\":\"shutdown\"}}\n\
+         \x20 {{\"cmd\":\"trace\",\"action\":\"start\"|\"stop\"}}\n\
+         \x20 {{\"cmd\":\"trace\",\"action\":\"export\",\"path\":\"t.jsonl\",\"format\":\"jsonl\"|\"chrome\"}}"
     );
     if problem.is_empty() {
         ExitCode::SUCCESS

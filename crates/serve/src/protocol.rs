@@ -439,6 +439,16 @@ pub enum Request {
     Tick,
     /// Report server-wide statistics.
     Stats,
+    /// Control the in-process tracer: start/stop recording or export the
+    /// buffered trace to a file.
+    Trace {
+        /// Subcommand: `start`, `stop`, or `export`.
+        action: String,
+        /// Destination path (`export` only).
+        path: Option<String>,
+        /// Export format: `jsonl` (default) or `chrome` (`export` only).
+        format: String,
+    },
     /// Stop the serve loop after responding.
     Shutdown,
 }
@@ -484,9 +494,17 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
         }),
         "tick" => Ok(Request::Tick),
         "stats" => Ok(Request::Stats),
+        "trace" => Ok(Request::Trace {
+            action: fields
+                .str("action")
+                .ok_or_else(|| bad("missing string field 'action' (start/stop/export)"))?
+                .to_string(),
+            path: fields.str("path").map(str::to_string),
+            format: fields.str("format").unwrap_or("jsonl").to_string(),
+        }),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(bad(format!(
-            "unknown command '{other}' (expected create/step/query/suspend/resume/kill/tick/stats/shutdown)"
+            "unknown command '{other}' (expected create/step/query/suspend/resume/kill/tick/stats/trace/shutdown)"
         ))),
     }
 }
@@ -580,6 +598,11 @@ mod tests {
             parse_request(r#"{"cmd":"shutdown"}"#),
             Ok(Request::Shutdown)
         ));
+        assert!(matches!(
+            parse_request(r#"{"cmd":"trace","action":"export","path":"/tmp/t.jsonl"}"#),
+            Ok(Request::Trace { .. })
+        ));
+        assert!(parse_request(r#"{"cmd":"trace"}"#).is_err());
         assert!(parse_request(r#"{"cmd":"nope"}"#).is_err());
         assert!(parse_request(r#"{"cmd":"kill"}"#).is_err());
         assert!(parse_request(r#"{"cmd":"kill","session":"../etc"}"#).is_err());

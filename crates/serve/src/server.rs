@@ -52,6 +52,39 @@ pub struct ServerStats {
     pub skipped_corrupt: usize,
 }
 
+/// Registry mirrors of [`ServerStats`], registered once per process so the
+/// serve `stats` verb, trace exports and `pwu-trace summarize` all report
+/// the same unified counter snapshot. Deterministic plane: for a given
+/// request stream every tally is schedule-invariant (the parallel `tick`
+/// folds its shard reports in registry order, after the barrier).
+struct ServeCounters {
+    created: pwu_obs::Counter,
+    steps_committed: pwu_obs::Counter,
+    steps_shed: pwu_obs::Counter,
+    degraded: pwu_obs::Counter,
+    overloaded: pwu_obs::Counter,
+    cache_evictions: pwu_obs::Counter,
+    resumes: pwu_obs::Counter,
+    rolled_back: pwu_obs::Counter,
+    skipped_corrupt: pwu_obs::Counter,
+}
+
+/// The process-wide [`ServeCounters`] handles (registered on first use).
+fn serve_counters() -> &'static ServeCounters {
+    static COUNTERS: std::sync::OnceLock<ServeCounters> = std::sync::OnceLock::new();
+    COUNTERS.get_or_init(|| ServeCounters {
+        created: pwu_obs::counter("serve.created"),
+        steps_committed: pwu_obs::counter("serve.steps_committed"),
+        steps_shed: pwu_obs::counter("serve.steps_shed"),
+        degraded: pwu_obs::counter("serve.degraded"),
+        overloaded: pwu_obs::counter("serve.overloaded"),
+        cache_evictions: pwu_obs::counter("serve.cache_evictions"),
+        resumes: pwu_obs::counter("serve.resumes"),
+        rolled_back: pwu_obs::counter("serve.rolled_back"),
+        skipped_corrupt: pwu_obs::counter("serve.skipped_corrupt"),
+    })
+}
+
 /// A multi-session tuning server rooted at a state directory.
 #[derive(Debug)]
 pub struct Server {
@@ -96,6 +129,14 @@ impl Server {
                 Err(_) => skipped_corrupt += 1,
             }
         }
+        serve_counters().skipped_corrupt.add(skipped_corrupt as u64);
+        pwu_obs::event(
+            "serve.open",
+            [
+                ("sessions", pwu_obs::Arg::u(sessions.len() as u64)),
+                ("skipped_corrupt", pwu_obs::Arg::u(skipped_corrupt as u64)),
+            ],
+        );
         Ok(Self {
             state_dir,
             admission,
@@ -187,6 +228,11 @@ impl Server {
             Request::Kill { session } => self.kill(&session),
             Request::Tick => Ok(self.tick()),
             Request::Stats => Ok(self.stats_line()),
+            Request::Trace {
+                action,
+                path,
+                format,
+            } => self.trace(&action, path.as_deref(), &format),
             Request::Shutdown => {
                 let mut w = ObjectWriter::new();
                 w.bool("ok", true);
@@ -199,9 +245,11 @@ impl Server {
             Err(e) => {
                 if e.kind == ErrorKind::Overloaded {
                     self.stats.overloaded += 1;
+                    serve_counters().overloaded.incr();
                 }
                 if e.kind == ErrorKind::Degraded {
                     self.stats.degraded += 1;
+                    serve_counters().degraded.incr();
                 }
                 (e.to_line(), false)
             }
@@ -224,11 +272,13 @@ impl Server {
         self.admission.admit_create(self.sessions.len())?;
         self.admission.admit_resident(self.resident_count())?;
         let spec = spec_from_fields(fields)?;
+        let _span = pwu_obs::span("serve.create", [("session", pwu_obs::Arg::s(id))]);
         let session = Session::create(&session_dir(&self.state_dir, id), spec)?;
         let line = session_line(id, &session, &[]);
         self.sessions.insert(id.to_string(), session);
         self.lru.touch(id);
         self.stats.created += 1;
+        serve_counters().created.incr();
         self.enforce_cache_budget();
         Ok(line)
     }
@@ -236,6 +286,13 @@ impl Server {
     fn step(&mut self, id: &str, n: usize) -> Result<String, ProtocolError> {
         self.admission.admit_steps(n)?;
         let watchdog = self.watchdog;
+        let _span = pwu_obs::span(
+            "serve.step",
+            [
+                ("session", pwu_obs::Arg::s(id)),
+                ("n", pwu_obs::Arg::u(n as u64)),
+            ],
+        );
         let session = self.get_mut(id)?;
         let mut committed = 0u64;
         let mut shed = 0u64;
@@ -270,6 +327,8 @@ impl Server {
             self.stats.steps_committed += committed as usize;
             self.stats.steps_shed += shed as usize;
         }
+        serve_counters().steps_committed.add(committed);
+        serve_counters().steps_shed.add(shed);
         self.lru.touch(id);
         self.enforce_cache_budget();
         if let Some(e) = error {
@@ -281,6 +340,7 @@ impl Server {
             // Partial progress: report what landed plus the error token.
             if e.kind == ErrorKind::Degraded {
                 self.stats.degraded += 1;
+                serve_counters().degraded.incr();
             }
             let session = self.get_mut(id)?;
             let extras = [
@@ -311,6 +371,7 @@ impl Server {
     fn suspend(&mut self, id: &str) -> Result<String, ProtocolError> {
         let session = self.get_mut(id)?;
         session.suspend();
+        pwu_obs::event("serve.suspend", [("session", pwu_obs::Arg::s(id))]);
         self.lru.remove(id);
         let session = self.get_mut(id)?;
         Ok(session_line(id, session, &[]))
@@ -324,8 +385,17 @@ impl Server {
         }
         let session = self.get_mut(id)?;
         let rolled_back = session.resume()?;
+        pwu_obs::event(
+            "serve.resume",
+            [
+                ("session", pwu_obs::Arg::s(id)),
+                ("rolled_back", pwu_obs::Arg::u(rolled_back as u64)),
+            ],
+        );
         self.stats.resumes += 1;
         self.stats.rolled_back += rolled_back;
+        serve_counters().resumes.incr();
+        serve_counters().rolled_back.add(rolled_back as u64);
         self.lru.touch(id);
         self.enforce_cache_budget();
         let session = self.get_mut(id)?;
@@ -339,6 +409,7 @@ impl Server {
         })?;
         self.lru.remove(id);
         session.destroy(&session_dir(&self.state_dir, id))?;
+        pwu_obs::event("serve.kill", [("session", pwu_obs::Arg::s(id))]);
         let mut w = ObjectWriter::new();
         w.bool("ok", true);
         w.str("session", id);
@@ -352,6 +423,10 @@ impl Server {
     /// deterministic at any thread width.
     fn tick(&mut self) -> String {
         let watchdog = self.watchdog;
+        let _span = pwu_obs::span(
+            "serve.tick",
+            [("sessions", pwu_obs::Arg::u(self.sessions.len() as u64))],
+        );
         let entries: Vec<(String, Session)> = std::mem::take(&mut self.sessions).into_iter().collect();
         let processed: Vec<TickedSession> = entries
             .into_par_iter()
@@ -374,10 +449,12 @@ impl Server {
                     if r.committed {
                         stepped += 1;
                         self.stats.steps_committed += 1;
+                        serve_counters().steps_committed.incr();
                         self.lru.touch(&id);
                     } else if !r.done {
                         shed += 1;
                         self.stats.steps_shed += 1;
+                        serve_counters().steps_shed.incr();
                     }
                     if r.done {
                         done += 1;
@@ -386,6 +463,7 @@ impl Server {
                 Some(Err(e)) if e.kind == ErrorKind::Degraded => {
                     degraded += 1;
                     self.stats.degraded += 1;
+                    serve_counters().degraded.incr();
                 }
                 Some(Err(_)) | None => {}
             }
@@ -417,7 +495,80 @@ impl Server {
         w.u64("resumes", s.resumes as u64);
         w.u64("rolled_back", s.rolled_back as u64);
         w.u64("skipped_corrupt", s.skipped_corrupt as u64);
+        // The unified registry snapshot: every counter/gauge the rest of
+        // the stack registered (measurement tallies, pool lint verdicts,
+        // eval-cache hit rates, the serve.* mirrors above), keyed by its
+        // dotted registry name. Process-wide, unlike the per-server fields.
+        for metric in pwu_obs::snapshot() {
+            match metric.value {
+                pwu_obs::MetricValue::Count(v) => w.u64(metric.name, v),
+                pwu_obs::MetricValue::Value(v) => w.f64(metric.name, v),
+            };
+        }
         w.finish()
+    }
+
+    /// Handles the `trace` verb: `start` clears stale buffers and arms the
+    /// process-wide tracer, `stop` disarms it (buffered events stay until
+    /// exported), `export` drains events plus the metrics snapshot to
+    /// `path` as trace JSONL (`format:"jsonl"`, the full plane — sidecar
+    /// timestamps included when compiled in) or a Chrome trace-event JSON
+    /// array (`format:"chrome"`, Perfetto-loadable).
+    fn trace(
+        &mut self,
+        action: &str,
+        path: Option<&str>,
+        format: &str,
+    ) -> Result<String, ProtocolError> {
+        let mut w = ObjectWriter::new();
+        match action {
+            "start" => {
+                pwu_obs::clear();
+                pwu_obs::enable();
+                w.bool("ok", true);
+                w.str("tracing", "on");
+            }
+            "stop" => {
+                pwu_obs::disable();
+                w.bool("ok", true);
+                w.str("tracing", "off");
+            }
+            "export" => {
+                let path = path.ok_or_else(|| {
+                    ProtocolError::new(
+                        ErrorKind::BadRequest,
+                        "trace export needs a string field 'path'",
+                    )
+                })?;
+                let trace = pwu_obs::drain();
+                let text = match format {
+                    "jsonl" => trace.full_jsonl(),
+                    "chrome" => trace.chrome_json(),
+                    other => {
+                        return Err(ProtocolError::new(
+                            ErrorKind::BadRequest,
+                            format!("unknown trace format '{other}' (expected jsonl/chrome)"),
+                        ))
+                    }
+                };
+                fs::write(path, text).map_err(|e| {
+                    ProtocolError::new(
+                        ErrorKind::Internal,
+                        format!("trace export to '{path}' failed: {e}"),
+                    )
+                })?;
+                w.bool("ok", true);
+                w.str("path", path);
+                w.u64("events", trace.len() as u64);
+            }
+            other => {
+                return Err(ProtocolError::new(
+                    ErrorKind::BadRequest,
+                    format!("unknown trace action '{other}' (expected start/stop/export)"),
+                ))
+            }
+        }
+        Ok(w.finish())
     }
 
     /// Clears the coldest warm eval-cache memos until the cache count and
@@ -461,6 +612,14 @@ impl Server {
             warm_count -= 1;
             evicted += 1;
             self.stats.cache_evictions += 1;
+            serve_counters().cache_evictions.incr();
+            pwu_obs::event(
+                "serve.evict",
+                [
+                    ("session", pwu_obs::Arg::s(id.as_str())),
+                    ("bytes", pwu_obs::Arg::u(bytes as u64)),
+                ],
+            );
             self.lru.remove(&id);
         }
         evicted

@@ -305,6 +305,64 @@ fn serve_loop_speaks_lines_and_honors_shutdown() {
 }
 
 #[test]
+fn trace_verb_records_exports_and_unifies_stats() {
+    let dir = tmp("trace");
+    let mut server = server_at(&dir);
+    let r = send(&mut server, r#"{"cmd":"trace","action":"start"}"#);
+    assert_eq!(r.str("tracing"), Some("on"));
+    send(&mut server, &create_line("tr1", "adi", 21));
+    send(&mut server, r#"{"cmd":"step","session":"tr1","n":2}"#);
+
+    // Stats folds the registry snapshot into one coherent line: the serve.*
+    // mirrors ride along with the per-server fields. Registry counters are
+    // process-wide (other tests in this binary add to them), so compare >=.
+    let stats = send(&mut server, r#"{"cmd":"stats"}"#);
+    assert!(stats.u64("serve.created").unwrap() >= stats.u64("created").unwrap());
+    assert!(
+        stats.u64("serve.steps_committed").unwrap() >= stats.u64("steps_committed").unwrap()
+    );
+
+    // JSONL export: header line plus our session's lifecycle events.
+    let out = dir.join("trace.jsonl");
+    let line = format!(
+        r#"{{"cmd":"trace","action":"export","path":"{}"}}"#,
+        out.display()
+    );
+    let r = send(&mut server, &line);
+    assert!(r.u64("events").unwrap() > 0);
+    let text = fs::read_to_string(&out).unwrap();
+    assert!(text.lines().next().unwrap().contains("pwu-trace-v1"));
+    assert!(text.contains("serve.step"), "missing serve.step span");
+    assert!(text.contains(r#""session":"tr1""#), "missing session arg");
+
+    // Chrome export of the (now drained, possibly refilled) buffer is a
+    // JSON array Perfetto can load.
+    send(&mut server, r#"{"cmd":"step","session":"tr1","n":1}"#);
+    let out2 = dir.join("trace.chrome.json");
+    let line = format!(
+        r#"{{"cmd":"trace","action":"export","path":"{}","format":"chrome"}}"#,
+        out2.display()
+    );
+    send(&mut server, &line);
+    let chrome = fs::read_to_string(&out2).unwrap();
+    assert!(chrome.starts_with("{\"traceEvents\":["));
+    assert!(chrome.trim_end().ends_with("]}"));
+
+    // Bad actions/formats/missing paths are typed protocol errors.
+    assert_err(
+        &send(&mut server, r#"{"cmd":"trace","action":"export"}"#),
+        ErrorKind::BadRequest,
+    );
+    assert_err(
+        &send(&mut server, r#"{"cmd":"trace","action":"pause"}"#),
+        ErrorKind::BadRequest,
+    );
+    let r = send(&mut server, r#"{"cmd":"trace","action":"stop"}"#);
+    assert_eq!(r.str("tracing"), Some("off"));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn tick_advances_the_whole_fleet_deterministically() {
     let dir = tmp("tick");
     let mut server = server_at(&dir);

@@ -87,6 +87,19 @@ impl Clone for EvalCache {
     }
 }
 
+/// Cached handles for the registry mirrors of the hit/miss tallies
+/// (`(hits, misses)`), shared by every cache in the process.
+fn evalcache_counters() -> &'static (pwu_obs::Counter, pwu_obs::Counter) {
+    static COUNTERS: std::sync::OnceLock<(pwu_obs::Counter, pwu_obs::Counter)> =
+        std::sync::OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        (
+            pwu_obs::counter_diag("evalcache.hits"),
+            pwu_obs::counter_diag("evalcache.misses"),
+        )
+    })
+}
+
 impl EvalCache {
     /// A fresh, empty cache.
     #[must_use]
@@ -101,10 +114,21 @@ impl EvalCache {
             .read()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         let entry = guard.get(levels).copied();
+        // The global mirrors are *diagnostic*-plane: hit/miss increments
+        // depend on scheduling (parallel repetitions share one kernel's
+        // cache, so whether the second arrival hits depends on who filled
+        // first), so they are excluded from the deterministic trace export.
+        let mirrors = evalcache_counters();
         match entry {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
-        };
+            Some(_) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                mirrors.0.incr();
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                mirrors.1.incr();
+            }
+        }
         entry
     }
 

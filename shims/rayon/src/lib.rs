@@ -235,6 +235,10 @@ where
     F: Fn(T) -> U + Sync,
 {
     let n = items.len();
+    // Trace the batch identically on every path: the span and its args
+    // record only the input size — never the width, deal order, or which
+    // path ran — so the event stream cannot observe scheduling.
+    let _batch_span = pwu_obs::span("pool.batch", [("items", pwu_obs::Arg::u(n as u64))]);
     let width = current_num_threads().min(n);
     if width <= 1 || IN_WORKER.with(std::cell::Cell::get) {
         #[cfg(feature = "sanitize")]
@@ -242,9 +246,13 @@ where
             sanitize::note_nested_degrade();
         }
         // The exact sequential path: a plain iterator chain, no indexing,
-        // no threads.
+        // no threads. Events record inline into the caller's context, in
+        // item order — the reference order the parallel path must equal.
         return items.into_iter().map(f).collect();
     }
+    // Worker-side tracing: fork one branch buffer per item so events from
+    // any worker interleaving can be spliced back in input-index order.
+    let tracing = pwu_obs::is_enabled();
     // Deal items to workers tagged with their input index for the ordered
     // reduction. Production deal is round-robin so monotone per-item costs
     // still balance; under `sanitize` the assignment can be perturbed to
@@ -284,6 +292,7 @@ where
     #[cfg(feature = "sanitize")]
     let mut fill_order: Vec<usize> = Vec::new();
     let mut slots: Vec<Option<U>> = (0..n).map(|_| None).collect();
+    let mut branch_slots: Vec<Option<pwu_obs::BranchEvents>> = (0..n).map(|_| None).collect();
     std::thread::scope(|scope| {
         let f = &f;
         let handles: Vec<_> = buckets
@@ -293,8 +302,15 @@ where
                     IN_WORKER.with(|w| w.set(true));
                     bucket
                         .into_iter()
-                        .map(|(i, item)| (i, f(item)))
-                        .collect::<Vec<(usize, U)>>()
+                        .map(|(i, item)| {
+                            if tracing {
+                                let (u, events) = pwu_obs::fork_run(|| f(item));
+                                (i, u, Some(events))
+                            } else {
+                                (i, f(item), None)
+                            }
+                        })
+                        .collect::<Vec<(usize, U, Option<pwu_obs::BranchEvents>)>>()
                 })
             })
             .collect();
@@ -305,7 +321,7 @@ where
         for handle in handles {
             match handle.join() {
                 Ok(pairs) => {
-                    for (i, u) in pairs {
+                    for (i, u, events) in pairs {
                         #[cfg(feature = "sanitize")]
                         {
                             assert!(
@@ -317,6 +333,7 @@ where
                             }
                         }
                         slots[i] = Some(u);
+                        branch_slots[i] = events;
                     }
                 }
                 Err(payload) => {
@@ -332,6 +349,12 @@ where
             std::panic::resume_unwind(payload);
         }
     });
+    if tracing {
+        // Splice per-item event branches back in input-index order: the
+        // resulting linear event stream is exactly what the sequential
+        // path records, whatever the deal order or join interleaving was.
+        pwu_obs::splice(branch_slots.into_iter().flatten());
+    }
     #[cfg(feature = "sanitize")]
     if sanitize::capturing() {
         sanitize::record(sanitize::BatchRecord {
@@ -453,8 +476,41 @@ mod tests {
         LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
+    /// The per-item branch fork/splice keeps the recorded event stream —
+    /// and therefore the deterministic export bytes — identical at every
+    /// pool width, including the width-1 sequential bypass.
+    #[test]
+    fn traces_are_byte_identical_across_widths() {
+        let _guard = width_guard();
+        let mut exports: Vec<String> = Vec::new();
+        for width in [1, 2, 4, 8] {
+            set_threads(width);
+            pwu_obs::clear();
+            pwu_obs::enable();
+            let doubled: Vec<u64> = (0..33u64)
+                .into_par_iter()
+                .map(|i| {
+                    pwu_obs::event("shim.item", [("i", pwu_obs::Arg::u(i))]);
+                    i * 2
+                })
+                .collect();
+            pwu_obs::disable();
+            assert_eq!(doubled[32], 64);
+            exports.push(pwu_obs::drain().deterministic_jsonl());
+        }
+        set_threads(1);
+        assert!(
+            exports[0].contains("shim.item") && exports[0].contains("pool.batch"),
+            "trace must carry the batch span and item events"
+        );
+        for (k, export) in exports.iter().enumerate().skip(1) {
+            assert_eq!(*export, exports[0], "trace bytes moved at width index {k}");
+        }
+    }
+
     #[test]
     fn ranges_and_slices_iterate() {
+        let _guard = width_guard();
         let squares: Vec<u64> = (0u64..5).into_par_iter().map(|i| i * i).collect();
         assert_eq!(squares, vec![0, 1, 4, 9, 16]);
 
@@ -698,6 +754,7 @@ mod tests {
 
     #[test]
     fn empty_and_single_item_batches_work() {
+        let _guard = width_guard();
         let none: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|b| b + 1).collect();
         assert!(none.is_empty());
         let one: Vec<u8> = vec![41u8].into_par_iter().map(|b| b + 1).collect();

@@ -8,10 +8,11 @@
 //!   unit tests and the end-to-end fault-tolerance suite, which drive the
 //!   active-learning loop under ~20 % injected measurement failures.
 //! - `perf` — regenerates `BENCH_forest.json` (forest hot-path),
-//!   `BENCH_measure.json` (measurement engine), and `BENCH_serve.json`
-//!   (service load generator) with the before/after harnesses
-//!   (`pwu-bench --bin perf` and `--bin serve_load`, full mode). With
-//!   `--check`, runs both harnesses in smoke mode (bounded sample counts,
+//!   `BENCH_measure.json` (measurement engine), `BENCH_serve.json`
+//!   (service load generator), and `BENCH_obs.json` (tracing overhead)
+//!   with the before/after harnesses (`pwu-bench --bin perf`,
+//!   `--bin serve_load`, and `--bin obs_overhead`, full mode). With
+//!   `--check`, runs the harnesses in smoke mode (bounded sample counts,
 //!   CI-budget runtime) to scratch files, validates every report schema,
 //!   and fails if any benchmark's speedup regressed below 75 % of its
 //!   committed baseline.
@@ -27,6 +28,13 @@
 //!   forest fit and a miniature experiment cell under pool widths 1/2/4/8 ×
 //!   permuted deal orders and asserts byte-identical results, checkpoint
 //!   files included. See DESIGN.md §11 for the contract this enforces.
+//! - `obs` — the observability gate: runs the `pwu-obs` unit suite (both
+//!   with and without the `wallclock` sidecar compiled in), the thread-pool
+//!   fork/splice byte-identity test, and the trace-determinism suite
+//!   (traces byte-identical across pool widths 1/2/4/8 × deal orders;
+//!   tracing-on runs produce byte-identical checkpoints to tracing-off),
+//!   then checks the committed `BENCH_obs.json` against the <5 % tracing
+//!   overhead budget. See DESIGN.md §13 for the contract.
 //!
 //! With no command, prints the full CI gate list and exits 0.
 
@@ -34,7 +42,7 @@ use std::process::{exit, Command};
 
 /// Every CI gate, in the order a full run should execute them:
 /// `(invocation, what it enforces)`.
-const GATES: [(&str, &str); 7] = [
+const GATES: [(&str, &str); 8] = [
     ("cargo build --release", "the workspace compiles"),
     ("cargo test -q", "the full test suite (tier-1)"),
     ("cargo xtask lint", "clippy -D warnings + pwu-lint kernel legality"),
@@ -42,6 +50,7 @@ const GATES: [(&str, &str); 7] = [
     ("cargo xtask perf --check", "perf smoke run vs committed baselines"),
     ("cargo xtask audit", "determinism scan + schedule-perturbation harness"),
     ("cargo xtask chaos", "seeded kill/resume chaos harness (full scale)"),
+    ("cargo xtask obs", "trace byte-identity + tracing overhead budget"),
 ];
 
 fn main() {
@@ -52,6 +61,7 @@ fn main() {
         "perf" => perf(std::env::args().any(|a| a == "--check")),
         "audit" => audit(),
         "chaos" => chaos(),
+        "obs" => obs(),
         "" => {
             println!("xtask: workspace CI gates, in order:");
             for (invocation, enforces) in GATES {
@@ -59,7 +69,7 @@ fn main() {
             }
         }
         other => {
-            eprintln!("unknown xtask command {other:?}\n\nusage: cargo xtask <lint|faults|perf [--check]|audit|chaos>");
+            eprintln!("unknown xtask command {other:?}\n\nusage: cargo xtask <lint|faults|perf [--check]|audit|chaos|obs>");
             exit(2);
         }
     }
@@ -116,9 +126,17 @@ const MEASURE_BENCHMARKS: [&str; 3] = [
 /// The benchmark names `BENCH_serve.json` must cover to be a valid report.
 const SERVE_BENCHMARKS: [&str; 2] = ["serve/step/mixed_fleet", "serve/recovery/resume_vs_replay"];
 
+/// The benchmark names `BENCH_obs.json` must cover to be a valid report.
+const OBS_BENCHMARKS: [&str; 1] = ["obs/experiment_cell/off_vs_on"];
+
+/// The tracing-overhead budget `cargo xtask obs` enforces on the committed
+/// `BENCH_obs.json`: speedup = (tracer off)/(tracer on) must stay ≥ 0.95,
+/// i.e. leaving tracing on costs at most ~5 % on the experiment cell.
+const OBS_SPEEDUP_FLOOR: f64 = 0.95;
+
 /// The reports the perf harnesses write in one run:
 /// `(committed path, schema marker, required benchmarks)`.
-const PERF_REPORTS: [(&str, &str, &[&str]); 3] = [
+const PERF_REPORTS: [(&str, &str, &[&str]); 4] = [
     ("BENCH_forest.json", "pwu-bench-forest-v1", &PERF_BENCHMARKS),
     (
         "BENCH_measure.json",
@@ -126,6 +144,7 @@ const PERF_REPORTS: [(&str, &str, &[&str]); 3] = [
         &MEASURE_BENCHMARKS,
     ),
     ("BENCH_serve.json", "pwu-bench-serve-v1", &SERVE_BENCHMARKS),
+    ("BENCH_obs.json", "pwu-bench-obs-v1", &OBS_BENCHMARKS),
 ];
 
 fn perf(check: bool) {
@@ -146,6 +165,17 @@ fn perf(check: bool) {
                 "serve_load",
             ]),
         );
+        run_step(
+            "tracing-overhead harness (full mode) -> BENCH_obs.json",
+            Command::new(&cargo).args([
+                "run",
+                "--release",
+                "-p",
+                "pwu-bench",
+                "--bin",
+                "obs_overhead",
+            ]),
+        );
         for (path, schema, required) in PERF_REPORTS {
             let report = read_report(path, schema, required);
             println!("xtask: {path} valid ({} benchmarks)", report.len());
@@ -156,6 +186,7 @@ fn perf(check: bool) {
     let forest_scratch = "target/BENCH_forest_check.json";
     let measure_scratch = "target/BENCH_measure_check.json";
     let serve_scratch = "target/BENCH_serve_check.json";
+    let obs_scratch = "target/BENCH_obs_check.json";
     run_step(
         "perf harness (smoke mode, bounded runtime)",
         Command::new(&cargo).args([
@@ -188,10 +219,25 @@ fn perf(check: bool) {
             serve_scratch,
         ]),
     );
+    run_step(
+        "tracing-overhead harness (smoke mode)",
+        Command::new(&cargo).args([
+            "run",
+            "--release",
+            "-p",
+            "pwu-bench",
+            "--bin",
+            "obs_overhead",
+            "--",
+            "--smoke",
+            "--out",
+            obs_scratch,
+        ]),
+    );
     let mut failed = false;
     for ((committed_path, schema, required), scratch) in PERF_REPORTS
         .into_iter()
-        .zip([forest_scratch, measure_scratch, serve_scratch])
+        .zip([forest_scratch, measure_scratch, serve_scratch, obs_scratch])
     {
         let fresh = read_report(scratch, schema, required);
         let Ok(committed_text) = std::fs::read_to_string(committed_path) else {
@@ -298,6 +344,53 @@ fn chaos() {
         Command::new(&cargo).args(["test", "-q", "--release", "-p", "pwu-serve", "--test", "chaos"]),
     );
     println!("xtask: chaos gate passed");
+}
+
+fn obs() {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    run_step(
+        "pwu-obs unit suite (deterministic plane only)",
+        Command::new(&cargo).args(["test", "-q", "-p", "pwu-obs"]),
+    );
+    run_step(
+        "pwu-obs unit suite (wallclock sidecar compiled in)",
+        Command::new(&cargo).args(["test", "-q", "-p", "pwu-obs", "--features", "wallclock"]),
+    );
+    run_step(
+        "thread-pool fork/splice byte-identity (rayon shim)",
+        Command::new(&cargo).args(["test", "-q", "-p", "rayon", "traces_are_byte_identical"]),
+    );
+    run_step(
+        "trace-determinism suite (widths 1/2/4/8 x deal orders; on ≡ off checkpoints)",
+        Command::new(&cargo).args(["test", "-q", "-p", "pwu-core", "--test", "obs_determinism"]),
+    );
+    run_step(
+        "trace-determinism suite with the sidecar compiled in (still byte-identical)",
+        Command::new(&cargo).args([
+            "test",
+            "-q",
+            "-p",
+            "pwu-core",
+            "--test",
+            "obs_determinism",
+            "--features",
+            "obs-wallclock",
+        ]),
+    );
+    // The committed overhead number must honor the budget, not just avoid
+    // regressing: tracing that costs more than ~5% would get turned off in
+    // practice, defeating the whole observability contract.
+    let report = read_report("BENCH_obs.json", "pwu-bench-obs-v1", &OBS_BENCHMARKS);
+    for (name, speedup) in &report {
+        if *speedup < OBS_SPEEDUP_FLOOR {
+            eprintln!(
+                "xtask: tracing overhead budget blown in {name}: speedup {speedup:.3}x < {OBS_SPEEDUP_FLOOR}"
+            );
+            exit(1);
+        }
+        println!("xtask: {name}: {speedup:.3}x >= {OBS_SPEEDUP_FLOOR} ok");
+    }
+    println!("xtask: observability gate passed");
 }
 
 fn faults() {
