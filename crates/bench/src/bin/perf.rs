@@ -20,9 +20,12 @@
 //!
 //! `--smoke` keeps the workload sizes but drops the sample count, for quick
 //! regression checks (`cargo xtask perf --check`). The forest results go to
-//! `--out` (default `BENCH_forest.json`) under the `pwu-bench-forest-v1`
-//! schema; the measurement results go to `--measure-out` (default
-//! `BENCH_measure.json`) under `pwu-bench-measure-v1`. Both reports are
+//! `--out` (default `BENCH_forest.json`) under the `pwu-bench-forest-v2`
+//! schema (v2 added the `fast/`-prefixed [`FitMode::Fast`] engine entries,
+//! recorded in the same run as the exact entries so the interleaved-timing
+//! methodology stays comparable); the measurement results go to
+//! `--measure-out` (default `BENCH_measure.json`) under
+//! `pwu-bench-measure-v1`. Both reports are
 //! `{"schema":...,"mode":...,"results":[{name, baseline_ns, optimized_ns,
 //! speedup}, ...]}`; each number is the median of the timed samples, with
 //! baseline and optimized calls interleaved so machine-speed drift cancels
@@ -32,7 +35,7 @@ use std::time::Instant;
 
 use pwu_core::experiment::run_experiment;
 use pwu_core::{Annotator, PoolScoreCache, Protocol, Strategy};
-use pwu_forest::{reference, ForestConfig, RandomForest};
+use pwu_forest::{reference, FitMode, ForestConfig, RandomForest};
 use pwu_space::{FeatureKind, FeatureMatrix, PoolLintCounts, TuningTarget};
 use pwu_spapt::{kernel_by_name, FaultModel, Uncached};
 use pwu_stats::Xoshiro256PlusPlus;
@@ -109,6 +112,39 @@ fn bench_fit(name: &'static str, n: usize, d: usize, samples: usize) -> Row {
             std::hint::black_box(RandomForest::fit(&config, &kinds, &matrix, &y, 7));
         },
     );
+    Row {
+        name,
+        baseline_ns,
+        optimized_ns,
+    }
+}
+
+/// The fast engine vs the same single-thread reference baseline as
+/// [`bench_fit`], at the stated pool width. Width 1 is the honest
+/// algorithmic speedup (counting-sort split search, no per-node sort); the
+/// `_t4` entry additionally runs the per-tree fit on a 4-wide pool, which
+/// only helps on hosts with free cores (this container is single-core, so
+/// its committed number mostly measures pool overhead — see DESIGN.md §14).
+fn bench_fit_fast(name: &'static str, n: usize, d: usize, width: usize, samples: usize) -> Row {
+    let (rows, matrix, y) = data(n, d, 11);
+    let kinds = vec![FeatureKind::Numeric; d];
+    let exact = ForestConfig::default();
+    let fast = ForestConfig {
+        fit_mode: FitMode::Fast,
+        ..ForestConfig::default()
+    };
+    let before = rayon::current_num_threads();
+    rayon::set_threads(width);
+    let (baseline_ns, optimized_ns) = time_pair(
+        samples,
+        || {
+            std::hint::black_box(reference::fit(&exact, &kinds, &rows, &y, 7));
+        },
+        || {
+            std::hint::black_box(RandomForest::fit(&fast, &kinds, &matrix, &y, 7));
+        },
+    );
+    rayon::set_threads(before);
     Row {
         name,
         baseline_ns,
@@ -340,11 +376,13 @@ fn main() {
     let forest_results = [
         bench_fit("fit/n200_d8", 200, 8, samples),
         bench_fit("fit/n500_d20", 500, 20, samples),
+        bench_fit_fast("fast/fit/n500_d20", 500, 20, 1, samples),
+        bench_fit_fast("fast/fit/n500_d20_t4", 500, 20, 4, samples),
         bench_predict_batch(samples),
         bench_tuning_iteration(samples),
     ];
     print_table(&forest_results);
-    write_json(&out_path, "pwu-bench-forest-v1", mode, &forest_results)
+    write_json(&out_path, "pwu-bench-forest-v2", mode, &forest_results)
         .expect("write forest benchmark report");
     eprintln!("[perf] wrote {out_path}");
 

@@ -343,6 +343,15 @@ fn check_resume_compat(
             "checkpoint alphas do not match the config".into(),
         ));
     }
+    if checkpoint.fit_mode != config.forest.fit_mode {
+        return Err(CheckpointError::Mismatch(format!(
+            "checkpoint was written under fit mode '{}' but the config asks for '{}' \
+             (the engines produce bitwise-different forests, so resuming across \
+             modes would silently fork the trajectory)",
+            checkpoint.fit_mode.token(),
+            config.forest.fit_mode.token()
+        )));
+    }
     Ok(())
 }
 
@@ -771,6 +780,7 @@ fn make_checkpoint(
         n_batch: config.n_batch,
         n_max: config.n_max,
         repeats: config.repeats,
+        fit_mode: config.forest.fit_mode,
         alphas: config.alphas.clone(),
         annotator_rng: state.annotator.rng_state(),
         annotator_evaluations: state.annotator.evaluations(),
@@ -1156,6 +1166,29 @@ mod tests {
             step_once(&target, strategy, &wrong, &cp, &tf, &tl),
             Err(CheckpointError::Mismatch(_))
         ));
+    }
+
+    /// The exact and fast engines produce bitwise-different forests, so a
+    /// checkpoint written under one mode must refuse to resume under the
+    /// other — silently forking the trajectory would invalidate every
+    /// determinism guarantee downstream.
+    #[test]
+    fn step_once_rejects_cross_mode_resume() {
+        let target = Synthetic::new();
+        let (pool, tf, tl) = setup(&target, 150, 60, 43);
+        let cfg = quick_config(30);
+        let cp = bootstrap(&target, &cfg, pool, &tf, &tl, 9);
+        assert_eq!(cp.fit_mode, pwu_forest::FitMode::Exact);
+
+        let mut crossed = cfg.clone();
+        crossed.forest.fit_mode = pwu_forest::FitMode::Fast;
+        match step_once(&target, Strategy::Uniform, &crossed, &cp, &tf, &tl) {
+            Err(CheckpointError::Mismatch(msg)) => {
+                assert!(msg.contains("fit mode"), "unhelpful message: {msg}");
+                assert!(msg.contains("exact") && msg.contains("fast"));
+            }
+            other => panic!("cross-mode resume must be a Mismatch, got {other:?}"),
+        }
     }
 
     #[test]

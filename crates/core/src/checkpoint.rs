@@ -34,6 +34,7 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::str::SplitWhitespace;
 
+use pwu_forest::FitMode;
 use pwu_space::PoolLintCounts;
 
 use crate::active::{SelectionTrace, Snapshot};
@@ -132,6 +133,10 @@ pub struct ActiveCheckpoint {
     pub n_max: usize,
     /// Measurement repeats of the saving run (verified on resume).
     pub repeats: usize,
+    /// Forest fit engine of the saving run (verified on resume: the two
+    /// engines produce bitwise-different forests, so resuming a run under
+    /// the other engine would silently fork its trajectory).
+    pub fit_mode: FitMode,
     /// RMSE@α levels of the saving run (verified bit-exactly on resume).
     pub alphas: Vec<f64>,
     /// Annotation RNG stream position.
@@ -160,7 +165,9 @@ pub struct ActiveCheckpoint {
     pub selections: Vec<SelectionTrace>,
 }
 
-const MAGIC: &str = "pwu-active-checkpoint v1";
+// v2 added the `fit-mode` line; older files are rejected at the magic with
+// a parse error rather than resumed under a silently-assumed engine.
+const MAGIC: &str = "pwu-active-checkpoint v2";
 
 /// FNV-1a 64-bit hash — the checksum in the checkpoint integrity footer.
 ///
@@ -245,6 +252,7 @@ impl ActiveCheckpoint {
             "counts {} {} {} {}",
             self.n_init, self.n_batch, self.n_max, self.repeats
         );
+        let _ = writeln!(w, "fit-mode {}", self.fit_mode.token());
         let alphas: Vec<String> = self.alphas.iter().map(|&a| hex(a)).collect();
         let _ = writeln!(w, "alphas {}", alphas.join(" "));
         for (tag, state) in [
@@ -340,6 +348,9 @@ impl ActiveCheckpoint {
         let n_batch = lines.next_usize(&mut it, "counts")?;
         let n_max = lines.next_usize(&mut it, "counts")?;
         let repeats = lines.next_usize(&mut it, "counts")?;
+        let fit_mode_token = lines.tagged_rest("fit-mode")?.trim().to_string();
+        let fit_mode = FitMode::parse(&fit_mode_token)
+            .ok_or_else(|| lines.err(format!("unknown fit-mode {fit_mode_token:?}")))?;
         let alphas_line = lines.tagged_rest("alphas")?.to_string();
         let alphas = alphas_line
             .split_whitespace()
@@ -449,6 +460,7 @@ impl ActiveCheckpoint {
             n_batch,
             n_max,
             repeats,
+            fit_mode,
             alphas,
             annotator_rng,
             annotator_evaluations,
@@ -753,6 +765,7 @@ mod tests {
             n_batch: 2,
             n_max: 100,
             repeats: 35,
+            fit_mode: FitMode::Fast,
             alphas: vec![0.05, 0.10],
             annotator_rng: [1, 2, 3, 4],
             annotator_evaluations: 42,

@@ -26,6 +26,7 @@ fn sample() -> ActiveCheckpoint {
         n_batch: 2,
         n_max: 40,
         repeats: 3,
+        fit_mode: pwu_forest::FitMode::Fast,
         alphas: vec![0.05],
         annotator_rng: [11, 12, 13, 14],
         annotator_evaluations: 31,

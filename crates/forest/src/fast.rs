@@ -1,0 +1,901 @@
+//! The statistically-equivalent fast fit engine ([`crate::hyper::FitMode::Fast`]).
+//!
+//! The exact engine ([`crate::tree`]) sorts each node's rows per candidate
+//! feature because bit identity with the historical implementation requires
+//! reproducing the unstable sort's tie permutation (DESIGN.md §9). This
+//! engine drops that requirement — its contract is *statistical*
+//! equivalence (DESIGN.md §14): same trajectory RMSE within ε, same
+//! best-config quality, still a pure function of the seed and invariant to
+//! `PWU_THREADS` width and deal order. That buys back the two schemes §9
+//! rules out for the exact path:
+//!
+//! - **Counting-sort split search** for low-cardinality columns (the common
+//!   case for tuning spaces, whose parameters have a handful of levels):
+//!   bucket `(Σy, count)` by dense rank in one pass over the node segment,
+//!   then scan the rank range in ascending order — `O(n_seg + R)` per
+//!   candidate with no sort at all. Buckets are epoch-stamped so the
+//!   scratch is never cleared between nodes.
+//! - **Presorted-per-column partition reuse** (the scikit-learn scheme) for
+//!   high-cardinality columns: each such column's row order is counting-
+//!   sorted once per tree and stably partitioned down the nest in lockstep
+//!   with the node buffer, so split search is a linear scan of an
+//!   already-sorted segment (packed and handed to the exact scanner,
+//!   [`best_numeric_split_ranked`], with the per-node sort skipped).
+//!
+//! Row routing uses **f32 rank tables**: dense ranks are far below 2²⁴ so
+//! the `f32` copy is exact, the partition predicate is one 4-byte compare —
+//! half the bandwidth of the `f64` column — and the branchless
+//! [`stable_partition`] scan over it vectorizes cleanly.
+//!
+//! Determinism: every choice above is a deterministic function of the
+//! training data and the per-tree RNG stream (forked from the fit seed by
+//! tree index, exactly as the exact engine does), and no intermediate
+//! depends on thread schedule, so fast fits are byte-identical across pool
+//! widths and sanitizer deal orders — only *bitwise different from Exact*,
+//! because target sums accumulate in bucket/rank order instead of the
+//! historical tie order.
+
+use rayon::prelude::*;
+
+use crate::tree::RegressionTree;
+
+/// Mean within-leaf variance across the ensemble: `Σ var·count / Σ count`
+/// over every leaf of every tree. This is the irreducible-noise diagnostic
+/// the statistical-equivalence suite uses to compare engines (impure leaves
+/// indicate under-splitting; a fast fit must not be systematically more
+/// impure than an exact fit).
+///
+/// The per-tree terms are reduced on the `PWU_THREADS` pool. The reduction
+/// is deterministic despite the `float-reduce` audit findings on these
+/// lines: the shim's `collect` is index-ordered, so the final sequential
+/// `sum` always folds in tree order (see `audit.allow.toml`).
+pub(crate) fn mean_leaf_variance(trees: &[RegressionTree]) -> f64 {
+    if trees.is_empty() {
+        return 0.0;
+    }
+    let weighted: f64 = trees.par_iter().map(RegressionTree::weighted_leaf_variance).collect::<Vec<f64>, f64>().iter().sum();
+    let count: f64 = trees.par_iter().map(RegressionTree::leaf_count_total).collect::<Vec<f64>, f64>().iter().sum();
+    if count == 0.0 {
+        0.0
+    } else {
+        weighted / count
+    }
+}
+
+#[cfg(feature = "fast-path")]
+pub(crate) use engine::{context_for, fit_tree_fast};
+
+#[cfg(not(feature = "fast-path"))]
+mod stub {
+    use pwu_space::{FeatureKind, FeatureMatrix};
+    use pwu_stats::Xoshiro256PlusPlus;
+
+    use crate::hyper::ForestConfig;
+    use crate::tree::RegressionTree;
+
+    /// Uninhabited without the `fast-path` feature: `context_for` never
+    /// returns one, so `FitMode::Fast` falls back to the exact engine.
+    pub(crate) enum FastContext {}
+
+    pub(crate) fn context_for(
+        _config: &ForestConfig,
+        _x: &FeatureMatrix,
+        _kinds: &[FeatureKind],
+        _ranks: &[Vec<u32>],
+    ) -> Option<FastContext> {
+        None
+    }
+
+    pub(crate) fn fit_tree_fast(
+        _x: &FeatureMatrix,
+        _y: &[f64],
+        _rows: &[u32],
+        _config: &ForestConfig,
+        _rng: &mut Xoshiro256PlusPlus,
+        _ranks: &[Vec<u32>],
+        ctx: &FastContext,
+    ) -> RegressionTree {
+        match *ctx {}
+    }
+}
+
+#[cfg(not(feature = "fast-path"))]
+pub(crate) use stub::{context_for, fit_tree_fast};
+
+#[cfg(feature = "fast-path")]
+mod engine {
+    use rand::Rng;
+
+    use pwu_space::{FeatureKind, FeatureMatrix};
+    use pwu_stats::Xoshiro256PlusPlus;
+
+    use crate::hyper::{FitMode, ForestConfig};
+    use crate::split::{
+        best_categorical_split, best_numeric_split_ranked, RankRow, Split, SplitRule, SplitScratch,
+    };
+    use crate::tree::{leaf_stats, node_stats, stable_partition, Node, RegressionTree};
+
+    /// Rank-cardinality ceiling for the counting-sort split search. At or
+    /// below this, bucketing by rank beats any sort; above it, the column
+    /// gets a presorted row order partitioned down the nest instead. Tuning
+    /// spaces rarely exceed a few dozen levels per parameter, so presorted
+    /// columns are the exception (continuous synthetic features, mostly).
+    const COUNTING_MAX: u32 = 256;
+
+    /// How one column's splits are searched (fixed per forest fit).
+    enum ColumnPlan {
+        /// Node-order category sums, Fisher scan (same as the exact engine).
+        Categorical { n_categories: usize },
+        /// Epoch-stamped rank buckets, ascending-rank scan.
+        Counting,
+        /// Per-tree presorted row order, stably partitioned at every split;
+        /// `slot` indexes the tree's order table.
+        Presorted { slot: usize },
+    }
+
+    /// Per-forest tables shared by every tree of a fast fit (they depend
+    /// only on the training matrix, not on the bootstrap sample).
+    pub(crate) struct FastContext {
+        plans: Vec<ColumnPlan>,
+        /// Per-column distinct-rank count (0 for categorical columns).
+        n_ranks: Vec<u32>,
+        /// Per-column ascending distinct values indexed by rank (counting
+        /// columns only) — the threshold midpoint source.
+        rank_value: Vec<Vec<f64>>,
+        /// Per-column f32 rank per row (numeric columns). Dense ranks are
+        /// < 2²⁴, so the f32 copy is exact and rank comparisons over it are
+        /// exactly the integer comparisons, at half the memory traffic.
+        ranks_f32: Vec<Vec<f32>>,
+        /// Number of presorted columns (order-table slots per tree).
+        n_presorted: usize,
+        /// Largest counting-column cardinality (bucket scratch size).
+        max_counting_ranks: usize,
+    }
+
+    impl FastContext {
+        fn build(x: &FeatureMatrix, kinds: &[FeatureKind], ranks: &[Vec<u32>]) -> Self {
+            let d = kinds.len();
+            let mut plans = Vec::with_capacity(d);
+            let mut n_ranks = vec![0u32; d];
+            let mut rank_value = vec![Vec::new(); d];
+            let mut ranks_f32 = vec![Vec::new(); d];
+            let mut n_presorted = 0usize;
+            let mut max_counting_ranks = 0usize;
+            for (f, kind) in kinds.iter().enumerate() {
+                match *kind {
+                    FeatureKind::Categorical { n_categories } => {
+                        plans.push(ColumnPlan::Categorical { n_categories });
+                    }
+                    FeatureKind::Numeric => {
+                        let ranks_f = &ranks[f];
+                        let nr = ranks_f.iter().copied().max().map_or(0, |top| top + 1);
+                        assert!(
+                            nr < 1 << 24,
+                            "fast path needs rank cardinality below 2^24 for exact f32 ranks"
+                        );
+                        n_ranks[f] = nr;
+                        ranks_f32[f] = ranks_f.iter().map(|&k| k as f32).collect();
+                        if nr <= COUNTING_MAX {
+                            let mut vals = vec![0.0f64; nr as usize];
+                            let col = x.column(f);
+                            for (r, &k) in ranks_f.iter().enumerate() {
+                                vals[k as usize] = col[r];
+                            }
+                            rank_value[f] = vals;
+                            max_counting_ranks = max_counting_ranks.max(nr as usize);
+                            plans.push(ColumnPlan::Counting);
+                        } else {
+                            plans.push(ColumnPlan::Presorted { slot: n_presorted });
+                            n_presorted += 1;
+                        }
+                    }
+                }
+            }
+            Self {
+                plans,
+                n_ranks,
+                rank_value,
+                ranks_f32,
+                n_presorted,
+                max_counting_ranks,
+            }
+        }
+    }
+
+    /// Builds the shared fast-fit context when `config` asks for the fast
+    /// engine; `None` keeps the caller on the exact engine.
+    pub(crate) fn context_for(
+        config: &ForestConfig,
+        x: &FeatureMatrix,
+        kinds: &[FeatureKind],
+        ranks: &[Vec<u32>],
+    ) -> Option<FastContext> {
+        (config.fit_mode == FitMode::Fast).then(|| FastContext::build(x, kinds, ranks))
+    }
+
+    /// Epoch-stamped per-rank `(Σy, count)` buckets: `begin` bumps the
+    /// epoch instead of clearing, and stale buckets are lazily reset on
+    /// first touch, so a node costs only its own segment plus its present
+    /// ranks — never `O(max_R)`. `present` records each rank on first touch
+    /// so the scan phase visits exactly the occupied buckets (sorted
+    /// ascending before scanning) instead of walking the full `lo..=hi`
+    /// range — the range walk is what dominated on the many tiny nodes near
+    /// the leaves, where two rows can straddle the whole rank range.
+    #[derive(Clone, Copy)]
+    struct Bucket {
+        sum: f64,
+        count: u32,
+        epoch: u32,
+    }
+
+    struct CountScratch {
+        /// One 16-byte record per rank (sum/count/epoch share a cache line
+        /// and a single bounds check, vs. three parallel arrays).
+        buckets: Vec<Bucket>,
+        present: Vec<u32>,
+        cur: u32,
+    }
+
+    impl CountScratch {
+        fn new(n: usize) -> Self {
+            Self {
+                buckets: vec![
+                    Bucket {
+                        sum: 0.0,
+                        count: 0,
+                        epoch: 0,
+                    };
+                    n
+                ],
+                present: Vec::with_capacity(n),
+                cur: 0,
+            }
+        }
+
+        fn begin(&mut self) {
+            if self.cur == u32::MAX {
+                for b in &mut self.buckets {
+                    b.epoch = 0;
+                }
+                self.cur = 0;
+            }
+            self.cur += 1;
+            self.present.clear();
+        }
+    }
+
+    /// Best threshold split of one node on a counting column: one pass over
+    /// the segment to bucket targets by rank, one ascending scan over the
+    /// touched rank range. Gain/threshold/boundary semantics mirror
+    /// [`best_numeric_split_ranked`] (midpoint threshold, boundary rank
+    /// covering midpoint rounding); only the `f64` accumulation order
+    /// differs, which is exactly the freedom the fast contract grants.
+    ///
+    /// Sets `*constant` when the column proved constant within the segment
+    /// (a single present rank) — the caller propagates that to descendant
+    /// nodes, whose segments are subsets, so they skip the pass entirely.
+    ///
+    /// `inv[k]` must hold `1.0 / k` for every count up to the segment size:
+    /// the gain formula multiplies by table reciprocals instead of dividing
+    /// (an f64 divide costs an order of magnitude more than a multiply, and
+    /// the boundary scan is divide-bound). The last-ulp difference from true
+    /// division is within the fast contract's freedom — still a pure
+    /// function of the data, just not the exact engine's rounding.
+    #[allow(clippy::too_many_arguments)]
+    fn best_split_counting(
+        rank_value: &[f64],
+        ranks_f: &[u32],
+        y: &[f64],
+        seg: &[u32],
+        total: f64,
+        feature: usize,
+        min_leaf: usize,
+        inv: &[f64],
+        scratch: &mut CountScratch,
+        constant: &mut bool,
+    ) -> Option<(Split, u32)> {
+        let n = seg.len();
+        if n < 2 * min_leaf {
+            return None;
+        }
+        if n <= SMALL_MAX {
+            return best_split_counting_small(
+                rank_value, ranks_f, y, seg, total, feature, min_leaf, inv, constant,
+            );
+        }
+        let nr = rank_value.len();
+        if nr <= n {
+            return best_split_counting_dense(
+                rank_value, ranks_f, y, seg, total, feature, min_leaf, inv, scratch, constant,
+            );
+        }
+        scratch.begin();
+        let CountScratch {
+            buckets,
+            present,
+            cur,
+        } = scratch;
+        let cur = *cur;
+        for &r in seg {
+            let k = ranks_f[r as usize];
+            let b = &mut buckets[k as usize];
+            if b.epoch != cur {
+                b.epoch = cur;
+                b.sum = 0.0;
+                b.count = 0;
+                present.push(k);
+            }
+            b.sum += y[r as usize];
+            b.count += 1;
+        }
+        if present.len() < 2 {
+            *constant = true; // column constant within the node
+            return None;
+        }
+        present.sort_unstable();
+        let base = total * total * inv[n];
+        let mut left_sum = 0.0;
+        let mut left_cnt = 0usize;
+        let mut best: Option<(f64, f64, u32)> = None; // (gain, threshold, boundary)
+        let mut best_gain = 0.0;
+        for pair in present.windows(2) {
+            let (p, k) = (pair[0], pair[1]);
+            // Boundary between adjacent present ranks p and k; the left side
+            // holds everything accumulated so far (ranks <= p). Ascending
+            // scan, so the fold order matches the rank order exactly as the
+            // full-range walk did.
+            left_sum += buckets[p as usize].sum;
+            left_cnt += buckets[p as usize].count as usize;
+            if left_cnt >= min_leaf && n - left_cnt >= min_leaf {
+                let right_sum = total - left_sum;
+                let gain = left_sum * left_sum * inv[left_cnt]
+                    + right_sum * right_sum * inv[n - left_cnt]
+                    - base;
+                if gain > best_gain {
+                    let xl = rank_value[p as usize];
+                    let xr = rank_value[k as usize];
+                    let threshold = 0.5 * (xl + xr);
+                    // The midpoint can round onto xr itself, in which
+                    // case xr's whole rank block routes left under `<=`.
+                    let boundary = if xr <= threshold { k } else { p };
+                    best = Some((gain, threshold, boundary));
+                    best_gain = gain;
+                }
+            }
+        }
+        best.map(|(gain, threshold, boundary)| {
+            (
+                Split {
+                    feature,
+                    rule: SplitRule::Threshold(threshold),
+                    gain,
+                },
+                boundary,
+            )
+        })
+    }
+
+    /// [`best_split_counting`] for segments at least as large as the
+    /// column's rank count: clear the first `nr` buckets outright and run
+    /// the accumulation loop with no epoch branch at all, then scan the
+    /// whole (small) rank range skipping empty buckets. The `O(nr)` clear
+    /// and scan are amortized by the `O(n)` segment pass they unlock, and
+    /// the ascending-rank fold order is bit-identical to the epoch path's
+    /// sorted-present scan, so the dispatch (on data-deterministic sizes
+    /// alone) never changes the fitted tree.
+    #[allow(clippy::too_many_arguments)]
+    fn best_split_counting_dense(
+        rank_value: &[f64],
+        ranks_f: &[u32],
+        y: &[f64],
+        seg: &[u32],
+        total: f64,
+        feature: usize,
+        min_leaf: usize,
+        inv: &[f64],
+        scratch: &mut CountScratch,
+        constant: &mut bool,
+    ) -> Option<(Split, u32)> {
+        let n = seg.len();
+        let nr = rank_value.len();
+        let buckets = &mut scratch.buckets[..nr];
+        for b in buckets.iter_mut() {
+            b.sum = 0.0;
+            b.count = 0;
+        }
+        for &r in seg {
+            let b = &mut buckets[ranks_f[r as usize] as usize];
+            b.sum += y[r as usize];
+            b.count += 1;
+        }
+        let base = total * total * inv[n];
+        let mut left_sum = 0.0;
+        let mut left_cnt = 0usize;
+        let mut prev: Option<u32> = None;
+        let mut best: Option<(f64, f64, u32)> = None; // (gain, threshold, boundary)
+        let mut best_gain = 0.0;
+        for (ki, b) in buckets.iter().enumerate() {
+            if b.count == 0 {
+                continue;
+            }
+            let k = ki as u32;
+            if let Some(p) = prev {
+                // Boundary between adjacent present ranks p and k; the left
+                // side holds everything accumulated so far (ranks <= p).
+                if left_cnt >= min_leaf && n - left_cnt >= min_leaf {
+                    let right_sum = total - left_sum;
+                    let gain = left_sum * left_sum * inv[left_cnt]
+                        + right_sum * right_sum * inv[n - left_cnt]
+                        - base;
+                    if gain > best_gain {
+                        let xl = rank_value[p as usize];
+                        let xr = rank_value[ki];
+                        let threshold = 0.5 * (xl + xr);
+                        // The midpoint can round onto xr itself, in which
+                        // case xr's whole rank block routes left under `<=`.
+                        let boundary = if xr <= threshold { k } else { p };
+                        best = Some((gain, threshold, boundary));
+                        best_gain = gain;
+                    }
+                }
+            }
+            left_sum += b.sum;
+            left_cnt += b.count as usize;
+            prev = Some(k);
+        }
+        debug_assert_eq!(left_cnt, n);
+        // A single present rank means the column is constant here (only
+        // worth re-checking when no split came out of the scan).
+        if best.is_none() && buckets.iter().filter(|b| b.count > 0).count() < 2 {
+            *constant = true;
+        }
+        best.map(|(gain, threshold, boundary)| {
+            (
+                Split {
+                    feature,
+                    rule: SplitRule::Threshold(threshold),
+                    gain,
+                },
+                boundary,
+            )
+        })
+    }
+
+    /// Segment-size ceiling for the gather-and-insertion-sort search. Most
+    /// nodes of a fully grown tree are this small, and for them the bucket
+    /// machinery (epoch scratch, present list, pdqsort call) costs more
+    /// than touching every element twice on the stack. Kept low: the
+    /// insertion sort is quadratic, so past a dozen rows bucketing wins.
+    const SMALL_MAX: usize = 8;
+
+    /// [`best_split_counting`] for segments of at most [`SMALL_MAX`] rows:
+    /// gather `(rank, y)` pairs into a stack buffer, stable insertion sort
+    /// by rank, then one grouped scan. The stable sort preserves segment
+    /// order within each rank, so every group sum — and therefore every
+    /// gain — folds in exactly the order the bucket path uses: the two
+    /// paths are bitwise interchangeable, and which one runs is decided by
+    /// the (data-deterministic) segment size alone.
+    #[allow(clippy::too_many_arguments)]
+    fn best_split_counting_small(
+        rank_value: &[f64],
+        ranks_f: &[u32],
+        y: &[f64],
+        seg: &[u32],
+        total: f64,
+        feature: usize,
+        min_leaf: usize,
+        inv: &[f64],
+        constant: &mut bool,
+    ) -> Option<(Split, u32)> {
+        let n = seg.len();
+        let mut small = [(0u32, 0.0f64); SMALL_MAX];
+        for (slot, &r) in small.iter_mut().zip(seg) {
+            *slot = (ranks_f[r as usize], y[r as usize]);
+        }
+        for i in 1..n {
+            let it = small[i];
+            let mut j = i;
+            while j > 0 && small[j - 1].0 > it.0 {
+                small[j] = small[j - 1];
+                j -= 1;
+            }
+            small[j] = it;
+        }
+        if small[0].0 == small[n - 1].0 {
+            *constant = true; // column constant within the node
+            return None;
+        }
+        let base = total * total * inv[n];
+        let mut left_sum = 0.0;
+        let mut best: Option<(f64, f64, u32)> = None; // (gain, threshold, boundary)
+        let mut best_gain = 0.0;
+        let mut i = 0;
+        while i < n {
+            let p = small[i].0;
+            let mut group_sum = 0.0;
+            while i < n && small[i].0 == p {
+                group_sum += small[i].1;
+                i += 1;
+            }
+            if i == n {
+                break; // highest rank: no boundary to its right
+            }
+            left_sum += group_sum;
+            let left_cnt = i;
+            if left_cnt >= min_leaf && n - left_cnt >= min_leaf {
+                let k = small[i].0;
+                let right_sum = total - left_sum;
+                let gain = left_sum * left_sum * inv[left_cnt]
+                    + right_sum * right_sum * inv[n - left_cnt]
+                    - base;
+                if gain > best_gain {
+                    let xl = rank_value[p as usize];
+                    let xr = rank_value[k as usize];
+                    let threshold = 0.5 * (xl + xr);
+                    // The midpoint can round onto xr itself, in which
+                    // case xr's whole rank block routes left under `<=`.
+                    let boundary = if xr <= threshold { k } else { p };
+                    best = Some((gain, threshold, boundary));
+                    best_gain = gain;
+                }
+            }
+        }
+        best.map(|(gain, threshold, boundary)| {
+            (
+                Split {
+                    feature,
+                    rule: SplitRule::Threshold(threshold),
+                    gain,
+                },
+                boundary,
+            )
+        })
+    }
+
+    /// Counting-sorts `rows` by their ranks on one column — the per-tree
+    /// presorted order, `O(n + R)`, stable (node order within rank ties).
+    fn presorted_order(rows: &[u32], ranks_f: &[u32], n_ranks: u32, counts: &mut Vec<u32>) -> Vec<u32> {
+        counts.clear();
+        counts.resize(n_ranks as usize + 1, 0);
+        for &r in rows {
+            counts[ranks_f[r as usize] as usize + 1] += 1;
+        }
+        for k in 1..counts.len() {
+            counts[k] += counts[k - 1];
+        }
+        let mut order = vec![0u32; rows.len()];
+        for &r in rows {
+            let k = ranks_f[r as usize] as usize;
+            order[counts[k] as usize] = r;
+            counts[k] += 1;
+        }
+        order
+    }
+
+    /// Sentinel parent index for the root task.
+    const NO_PARENT: u32 = u32::MAX;
+
+    /// One pending node: segment `[start, end)` of the shared buffers plus
+    /// where to record the resulting arena index. `all_eq`/`total` are the
+    /// node's target stats, computed during the *parent's* routing pass
+    /// (see [`route_with_stats`]) so no node pays a separate `node_stats`
+    /// scan.
+    struct Task {
+        start: usize,
+        end: usize,
+        depth: u32,
+        parent: u32,
+        is_left: bool,
+        all_eq: bool,
+        total: f64,
+        /// Bit `f` set means numeric feature `f` is known constant within
+        /// this segment (discovered by an ancestor; constancy survives
+        /// subsetting), so its split search is skipped — the search would
+        /// return `None` anyway, making the skip bitwise-neutral. Tracking
+        /// covers the first 64 features; beyond that a column just pays the
+        /// (cheap) rediscovery pass.
+        constant: u64,
+    }
+
+    /// The constancy-mask bit for feature `f` (0 beyond the tracked range).
+    fn constant_bit(f: usize) -> u64 {
+        if f < 64 {
+            1u64 << f
+        } else {
+            0
+        }
+    }
+
+    /// [`stable_partition`] fused with both children's `node_stats`: one
+    /// pass routes the node-order segment and accumulates each side's
+    /// target sum and constancy flag. Stability means each child's elements
+    /// are visited in exactly the order a fresh pass over its segment
+    /// would use, and the skipped elements contribute `+0.0` (an exact
+    /// identity here — no partial sum is ever `-0.0`), so the carried stats
+    /// are bitwise identical to recomputation via `node_stats`.
+    fn route_with_stats(
+        seg: &mut [u32],
+        tmp: &mut Vec<u32>,
+        y: &[f64],
+        goes_left: impl Fn(u32) -> bool,
+    ) -> (usize, (bool, f64), (bool, f64)) {
+        if tmp.len() < seg.len() {
+            tmp.resize(seg.len(), 0);
+        }
+        let mut w = 0usize;
+        let mut t = 0usize;
+        let (mut l_sum, mut r_sum) = (0.0f64, 0.0f64);
+        let (mut l_first, mut r_first) = (0.0f64, 0.0f64);
+        let (mut l_eq, mut r_eq) = (true, true);
+        for i in 0..seg.len() {
+            let r = seg[i];
+            let v = y[r as usize];
+            let left = goes_left(r);
+            seg[w] = r;
+            tmp[t] = r;
+            if w == 0 && left {
+                l_first = v;
+            }
+            if t == 0 && !left {
+                r_first = v;
+            }
+            l_eq &= !left || v == l_first;
+            r_eq &= left || v == r_first;
+            l_sum += if left { v } else { 0.0 };
+            r_sum += if left { 0.0 } else { v };
+            w += usize::from(left);
+            t += usize::from(!left);
+        }
+        seg[w..].copy_from_slice(&tmp[..t]);
+        (w, (l_eq, l_sum), (r_eq, r_sum))
+    }
+
+    /// Grows one tree with the fast engine. Same stop rules, RNG
+    /// consumption pattern (partial Fisher–Yates feature draw), preorder
+    /// arena layout and leaf statistics as the exact engine — only the
+    /// split search and row routing differ, per the module contract.
+    ///
+    /// # Panics
+    /// Panics if `rows` is empty.
+    pub(crate) fn fit_tree_fast(
+        x: &FeatureMatrix,
+        y: &[f64],
+        rows: &[u32],
+        config: &ForestConfig,
+        rng: &mut Xoshiro256PlusPlus,
+        ranks: &[Vec<u32>],
+        ctx: &FastContext,
+    ) -> RegressionTree {
+        assert!(!rows.is_empty(), "cannot fit a tree on zero rows");
+        debug_assert!(rows.iter().all(|&r| y[r as usize].is_finite()));
+        let d = ctx.plans.len();
+        let mtry = config.mtry.resolve(d).min(d);
+        let m = rows.len();
+
+        // Shared node-order row buffer plus, for every presorted column,
+        // a rank-ordered row buffer partitioned in lockstep with it.
+        let mut rows_buf: Vec<u32> = rows.to_vec();
+        let mut orders: Vec<Vec<u32>> = Vec::with_capacity(ctx.n_presorted);
+        if ctx.n_presorted > 0 {
+            let mut counts: Vec<u32> = Vec::new();
+            for (f, plan) in ctx.plans.iter().enumerate() {
+                if let ColumnPlan::Presorted { .. } = plan {
+                    orders.push(presorted_order(rows, &ranks[f], ctx.n_ranks[f], &mut counts));
+                }
+            }
+        }
+        let mut tmp: Vec<u32> = Vec::with_capacity(m);
+        let mut pack: Vec<u64> = Vec::with_capacity(m);
+        let mut scratch = SplitScratch::default();
+        let mut buckets = CountScratch::new(ctx.max_counting_ranks);
+        let mut feature_ids: Vec<usize> = (0..d).collect();
+        // Count reciprocals for the counting-column gain scan (inv[0] is a
+        // never-read placeholder: counts start at 1).
+        let inv: Vec<f64> = (0..=m).map(|k| if k == 0 { 0.0 } else { 1.0 / k as f64 }).collect();
+
+        let mut nodes: Vec<Node> = Vec::new();
+        let mut split_gains: Vec<(u32, f64)> = Vec::new();
+        let (root_eq, root_total) = node_stats(y, &rows_buf);
+        let mut stack = vec![Task {
+            start: 0,
+            end: m,
+            depth: 0,
+            parent: NO_PARENT,
+            is_left: false,
+            all_eq: root_eq,
+            total: root_total,
+            constant: 0,
+        }];
+        while let Some(task) = stack.pop() {
+            let n_seg = task.end - task.start;
+            let (stop, node_total) =
+                if n_seg < config.min_split || config.max_depth.is_some_and(|dd| task.depth >= dd) {
+                    (true, 0.0)
+                } else {
+                    (task.all_eq, task.total)
+                };
+            let mut found_constant = 0u64;
+            let split = if stop {
+                None
+            } else {
+                for i in 0..mtry {
+                    let j = rng.gen_range(i..d);
+                    feature_ids.swap(i, j);
+                }
+                let seg = &rows_buf[task.start..task.end];
+                let mut best: Option<Split> = None;
+                let mut best_boundary: Option<u32> = None;
+                for &f in &feature_ids[..mtry] {
+                    if task.constant & constant_bit(f) != 0 {
+                        continue; // known constant: the search would return None
+                    }
+                    let s = match ctx.plans[f] {
+                        ColumnPlan::Categorical { n_categories } => best_categorical_split(
+                            x.column(f),
+                            y,
+                            seg,
+                            f,
+                            n_categories,
+                            config.min_leaf,
+                            &mut scratch,
+                        )
+                        .map(|s| (s, 0)),
+                        ColumnPlan::Counting => {
+                            let mut col_constant = false;
+                            let s = best_split_counting(
+                                &ctx.rank_value[f],
+                                &ranks[f],
+                                y,
+                                seg,
+                                node_total,
+                                f,
+                                config.min_leaf,
+                                &inv,
+                                &mut buckets,
+                                &mut col_constant,
+                            );
+                            if col_constant {
+                                found_constant |= constant_bit(f);
+                            }
+                            s
+                        }
+                        ColumnPlan::Presorted { slot } => {
+                            if n_seg < 2 * config.min_leaf {
+                                None
+                            } else {
+                                let order_seg = &orders[slot][task.start..task.end];
+                                let ranks_f = &ranks[f];
+                                let first = ranks_f[order_seg[0] as usize];
+                                let last = ranks_f[order_seg[n_seg - 1] as usize];
+                                if first == last {
+                                    // Constant: O(1) on a sorted segment.
+                                    found_constant |= constant_bit(f);
+                                    None
+                                } else {
+                                    // Already rank-sorted — pack and hand to
+                                    // the exact scanner with the sort skipped.
+                                    pack.clear();
+                                    pack.extend(
+                                        order_seg
+                                            .iter()
+                                            .map(|&r| <u64 as RankRow>::pack(ranks_f[r as usize], r)),
+                                    );
+                                    best_numeric_split_ranked(
+                                        x.column(f),
+                                        y,
+                                        node_total,
+                                        &pack,
+                                        f,
+                                        config.min_leaf,
+                                    )
+                                }
+                            }
+                        }
+                    };
+                    if let Some((s, boundary)) = s {
+                        if best.as_ref().is_none_or(|b| s.gain > b.gain) {
+                            best_boundary = match s.rule {
+                                SplitRule::Threshold(_) => Some(boundary),
+                                SplitRule::Categories(_) => None,
+                            };
+                            best = Some(s);
+                        }
+                    }
+                }
+                best.map(|b| (b, best_boundary))
+            };
+
+            let idx = nodes.len() as u32;
+            if task.parent != NO_PARENT {
+                if let Node::Internal { left, right, .. } = &mut nodes[task.parent as usize] {
+                    if task.is_left {
+                        *left = idx;
+                    } else {
+                        *right = idx;
+                    }
+                }
+            }
+            match split {
+                None => {
+                    nodes.push(Node::Leaf(leaf_stats(y, &rows_buf[task.start..task.end])));
+                }
+                Some((split, boundary)) => {
+                    split_gains.push((split.feature as u32, split.gain));
+                    nodes.push(Node::Internal {
+                        feature: split.feature as u32,
+                        rule: split.rule,
+                        left: 0,
+                        right: 0,
+                    });
+                    // Route the node buffer AND every presorted order with
+                    // the same predicate: numeric winners compare the f32
+                    // rank table against the boundary rank (exact — dense
+                    // ranks are far below 2²⁴), categorical winners apply
+                    // the rule to the column. Stability keeps each order's
+                    // segment rank-sorted and aligned with the node buffer.
+                    // The node buffer's pass also computes both children's
+                    // stats, so they never run `node_stats` themselves.
+                    let node_seg = &mut rows_buf[task.start..task.end];
+                    let (n_left, (l_eq, l_sum), (r_eq, r_sum)) = if let Some(b) = boundary {
+                        let ranks_f32 = &ctx.ranks_f32[split.feature];
+                        let bf = b as f32;
+                        route_with_stats(node_seg, &mut tmp, y, |r| ranks_f32[r as usize] <= bf)
+                    } else {
+                        let col = x.column(split.feature);
+                        route_with_stats(node_seg, &mut tmp, y, |r| {
+                            split.rule.goes_left(col[r as usize])
+                        })
+                    };
+                    let route = |seg: &mut [u32], tmp: &mut Vec<u32>| -> usize {
+                        if let Some(b) = boundary {
+                            let ranks_f32 = &ctx.ranks_f32[split.feature];
+                            let bf = b as f32;
+                            stable_partition(seg, tmp, |r| ranks_f32[r as usize] <= bf)
+                        } else {
+                            let col = x.column(split.feature);
+                            stable_partition(seg, tmp, |r| split.rule.goes_left(col[r as usize]))
+                        }
+                    };
+                    debug_assert!(n_left > 0 && n_left < n_seg);
+                    debug_assert!({
+                        let col = x.column(split.feature);
+                        let seg = &rows_buf[task.start..task.end];
+                        seg[..n_left]
+                            .iter()
+                            .all(|&r| split.rule.goes_left(col[r as usize]))
+                            && seg[n_left..]
+                                .iter()
+                                .all(|&r| !split.rule.goes_left(col[r as usize]))
+                    });
+                    for order in &mut orders {
+                        let n_left_order = route(&mut order[task.start..task.end], &mut tmp);
+                        debug_assert_eq!(n_left_order, n_left);
+                    }
+                    let mid = task.start + n_left;
+                    stack.push(Task {
+                        start: mid,
+                        end: task.end,
+                        depth: task.depth + 1,
+                        parent: idx,
+                        is_left: false,
+                        all_eq: r_eq,
+                        total: r_sum,
+                        constant: task.constant | found_constant,
+                    });
+                    stack.push(Task {
+                        start: task.start,
+                        end: mid,
+                        depth: task.depth + 1,
+                        parent: idx,
+                        is_left: true,
+                        all_eq: l_eq,
+                        total: l_sum,
+                        constant: task.constant | found_constant,
+                    });
+                }
+            }
+        }
+
+        RegressionTree::from_raw(nodes, split_gains)
+    }
+}

@@ -75,6 +75,7 @@ impl RandomForest {
             [
                 ("rows", pwu_obs::Arg::u(x.n_rows() as u64)),
                 ("trees", pwu_obs::Arg::u(config.n_trees as u64)),
+                ("mode", pwu_obs::Arg::s(config.fit_mode.token())),
             ],
         );
         config.validate();
@@ -89,8 +90,11 @@ impl RandomForest {
 
         let n = x.n_rows();
         // Rank tables depend only on (x, kinds): compute once, share across
-        // all trees instead of re-deriving per tree.
+        // all trees instead of re-deriving per tree. Same for the fast
+        // engine's per-forest context (None on the exact path or when the
+        // `fast-path` feature is compiled out).
         let ranks = crate::tree::numeric_ranks(x, kinds);
+        let fast_ctx = crate::fast::context_for(config, x, kinds, &ranks);
         let results: Vec<(RegressionTree, Vec<u32>)> = (0..config.n_trees)
             .into_par_iter()
             .map(|t| {
@@ -100,7 +104,12 @@ impl RandomForest {
                 } else {
                     ((0..n as u32).collect(), Vec::new())
                 };
-                let tree = RegressionTree::fit_ranked(x, y, &rows, kinds, config, &mut rng, &ranks);
+                let tree = match fast_ctx.as_ref() {
+                    Some(ctx) => {
+                        crate::fast::fit_tree_fast(x, y, &rows, config, &mut rng, &ranks, ctx)
+                    }
+                    None => RegressionTree::fit_ranked(x, y, &rows, kinds, config, &mut rng, &ranks),
+                };
                 (tree, oob)
             })
             .collect();
@@ -389,6 +398,7 @@ impl RandomForest {
             [
                 ("rows", pwu_obs::Arg::u(x.n_rows() as u64)),
                 ("refit", pwu_obs::Arg::u(n_refit as u64)),
+                ("mode", pwu_obs::Arg::s(self.config.fit_mode.token())),
             ],
         );
         assert!(!x.is_empty(), "cannot update on zero rows");
@@ -404,6 +414,7 @@ impl RandomForest {
             order.swap(i, j);
         }
         let ranks = crate::tree::numeric_ranks(x, kinds);
+        let fast_ctx = crate::fast::context_for(&self.config, x, kinds, &ranks);
         let refit: Vec<(usize, (RegressionTree, Vec<u32>))> = order[..n_refit]
             .par_iter()
             .map(|&t| {
@@ -413,8 +424,20 @@ impl RandomForest {
                 } else {
                     ((0..n as u32).collect(), Vec::new())
                 };
-                let tree =
-                    RegressionTree::fit_ranked(x, y, &rows, kinds, &self.config, &mut rng, &ranks);
+                let tree = match fast_ctx.as_ref() {
+                    Some(ctx) => {
+                        crate::fast::fit_tree_fast(x, y, &rows, &self.config, &mut rng, &ranks, ctx)
+                    }
+                    None => RegressionTree::fit_ranked(
+                        x,
+                        y,
+                        &rows,
+                        kinds,
+                        &self.config,
+                        &mut rng,
+                        &ranks,
+                    ),
+                };
                 (t, (tree, oob))
             })
             .collect();
@@ -430,6 +453,16 @@ impl RandomForest {
     #[must_use]
     pub fn trees(&self) -> &[RegressionTree] {
         &self.trees
+    }
+
+    /// Mean within-leaf variance across the ensemble (`Σ var·count /
+    /// Σ count` over every leaf) — the irreducible-noise diagnostic the
+    /// fast path's statistical-equivalence suite compares between engines.
+    /// Reduced on the `PWU_THREADS` pool with an ordered fold, so the value
+    /// is deterministic at any width.
+    #[must_use]
+    pub fn mean_leaf_variance(&self) -> f64 {
+        crate::fast::mean_leaf_variance(&self.trees)
     }
 
     /// Per-tree out-of-bag row indices (empty vectors without bootstrap).

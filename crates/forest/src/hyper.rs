@@ -31,6 +31,52 @@ impl Mtry {
     }
 }
 
+/// Which fit engine grows the trees.
+///
+/// `Exact` is the default and the oracle: it reproduces the frozen
+/// [`crate::reference`] implementation bit for bit and is covered by the
+/// bitwise golden/equivalence suites. `Fast` trades bitwise identity for
+/// speed — presorted-per-column partition reuse, counting-sort split search
+/// over the dense rank tables, f32 rank packing — while staying a pure
+/// function of the seed and invariant to `PWU_THREADS` width and deal order.
+/// Its contract is *statistical* equivalence (DESIGN.md §14): trajectory
+/// RMSE within ε of `Exact` across seeds and bounded best-config quality
+/// deltas over the kernel harness, enforced by `cargo xtask fast`.
+///
+/// The fast engine is compiled behind the `fast-path` cargo feature; without
+/// it, requesting `Fast` falls back to the exact engine (the mode is still
+/// recorded in checkpoints and spans so artifacts stay comparable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FitMode {
+    /// Bit-identical to `pwu_forest::reference` (default).
+    #[default]
+    Exact,
+    /// Statistically equivalent, deterministic per seed, faster.
+    Fast,
+}
+
+impl FitMode {
+    /// Stable one-word token used in checkpoints, session specs, span tags
+    /// and protocol echoes.
+    #[must_use]
+    pub fn token(self) -> &'static str {
+        match self {
+            FitMode::Exact => "exact",
+            FitMode::Fast => "fast",
+        }
+    }
+
+    /// Parses a [`FitMode::token`] back; `None` on unknown tokens.
+    #[must_use]
+    pub fn parse(token: &str) -> Option<Self> {
+        match token {
+            "exact" => Some(FitMode::Exact),
+            "fast" => Some(FitMode::Fast),
+            _ => None,
+        }
+    }
+}
+
 /// Hyper-parameters of a [`crate::RandomForest`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ForestConfig {
@@ -47,6 +93,8 @@ pub struct ForestConfig {
     /// Whether each tree trains on a bootstrap resample (true for a random
     /// forest; false gives a randomized ensemble on the full set).
     pub bootstrap: bool,
+    /// Which fit engine grows the trees (see [`FitMode`]).
+    pub fit_mode: FitMode,
 }
 
 impl Default for ForestConfig {
@@ -58,6 +106,7 @@ impl Default for ForestConfig {
             min_split: 2,
             max_depth: None,
             bootstrap: true,
+            fit_mode: FitMode::Exact,
         }
     }
 }
@@ -113,6 +162,18 @@ mod tests {
     #[test]
     fn default_config_is_valid() {
         ForestConfig::default().validate();
+        assert_eq!(ForestConfig::default().fit_mode, FitMode::Exact);
+    }
+
+    #[test]
+    fn fit_mode_tokens_round_trip() {
+        for mode in [FitMode::Exact, FitMode::Fast] {
+            assert_eq!(FitMode::parse(mode.token()), Some(mode));
+        }
+        assert_eq!(FitMode::parse("exact"), Some(FitMode::Exact));
+        assert_eq!(FitMode::parse("fast"), Some(FitMode::Fast));
+        assert_eq!(FitMode::parse("Fast"), None);
+        assert_eq!(FitMode::parse(""), None);
     }
 
     #[test]

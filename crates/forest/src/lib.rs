@@ -16,22 +16,30 @@
 //! being forced through one-hot encodings — this is the "effectiveness on
 //! categorical features" property the paper relies on for *hypre*.
 //!
-//! The fit hot path works on the flat column-major
-//! [`FeatureMatrix`](pwu_space::FeatureMatrix): per-feature row orders are
-//! sorted once per tree and partitioned down the nest, so no node ever
-//! sorts or allocates. The pre-overhaul implementation is preserved in
-//! [`reference`] as a bit-identity oracle and performance baseline (see
-//! DESIGN.md §9).
+//! The exact fit hot path works on the flat column-major
+//! [`FeatureMatrix`](pwu_space::FeatureMatrix): each node packs its rows as
+//! `(rank, row)` words and sorts them per node, which reproduces the
+//! historical implementation bit for bit (the sort tie order is observable
+//! through gain rounding — see `tree` and DESIGN.md §9). The pre-overhaul
+//! implementation is preserved in [`reference`] as a bit-identity oracle and
+//! performance baseline. The opt-in [`fast`] engine
+//! ([`FitMode::Fast`](hyper::FitMode), `fast-path` cargo feature) trades
+//! that bit identity for speed under a *statistical*-equivalence contract
+//! (DESIGN.md §14): presorted-per-column partition reuse, counting-sort
+//! split search, f32 rank routing — still a pure function of the seed and
+//! invariant to thread count and deal order.
 //!
 //! Modules:
-//! - [`hyper`] — hyper-parameters ([`ForestConfig`], [`Mtry`])
+//! - [`hyper`] — hyper-parameters ([`ForestConfig`], [`Mtry`], [`FitMode`])
 //! - [`split`] — exact best-split search for numeric and categorical columns
-//! - [`tree`] — a single CART regression tree (iterative, presorted growth)
+//! - [`tree`] — a single CART regression tree (iterative, rank-packed growth)
+//! - [`fast`] — the statistically-equivalent fast fit engine
 //! - [`forest`] — the bagged ensemble with parallel fit/predict
 //! - [`importance`] — impurity-based feature importances
 //! - [`oob`] — out-of-bag error estimation
 //! - [`reference`] — the historical row-major implementation (tests/benches)
 
+pub mod fast;
 pub mod forest;
 pub mod hyper;
 pub mod importance;
@@ -41,6 +49,6 @@ pub mod split;
 pub mod tree;
 
 pub use forest::RandomForest;
-pub use hyper::{ForestConfig, Mtry};
+pub use hyper::{FitMode, ForestConfig, Mtry};
 pub use split::{Split, SplitRule};
 pub use tree::RegressionTree;

@@ -227,6 +227,32 @@ impl RegressionTree {
     pub fn split_gains(&self) -> &[(u32, f64)] {
         &self.split_gains
     }
+
+    /// Count-weighted sum of leaf variances (`Σ var·count` over leaves) —
+    /// one term of the fast path's ensemble-noise diagnostic.
+    #[must_use]
+    pub(crate) fn weighted_leaf_variance(&self) -> f64 {
+        self.nodes
+            .iter()
+            .map(|n| match n {
+                Node::Leaf(s) => s.variance * f64::from(s.count),
+                Node::Internal { .. } => 0.0,
+            })
+            .sum()
+    }
+
+    /// Total training-row count over leaves (the denominator weight paired
+    /// with [`RegressionTree::weighted_leaf_variance`]).
+    #[must_use]
+    pub(crate) fn leaf_count_total(&self) -> f64 {
+        self.nodes
+            .iter()
+            .map(|n| match n {
+                Node::Leaf(s) => f64::from(s.count),
+                Node::Internal { .. } => 0.0,
+            })
+            .sum()
+    }
 }
 
 /// The iterative growth loop, monomorphized over the packed-word layout.
@@ -426,7 +452,7 @@ fn grow<P: RankRow>(
 /// One fused pass over a node's segment: whether every target equals the
 /// first (the historical `constant_targets` stop test) and the node-order
 /// target sum (the historical per-feature `total`, hoisted).
-fn node_stats(y: &[f64], rows: &[u32]) -> (bool, f64) {
+pub(crate) fn node_stats(y: &[f64], rows: &[u32]) -> (bool, f64) {
     let first = y[rows[0] as usize];
     let mut all_eq = true;
     let mut sum = 0.0;
@@ -494,7 +520,11 @@ fn column_ranks(col: &[f64]) -> Vec<u32> {
 
 /// Stably partitions `seg` so rows accepted by `goes_left` come first,
 /// preserving relative order on both sides; returns the left count.
-fn stable_partition(seg: &mut [u32], tmp: &mut Vec<u32>, goes_left: impl Fn(u32) -> bool) -> usize {
+pub(crate) fn stable_partition(
+    seg: &mut [u32],
+    tmp: &mut Vec<u32>,
+    goes_left: impl Fn(u32) -> bool,
+) -> usize {
     if tmp.len() < seg.len() {
         tmp.resize(seg.len(), 0);
     }
@@ -600,6 +630,42 @@ mod tests {
         let rows: Vec<u32> = (0..x.len() as u32).collect();
         let mut rng = Xoshiro256PlusPlus::new(0);
         RegressionTree::fit(&m, y, &rows, &kinds, config, &mut rng)
+    }
+
+    #[test]
+    fn predict4_matches_four_scalar_descents() {
+        // Four structurally different trees (different targets), probed at
+        // training points and off-grid points: the lock-step descent must
+        // return exactly what four scalar `predict` calls return, for
+        // mixed leaf depths (some chains finish while others keep walking).
+        let x: Vec<Vec<f64>> = (0..24).map(|i| vec![f64::from(i), f64::from(i % 5)]).collect();
+        let targets: [Vec<f64>; 4] = [
+            (0..24).map(f64::from).collect(),
+            (0..24).map(|i| f64::from(i * i)).collect(),
+            (0..24).map(|i| f64::from(i % 3)).collect(),
+            vec![7.0; 24], // constant: this tree is a single leaf
+        ];
+        let cfg = ForestConfig {
+            mtry: crate::hyper::Mtry::All,
+            ..ForestConfig::default()
+        };
+        let trees: Vec<RegressionTree> = targets.iter().map(|y| fit_simple(&x, y, &cfg)).collect();
+        let quad = [&trees[0], &trees[1], &trees[2], &trees[3]];
+        let probes: Vec<Vec<f64>> = x
+            .iter()
+            .cloned()
+            .chain((0..8).map(|i| vec![f64::from(i) + 0.37, f64::from(i % 5) - 0.2]))
+            .collect();
+        for row in &probes {
+            let p = predict4(quad, row);
+            for k in 0..4 {
+                assert_eq!(
+                    p[k].to_bits(),
+                    quad[k].predict(row).to_bits(),
+                    "lane {k} diverged on {row:?}"
+                );
+            }
+        }
     }
 
     #[test]

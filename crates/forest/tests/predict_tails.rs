@@ -1,0 +1,90 @@
+//! Tail handling in the four-wide batch predictors.
+//!
+//! `predict_batch`/`predict_batch_mean`/`predict_columns` descend trees four
+//! at a time and fall back to one-at-a-time loops for the remainder. These
+//! tests pin the contract for every `n_trees % 4` residue — including the
+//! degenerate 1-tree forest, which never touches `predict4` at all — by
+//! comparing each batch path bitwise against its scalar oracle.
+
+use pwu_forest::{ForestConfig, RandomForest};
+use pwu_space::{FeatureKind, FeatureMatrix};
+use pwu_stats::Xoshiro256PlusPlus;
+
+fn dataset(n: usize, d: usize, seed: u64) -> (FeatureMatrix, Vec<FeatureKind>, Vec<f64>, Vec<Vec<f64>>) {
+    let mut rng = Xoshiro256PlusPlus::new(seed);
+    let mut rows = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for _ in 0..n {
+        let row: Vec<f64> = (0..d).map(|_| rng.next_f64() * 8.0).collect();
+        y.push(row.iter().sum::<f64>() + rng.next_f64());
+        rows.push(row);
+    }
+    let x = FeatureMatrix::from_rows(d, &rows);
+    (x, vec![FeatureKind::Numeric; d], y, rows)
+}
+
+fn forest_with(n_trees: usize) -> (RandomForest, FeatureMatrix, Vec<Vec<f64>>) {
+    let (x, kinds, y, rows) = dataset(120, 5, 40 + n_trees as u64);
+    let config = ForestConfig {
+        n_trees,
+        ..ForestConfig::default()
+    };
+    (RandomForest::fit(&config, &kinds, &x, &y, 17), x, rows)
+}
+
+/// Every residue class mod 4, plus the 1-tree forest: the chunked batch
+/// traversal must be bit-identical to per-row `predict_one`.
+#[test]
+fn predict_batch_matches_predict_one_for_every_tail_width() {
+    for n_trees in [1, 2, 3, 4, 5, 6, 7, 8, 9] {
+        let (forest, x, rows) = forest_with(n_trees);
+        let batch = forest.predict_batch(&x);
+        assert_eq!(batch.len(), rows.len());
+        for (row, p) in rows.iter().zip(&batch) {
+            let q = forest.predict_one(row);
+            assert_eq!(
+                (p.mean.to_bits(), p.std.to_bits()),
+                (q.mean.to_bits(), q.std.to_bits()),
+                "batch prediction drifted with {n_trees} trees"
+            );
+        }
+        let means = forest.predict_batch_mean(&x);
+        for (row, m) in rows.iter().zip(&means) {
+            assert_eq!(m.to_bits(), forest.predict(row).to_bits());
+        }
+    }
+}
+
+/// `predict_columns` groups requested trees four at a time; the last group
+/// of 1–3 trees takes the scalar fallback. Both must reproduce each tree's
+/// own `predict` bitwise, for full quads, partial tails, and a single tree.
+#[test]
+fn predict_columns_tail_groups_match_single_tree_predictions() {
+    let (forest, x, rows) = forest_with(7);
+    for tree_idx in [vec![0], vec![0, 1, 2, 3, 4], vec![6, 2, 5], (0..7).collect::<Vec<_>>()] {
+        let cols = forest.predict_columns(&x, &tree_idx);
+        assert_eq!(cols.len(), tree_idx.len());
+        for (k, &t) in tree_idx.iter().enumerate() {
+            for (i, row) in rows.iter().enumerate() {
+                assert_eq!(
+                    cols[k][i].to_bits(),
+                    forest.trees()[t].predict(row).to_bits(),
+                    "column for tree {t} drifted (group layout {tree_idx:?})"
+                );
+            }
+        }
+    }
+}
+
+/// A 1-tree forest's summary statistics: the ensemble std must be exactly
+/// zero (one sample has no spread) and the mean must be that tree's output.
+#[test]
+fn one_tree_forest_prediction_is_the_tree_prediction() {
+    let (forest, x, rows) = forest_with(1);
+    let batch = forest.predict_batch(&x);
+    for (row, p) in rows.iter().zip(&batch) {
+        assert_eq!(p.mean.to_bits(), forest.trees()[0].predict(row).to_bits());
+        assert_eq!(p.std, 0.0, "single-tree ensemble must report zero spread");
+    }
+    let _ = x;
+}

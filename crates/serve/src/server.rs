@@ -485,6 +485,13 @@ impl Server {
         let mut w = ObjectWriter::new();
         w.bool("ok", true);
         w.u64("sessions", self.sessions.len() as u64);
+        let fast = self
+            .sessions
+            .values()
+            .filter(|s| s.spec().fit_mode == pwu_forest::FitMode::Fast)
+            .count();
+        w.u64("sessions_fast", fast as u64);
+        w.u64("sessions_exact", (self.sessions.len() - fast) as u64);
         w.u64("resident", self.resident_count() as u64);
         w.u64("created", s.created as u64);
         w.u64("steps_committed", s.steps_committed as u64);
@@ -643,6 +650,7 @@ fn session_line(id: &str, session: &Session, extras: &[(&str, Value)]) -> String
     w.bool("ok", true);
     w.str("session", id);
     w.str("state", session.state().token());
+    w.str("fit_mode", session.spec().fit_mode.token());
     w.bool("resident", session.is_resident());
     w.u64("iteration", session.iteration());
     w.u64("generation", session.generation());
@@ -716,5 +724,13 @@ fn spec_from_fields(fields: &Fields) -> Result<SessionSpec, ProtocolError> {
         Some(token) => parse_strategy(token)?,
         None => pwu_core::Strategy::Pwu { alpha: spec.alpha },
     };
+    if let Some(token) = fields.str("fit_mode") {
+        spec.fit_mode = pwu_forest::FitMode::parse(token).ok_or_else(|| {
+            ProtocolError::new(
+                ErrorKind::BadRequest,
+                format!("unknown fit_mode '{token}' (exact, fast)"),
+            )
+        })?;
+    }
     Ok(spec)
 }

@@ -26,7 +26,7 @@ use std::path::{Path, PathBuf};
 use pwu_apps::{Hypre, Kripke};
 use pwu_core::checkpoint::{split_verified_body, with_integrity_footer, GenerationStore};
 use pwu_core::{step_once, ActiveCheckpoint, ActiveConfig, RefitMode, Strategy};
-use pwu_forest::ForestConfig;
+use pwu_forest::{FitMode, ForestConfig};
 use pwu_space::{FeatureMatrix, FeatureSchema, Pool, TuningTarget};
 use pwu_spapt::{EvalCache, Kernel};
 use pwu_stats::{derive_seed, Xoshiro256PlusPlus};
@@ -136,6 +136,11 @@ pub struct SessionSpec {
     pub repeats: usize,
     /// Forest size.
     pub n_trees: usize,
+    /// Fit engine: `exact` (bitwise-reproducible, the default) or `fast`
+    /// (statistical-equivalence contract, DESIGN.md §14). Baked into the
+    /// spec because checkpoints written under one mode refuse to resume
+    /// under the other.
+    pub fit_mode: FitMode,
     /// Test-set evaluation cadence.
     pub eval_every: usize,
     /// Pool size drawn from the space.
@@ -158,6 +163,7 @@ impl Default for SessionSpec {
             n_max: 30,
             repeats: 3,
             n_trees: 16,
+            fit_mode: FitMode::Exact,
             eval_every: 5,
             pool_n: 150,
             test_n: 60,
@@ -232,6 +238,7 @@ impl SessionSpec {
             n_max: self.n_max,
             forest: ForestConfig {
                 n_trees: self.n_trees,
+                fit_mode: self.fit_mode,
                 ..ForestConfig::default()
             },
             refit: RefitMode::FromScratch,
@@ -274,7 +281,9 @@ impl SessionSpec {
     #[must_use]
     pub fn to_text(&self) -> String {
         use std::fmt::Write as _;
-        let mut out = String::from("pwu-session-spec v1\n");
+        // v2 added the `fit-mode` line; v1 specs predate the fast engine
+        // and are not grandfathered (the service owns its own state dirs).
+        let mut out = String::from("pwu-session-spec v2\n");
         let w = &mut out;
         let _ = writeln!(w, "target {}", self.target);
         let _ = writeln!(w, "strategy {}", strategy_token(self.strategy));
@@ -290,6 +299,7 @@ impl SessionSpec {
             self.pool_n,
             self.test_n
         );
+        let _ = writeln!(w, "fit-mode {}", self.fit_mode.token());
         let _ = writeln!(w, "alpha {:016x}", self.alpha.to_bits());
         let _ = writeln!(w, "seed {}", self.seed);
         out
@@ -315,7 +325,7 @@ impl SessionSpec {
                 .map(str::to_string)
                 .ok_or_else(|| corrupt(format!("expected '{tag} ...', found '{line}'")))
         };
-        if need("")? != "pwu-session-spec v1" {
+        if need("")? != "pwu-session-spec v2" {
             return Err(corrupt("bad spec magic".into()));
         }
         let target = need("target")?;
@@ -339,6 +349,9 @@ impl SessionSpec {
         let eval_every = size("eval_every")?;
         let pool_n = size("pool_n")?;
         let test_n = size("test_n")?;
+        let fit_mode_token = need("fit-mode")?;
+        let fit_mode = FitMode::parse(fit_mode_token.trim())
+            .ok_or_else(|| corrupt(format!("unknown fit-mode '{fit_mode_token}'")))?;
         let alpha_hex = need("alpha")?;
         let alpha = u64::from_str_radix(alpha_hex.trim(), 16)
             .map(f64::from_bits)
@@ -355,6 +368,7 @@ impl SessionSpec {
             n_max,
             repeats,
             n_trees,
+            fit_mode,
             eval_every,
             pool_n,
             test_n,
@@ -729,6 +743,7 @@ mod tests {
         let spec = SessionSpec {
             target: "adi".into(),
             strategy: Strategy::Pbus { fraction: 0.1 },
+            fit_mode: FitMode::Fast,
             alpha: f64::from_bits(0x3FA9_9999_9999_999A),
             seed: 0xDEAD_BEEF,
             ..SessionSpec::default()
@@ -736,6 +751,7 @@ mod tests {
         let back = SessionSpec::from_text(&spec.to_text()).unwrap();
         assert_eq!(back, spec);
         assert_eq!(back.alpha.to_bits(), spec.alpha.to_bits());
+        assert_eq!(SessionSpec::from_text(&SessionSpec::default().to_text()).unwrap().fit_mode, FitMode::Exact);
     }
 
     #[test]
@@ -749,6 +765,7 @@ mod tests {
             "".to_string(),
             text.replacen("pwu-session-spec", "nope", 1),
             text.replacen("sizes", "sizes x", 1),
+            text.replacen("fit-mode exact", "fit-mode warp", 1),
             text.lines().take(3).collect::<Vec<_>>().join("\n"),
         ] {
             let err = SessionSpec::from_text(&broken).unwrap_err();

@@ -362,6 +362,94 @@ fn trace_verb_records_exports_and_unifies_stats() {
     let _ = fs::remove_dir_all(&dir);
 }
 
+/// Satellite regression for the rayon shim's no-nested-pools rule: a
+/// `fit_mode:"fast"` session fits its forest on the `PWU_THREADS` pool,
+/// and the fleet tick *also* shards sessions over that pool — so at width
+/// > 1 every per-tree fit runs nested inside a pool worker and must
+/// degrade to sequential instead of spawning (or deadlocking on) a second
+/// thread tier. The fleet must complete and the digests must be
+/// bit-identical to a width-1 run.
+#[test]
+fn fast_fleet_tick_nests_parallel_fits_without_deadlock_and_stays_width_invariant() {
+    let fast_create = |id: &str, target: &str, seed: u64| {
+        format!(
+            r#"{{"cmd":"create","session":"{id}","target":"{target}","seed":{seed},"n_init":4,"n_batch":2,"n_max":10,"repeats":1,"n_trees":8,"eval_every":5,"pool_n":40,"test_n":20,"fit_mode":"fast"}}"#
+        )
+    };
+    let mut digests_by_width: Vec<Vec<String>> = Vec::new();
+    for width in [1usize, 4] {
+        let dir = tmp(&format!("fast-tick-w{width}"));
+        let before = rayon::current_num_threads();
+        rayon::set_threads(width);
+        let mut server = server_at(&dir);
+        for (i, target) in ["adi", "atax", "bicgkernel"].iter().enumerate() {
+            let created = send(
+                &mut server,
+                &fast_create(&format!("f{i}"), target, 300 + i as u64),
+            );
+            assert_eq!(created.str("fit_mode"), Some("fast"));
+        }
+        let stats = send(&mut server, r#"{"cmd":"stats"}"#);
+        assert_eq!(stats.u64("sessions_fast"), Some(3));
+        assert_eq!(stats.u64("sessions_exact"), Some(0));
+        for _ in 0..3 {
+            let r = send(&mut server, r#"{"cmd":"tick"}"#);
+            assert_eq!(r.u64("stepped"), Some(3), "tick stalled at width {width}");
+        }
+        let digests: Vec<String> = (0..3)
+            .map(|i| {
+                let q = send(&mut server, &format!(r#"{{"cmd":"query","session":"f{i}"}}"#));
+                assert_eq!(q.str("state"), Some("done"));
+                q.str("digest").unwrap().to_string()
+            })
+            .collect();
+        rayon::set_threads(before);
+        digests_by_width.push(digests);
+        let _ = fs::remove_dir_all(&dir);
+    }
+    assert_eq!(
+        digests_by_width[0], digests_by_width[1],
+        "fleet digests moved with the pool width"
+    );
+}
+
+/// A checkpoint written under one fit mode must refuse to resume under the
+/// other: the engines are bitwise-different, so continuing would silently
+/// fork the trajectory. Simulates an operator flipping a durable session's
+/// spec to `fast` (footer recomputed, so the file itself verifies).
+#[test]
+fn cross_mode_resume_is_refused_with_an_error_naming_the_fit_mode() {
+    let dir = tmp("cross-mode");
+    let mut server = server_at(&dir);
+    send(&mut server, &create_line("x", "adi", 31));
+    send(&mut server, r#"{"cmd":"step","session":"x","n":1}"#);
+    drop(server);
+
+    let meta = dir.join("x").join("meta.pwu");
+    let bytes = fs::read(&meta).unwrap();
+    let body = pwu_core::checkpoint::split_verified_body(&bytes).unwrap();
+    let flipped = body.replace("fit-mode exact", "fit-mode fast");
+    assert_ne!(flipped, body, "spec must have carried the exact token");
+    fs::write(
+        &meta,
+        pwu_core::checkpoint::with_integrity_footer(&flipped),
+    )
+    .unwrap();
+
+    let mut server = server_at(&dir);
+    let q = send(&mut server, r#"{"cmd":"query","session":"x"}"#);
+    assert_eq!(q.str("fit_mode"), Some("fast"), "echo must show the flipped mode");
+    send(&mut server, r#"{"cmd":"resume","session":"x"}"#);
+    let r = send(&mut server, r#"{"cmd":"step","session":"x","n":1}"#);
+    assert_err(&r, ErrorKind::Corrupt);
+    let message = r.str("message").unwrap();
+    assert!(
+        message.contains("fit mode") && message.contains("exact") && message.contains("fast"),
+        "error must name both fit modes: {message}"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn tick_advances_the_whole_fleet_deterministically() {
     let dir = tmp("tick");
