@@ -654,9 +654,13 @@ fn one_iteration(
         // only the refitted trees were re-walked after the last batch,
         // and the fold is bit-identical to `predict_batch`.
         let preds = {
+            let mode = if state.model.fast_predict() { "fast" } else { "exact" };
             let _s = pwu_obs::span(
                 "core.rescore",
-                [("pool", pwu_obs::Arg::u(state.pool.len() as u64))],
+                [
+                    ("pool", pwu_obs::Arg::u(state.pool.len() as u64)),
+                    ("mode", pwu_obs::Arg::s(mode)),
+                ],
             );
             match config.refit {
                 RefitMode::Partial(_) => state

@@ -8,17 +8,27 @@
 //! `O(pool · n_refit)` refresh for the regrown trees plus an `O(pool ·
 //! n_trees)` fold — no tree traversals for the unchanged majority.
 //!
-//! The fold accumulates per-tree predictions in tree order with the same
-//! `sum`/`sum_sq` recurrence as [`RandomForest::predict_one`], so the cached
-//! scores are **bit-identical** to a fresh
+//! The fold replicates whatever ensemble fold the model's predict kernel
+//! uses, so the cached scores are **bit-identical** to a fresh
 //! [`RandomForest::predict_batch`] call (asserted in tests and by the golden
-//! trajectory snapshot). Pool removals are mirrored with the same
-//! descending-index `swap_remove` sequence [`Pool::take`](pwu_space::Pool::take)
-//! uses, keeping cache rows aligned with pool rows — including when a row
-//! leaves the pool for quarantine rather than the training set.
+//! trajectory snapshot): the serial tree-order `sum`/`sum_sq` recurrence of
+//! [`RandomForest::predict_one`] for exact-kernel models, the lane fold
+//! ([`pwu_forest::fold_lanes`]) for fast-predict models. Which fold applies
+//! is recorded from [`RandomForest::fast_predict`] at build time and
+//! **resynchronized on every refresh** — an in-process
+//! `RandomForest::with_fit_mode` swap changes the model's fold without
+//! touching the trees, and a cache that kept folding the old way would
+//! serve stale scores (regression-tested in `fast_equivalence`). The
+//! resync alone is sufficient: per-tree columns are kernel-invariant
+//! bitwise (flat and pointer descents land on the same leaves), so only
+//! the fold needs to follow the mode. Pool removals are mirrored with the
+//! same descending-index `swap_remove` sequence
+//! [`Pool::take`](pwu_space::Pool::take) uses, keeping cache rows aligned
+//! with pool rows — including when a row leaves the pool for quarantine
+//! rather than the training set.
 
 use pwu_forest::forest::Prediction;
-use pwu_forest::RandomForest;
+use pwu_forest::{RandomForest, StridedPool};
 use pwu_space::FeatureMatrix;
 use rayon::prelude::*;
 
@@ -28,6 +38,19 @@ pub struct PoolScoreCache {
     /// `per_tree[t][i]` = tree `t`'s prediction for pool row `i`.
     per_tree: Vec<Vec<f64>>,
     n_rows: usize,
+    /// Whether the model predicts through the fast flat layout — selects
+    /// which ensemble fold [`PoolScoreCache::predictions`] replicates.
+    /// Recorded at build and resynchronized by every
+    /// [`PoolScoreCache::refresh`], so a mid-session fit-mode swap cannot
+    /// leave the cache folding the wrong way.
+    fast: bool,
+    /// The pool pre-transposed into the flat kernel's stride records
+    /// (`Some` only while `fast`): the pool is static across refit
+    /// iterations apart from removals — which [`PoolScoreCache::remove`]
+    /// mirrors record-for-record — so each refresh descends the cached
+    /// records directly instead of re-transposing the pool. Dropped on a
+    /// swap to the exact kernel, rebuilt by the next fast refresh.
+    strided: Option<StridedPool>,
 }
 
 impl PoolScoreCache {
@@ -39,8 +62,18 @@ impl PoolScoreCache {
     pub fn build(model: &RandomForest, pool: &FeatureMatrix) -> Self {
         let n_rows = pool.n_rows();
         let all: Vec<usize> = (0..model.trees().len()).collect();
-        let per_tree = model.predict_columns(pool, &all);
-        Self { per_tree, n_rows }
+        let fast = model.fast_predict();
+        let strided = if fast { StridedPool::new(pool) } else { None };
+        let per_tree = strided
+            .as_ref()
+            .and_then(|sp| model.predict_columns_strided(sp, &all))
+            .unwrap_or_else(|| model.predict_columns(pool, &all));
+        Self {
+            per_tree,
+            n_rows,
+            fast,
+            strided,
+        }
     }
 
     /// Number of cached pool rows.
@@ -62,7 +95,30 @@ impl PoolScoreCache {
             self.per_tree.len(),
             "ensemble size changed under the cache"
         );
-        for (&t, col) in refitted.iter().zip(model.predict_columns(pool, refitted)) {
+        // Follow the model's current predict kernel: columns are
+        // kernel-invariant, so resyncing the fold flag is all a fit-mode
+        // swap requires — but without it, stale folds (see module docs).
+        // The strided pool follows the same resync: built on the first
+        // fast refresh (or a swap back to fast), dropped on a swap to
+        // exact so it cannot go stale while unmaintained.
+        self.fast = model.fast_predict();
+        if self.fast {
+            if self
+                .strided
+                .as_ref()
+                .is_none_or(|sp| sp.n_rows() != self.n_rows)
+            {
+                self.strided = StridedPool::new(pool);
+            }
+        } else {
+            self.strided = None;
+        }
+        let cols = self
+            .strided
+            .as_ref()
+            .and_then(|sp| model.predict_columns_strided(sp, refitted))
+            .unwrap_or_else(|| model.predict_columns(pool, refitted));
+        for (&t, col) in refitted.iter().zip(cols) {
             self.per_tree[t] = col;
         }
     }
@@ -88,33 +144,52 @@ impl PoolScoreCache {
             for col in &mut self.per_tree {
                 col.swap_remove(i);
             }
+            if let Some(sp) = &mut self.strided {
+                sp.swap_remove(i);
+            }
             self.n_rows -= 1;
         }
     }
 
     /// Folds the cached per-tree predictions into `(μ, σ)` per pool row,
-    /// bit-identical to [`RandomForest::predict_batch`] on the same pool.
+    /// bit-identical to [`RandomForest::predict_batch`] on the same pool:
+    /// serial tree-order accumulation for exact-kernel models, the lane
+    /// fold ([`pwu_forest::fold_lanes`]) for fast-predict models.
     #[must_use]
     pub fn predictions(&self) -> Vec<Prediction> {
         let n = self.per_tree.len() as f64;
-        (0..self.n_rows)
-            .into_par_iter()
-            .map(|i| {
-                let mut sum = 0.0;
-                let mut sum_sq = 0.0;
-                for col in &self.per_tree {
-                    let p = col[i];
-                    sum += p;
-                    sum_sq += p * p;
-                }
-                let mean = sum / n;
-                let var = (sum_sq / n - mean * mean).max(0.0);
-                Prediction {
-                    mean,
-                    std: var.sqrt(),
-                }
-            })
-            .collect()
+        let finish = |(sum, sum_sq): (f64, f64)| {
+            let mean = sum / n;
+            let var = (sum_sq / n - mean * mean).max(0.0);
+            Prediction {
+                mean,
+                std: var.sqrt(),
+            }
+        };
+        if self.fast {
+            // Blocked tree-outer lane fold — bit-identical per row to
+            // `fold_lanes` over the row's tree-order values (see its docs),
+            // but streams each cached column sequentially instead of
+            // gathering across every column per row.
+            pwu_forest::fold_columns(&self.per_tree, self.n_rows)
+                .into_iter()
+                .map(finish)
+                .collect()
+        } else {
+            (0..self.n_rows)
+                .into_par_iter()
+                .map(|i| {
+                    let mut sum = 0.0;
+                    let mut sum_sq = 0.0;
+                    for col in &self.per_tree {
+                        let p = col[i];
+                        sum += p;
+                        sum_sq += p * p;
+                    }
+                    finish((sum, sum_sq))
+                })
+                .collect()
+        }
     }
 }
 

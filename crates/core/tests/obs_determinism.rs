@@ -20,8 +20,8 @@
 use std::sync::{Mutex, MutexGuard};
 
 use pwu_core::{active, ActiveConfig, ActiveRun, CheckpointPolicy, RefitMode, Strategy};
-use pwu_forest::ForestConfig;
-use pwu_space::{Configuration, FeatureMatrix, FeatureSchema, Pool, TuningTarget};
+use pwu_forest::{FitMode, ForestConfig, RandomForest};
+use pwu_space::{Configuration, FeatureKind, FeatureMatrix, FeatureSchema, Pool, TuningTarget};
 use pwu_spapt::{kernel_by_name, FaultModel, Kernel};
 use pwu_stats::Xoshiro256PlusPlus;
 
@@ -199,4 +199,81 @@ fn tracing_and_sidecar_never_touch_trajectories_or_checkpoints() {
     #[cfg(feature = "obs-wallclock")]
     assert!(trace.full_jsonl().contains("wall_ns"));
     assert!(!trace.deterministic_jsonl().contains("wall_ns"));
+}
+
+/// Every predict/score span carries the predict-kernel mode tag —
+/// `mode=fast` for flat-layout forests, `mode=exact` otherwise — so a
+/// trace shows *which* kernel served each batch, and the `pwu-trace
+/// summarize` parser still aggregates the tagged spans. Without the
+/// `fast-path` feature a Fast-mode session falls back to the exact
+/// kernel, and its spans must say so.
+#[test]
+fn predict_and_rescore_spans_carry_the_kernel_mode() {
+    let _guard = obs_lock();
+    for fit_mode in [FitMode::Exact, FitMode::Fast] {
+        // Gate on the engine crate's build, not this crate's feature —
+        // feature unification can compile pwu-forest's engine in while
+        // pwu-core's mirroring feature is off (see fast_equivalence).
+        let want = if fit_mode == FitMode::Fast && pwu_forest::FAST_PATH_COMPILED {
+            "fast"
+        } else {
+            "exact"
+        };
+        let (kernel, pool_cfgs, test_features, test_labels) = setup();
+        let schema = FeatureSchema::for_space(kernel.space());
+        let pool = Pool::new(kernel.space(), &schema, pool_cfgs);
+        let mut cfg = config();
+        cfg.forest.fit_mode = fit_mode;
+        pwu_obs::reset_metrics();
+        pwu_obs::clear();
+        pwu_obs::enable();
+        let _ = active::run(
+            &kernel,
+            Strategy::Pwu { alpha: 0.05 },
+            &cfg,
+            pool,
+            &test_features,
+            &test_labels,
+            99,
+        );
+        // Column scoring (the partial-refit surface) must be tagged too.
+        let rows: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![f64::from(i % 7), f64::from(i % 5)])
+            .collect();
+        let fx = FeatureMatrix::from_rows(2, &rows);
+        let fy: Vec<f64> = rows.iter().map(|r| r[0] - r[1]).collect();
+        let forest = RandomForest::fit(&cfg.forest, &[FeatureKind::Numeric; 2], &fx, &fy, 5);
+        let _ = forest.predict_columns(&fx, &[0, 1]);
+        pwu_obs::disable();
+        let export = pwu_obs::drain().deterministic_jsonl();
+
+        let scoring_opens: Vec<&str> = export
+            .lines()
+            .filter(|l| {
+                l.contains("\"ph\":\"B\"")
+                    && ["forest.predict_batch", "forest.predict_columns", "core.rescore"]
+                        .iter()
+                        .any(|n| l.contains(&format!("\"name\":\"{n}\"")))
+            })
+            .collect();
+        for name in ["forest.predict_batch", "forest.predict_columns", "core.rescore"] {
+            assert!(
+                scoring_opens.iter().any(|l| l.contains(name)),
+                "{fit_mode:?}: trace never recorded a {name} span"
+            );
+        }
+        for line in &scoring_opens {
+            assert!(
+                line.contains(&format!("\"mode\":\"{want}\"")),
+                "{fit_mode:?}: span not tagged mode={want}: {line}"
+            );
+        }
+        let summary = pwu_obs::summarize(&export).expect("deterministic export must summarize");
+        for name in ["forest.predict_batch", "forest.predict_columns", "core.rescore"] {
+            assert!(
+                summary.get(name).is_some_and(|s| s.count > 0),
+                "{fit_mode:?}: summarize dropped the tagged {name} spans"
+            );
+        }
+    }
 }

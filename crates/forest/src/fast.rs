@@ -11,10 +11,19 @@
 //!
 //! - **Counting-sort split search** for low-cardinality columns (the common
 //!   case for tuning spaces, whose parameters have a handful of levels):
-//!   bucket `(Σy, count)` by dense rank in one pass over the node segment,
-//!   then scan the rank range in ascending order — `O(n_seg + R)` per
-//!   candidate with no sort at all. Buckets are epoch-stamped so the
-//!   scratch is never cleared between nodes.
+//!   bucket `(Σy, count)` by dense rank, then scan the rank range in
+//!   ascending order — `O(n_seg + R)` per candidate with no sort at all.
+//!   The bucket store is SIMD-friendly structure-of-arrays (flat `u32`
+//!   counts and `f64` sums, no per-bucket branches in the accumulate loop),
+//!   and the strategy adapts **per node** to the segment size (a pure
+//!   function of the data, so dispatch never depends on schedule): tiny
+//!   segments gather onto the stack and insertion-sort, segments within a
+//!   calibrated factor of the rank range accumulate into the flat arrays
+//!   outright, and much-sparser segments pack `(rank, position)` words and
+//!   `sort_unstable` them instead of touching the whole rank range. All
+//!   three fold each rank group's targets in segment order and scan ranks
+//!   ascending, so they are bitwise interchangeable; the size boundaries
+//!   are calibrated by the `split_calib` micro-bench (`pwu-bench`).
 //! - **Presorted-per-column partition reuse** (the scikit-learn scheme) for
 //!   high-cardinality columns: each such column's row order is counting-
 //!   sorted once per tree and stably partitioned down the nest in lockstep
@@ -64,6 +73,10 @@ pub(crate) fn mean_leaf_variance(trees: &[RegressionTree]) -> f64 {
 
 #[cfg(feature = "fast-path")]
 pub(crate) use engine::{context_for, fit_tree_fast};
+
+#[cfg(feature = "fast-path")]
+#[doc(hidden)]
+pub use engine::calib;
 
 #[cfg(not(feature = "fast-path"))]
 mod stub {
@@ -213,60 +226,58 @@ mod engine {
         (config.fit_mode == FitMode::Fast).then(|| FastContext::build(x, kinds, ranks))
     }
 
-    /// Epoch-stamped per-rank `(Σy, count)` buckets: `begin` bumps the
-    /// epoch instead of clearing, and stale buckets are lazily reset on
-    /// first touch, so a node costs only its own segment plus its present
-    /// ranks — never `O(max_R)`. `present` records each rank on first touch
-    /// so the scan phase visits exactly the occupied buckets (sorted
-    /// ascending before scanning) instead of walking the full `lo..=hi`
-    /// range — the range walk is what dominated on the many tiny nodes near
-    /// the leaves, where two rows can straddle the whole rank range.
-    #[derive(Clone, Copy)]
-    struct Bucket {
-        sum: f64,
-        count: u32,
-        epoch: u32,
-    }
-
+    /// Reusable split-search scratch, structure-of-arrays: the dense path
+    /// accumulates into the flat `sums`/`counts` prefix (plain `f64`/`u32`
+    /// arrays — the clear is a memset, the scan streams two homogeneous
+    /// arrays, and the accumulate loop carries no per-bucket branch), the
+    /// sparse path sorts `packed` words and decodes them into `pairs`.
     struct CountScratch {
-        /// One 16-byte record per rank (sum/count/epoch share a cache line
-        /// and a single bounds check, vs. three parallel arrays).
-        buckets: Vec<Bucket>,
-        present: Vec<u32>,
-        cur: u32,
+        /// Per-rank target sums (dense path; first `nr` entries per use).
+        sums: Vec<f64>,
+        /// Per-rank row counts (dense path; first `nr` entries per use).
+        counts: Vec<u32>,
+        /// `(rank << 32) | position` words (sparse path sort keys — the
+        /// position low bits make `sort_unstable` reproduce a stable
+        /// by-rank order).
+        packed: Vec<u64>,
+        /// Sorted `(rank, y)` pairs handed to [`grouped_scan`].
+        pairs: Vec<(u32, f64)>,
     }
 
     impl CountScratch {
         fn new(n: usize) -> Self {
             Self {
-                buckets: vec![
-                    Bucket {
-                        sum: 0.0,
-                        count: 0,
-                        epoch: 0,
-                    };
-                    n
-                ],
-                present: Vec::with_capacity(n),
-                cur: 0,
+                sums: vec![0.0; n],
+                counts: vec![0; n],
+                packed: Vec::new(),
+                pairs: Vec::new(),
             }
-        }
-
-        fn begin(&mut self) {
-            if self.cur == u32::MAX {
-                for b in &mut self.buckets {
-                    b.epoch = 0;
-                }
-                self.cur = 0;
-            }
-            self.cur += 1;
-            self.present.clear();
         }
     }
 
-    /// Best threshold split of one node on a counting column: one pass over
-    /// the segment to bucket targets by rank, one ascending scan over the
-    /// touched rank range. Gain/threshold/boundary semantics mirror
+    /// Best threshold split of one node on a counting column. Per-node
+    /// **adaptive strategy**, picked by segment size `n` against the
+    /// column's rank count — both pure functions of the training data, so
+    /// the dispatch is schedule-free and, because all three paths fold each
+    /// rank group's targets in segment order and scan ranks ascending,
+    /// bitwise-neutral (see `adaptive_strategies_agree_bitwise`):
+    ///
+    /// - `n <= SMALL_MAX`: gather onto the stack, insertion-sort
+    ///   ([`best_split_counting_small`]). Most nodes of a grown tree.
+    /// - `nr <= DENSE_FACTOR · n` (dense): branch-free accumulate into the
+    ///   flat `SoA` arrays, full-range ascending scan
+    ///   ([`best_split_counting_dense`]).
+    /// - otherwise (sparse): pack `(rank, position)` words,
+    ///   `sort_unstable`, grouped scan — `O(n log n)` on `n` rows instead
+    ///   of `O(nr)` on a mostly-empty rank range.
+    ///
+    /// The boundaries were calibrated with the `split_calib` micro-bench
+    /// (`pwu-bench`): the insertion sort wins below ~a dozen rows, and the
+    /// flat-array accumulate — whose clear and scan stream two flat arrays
+    /// at memset/SIMD speed — beats the pack-sort until the rank range is
+    /// several times the segment size, not just when the segment covers it.
+    ///
+    /// Gain/threshold/boundary semantics mirror
     /// [`best_numeric_split_ranked`] (midpoint threshold, boundary rank
     /// covering midpoint rounding); only the `f64` accumulation order
     /// differs, which is exactly the freedom the fast contract grants.
@@ -299,90 +310,82 @@ mod engine {
             return None;
         }
         if n <= SMALL_MAX {
-            return best_split_counting_small(
+            return best_split_counting_small::<SMALL_MAX>(
                 rank_value, ranks_f, y, seg, total, feature, min_leaf, inv, constant,
             );
         }
         let nr = rank_value.len();
-        if nr <= n {
+        if nr <= DENSE_FACTOR * n {
             return best_split_counting_dense(
                 rank_value, ranks_f, y, seg, total, feature, min_leaf, inv, scratch, constant,
             );
         }
-        scratch.begin();
-        let CountScratch {
-            buckets,
-            present,
-            cur,
-        } = scratch;
-        let cur = *cur;
-        for &r in seg {
-            let k = ranks_f[r as usize];
-            let b = &mut buckets[k as usize];
-            if b.epoch != cur {
-                b.epoch = cur;
-                b.sum = 0.0;
-                b.count = 0;
-                present.push(k);
-            }
-            b.sum += y[r as usize];
-            b.count += 1;
-        }
-        if present.len() < 2 {
+        best_split_counting_sparse(
+            rank_value, ranks_f, y, seg, total, feature, min_leaf, inv, scratch, constant,
+        )
+    }
+
+    /// Dense/sparse boundary: the flat-array path runs unless the rank
+    /// range exceeds this multiple of the segment size. Calibrated with
+    /// `split_calib` — on the measured grid the sparse sort only wins once
+    /// the range is ~6× the segment (e.g. 12 rows over 256 ranks), because
+    /// the dense clear+scan streams flat arrays while the sort pays
+    /// data-dependent branches per element. Dispatch is bitwise-neutral
+    /// (see [`best_split_counting`]), so this constant is pure tuning.
+    const DENSE_FACTOR: usize = 6;
+
+    /// [`best_split_counting`] for sparse mid-size segments (more ranks
+    /// than rows): sort the segment's `(rank, position)` words instead of
+    /// touching the whole rank range. The position in the low 32 bits
+    /// breaks ties by segment order, so the unstable sort is observably
+    /// stable and each rank group's targets decode — and therefore sum —
+    /// in segment order, matching the accumulation order of the flat-array
+    /// path bitwise.
+    #[allow(clippy::too_many_arguments)]
+    fn best_split_counting_sparse(
+        rank_value: &[f64],
+        ranks_f: &[u32],
+        y: &[f64],
+        seg: &[u32],
+        total: f64,
+        feature: usize,
+        min_leaf: usize,
+        inv: &[f64],
+        scratch: &mut CountScratch,
+        constant: &mut bool,
+    ) -> Option<(Split, u32)> {
+        let n = seg.len();
+        let packed = &mut scratch.packed;
+        packed.clear();
+        packed.extend(
+            seg.iter()
+                .enumerate()
+                .map(|(pos, &r)| (u64::from(ranks_f[r as usize]) << 32) | pos as u64),
+        );
+        packed.sort_unstable();
+        if packed[0] >> 32 == packed[n - 1] >> 32 {
             *constant = true; // column constant within the node
             return None;
         }
-        present.sort_unstable();
-        let base = total * total * inv[n];
-        let mut left_sum = 0.0;
-        let mut left_cnt = 0usize;
-        let mut best: Option<(f64, f64, u32)> = None; // (gain, threshold, boundary)
-        let mut best_gain = 0.0;
-        for pair in present.windows(2) {
-            let (p, k) = (pair[0], pair[1]);
-            // Boundary between adjacent present ranks p and k; the left side
-            // holds everything accumulated so far (ranks <= p). Ascending
-            // scan, so the fold order matches the rank order exactly as the
-            // full-range walk did.
-            left_sum += buckets[p as usize].sum;
-            left_cnt += buckets[p as usize].count as usize;
-            if left_cnt >= min_leaf && n - left_cnt >= min_leaf {
-                let right_sum = total - left_sum;
-                let gain = left_sum * left_sum * inv[left_cnt]
-                    + right_sum * right_sum * inv[n - left_cnt]
-                    - base;
-                if gain > best_gain {
-                    let xl = rank_value[p as usize];
-                    let xr = rank_value[k as usize];
-                    let threshold = 0.5 * (xl + xr);
-                    // The midpoint can round onto xr itself, in which
-                    // case xr's whole rank block routes left under `<=`.
-                    let boundary = if xr <= threshold { k } else { p };
-                    best = Some((gain, threshold, boundary));
-                    best_gain = gain;
-                }
-            }
-        }
-        best.map(|(gain, threshold, boundary)| {
-            (
-                Split {
-                    feature,
-                    rule: SplitRule::Threshold(threshold),
-                    gain,
-                },
-                boundary,
-            )
-        })
+        let pairs = &mut scratch.pairs;
+        pairs.clear();
+        pairs.extend(packed.iter().map(|&w| {
+            #[allow(clippy::cast_possible_truncation)]
+            let (k, pos) = ((w >> 32) as u32, w as u32);
+            (k, y[seg[pos as usize] as usize])
+        }));
+        grouped_scan(pairs, rank_value, total, feature, min_leaf, inv)
     }
 
-    /// [`best_split_counting`] for segments at least as large as the
-    /// column's rank count: clear the first `nr` buckets outright and run
-    /// the accumulation loop with no epoch branch at all, then scan the
-    /// whole (small) rank range skipping empty buckets. The `O(nr)` clear
-    /// and scan are amortized by the `O(n)` segment pass they unlock, and
-    /// the ascending-rank fold order is bit-identical to the epoch path's
-    /// sorted-present scan, so the dispatch (on data-deterministic sizes
-    /// alone) never changes the fitted tree.
+    /// [`best_split_counting`] for segments within [`DENSE_FACTOR`] of the
+    /// column's rank count: clear the first `nr` entries of the flat `SoA`
+    /// arrays outright and run the accumulation loop with no per-bucket
+    /// branch at all, then scan the whole (small) rank range skipping empty
+    /// buckets. The `O(nr)` clear and scan stream flat arrays and are
+    /// amortized by the `O(n)` segment pass they unlock, and the
+    /// ascending-rank fold order is bit-identical to the other strategies',
+    /// so the dispatch (on data-deterministic sizes alone) never changes
+    /// the fitted tree.
     #[allow(clippy::too_many_arguments)]
     fn best_split_counting_dense(
         rank_value: &[f64],
@@ -398,15 +401,14 @@ mod engine {
     ) -> Option<(Split, u32)> {
         let n = seg.len();
         let nr = rank_value.len();
-        let buckets = &mut scratch.buckets[..nr];
-        for b in buckets.iter_mut() {
-            b.sum = 0.0;
-            b.count = 0;
-        }
+        let sums = &mut scratch.sums[..nr];
+        let counts = &mut scratch.counts[..nr];
+        sums.fill(0.0);
+        counts.fill(0);
         for &r in seg {
-            let b = &mut buckets[ranks_f[r as usize] as usize];
-            b.sum += y[r as usize];
-            b.count += 1;
+            let k = ranks_f[r as usize] as usize;
+            sums[k] += y[r as usize];
+            counts[k] += 1;
         }
         let base = total * total * inv[n];
         let mut left_sum = 0.0;
@@ -414,8 +416,8 @@ mod engine {
         let mut prev: Option<u32> = None;
         let mut best: Option<(f64, f64, u32)> = None; // (gain, threshold, boundary)
         let mut best_gain = 0.0;
-        for (ki, b) in buckets.iter().enumerate() {
-            if b.count == 0 {
+        for (ki, (&s, &c)) in sums.iter().zip(counts.iter()).enumerate() {
+            if c == 0 {
                 continue;
             }
             let k = ki as u32;
@@ -439,14 +441,14 @@ mod engine {
                     }
                 }
             }
-            left_sum += b.sum;
-            left_cnt += b.count as usize;
+            left_sum += s;
+            left_cnt += c as usize;
             prev = Some(k);
         }
         debug_assert_eq!(left_cnt, n);
         // A single present rank means the column is constant here (only
         // worth re-checking when no split came out of the scan).
-        if best.is_none() && buckets.iter().filter(|b| b.count > 0).count() < 2 {
+        if best.is_none() && counts.iter().filter(|&&c| c > 0).count() < 2 {
             *constant = true;
         }
         best.map(|(gain, threshold, boundary)| {
@@ -463,20 +465,23 @@ mod engine {
 
     /// Segment-size ceiling for the gather-and-insertion-sort search. Most
     /// nodes of a fully grown tree are this small, and for them the bucket
-    /// machinery (epoch scratch, present list, pdqsort call) costs more
-    /// than touching every element twice on the stack. Kept low: the
-    /// insertion sort is quadratic, so past a dozen rows bucketing wins.
+    /// machinery (flat-array clear or pdqsort call) costs more than
+    /// touching every element twice on the stack. Kept low: the insertion
+    /// sort is quadratic, so past a dozen rows the other strategies win
+    /// (`split_calib` micro-bench).
     const SMALL_MAX: usize = 8;
 
     /// [`best_split_counting`] for segments of at most [`SMALL_MAX`] rows:
     /// gather `(rank, y)` pairs into a stack buffer, stable insertion sort
-    /// by rank, then one grouped scan. The stable sort preserves segment
-    /// order within each rank, so every group sum — and therefore every
-    /// gain — folds in exactly the order the bucket path uses: the two
-    /// paths are bitwise interchangeable, and which one runs is decided by
-    /// the (data-deterministic) segment size alone.
+    /// by rank, then the shared [`grouped_scan`]. The stable sort preserves
+    /// segment order within each rank, so every group sum — and therefore
+    /// every gain — folds in exactly the order the other strategies use.
+    ///
+    /// The stack capacity is a const parameter so the `split_calib`
+    /// micro-bench can time this path past the production cutoff; the
+    /// engine always instantiates `CAP = SMALL_MAX`.
     #[allow(clippy::too_many_arguments)]
-    fn best_split_counting_small(
+    fn best_split_counting_small<const CAP: usize>(
         rank_value: &[f64],
         ranks_f: &[u32],
         y: &[f64],
@@ -488,7 +493,7 @@ mod engine {
         constant: &mut bool,
     ) -> Option<(Split, u32)> {
         let n = seg.len();
-        let mut small = [(0u32, 0.0f64); SMALL_MAX];
+        let mut small = [(0u32, 0.0f64); CAP];
         for (slot, &r) in small.iter_mut().zip(seg) {
             *slot = (ranks_f[r as usize], y[r as usize]);
         }
@@ -505,16 +510,34 @@ mod engine {
             *constant = true; // column constant within the node
             return None;
         }
+        grouped_scan(&small[..n], rank_value, total, feature, min_leaf, inv)
+    }
+
+    /// Boundary scan over rank-sorted `(rank, y)` pairs: fold each rank
+    /// group's targets in pair order, evaluate the gain at every boundary
+    /// between adjacent present ranks. Shared by the small and sparse
+    /// strategies (the dense path scans its flat arrays directly); the
+    /// fold order — group sums in pair order, groups ascending by rank —
+    /// is the order all strategies must reproduce to stay interchangeable.
+    fn grouped_scan(
+        sorted: &[(u32, f64)],
+        rank_value: &[f64],
+        total: f64,
+        feature: usize,
+        min_leaf: usize,
+        inv: &[f64],
+    ) -> Option<(Split, u32)> {
+        let n = sorted.len();
         let base = total * total * inv[n];
         let mut left_sum = 0.0;
         let mut best: Option<(f64, f64, u32)> = None; // (gain, threshold, boundary)
         let mut best_gain = 0.0;
         let mut i = 0;
         while i < n {
-            let p = small[i].0;
+            let p = sorted[i].0;
             let mut group_sum = 0.0;
-            while i < n && small[i].0 == p {
-                group_sum += small[i].1;
+            while i < n && sorted[i].0 == p {
+                group_sum += sorted[i].1;
                 i += 1;
             }
             if i == n {
@@ -523,7 +546,7 @@ mod engine {
             left_sum += group_sum;
             let left_cnt = i;
             if left_cnt >= min_leaf && n - left_cnt >= min_leaf {
-                let k = small[i].0;
+                let k = sorted[i].0;
                 let right_sum = total - left_sum;
                 let gain = left_sum * left_sum * inv[left_cnt]
                     + right_sum * right_sum * inv[n - left_cnt]
@@ -897,5 +920,242 @@ mod engine {
         }
 
         RegressionTree::from_raw(nodes, split_gains)
+    }
+
+    /// Calibration-only surface for the `split_calib` micro-bench
+    /// (`pwu-bench`): wraps each split-search strategy so the bench times
+    /// the *real* engine code over an `(n_seg, n_ranks)` grid, rather than
+    /// a re-implementation that could drift. Hidden — not a crate API; the
+    /// signatures mirror the private functions minus the `feature` id.
+    #[doc(hidden)]
+    pub mod calib {
+        use super::{
+            best_split_counting_dense, best_split_counting_small, best_split_counting_sparse,
+            CountScratch, Split,
+        };
+
+        pub struct Scratch(CountScratch);
+
+        impl Scratch {
+            #[must_use]
+            pub fn new(max_ranks: usize) -> Self {
+                Self(CountScratch::new(max_ranks))
+            }
+        }
+
+        /// The production small-path cutoff.
+        pub const SMALL_MAX: usize = super::SMALL_MAX;
+
+        /// The production dense-path cutoff factor (dense when
+        /// `n_ranks <= DENSE_FACTOR * n_seg`).
+        pub const DENSE_FACTOR: usize = super::DENSE_FACTOR;
+
+        #[must_use]
+        pub fn small<const CAP: usize>(
+            rank_value: &[f64],
+            ranks_f: &[u32],
+            y: &[f64],
+            seg: &[u32],
+            total: f64,
+            min_leaf: usize,
+            inv: &[f64],
+        ) -> Option<(Split, u32)> {
+            let mut constant = false;
+            best_split_counting_small::<CAP>(
+                rank_value,
+                ranks_f,
+                y,
+                seg,
+                total,
+                0,
+                min_leaf,
+                inv,
+                &mut constant,
+            )
+        }
+
+        #[must_use]
+        #[allow(clippy::too_many_arguments)] // mirrors the engine signature
+        pub fn dense(
+            rank_value: &[f64],
+            ranks_f: &[u32],
+            y: &[f64],
+            seg: &[u32],
+            total: f64,
+            min_leaf: usize,
+            inv: &[f64],
+            scratch: &mut Scratch,
+        ) -> Option<(Split, u32)> {
+            let mut constant = false;
+            best_split_counting_dense(
+                rank_value,
+                ranks_f,
+                y,
+                seg,
+                total,
+                0,
+                min_leaf,
+                inv,
+                &mut scratch.0,
+                &mut constant,
+            )
+        }
+
+        #[must_use]
+        #[allow(clippy::too_many_arguments)] // mirrors the engine signature
+        pub fn sparse(
+            rank_value: &[f64],
+            ranks_f: &[u32],
+            y: &[f64],
+            seg: &[u32],
+            total: f64,
+            min_leaf: usize,
+            inv: &[f64],
+            scratch: &mut Scratch,
+        ) -> Option<(Split, u32)> {
+            let mut constant = false;
+            best_split_counting_sparse(
+                rank_value,
+                ranks_f,
+                y,
+                seg,
+                total,
+                0,
+                min_leaf,
+                inv,
+                &mut scratch.0,
+                &mut constant,
+            )
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use pwu_stats::Xoshiro256PlusPlus;
+
+        /// All three split-search strategies, run on the same segment,
+        /// must return bitwise-identical splits — the property that makes
+        /// the per-node adaptive dispatch bitwise-neutral.
+        #[test]
+        fn adaptive_strategies_agree_bitwise() {
+            let mut rng = Xoshiro256PlusPlus::new(7);
+            let nr = 32usize;
+            let rank_value: Vec<f64> = (0..nr).map(|k| k as f64 * 1.5).collect();
+            // 64 rows over 32 ranks; targets correlated with rank + noise.
+            let n_rows = 64usize;
+            let ranks_f: Vec<u32> = (0..n_rows).map(|_| (rng.next() % nr as u64) as u32).collect();
+            let y: Vec<f64> = ranks_f
+                .iter()
+                .map(|&k| f64::from(k) * 0.3 + rng.next_f64())
+                .collect();
+            let inv: Vec<f64> = (0..=n_rows)
+                .map(|k| if k == 0 { 0.0 } else { 1.0 / k as f64 })
+                .collect();
+            let mut scratch = CountScratch::new(nr);
+            // Segment sizes exercising each dispatch region: n <= SMALL_MAX
+            // (small), SMALL_MAX < n < nr (sparse), n >= nr (dense).
+            for n_seg in [6usize, 20, 48] {
+                let seg: Vec<u32> = (0..n_seg as u32).collect();
+                let total: f64 = seg.iter().map(|&r| y[r as usize]).sum();
+                let run_small = |c: &mut bool| {
+                    best_split_counting_small::<SMALL_MAX>(
+                        &rank_value,
+                        &ranks_f,
+                        &y,
+                        &seg,
+                        total,
+                        0,
+                        1,
+                        &inv,
+                        c,
+                    )
+                };
+                #[allow(clippy::type_complexity)] // (label, split, constant-flag)
+                let mut candidates: Vec<(&str, Option<(Split, u32)>, bool)> = Vec::new();
+                if n_seg <= SMALL_MAX {
+                    let mut c = false;
+                    candidates.push(("small", run_small(&mut c), c));
+                }
+                {
+                    let mut c = false;
+                    let s = best_split_counting_dense(
+                        &rank_value,
+                        &ranks_f,
+                        &y,
+                        &seg,
+                        total,
+                        0,
+                        1,
+                        &inv,
+                        &mut scratch,
+                        &mut c,
+                    );
+                    candidates.push(("dense", s, c));
+                }
+                {
+                    let mut c = false;
+                    let s = best_split_counting_sparse(
+                        &rank_value,
+                        &ranks_f,
+                        &y,
+                        &seg,
+                        total,
+                        0,
+                        1,
+                        &inv,
+                        &mut scratch,
+                        &mut c,
+                    );
+                    candidates.push(("sparse", s, c));
+                }
+                let (_, first, first_const) = &candidates[0];
+                for (label, s, c) in &candidates[1..] {
+                    assert_eq!(c, first_const, "constant flag mismatch ({label}, n={n_seg})");
+                    match (first, s) {
+                        (None, None) => {}
+                        (Some((a, ba)), Some((b, bb))) => {
+                            assert_eq!(a.feature, b.feature, "{label}, n={n_seg}");
+                            assert_eq!(a.gain.to_bits(), b.gain.to_bits(), "{label}, n={n_seg}");
+                            assert_eq!(a.rule, b.rule, "{label}, n={n_seg}");
+                            assert_eq!(ba, bb, "boundary mismatch ({label}, n={n_seg})");
+                        }
+                        _ => panic!("split presence mismatch ({label}, n={n_seg})"),
+                    }
+                }
+            }
+        }
+
+        /// A constant column is flagged by every strategy.
+        #[test]
+        fn constant_column_flagged_by_all_strategies() {
+            let nr = 16usize;
+            let rank_value: Vec<f64> = (0..nr).map(|k| k as f64).collect();
+            let ranks_f = vec![3u32; 40];
+            let y: Vec<f64> = (0..40).map(|i| f64::from(i) * 0.1).collect();
+            let inv: Vec<f64> = (0..=40)
+                .map(|k| if k == 0 { 0.0 } else { 1.0 / k as f64 })
+                .collect();
+            let mut scratch = CountScratch::new(64);
+            for n_seg in [6usize, 12, 40] {
+                let seg: Vec<u32> = (0..n_seg as u32).collect();
+                let total: f64 = seg.iter().map(|&r| y[r as usize]).sum();
+                let mut c = false;
+                let s = best_split_counting(
+                    &rank_value,
+                    &ranks_f,
+                    &y,
+                    &seg,
+                    total,
+                    0,
+                    1,
+                    &inv,
+                    &mut scratch,
+                    &mut c,
+                );
+                assert!(s.is_none(), "n={n_seg}");
+                assert!(c, "constant not flagged at n={n_seg}");
+            }
+        }
     }
 }

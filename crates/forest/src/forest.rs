@@ -6,7 +6,8 @@ use rayon::prelude::*;
 use pwu_space::{FeatureKind, FeatureMatrix};
 use pwu_stats::{derive_seed, Xoshiro256PlusPlus};
 
-use crate::hyper::ForestConfig;
+use crate::flat::StridedPool;
+use crate::hyper::{FitMode, ForestConfig};
 use crate::tree::RegressionTree;
 
 /// A random-forest regressor with uncertainty estimates.
@@ -43,6 +44,10 @@ pub struct RandomForest {
     trees: Vec<RegressionTree>,
     /// Per-tree out-of-bag row indices (empty when `bootstrap` is off).
     oob_rows: Vec<Vec<u32>>,
+    /// Flat-node predict layout, compiled when the forest was fitted in
+    /// [`FitMode::Fast`] with the `fast-path` feature on ([`crate::flat`]).
+    /// Kept in lock-step with `trees` by every mutation below.
+    flat: Option<crate::flat::FlatForest>,
     config: ForestConfig,
     n_features: usize,
 }
@@ -120,9 +125,11 @@ impl RandomForest {
             trees.push(tree);
             oob_rows.push(oob);
         }
+        let flat = maybe_compile(config, kinds.len(), &trees);
         Self {
             trees,
             oob_rows,
+            flat,
             config: *config,
             n_features: kinds.len(),
         }
@@ -215,32 +222,84 @@ impl RandomForest {
 
     /// Batch prediction with across-tree uncertainty.
     ///
-    /// Rows are processed in chunks (parallelized across chunks); within a
-    /// chunk the loop runs tree-outer, so each tree's node arena stays hot
-    /// while it routes the whole chunk, instead of re-touching all trees for
-    /// every row. Per-row sums still accumulate in tree order, so each row's
-    /// result is bit-identical to [`RandomForest::predict_one_at`].
+    /// On the exact path, rows are processed in chunks (parallelized across
+    /// chunks); within a chunk the loop runs tree-outer, so each tree's node
+    /// arena stays hot while it routes the whole chunk, instead of
+    /// re-touching all trees for every row. Per-row sums still accumulate in
+    /// tree order, so each row's result is bit-identical to
+    /// [`RandomForest::predict_one_at`].
+    ///
+    /// Fast-mode forests ([`RandomForest::fast_predict`]) descend the flat
+    /// layout instead and fold the per-tree means through accumulator lanes
+    /// ([`crate::flat::fold_lanes`]): per-tree leaf values stay bitwise
+    /// equal to the exact kernel's, but the ensemble sums round differently
+    /// — deterministic and width/deal-order invariant, covered by the same
+    /// statistical-equivalence contract as the fast fit (DESIGN.md §14).
     #[must_use]
     pub fn predict_batch(&self, x: &FeatureMatrix) -> Vec<Prediction> {
         let _s = pwu_obs::span(
             "forest.predict_batch",
-            [("rows", pwu_obs::Arg::u(x.n_rows() as u64))],
+            [
+                ("rows", pwu_obs::Arg::u(x.n_rows() as u64)),
+                ("mode", pwu_obs::Arg::s(self.predict_mode())),
+            ],
         );
-        self.batch_chunks(x, |sum, sum_sq, n| {
+        let finish = |sum: f64, sum_sq: f64, n: f64| {
             let mean = sum / n;
             let var = (sum_sq / n - mean * mean).max(0.0);
             Prediction {
                 mean,
                 std: var.sqrt(),
             }
-        })
+        };
+        match &self.flat {
+            Some(flat) => flat.fold_mu(x, finish),
+            None => self.batch_chunks(x, finish),
+        }
     }
 
-    /// Batch point predictions (same traversal as
+    /// Batch point predictions (same traversal and fold dispatch as
     /// [`RandomForest::predict_batch`]).
     #[must_use]
     pub fn predict_batch_mean(&self, x: &FeatureMatrix) -> Vec<f64> {
-        self.batch_chunks(x, |sum, _, n| sum / n)
+        match &self.flat {
+            Some(flat) => flat.fold_mu(x, |sum, _, n| sum / n),
+            None => self.batch_chunks(x, |sum, _, n| sum / n),
+        }
+    }
+
+    /// Batch prediction with Hutter et al.'s total-variance uncertainty —
+    /// the bulk form of [`RandomForest::predict_total_variance`], with the
+    /// same fold dispatch as [`RandomForest::predict_batch`]: exact forests
+    /// fold `(Σμ, Σ(σ²+μ²))` serially in tree order (bit-identical to the
+    /// scalar call), fast forests fold the flat layout's leaf `μ`/second
+    /// moment arrays through accumulator lanes.
+    #[must_use]
+    pub fn predict_batch_total_variance(&self, x: &FeatureMatrix) -> Vec<Prediction> {
+        let _s = pwu_obs::span(
+            "forest.predict_batch",
+            [
+                ("rows", pwu_obs::Arg::u(x.n_rows() as u64)),
+                ("mode", pwu_obs::Arg::s(self.predict_mode())),
+            ],
+        );
+        let finish = |sum: f64, second: f64, n: f64| {
+            let mean = sum / n;
+            let var = (second / n - mean * mean).max(0.0);
+            Prediction {
+                mean,
+                std: var.sqrt(),
+            }
+        };
+        match &self.flat {
+            Some(flat) => flat.fold_total_variance(x, finish),
+            None => {
+                let rows: Vec<usize> = (0..x.n_rows()).collect();
+                rows.par_iter()
+                    .map(|&i| self.predict_total_variance(&x.row(i)))
+                    .collect()
+            }
+        }
     }
 
     /// Per-tree point-prediction columns: `out[k][i]` is tree
@@ -253,11 +312,27 @@ impl RandomForest {
     /// one-tree-at-a-time scoring. Values are bit-identical to
     /// `predict_at` — only the traversal order changes.
     ///
+    /// Fast-mode forests descend the flat layout instead; because flat and
+    /// pointer descents land on the same leaves, the returned columns are
+    /// bit-identical either way — only the fold applied *on top* of cached
+    /// columns is mode-dependent (see `pwu_core`'s `PoolScoreCache`).
+    ///
     /// # Panics
     /// Panics if a tree index is out of range or `x` is narrower than the
     /// trees' features.
     #[must_use]
     pub fn predict_columns(&self, x: &FeatureMatrix, tree_idx: &[usize]) -> Vec<Vec<f64>> {
+        let _s = pwu_obs::span(
+            "forest.predict_columns",
+            [
+                ("rows", pwu_obs::Arg::u(x.n_rows() as u64)),
+                ("trees", pwu_obs::Arg::u(tree_idx.len() as u64)),
+                ("mode", pwu_obs::Arg::s(self.predict_mode())),
+            ],
+        );
+        if let Some(flat) = &self.flat {
+            return flat.columns(x, tree_idx);
+        }
         const CHUNK: usize = 512;
         let n_rows = x.n_rows();
         let d = x.n_cols();
@@ -302,6 +377,34 @@ impl RandomForest {
             })
             .collect();
         cols.into_iter().flatten().collect()
+    }
+
+    /// [`RandomForest::predict_columns`] over a pool held in the flat
+    /// kernel's pre-transposed stride records ([`StridedPool`]): the
+    /// descent skips the per-call transpose entirely. `None` when the
+    /// forest has no flat layout (exact mode, `fast-path` off, or a space
+    /// wider than the flat kernel) — fall back to
+    /// [`RandomForest::predict_columns`], which returns bit-identical
+    /// columns (column values are kernel-invariant).
+    ///
+    /// # Panics
+    /// Panics if a tree index is out of range.
+    #[must_use]
+    pub fn predict_columns_strided(
+        &self,
+        pool: &StridedPool,
+        tree_idx: &[usize],
+    ) -> Option<Vec<Vec<f64>>> {
+        let flat = self.flat.as_ref()?;
+        let _s = pwu_obs::span(
+            "forest.predict_columns",
+            [
+                ("rows", pwu_obs::Arg::u(pool.n_rows() as u64)),
+                ("trees", pwu_obs::Arg::u(tree_idx.len() as u64)),
+                ("mode", pwu_obs::Arg::s(self.predict_mode())),
+            ],
+        );
+        Some(flat.columns_pre(pool, tree_idx))
     }
 
     /// Shared chunked tree-outer traversal: computes per-row `(Σp, Σp²)`
@@ -442,6 +545,11 @@ impl RandomForest {
             })
             .collect();
         for (t, (tree, oob)) in refit {
+            // Partial refits only recompile the refitted flat entries; the
+            // untouched trees keep their compiled layout.
+            if let Some(flat) = &mut self.flat {
+                flat.recompile(t, &tree);
+            }
             self.trees[t] = tree;
             self.oob_rows[t] = oob;
         }
@@ -478,9 +586,11 @@ impl RandomForest {
         config: ForestConfig,
         n_features: usize,
     ) -> Self {
+        let flat = maybe_compile(&config, n_features, &trees);
         Self {
             trees,
             oob_rows,
+            flat,
             config,
             n_features,
         }
@@ -488,8 +598,59 @@ impl RandomForest {
 
     /// Replaces one tree and its OOB rows (used by [`crate::reference`]).
     pub(crate) fn replace_tree(&mut self, t: usize, tree: RegressionTree, oob: Vec<u32>) {
+        if let Some(flat) = &mut self.flat {
+            flat.recompile(t, &tree);
+        }
         self.trees[t] = tree;
         self.oob_rows[t] = oob;
+    }
+
+    /// Retags the forest's fit mode in place, keeping the fitted trees.
+    ///
+    /// The trees are untouched — this does *not* refit — but the predict
+    /// kernel follows the new mode: switching to [`FitMode::Fast`] (with
+    /// `fast-path` compiled) compiles the flat layout, switching to
+    /// [`FitMode::Exact`] drops it, so batch predictions fold per the new
+    /// mode from the next call on. Callers that cache derived scores (e.g.
+    /// `pwu_core`'s `PoolScoreCache`) must resynchronize — see the
+    /// mode-swap regression test in `fast_equivalence`.
+    #[must_use]
+    pub fn with_fit_mode(mut self, mode: FitMode) -> Self {
+        self.config.fit_mode = mode;
+        self.flat = maybe_compile(&self.config, self.n_features, &self.trees);
+        self
+    }
+
+    /// Bench knob: toggles the flat predict layout without changing the
+    /// recorded fit mode, so `fast fit + exact predict kernel` (the pre-flat
+    /// engine) is measurable as a baseline. With `on == false` the forest
+    /// predicts through the pointer kernel and partial updates skip
+    /// recompilation.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn with_flat_predict(mut self, on: bool) -> Self {
+        self.flat = if on {
+            maybe_compile(&self.config, self.n_features, &self.trees)
+        } else {
+            None
+        };
+        self
+    }
+
+    /// Whether batch predictions run through the flat fast layout (true
+    /// only for [`FitMode::Fast`] forests with `fast-path` compiled).
+    #[must_use]
+    pub fn fast_predict(&self) -> bool {
+        self.flat.is_some()
+    }
+
+    /// Predict-kernel mode token for obs span tags.
+    fn predict_mode(&self) -> &'static str {
+        if self.flat.is_some() {
+            "fast"
+        } else {
+            "exact"
+        }
     }
 
     /// The configuration the forest was fitted with.
@@ -503,6 +664,25 @@ impl RandomForest {
     pub fn n_features(&self) -> usize {
         self.n_features
     }
+}
+
+/// Compiles the flat predict layout iff the config asks for the fast
+/// engine, the `fast-path` feature is on, and the feature width fits the
+/// flat kernel's fixed-stride row records — the same condition under which
+/// `fast::context_for` engages, so fast *fit* and fast *predict* always
+/// switch together unless `with_flat_predict` overrides. Gating at compile
+/// time (rather than per predict call) keeps [`RandomForest::fast_predict`]
+/// — which external caches key their fold order on — truthful about the
+/// kernel every batch actually goes through.
+fn maybe_compile(
+    config: &ForestConfig,
+    n_features: usize,
+    trees: &[RegressionTree],
+) -> Option<crate::flat::FlatForest> {
+    (cfg!(feature = "fast-path")
+        && config.fit_mode == FitMode::Fast
+        && crate::flat::supports_width(n_features))
+    .then(|| crate::flat::FlatForest::compile(trees))
 }
 
 /// Draws a bootstrap resample of `0..n` and returns `(in_bag, out_of_bag)`.

@@ -27,19 +27,24 @@
 //! that bit identity for speed under a *statistical*-equivalence contract
 //! (DESIGN.md §14): presorted-per-column partition reuse, counting-sort
 //! split search, f32 rank routing — still a pure function of the seed and
-//! invariant to thread count and deal order.
+//! invariant to thread count and deal order. Fast-mode forests also
+//! *predict* through the [`flat`] module: trees are compiled once into a
+//! branch-free breadth-first node layout whose per-tree leaf values match
+//! the pointer kernel bitwise, with a lane-split ensemble fold.
 //!
 //! Modules:
 //! - [`hyper`] — hyper-parameters ([`ForestConfig`], [`Mtry`], [`FitMode`])
 //! - [`split`] — exact best-split search for numeric and categorical columns
 //! - [`tree`] — a single CART regression tree (iterative, rank-packed growth)
 //! - [`fast`] — the statistically-equivalent fast fit engine
+//! - [`flat`] — the flat-node fast batch-predict layout
 //! - [`forest`] — the bagged ensemble with parallel fit/predict
 //! - [`importance`] — impurity-based feature importances
 //! - [`oob`] — out-of-bag error estimation
 //! - [`reference`] — the historical row-major implementation (tests/benches)
 
 pub mod fast;
+pub mod flat;
 pub mod forest;
 pub mod hyper;
 pub mod importance;
@@ -48,6 +53,15 @@ pub mod reference;
 pub mod split;
 pub mod tree;
 
+pub use flat::{fold_columns, fold_lanes, StridedPool};
+
+/// Whether this build of the crate carries the real fast engine. Downstream
+/// test harnesses must consult this — not their *own* `fast-path` feature —
+/// when deciding if [`FitMode::Fast`] falls back to the exact engine:
+/// feature unification can compile this crate's engine in while a
+/// dependent crate's mirroring feature stays off (e.g. a whole-workspace
+/// build where another member enables `pwu-forest/fast-path`).
+pub const FAST_PATH_COMPILED: bool = cfg!(feature = "fast-path");
 pub use forest::RandomForest;
 pub use hyper::{FitMode, ForestConfig, Mtry};
 pub use split::{Split, SplitRule};

@@ -141,6 +141,11 @@ impl RegressionTree {
         Self { nodes, split_gains }
     }
 
+    /// The node arena (used by [`crate::flat`] to compile the flat layout).
+    pub(crate) fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
     /// Returns the leaf statistics for a feature row.
     ///
     /// # Panics

@@ -1,0 +1,286 @@
+//! Predict-side suites for the flat fast engine (run in all three feature
+//! configs by `cargo xtask fast`).
+//!
+//! The flat layout's contract (DESIGN.md §14) mirrors the fast fit's:
+//! per-tree leaf values are **bitwise identical** to the pointer descent
+//! (same comparisons, same leaves), only the ensemble fold differs (lane
+//! accumulators instead of the serial tree-order recurrence), and every
+//! result is a pure function of the inputs — byte-identical across pool
+//! widths and (with `sanitize`) deal orders. Without `fast-path` the flat
+//! layout is never compiled and every fast-mode forest predicts through
+//! the exact kernel bit-for-bit.
+
+use rand::Rng;
+
+use pwu_forest::forest::Prediction;
+use pwu_forest::{FitMode, ForestConfig, RandomForest};
+use pwu_space::{FeatureKind, FeatureMatrix};
+use pwu_stats::Xoshiro256PlusPlus;
+
+/// Mixed numeric/categorical dataset (same shape as the fit-side suite's:
+/// counting column, continuous column, categorical column).
+fn dataset(n: usize, seed: u64) -> (FeatureMatrix, Vec<FeatureKind>, Vec<f64>) {
+    let mut rng = Xoshiro256PlusPlus::new(seed);
+    let mut rows = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for _ in 0..n {
+        let a = rng.gen_range(0..6) as f64;
+        let b = rng.next_f64() * 10.0;
+        let c = rng.gen_range(0..5) as f64;
+        y.push(2.0 * a + 0.7 * b + if c >= 3.0 { 4.0 } else { 0.0 } + 0.5 * rng.next_f64());
+        rows.push(vec![a, b, c]);
+    }
+    let kinds = vec![
+        FeatureKind::Numeric,
+        FeatureKind::Numeric,
+        FeatureKind::Categorical { n_categories: 5 },
+    ];
+    let x = FeatureMatrix::from_rows(3, &rows);
+    (x, kinds, y)
+}
+
+fn fast_config() -> ForestConfig {
+    ForestConfig {
+        n_trees: 30,
+        fit_mode: FitMode::Fast,
+        ..ForestConfig::default()
+    }
+}
+
+fn batch_bits(preds: &[Prediction]) -> Vec<(u64, u64)> {
+    preds.iter().map(|p| (p.mean.to_bits(), p.std.to_bits())).collect()
+}
+
+fn columns_bits(cols: &[Vec<f64>]) -> Vec<Vec<u64>> {
+    cols.iter()
+        .map(|c| c.iter().map(|v| v.to_bits()).collect())
+        .collect()
+}
+
+/// Per-tree leaf values through the flat layout are bit-identical to the
+/// pointer descent: `predict_columns` must not change by a single ulp when
+/// the flat layout is stripped — over full ensembles, subsets, and the
+/// odd-sized tail groups of the 4-tree pipeline.
+#[test]
+fn flat_columns_match_pointer_descent_bitwise() {
+    for seed in [1u64, 2, 3] {
+        let (x, kinds, y) = dataset(350, seed);
+        let (pool, _, _) = dataset(700, 40 + seed);
+        let fast = RandomForest::fit(&fast_config(), &kinds, &x, &y, seed);
+        let pointer = fast.clone().with_flat_predict(false);
+        assert!(!pointer.fast_predict());
+        let all: Vec<usize> = (0..fast.trees().len()).collect();
+        for idx in [&all[..], &all[..1], &all[3..10], &all[5..11]] {
+            assert_eq!(
+                columns_bits(&fast.predict_columns(&pool, idx)),
+                columns_bits(&pointer.predict_columns(&pool, idx)),
+                "seed {seed}: flat and pointer columns diverged on {idx:?}"
+            );
+        }
+    }
+}
+
+/// The ensemble fold is the *only* divergence: with `fast-path` compiled,
+/// the lane fold must differ from the serial fold in its last ulps on at
+/// least one pool row (else the flat path is not being taken, and the
+/// equivalence suites are vacuous); without the feature the flat layout is
+/// never built and the batch predictions collapse to bitwise equality.
+#[test]
+fn flat_fold_diverges_iff_fast_path_is_compiled() {
+    let mut any_diff = false;
+    for seed in [7u64, 8, 9] {
+        let (x, kinds, y) = dataset(350, seed);
+        let (pool, _, _) = dataset(700, 50 + seed);
+        let fast = RandomForest::fit(&fast_config(), &kinds, &x, &y, seed);
+        assert_eq!(fast.fast_predict(), cfg!(feature = "fast-path"));
+        let pointer = fast.clone().with_flat_predict(false);
+        let a = batch_bits(&fast.predict_batch(&pool));
+        let b = batch_bits(&pointer.predict_batch(&pool));
+        if cfg!(feature = "fast-path") {
+            any_diff |= a != b;
+        } else {
+            assert_eq!(a, b, "seed {seed}: without fast-path the kernels must agree");
+        }
+        // Means must agree with the full predictions' means in every config.
+        let means: Vec<u64> = fast
+            .predict_batch_mean(&pool)
+            .iter()
+            .map(|m| m.to_bits())
+            .collect();
+        assert_eq!(means, a.iter().map(|&(m, _)| m).collect::<Vec<_>>());
+    }
+    if cfg!(feature = "fast-path") {
+        assert!(any_diff, "flat lane fold never diverged from the serial fold");
+    }
+}
+
+/// `with_fit_mode` swaps the predict kernel in place: Fast→Exact strips the
+/// flat layout (predictions become bitwise the exact kernel's), Exact→Fast
+/// rebuilds it (predictions return to the flat fold, bit-for-bit), and the
+/// trees themselves never change.
+#[test]
+fn with_fit_mode_swaps_the_predict_kernel_in_place() {
+    let (x, kinds, y) = dataset(300, 21);
+    let (pool, _, _) = dataset(500, 22);
+    let fast = RandomForest::fit(&fast_config(), &kinds, &x, &y, 5);
+    let fast_preds = batch_bits(&fast.predict_batch(&pool));
+
+    let demoted = fast.clone().with_fit_mode(FitMode::Exact);
+    assert!(!demoted.fast_predict());
+    assert_eq!(
+        batch_bits(&demoted.predict_batch(&pool)),
+        batch_bits(&fast.clone().with_flat_predict(false).predict_batch(&pool)),
+        "Exact-mode swap must predict through the exact kernel"
+    );
+
+    let promoted = demoted.with_fit_mode(FitMode::Fast);
+    assert_eq!(promoted.fast_predict(), cfg!(feature = "fast-path"));
+    assert_eq!(
+        batch_bits(&promoted.predict_batch(&pool)),
+        fast_preds,
+        "round-tripping the fit mode must restore the flat fold bitwise"
+    );
+
+    // An exact-fit forest never predicts through the flat layout.
+    let exact_cfg = ForestConfig {
+        n_trees: 30,
+        ..ForestConfig::default()
+    };
+    assert!(!RandomForest::fit(&exact_cfg, &kinds, &x, &y, 5).fast_predict());
+}
+
+/// Partial refits keep the flat layout coherent: after `update`, batch
+/// predictions through the flat layout must match a freshly compiled one
+/// (a from-scratch `with_flat_predict(true)` rebuild) bitwise.
+#[test]
+fn partial_update_recompiles_flat_trees_coherently() {
+    let (x, kinds, y) = dataset(300, 31);
+    let (x2, _, y2) = dataset(320, 32);
+    let (pool, _, _) = dataset(500, 33);
+    let mut forest = RandomForest::fit(&fast_config(), &kinds, &x, &y, 13);
+    for step in 0..3u64 {
+        forest.update(&kinds, &x2, &y2, 7, 200 + step);
+        let rebuilt = forest.clone().with_flat_predict(true);
+        assert_eq!(
+            batch_bits(&forest.predict_batch(&pool)),
+            batch_bits(&rebuilt.predict_batch(&pool)),
+            "step {step}: incrementally recompiled flat layout drifted from a rebuild"
+        );
+    }
+}
+
+/// Batch total-variance on the exact path is bit-identical to the scalar
+/// fold; on the flat path it must agree with the flat `predict_batch` on
+/// the mean and dominate its across-tree σ (law of total variance).
+#[test]
+fn batch_total_variance_matches_its_contract() {
+    let (x, kinds, y) = dataset(300, 41);
+    let (pool, _, _) = dataset(400, 42);
+    let exact_cfg = ForestConfig {
+        n_trees: 24,
+        ..ForestConfig::default()
+    };
+    let exact = RandomForest::fit(&exact_cfg, &kinds, &x, &y, 3);
+    let scalar: Vec<Prediction> = (0..pool.n_rows())
+        .map(|i| exact.predict_total_variance(&pool.row(i)))
+        .collect();
+    assert_eq!(
+        batch_bits(&exact.predict_batch_total_variance(&pool)),
+        batch_bits(&scalar),
+        "exact batch total-variance must replicate the scalar fold bitwise"
+    );
+
+    let fast = RandomForest::fit(&fast_config(), &kinds, &x, &y, 3);
+    let tv = fast.predict_batch_total_variance(&pool);
+    let mu = fast.predict_batch(&pool);
+    for (i, (t, m)) in tv.iter().zip(&mu).enumerate() {
+        assert_eq!(
+            t.mean.to_bits(),
+            m.mean.to_bits(),
+            "row {i}: total-variance fold changed the mean"
+        );
+        assert!(
+            t.std + 1e-12 >= m.std,
+            "row {i}: total variance {} below across-tree variance {}",
+            t.std,
+            m.std
+        );
+    }
+}
+
+/// Fast batch prediction and column scoring are width-invariant: the
+/// `PWU_THREADS` pool width must never leak into a single bit of the
+/// scored pool.
+#[test]
+fn fast_predict_is_width_invariant() {
+    let (x, kinds, y) = dataset(300, 51);
+    let (pool, _, _) = dataset(1200, 52);
+    let forest = RandomForest::fit(&fast_config(), &kinds, &x, &y, 9);
+    let all: Vec<usize> = (0..forest.trees().len()).collect();
+    let before = rayon::current_num_threads();
+    rayon::set_threads(1);
+    let base_batch = batch_bits(&forest.predict_batch(&pool));
+    let base_cols = columns_bits(&forest.predict_columns(&pool, &all));
+    let base_tv = batch_bits(&forest.predict_batch_total_variance(&pool));
+    for width in [2usize, 4, 8] {
+        rayon::set_threads(width);
+        assert_eq!(
+            batch_bits(&forest.predict_batch(&pool)),
+            base_batch,
+            "predict_batch drifted at width {width}"
+        );
+        assert_eq!(
+            columns_bits(&forest.predict_columns(&pool, &all)),
+            base_cols,
+            "predict_columns drifted at width {width}"
+        );
+        assert_eq!(
+            batch_bits(&forest.predict_batch_total_variance(&pool)),
+            base_tv,
+            "predict_batch_total_variance drifted at width {width}"
+        );
+    }
+    rayon::set_threads(before);
+}
+
+/// With the runtime sanitizer compiled in, fast pool scoring must be
+/// byte-identical across every deal-order perturbation × pool width —
+/// the schedule must not be observable through the predict side either
+/// (mirror of the fit-side `fast_fit_is_deal_order_invariant`).
+#[cfg(feature = "sanitize")]
+#[test]
+fn fast_predict_is_deal_order_invariant() {
+    use rayon::sanitize::DealMode;
+    let (x, kinds, y) = dataset(300, 61);
+    let (pool, _, _) = dataset(1100, 62);
+    let forest = RandomForest::fit(&fast_config(), &kinds, &x, &y, 17);
+    let all: Vec<usize> = (0..forest.trees().len()).collect();
+    let before = rayon::current_num_threads();
+    rayon::set_threads(1);
+    rayon::sanitize::set_deal_mode(DealMode::RoundRobin);
+    let base_batch = batch_bits(&forest.predict_batch(&pool));
+    let base_cols = columns_bits(&forest.predict_columns(&pool, &all));
+    for deal in [
+        DealMode::RoundRobin,
+        DealMode::Blocked,
+        DealMode::Reversed,
+        DealMode::Shuffled(0xF1A7),
+    ] {
+        for width in [1usize, 2, 4, 8] {
+            rayon::set_threads(width);
+            rayon::sanitize::set_deal_mode(deal);
+            assert_eq!(
+                batch_bits(&forest.predict_batch(&pool)),
+                base_batch,
+                "predict_batch drifted at width {width} under {deal:?}"
+            );
+            assert_eq!(
+                columns_bits(&forest.predict_columns(&pool, &all)),
+                base_cols,
+                "predict_columns drifted at width {width} under {deal:?}"
+            );
+        }
+    }
+    rayon::sanitize::set_deal_mode(DealMode::RoundRobin);
+    rayon::set_threads(before);
+}

@@ -364,10 +364,10 @@ fn trace_verb_records_exports_and_unifies_stats() {
 
 /// Satellite regression for the rayon shim's no-nested-pools rule: a
 /// `fit_mode:"fast"` session fits its forest on the `PWU_THREADS` pool,
-/// and the fleet tick *also* shards sessions over that pool — so at width
-/// > 1 every per-tree fit runs nested inside a pool worker and must
-/// degrade to sequential instead of spawning (or deadlocking on) a second
-/// thread tier. The fleet must complete and the digests must be
+/// and the fleet tick *also* shards sessions over that pool — so at any
+/// width above 1 every per-tree fit runs nested inside a pool worker and
+/// must degrade to sequential instead of spawning (or deadlocking on) a
+/// second thread tier. The fleet must complete and the digests must be
 /// bit-identical to a width-1 run.
 #[test]
 fn fast_fleet_tick_nests_parallel_fits_without_deadlock_and_stays_width_invariant() {

@@ -119,13 +119,18 @@ fn lint() {
 }
 
 /// The benchmark names `BENCH_forest.json` must cover to be a valid report.
-/// The `fast/` entries compare `FitMode::Fast` against the frozen exact
-/// reference (single-thread, then on a 4-wide `PWU_THREADS` pool).
-const PERF_BENCHMARKS: [&str; 6] = [
+/// The `fast/fit` entries compare `FitMode::Fast` against the frozen exact
+/// reference (single-thread, then on a 4-wide `PWU_THREADS` pool); the
+/// `fast/predict_batch` and `fast/tuning_iteration` entries compare the
+/// flat-layout predict path against the same fast-fit forest predicting
+/// through the exact pointer kernel.
+const PERF_BENCHMARKS: [&str; 8] = [
     "fit/n200_d8",
     "fit/n500_d20",
     "fast/fit/n500_d20",
     "fast/fit/n500_d20_t4",
+    "fast/predict_batch/pool4000_d12",
+    "fast/tuning_iteration/partial8_pool16k",
     "predict_batch/pool4000_d12",
     "tuning_iteration/partial8",
 ];
@@ -151,7 +156,7 @@ const OBS_SPEEDUP_FLOOR: f64 = 0.95;
 /// The reports the perf harnesses write in one run:
 /// `(committed path, schema marker, required benchmarks)`.
 const PERF_REPORTS: [(&str, &str, &[&str]); 4] = [
-    ("BENCH_forest.json", "pwu-bench-forest-v2", &PERF_BENCHMARKS),
+    ("BENCH_forest.json", "pwu-bench-forest-v3", &PERF_BENCHMARKS),
     (
         "BENCH_measure.json",
         "pwu-bench-measure-v1",
@@ -288,16 +293,19 @@ fn perf(check: bool) {
 }
 
 /// The per-benchmark regression floor. Every entry gates relative to its
-/// committed baseline (75 %); the fast-path single-thread fit additionally
-/// keeps an *absolute* floor of 2.25x — 75 % of the 3.0x the fast engine
-/// is contracted to deliver over `pwu_forest::reference` — so the gate can
-/// never ratchet below the contract even if a slow number is committed.
+/// committed baseline (75 %); the contracted fast-engine entries
+/// additionally keep *absolute* floors — 75 % of what each is contracted
+/// to deliver (fit: 3.0x over `pwu_forest::reference`; flat-layout batch
+/// predict: 2.0x over the exact pointer kernel; end-to-end partial-refit
+/// iteration: 1.5x) — so the gate can never ratchet below the contract
+/// even if a slow number is committed.
 fn speedup_floor(name: &str, committed_speedup: f64) -> f64 {
     let relative = 0.75 * committed_speedup;
-    if name == "fast/fit/n500_d20" {
-        relative.max(2.25)
-    } else {
-        relative
+    match name {
+        "fast/fit/n500_d20" => relative.max(2.25),
+        "fast/predict_batch/pool4000_d12" => relative.max(1.5),
+        "fast/tuning_iteration/partial8_pool16k" => relative.max(1.125),
+        _ => relative,
     }
 }
 
@@ -424,11 +432,7 @@ fn obs() {
 fn fast() {
     let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
     run_step(
-        "fast-path suite, engine compiled out (stub falls back to exact)",
-        Command::new(&cargo).args(["test", "-q", "-p", "pwu-forest", "--test", "fast_path"]),
-    );
-    run_step(
-        "fast-path suite (--features fast-path)",
+        "fast fit+predict suites, engine compiled out (stub falls back to exact)",
         Command::new(&cargo).args([
             "test",
             "-q",
@@ -436,12 +440,27 @@ fn fast() {
             "pwu-forest",
             "--test",
             "fast_path",
+            "--test",
+            "flat_predict",
+        ]),
+    );
+    run_step(
+        "fast fit+predict suites (--features fast-path)",
+        Command::new(&cargo).args([
+            "test",
+            "-q",
+            "-p",
+            "pwu-forest",
+            "--test",
+            "fast_path",
+            "--test",
+            "flat_predict",
             "--features",
             "fast-path",
         ]),
     );
     run_step(
-        "fast-path suite under the schedule sanitizer (--features fast-path,sanitize)",
+        "fast fit+predict suites under the schedule sanitizer (--features fast-path,sanitize)",
         Command::new(&cargo).args([
             "test",
             "-q",
@@ -449,6 +468,8 @@ fn fast() {
             "pwu-forest",
             "--test",
             "fast_path",
+            "--test",
+            "flat_predict",
             "--features",
             "fast-path,sanitize",
         ]),
@@ -458,7 +479,7 @@ fn fast() {
         Command::new(&cargo).args(["test", "-q", "-p", "pwu-core", "--test", "fast_equivalence"]),
     );
     run_step(
-        "statistical-equivalence harness (>=20 seeds + 18 kernels, --features fast-path)",
+        "statistical-equivalence harness (>=20 seeds, 18 kernels + kripke/hypre, --features fast-path)",
         Command::new(&cargo).args([
             "test",
             "-q",
